@@ -1,0 +1,146 @@
+// E11 -- Fault tolerance via migration mechanisms (Sec. 1, 4).
+//
+// Paper: migration "provides the ability to stop a process, transport its
+// state to another processor, and restart the process, transparently"; saved
+// in stable storage, that state lets a process "migrate" off a crashed
+// machine; and working processes can be evacuated from a dying processor
+// "like rats leaving a sinking ship."
+//
+// Part A: evacuation race -- how much grace time the sinking ship needs for
+// its rats, vs the number of processes aboard.  Part B: checkpoint/crash/
+// recover cycle, counting lost work with and without checkpoints.
+
+#include "bench/bench_util.h"
+#include "src/fault/crash.h"
+#include "src/fault/recovery.h"
+
+namespace demos {
+namespace {
+
+constexpr MsgType kIncrement = static_cast<MsgType>(1003);
+
+int RunEvacuation(int n_processes, SimDuration grace_us) {
+  Cluster cluster(ClusterConfig{.machines = 3});
+  BootOptions options;
+  options.start_file_system = false;
+  SystemLayout layout = BootSystem(cluster, options);
+  auto sink = cluster.kernel(0).SpawnProcess("sink");
+  cluster.RunFor(1000);
+
+  std::vector<ProcessId> aboard;
+  for (int i = 0; i < n_processes; ++i) {
+    ByteWriter w;
+    w.U64(static_cast<std::uint64_t>(i));
+    w.Str("counter");
+    w.U16(2);
+    w.U32(96 * 1024);  // heavyweight images: evacuation takes real wire time
+    w.U32(32 * 1024);
+    w.U32(4096);
+    Link reply;
+    reply.address = *sink;
+    reply.flags = kLinkReply;
+    cluster.kernel(0).SendFromKernel(layout.process_manager, kPmCreate, w.Take(), {reply});
+  }
+  for (int guard = 0; guard < 500; ++guard) {
+    cluster.RunFor(2'000);
+    aboard.clear();
+    for (const auto& [pid, entry] : cluster.kernel(2).process_table().entries()) {
+      if (!entry.IsForwarding() && entry.process->memory.ProgramName() == "counter") {
+        aboard.push_back(pid);
+      }
+    }
+    if (static_cast<int>(aboard.size()) >= n_processes) {
+      break;
+    }
+  }
+
+  CrashController crash(&cluster);
+  crash.DegradeThenCrash(2, grace_us);
+  ByteWriter w;
+  w.U16(2);
+  cluster.kernel(0).SendFromKernel(layout.process_manager, kPmEvacuate, w.Take());
+  cluster.RunFor(grace_us + 500'000);
+
+  // A process only counts as saved if a fully-restarted copy lives on a
+  // healthy machine (a half-assembled in-migration skeleton does not count).
+  int saved = 0;
+  for (const ProcessId& pid : aboard) {
+    const MachineId at = cluster.HostOf(pid);
+    if (at == kNoMachine || at == 2) {
+      continue;
+    }
+    ProcessRecord* record = cluster.kernel(at).FindProcess(pid);
+    if (record != nullptr && record->state != ExecState::kInMigration) {
+      ++saved;
+    }
+  }
+  return saved;
+}
+
+void Run() {
+  bench::RegisterEverything();
+  bench::Title("E11a", "rats leaving a sinking ship: evacuation vs grace time");
+  bench::PaperClaim("working processes can be migrated off a dying processor before it fails");
+
+  bench::Table evac({"processes aboard", "grace us", "evacuated", "lost"});
+  for (int aboard : {2, 4, 8}) {
+    for (SimDuration grace : {10'000u, 60'000u, 500'000u}) {
+      const int saved = RunEvacuation(aboard, grace);
+      evac.Row({bench::Num(aboard), bench::Num(static_cast<std::int64_t>(grace)),
+                bench::Num(saved), bench::Num(aboard - saved)});
+    }
+  }
+  evac.Print();
+  bench::Note("with enough warning everything escapes; with a short grace only the");
+  bench::Note("first migrations complete -- evacuation time scales with state moved.");
+
+  bench::Title("E11b", "crash recovery from stable-storage checkpoints");
+  bench::PaperClaim("state saved in stable storage lets a process migrate off a crashed node");
+
+  bench::Table recover({"work before crash", "checkpoint at", "work after recovery",
+                        "work lost"});
+  for (int checkpoint_at : {0, 5, 10}) {
+    Cluster cluster(ClusterConfig{.machines = 3});
+    auto counter = cluster.kernel(0).SpawnProcess("counter");
+    if (!counter.ok()) {
+      continue;
+    }
+    cluster.RunUntilIdle();
+    StableStore store;
+    const int total_work = 10;
+    for (int i = 0; i < total_work; ++i) {
+      if (i == checkpoint_at) {
+        (void)store.Checkpoint(cluster, counter->pid);
+      }
+      cluster.kernel(1).SendFromKernel(*counter, kIncrement, {});
+      cluster.RunUntilIdle();
+    }
+    if (checkpoint_at >= total_work) {
+      (void)store.Checkpoint(cluster, counter->pid);
+    }
+    CrashController crash(&cluster);
+    crash.Crash(0);
+    (void)store.RecoverProcess(cluster, counter->pid, 2);
+    cluster.RunUntilIdle();
+    ProcessRecord* recovered = cluster.kernel(2).FindProcess(counter->pid);
+    std::uint64_t after = 0;
+    if (recovered != nullptr) {
+      ByteReader r(recovered->memory.ReadData(0, 8));
+      after = r.U64();
+    }
+    recover.Row({bench::Num(total_work), bench::Num(checkpoint_at), bench::Num(after),
+                 bench::Num(static_cast<std::int64_t>(total_work) -
+                            static_cast<std::int64_t>(after))});
+  }
+  recover.Print();
+  bench::Note("work since the last checkpoint is lost, exactly; everything up to the");
+  bench::Note("checkpoint survives the crash and continues on the new machine.");
+}
+
+}  // namespace
+}  // namespace demos
+
+int main() {
+  demos::Run();
+  return 0;
+}

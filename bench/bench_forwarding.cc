@@ -1,0 +1,138 @@
+// E4 -- Forwarding overhead (Sec. 6, Fig. 4-1).
+//
+// Paper: "Each message that goes through a forwarding address generates two
+// additional messages.  The first is the actual message being forwarded to
+// its new destination, and the second is the update message back to the
+// sender."
+//
+// This bench measures messages and latency for sends over a fresh link, a
+// stale link (one forwarding hop), and chains of 2-4 forwarding hops.
+
+#include "bench/bench_util.h"
+
+namespace demos {
+namespace {
+
+constexpr MsgType kSendViaTable = static_cast<MsgType>(1006);
+constexpr MsgType kIncrement = static_cast<MsgType>(1003);
+
+struct Setup {
+  Cluster cluster{ClusterConfig{.machines = 6}};
+  ProcessAddress relay;
+  ProcessAddress counter;
+};
+
+void TellRelayToSend(Setup& s) {
+  ByteWriter w;
+  w.U32(0);
+  w.U16(static_cast<std::uint16_t>(kIncrement));
+  w.Blob({});
+  s.cluster.kernel(5).SendFromKernel(s.relay, kSendViaTable, w.Take());
+}
+
+std::uint64_t CounterValue(Setup& s) {
+  ProcessRecord* record = s.cluster.FindProcessAnywhere(s.counter.pid);
+  ByteReader r(record->memory.ReadData(0, 8));
+  return r.U64();
+}
+
+void Run() {
+  bench::RegisterEverything();
+  // Test programs (relay/counter) live in the test utilities; register the
+  // same behaviour here.
+  ProgramRegistry::Instance().Register("bench_relay", [] {
+    class Relay : public Program {
+      void OnMessage(Context& ctx, const Message& msg) override {
+        if (msg.type != kSendViaTable) {
+          return;
+        }
+        ByteReader r(msg.payload);
+        const LinkId link = r.U32();
+        const auto type = static_cast<MsgType>(r.U16());
+        (void)ctx.Send(link, type, r.Blob());
+      }
+    };
+    return std::make_unique<Relay>();
+  });
+  ProgramRegistry::Instance().Register("bench_counter", [] {
+    class Counter : public Program {
+      void OnMessage(Context& ctx, const Message& msg) override {
+        if (msg.type != kIncrement) {
+          return;
+        }
+        ByteReader r(ctx.ReadData(0, 8));
+        ByteWriter w;
+        w.U64(r.U64() + 1);
+        (void)ctx.WriteData(0, w.bytes());
+      }
+    };
+    return std::make_unique<Counter>();
+  });
+
+  bench::Title("E4", "cost of a message through forwarding addresses");
+  bench::PaperClaim("each forward adds 2 messages: the re-send plus the link update");
+
+  bench::Table table({"fwd hops", "msgs (1st send)", "extra vs direct", "link updates",
+                      "msgs (2nd send)", "delivery us (1st)", "delivery us (2nd)"});
+
+  std::int64_t direct_msgs = -1;
+  for (int hops = 0; hops <= 4; ++hops) {
+    Setup s;
+    auto relay = s.cluster.kernel(5).SpawnProcess("bench_relay");
+    auto counter = s.cluster.kernel(0).SpawnProcess("bench_counter");
+    if (!relay.ok() || !counter.ok()) {
+      continue;
+    }
+    s.relay = *relay;
+    s.counter = *counter;
+    s.cluster.RunUntilIdle();
+    Link to_counter;
+    to_counter.address = *counter;
+    s.cluster.kernel(5).FindProcess(relay->pid)->links.Insert(to_counter);
+
+    for (int h = 0; h < hops; ++h) {
+      const MachineId from = s.cluster.HostOf(counter->pid);
+      (void)s.cluster.kernel(from).StartMigration(
+          counter->pid, static_cast<MachineId>(h + 1),
+          s.cluster.kernel(from).kernel_address());
+      s.cluster.RunUntilIdle();
+    }
+
+    bench::StatDelta msgs1(s.cluster, stat::kMsgsSent);
+    bench::StatDelta updates(s.cluster, stat::kLinkUpdateMsgs);
+    SimTime t0 = s.cluster.queue().Now();
+    TellRelayToSend(s);
+    s.cluster.RunUntilIdle();
+    const SimDuration first_us = s.cluster.queue().Now() - t0;
+    const std::int64_t first_msgs = msgs1.Get();
+    const std::int64_t first_updates = updates.Get();
+
+    bench::StatDelta msgs2(s.cluster, stat::kMsgsSent);
+    t0 = s.cluster.queue().Now();
+    TellRelayToSend(s);
+    s.cluster.RunUntilIdle();
+    const SimDuration second_us = s.cluster.queue().Now() - t0;
+
+    if (hops == 0) {
+      direct_msgs = first_msgs;
+    }
+    table.Row({bench::Num(hops), bench::Num(first_msgs),
+               bench::Num(first_msgs - direct_msgs), bench::Num(first_updates),
+               bench::Num(msgs2.Get()), bench::Num(static_cast<std::int64_t>(first_us)),
+               bench::Num(static_cast<std::int64_t>(second_us))});
+    if (CounterValue(s) != 2) {
+      std::printf("!! delivery error at %d hops\n", hops);
+    }
+  }
+  table.Print();
+  bench::Note("1 hop costs exactly 2 extra messages (forward + update), as reported;");
+  bench::Note("k hops cost 2k extra on the first message; the second send is direct again.");
+}
+
+}  // namespace
+}  // namespace demos
+
+int main() {
+  demos::Run();
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Microbenchmarks (google-benchmark): wall-clock cost of the simulator's hot
+// paths -- message serialization, local/remote delivery, bulk streaming, and
+// a complete migration.  These measure the reproduction itself (host CPU
+// time), complementing the virtual-time experiment benches.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace demos {
+namespace {
+
+constexpr MsgType kNote = static_cast<MsgType>(1005);
+
+void RegisterOnce() {
+  static const bool done = [] {
+    bench::RegisterEverything();
+    ProgramRegistry::Instance().Register("micro_idle", [] {
+      class Idle : public Program {};
+      return std::make_unique<Idle>();
+    });
+    return true;
+  }();
+  (void)done;
+}
+
+void BM_MessageSerializeRoundTrip(benchmark::State& state) {
+  Message msg;
+  msg.sender = ProcessAddress{0, {0, 1}};
+  msg.receiver = ProcessAddress{1, {1, 2}};
+  msg.type = kNote;
+  msg.payload = Bytes(static_cast<std::size_t>(state.range(0)), 0x5A);
+  for (auto _ : state) {
+    bool ok = false;
+    Message back = Message::Deserialize(msg.Serialize(), &ok);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(msg.WireSize()));
+}
+BENCHMARK(BM_MessageSerializeRoundTrip)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_LocalMessageDelivery(benchmark::State& state) {
+  RegisterOnce();
+  Cluster cluster(ClusterConfig{.machines = 1});
+  auto addr = cluster.kernel(0).SpawnProcess("micro_idle");
+  cluster.RunUntilIdle();
+  for (auto _ : state) {
+    cluster.kernel(0).SendFromKernel(*addr, kNote, {1, 2, 3});
+    cluster.RunUntilIdle();
+  }
+}
+BENCHMARK(BM_LocalMessageDelivery);
+
+void BM_RemoteMessageDelivery(benchmark::State& state) {
+  RegisterOnce();
+  Cluster cluster(ClusterConfig{.machines = 2});
+  auto addr = cluster.kernel(1).SpawnProcess("micro_idle");
+  cluster.RunUntilIdle();
+  for (auto _ : state) {
+    cluster.kernel(0).SendFromKernel(*addr, kNote, {1, 2, 3});
+    cluster.RunUntilIdle();
+  }
+}
+BENCHMARK(BM_RemoteMessageDelivery);
+
+void BM_ForwardedMessageDelivery(benchmark::State& state) {
+  RegisterOnce();
+  ClusterConfig config;
+  config.machines = 3;
+  config.kernel.link_update_enabled = false;  // keep the forward on every send
+  Cluster cluster(config);
+  auto addr = cluster.kernel(0).SpawnProcess("micro_idle");
+  cluster.RunUntilIdle();
+  (void)cluster.kernel(0).StartMigration(addr->pid, 1, cluster.kernel(0).kernel_address());
+  cluster.RunUntilIdle();
+  for (auto _ : state) {
+    cluster.kernel(2).SendFromKernel(ProcessAddress{0, addr->pid}, kNote, {1});
+    cluster.RunUntilIdle();
+  }
+}
+BENCHMARK(BM_ForwardedMessageDelivery);
+
+void BM_MigrationEndToEnd(benchmark::State& state) {
+  RegisterOnce();
+  const auto image_bytes = static_cast<std::uint32_t>(state.range(0));
+  Cluster cluster(ClusterConfig{.machines = 2});
+  auto addr = cluster.kernel(0).SpawnProcess("micro_idle", image_bytes / 2, image_bytes / 4,
+                                             image_bytes / 4);
+  cluster.RunUntilIdle();
+  MachineId from = 0;
+  for (auto _ : state) {
+    (void)cluster.kernel(from).StartMigration(addr->pid, static_cast<MachineId>(1 - from),
+                                              cluster.kernel(from).kernel_address());
+    cluster.RunUntilIdle();
+    from = static_cast<MachineId>(1 - from);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * image_bytes);
+}
+BENCHMARK(BM_MigrationEndToEnd)->Arg(4 * 1024)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+void BM_ResidentStateSerialize(benchmark::State& state) {
+  ProcessRecord record;
+  record.pid = ProcessId{0, 1};
+  record.memory = MemoryImage::Create("p", 4096, 4096, 1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(record.SerializeResidentState());
+  }
+}
+BENCHMARK(BM_ResidentStateSerialize);
+
+void BM_LinkTableUpdateAddresses(benchmark::State& state) {
+  LinkTable table;
+  const ProcessId target{0, 7};
+  for (int i = 0; i < state.range(0); ++i) {
+    Link link;
+    link.address = i % 4 == 0 ? ProcessAddress{0, target}
+                              : ProcessAddress{1, {1, static_cast<std::uint32_t>(i)}};
+    table.Insert(link);
+  }
+  MachineId flip = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.UpdateAddresses(target, flip));
+    flip = static_cast<MachineId>(flip == 2 ? 3 : 2);
+  }
+}
+BENCHMARK(BM_LinkTableUpdateAddresses)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_SimulatedSecondOfRpc(benchmark::State& state) {
+  RegisterOnce();
+  for (auto _ : state) {
+    Cluster cluster(ClusterConfig{.machines = 2});
+    auto server = cluster.kernel(1).SpawnProcess("rpc_server");
+    auto client = cluster.kernel(0).SpawnProcess("rpc_client");
+    RpcClientConfig rpc;
+    rpc.count = 300;
+    rpc.period_us = 3000;  // ~1 virtual second of traffic
+    (void)cluster.kernel(0).FindProcess(client->pid)->memory.WriteData(0, rpc.Encode());
+    cluster.RunUntilIdle();
+    Link to_server;
+    to_server.address = *server;
+    cluster.kernel(0).SendFromKernel(*client, kAttachTarget, {}, {to_server});
+    cluster.RunUntilIdle();
+  }
+}
+BENCHMARK(BM_SimulatedSecondOfRpc)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace demos
+
+BENCHMARK_MAIN();

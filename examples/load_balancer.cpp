@@ -1,0 +1,121 @@
+// Dynamic load balancing (Sec. 1 motivation): a skewed batch of CPU-bound
+// jobs lands on one machine of a 3-machine cluster; the process manager's
+// threshold policy notices via load reports and spreads them out, improving
+// the batch's completion time over static placement.
+//
+//   ./build/examples/load_balancer
+
+#include <cstdio>
+
+#include "src/kernel/cluster.h"
+#include "src/kernel/context_impl.h"
+#include "src/sys/bootstrap.h"
+#include "src/sys/process_manager.h"
+#include "src/workload/programs.h"
+
+namespace demos {
+namespace {
+
+struct RunStats {
+  SimTime makespan_us = 0;
+  std::int64_t migrations = 0;
+  std::vector<MachineId> final_homes;
+};
+
+RunStats RunBatch(const std::string& policy) {
+  Cluster cluster(ClusterConfig{.machines = 3});
+  BootOptions options;
+  options.policy = policy;
+  options.policy_interval_us = 40'000;
+  options.load_report_interval_us = 20'000;
+  options.start_file_system = false;
+  SystemLayout layout = BootSystem(cluster, options);
+
+  // Six jobs, all dumped on machine 0 ("a new process with unexpected
+  // resource requirements" disturbing the mix, Sec. 1).
+  auto sink = cluster.kernel(0).SpawnProcess("sink");
+  cluster.RunFor(1000);
+  for (int i = 0; i < 6; ++i) {
+    ByteWriter w;
+    w.U64(static_cast<std::uint64_t>(i));
+    w.Str("cpu_bound");
+    w.U16(0);
+    w.U32(4096);
+    w.U32(1024);
+    w.U32(512);
+    Link reply;
+    reply.address = *sink;
+    reply.flags = kLinkReply;
+    cluster.kernel(0).SendFromKernel(layout.process_manager, kPmCreate, w.Take(), {reply});
+  }
+  std::vector<ProcessId> jobs;
+  while (jobs.size() < 6) {
+    cluster.RunFor(2'000);
+    jobs.clear();
+    for (MachineId m = 0; m < 3; ++m) {
+      for (const auto& [pid, entry] : cluster.kernel(m).process_table().entries()) {
+        if (!entry.IsForwarding() && entry.process->memory.ProgramName() == "cpu_bound") {
+          jobs.push_back(pid);
+        }
+      }
+    }
+  }
+
+  const SimTime start = cluster.queue().Now();
+  for (const ProcessId& pid : jobs) {
+    CpuBoundConfig config;
+    config.quantum_us = 2000;
+    config.period_us = 2100;
+    config.total_us = 400'000;  // 0.4 virtual seconds of CPU each
+    ProcessRecord* record = cluster.FindProcessAnywhere(pid);
+    (void)record->memory.WriteData(0, config.Encode());
+    KernelContext ctx(&cluster.kernel(cluster.HostOf(pid)), record);
+    ctx.SetTimer(1, 0x71CC);
+  }
+
+  for (int guard = 0; guard < 20'000; ++guard) {
+    bool all_done = true;
+    for (const ProcessId& pid : jobs) {
+      ProcessRecord* record = cluster.FindProcessAnywhere(pid);
+      ByteReader r(record->memory.ReadData(40, 8));
+      all_done = all_done && r.U64() == 1;
+    }
+    if (all_done) {
+      break;
+    }
+    cluster.RunFor(10'000);
+  }
+
+  RunStats stats;
+  stats.makespan_us = cluster.queue().Now() - start;
+  stats.migrations = cluster.TotalStat(stat::kMigrations);
+  for (const ProcessId& pid : jobs) {
+    stats.final_homes.push_back(cluster.HostOf(pid));
+  }
+  return stats;
+}
+
+int Main() {
+  RegisterSystemPrograms();
+  RegisterWorkloadPrograms();
+
+  std::printf("six CPU-bound jobs (0.4 s CPU each) all start on machine 0 of 3\n\n");
+  for (const char* policy : {"null", "threshold"}) {
+    RunStats stats = RunBatch(policy);
+    std::printf("policy=%-9s makespan %7llu us, %lld migrations, final placement:",
+                policy, static_cast<unsigned long long>(stats.makespan_us),
+                static_cast<long long>(stats.migrations));
+    for (MachineId m : stats.final_homes) {
+      std::printf(" m%u", m);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nthe threshold balancer pays a few migrations to cut the makespan by\n"
+              "roughly the machine count -- the paper's Sec. 1 argument in action.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace demos
+
+int main() { return demos::Main(); }

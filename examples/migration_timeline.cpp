@@ -1,0 +1,95 @@
+// A Figure 3-1-style narration of one migration: every kernel-protocol
+// message is printed with its virtual timestamp, direction, and size, by
+// tapping the transport between the two kernels.
+//
+//   ./build/examples/migration_timeline
+
+#include <cstdio>
+#include <memory>
+
+#include "src/kernel/cluster.h"
+#include "src/kernel/message.h"
+#include "src/net/sim_network.h"
+#include "src/sim/event_queue.h"
+#include "src/workload/programs.h"
+
+namespace demos {
+namespace {
+
+// A transport shim that prints every kernel message it carries.
+class TracingTransport final : public Transport {
+ public:
+  TracingTransport(Transport* lower, EventQueue* queue) : lower_(*lower), queue_(*queue) {}
+
+  void Attach(MachineId node, DeliveryHandler handler) override {
+    lower_.Attach(node, std::move(handler));
+  }
+
+  void Send(MachineId src, MachineId dst, Bytes payload) override {
+    bool ok = false;
+    Message msg = Message::Deserialize(payload, &ok);
+    if (ok && src != dst) {
+      const bool admin = IsMigrationAdminType(msg.type);
+      std::printf("  t=%6llu us  m%u -> m%u  %-18s %4zu B%s\n",
+                  static_cast<unsigned long long>(queue_.Now()), src, dst,
+                  MsgTypeName(msg.type), payload.size(), admin ? "  [admin]" : "");
+    }
+    lower_.Send(src, dst, std::move(payload));
+  }
+
+ private:
+  Transport& lower_;
+  EventQueue& queue_;
+};
+
+int Main() {
+  RegisterWorkloadPrograms();
+
+  EventQueue queue;
+  SimNetwork network(&queue, {});
+  TracingTransport tracer(&network, &queue);
+  KernelConfig config;
+  Kernel k0(0, &queue, &tracer, config);
+  Kernel k1(1, &queue, &tracer, config);
+
+  auto counter = k0.SpawnProcess("counter", 4096, 2048, 1024);
+  if (!counter.ok()) {
+    return 1;
+  }
+  queue.RunUntilIdle();
+
+  std::printf("process %s (7 KiB image) lives on m0; three messages are queued\n",
+              counter->pid.ToString().c_str());
+  // Freeze it so messages pile up, then migrate with a non-empty queue --
+  // exercising step 6's pending-message forwarding in the trace.
+  k1.SendFromKernel(*counter, MsgType::kSuspendProcess, {}, {}, kLinkDeliverToKernel);
+  queue.RunUntilIdle();
+  for (int i = 0; i < 3; ++i) {
+    k1.SendFromKernel(*counter, static_cast<MsgType>(1003), {});
+  }
+  queue.RunUntilIdle();
+
+  std::printf("\n--- migration m0 -> m1 begins (the 8 steps of Sec. 3.1) ---\n");
+  (void)k0.StartMigration(counter->pid, 1, k0.kernel_address());
+  queue.RunUntilIdle();
+  std::printf("--- migration complete ---\n\n");
+
+  k1.SendFromKernel(ProcessAddress{1, counter->pid}, MsgType::kResumeProcess, {}, {},
+                    kLinkDeliverToKernel);
+  queue.RunUntilIdle();
+
+  ProcessRecord* moved = k1.FindProcess(counter->pid);
+  ByteReader r(moved->memory.ReadData(0, 8));
+  std::printf("resumed on m%u in state %s with all %llu queued increments applied\n", 1,
+              ExecStateName(moved->state), static_cast<unsigned long long>(r.U64()));
+  std::printf("administrative messages: %lld (request/offer/accept/3 pulls/complete/"
+              "cleanup/done)\n",
+              static_cast<long long>(k0.stats().Get(stat::kAdminMsgs) +
+                                     k1.stats().Get(stat::kAdminMsgs)));
+  return 0;
+}
+
+}  // namespace
+}  // namespace demos
+
+int main() { return demos::Main(); }

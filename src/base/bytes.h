@@ -1,0 +1,167 @@
+// Byte-buffer serialization primitives.
+//
+// All inter-kernel traffic in this reproduction is serialized to real byte
+// buffers through these helpers, so that every cost the paper reports in bytes
+// (6-12 byte control messages, 8-byte forwarding addresses, ~250/~600 byte
+// process state records) is measurable as bytes rather than estimated.
+// Encoding is little-endian, fixed-width.
+
+#ifndef DEMOS_BASE_BYTES_H_
+#define DEMOS_BASE_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/base/ids.h"
+
+namespace demos {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(Bytes initial) : buf_(std::move(initial)) {}
+
+  void U8(std::uint8_t v) { buf_.push_back(v); }
+  void U16(std::uint16_t v) { AppendLE(v); }
+  void U32(std::uint32_t v) { AppendLE(v); }
+  void U64(std::uint64_t v) { AppendLE(v); }
+  void I64(std::int64_t v) { AppendLE(static_cast<std::uint64_t>(v)); }
+
+  void Raw(const void* data, std::size_t len) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + len);
+  }
+
+  void Blob(const Bytes& b) {
+    U32(static_cast<std::uint32_t>(b.size()));
+    Raw(b.data(), b.size());
+  }
+
+  void Str(const std::string& s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+
+  void Pid(const ProcessId& id) {
+    U16(id.creating_machine);
+    U32(id.local_id);
+  }
+
+  // 8 bytes: the on-the-wire size of a process address (and of a forwarding
+  // address record, per Sec. 4 of the paper).
+  void Address(const ProcessAddress& a) {
+    U16(a.last_known_machine);
+    Pid(a.pid);
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  const Bytes& bytes() const { return buf_; }
+  Bytes Take() { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void AppendLE(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  Bytes buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const Bytes& buf) : view_(&buf) {}
+  // Rvalue buffers (e.g. `ByteReader r(ctx.ReadData(...))`) are moved into the
+  // reader so the common construct-from-temporary pattern is safe.
+  explicit ByteReader(Bytes&& buf) : owned_(std::move(buf)), view_(&owned_) {}
+
+  ByteReader(const ByteReader&) = delete;
+  ByteReader& operator=(const ByteReader&) = delete;
+
+  std::uint8_t U8() { return ReadLE<std::uint8_t>(); }
+  std::uint16_t U16() { return ReadLE<std::uint16_t>(); }
+  std::uint32_t U32() { return ReadLE<std::uint32_t>(); }
+  std::uint64_t U64() { return ReadLE<std::uint64_t>(); }
+  std::int64_t I64() { return static_cast<std::int64_t>(ReadLE<std::uint64_t>()); }
+
+  Bytes Blob() {
+    std::uint32_t n = U32();
+    Bytes out;
+    if (!Ensure(n)) {
+      return out;
+    }
+    out.assign(buf().begin() + static_cast<std::ptrdiff_t>(pos_),
+               buf().begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  std::string Str() {
+    std::uint32_t n = U32();
+    std::string out;
+    if (!Ensure(n)) {
+      return out;
+    }
+    out.assign(reinterpret_cast<const char*>(buf().data()) + pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  ProcessId Pid() {
+    ProcessId id;
+    id.creating_machine = U16();
+    id.local_id = U32();
+    return id;
+  }
+
+  ProcessAddress Address() {
+    ProcessAddress a;
+    a.last_known_machine = U16();
+    a.pid = Pid();
+    return a;
+  }
+
+  // True if every read so far stayed inside the buffer.
+  bool ok() const { return !overrun_; }
+  std::size_t remaining() const { return buf().size() - pos_; }
+  bool AtEnd() const { return pos_ >= buf().size(); }
+
+ private:
+  template <typename T>
+  T ReadLE() {
+    if (!Ensure(sizeof(T))) {
+      return T{};
+    }
+    T v{};
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(buf()[pos_ + i]) << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  bool Ensure(std::size_t n) {
+    if (buf().size() - pos_ < n) {
+      overrun_ = true;
+      pos_ = buf().size();
+      return false;
+    }
+    return true;
+  }
+
+  const Bytes& buf() const { return *view_; }
+
+  Bytes owned_;
+  const Bytes* view_;
+  std::size_t pos_ = 0;
+  bool overrun_ = false;
+};
+
+}  // namespace demos
+
+#endif  // DEMOS_BASE_BYTES_H_

@@ -1,0 +1,71 @@
+// Lightweight leveled logging.
+//
+// The simulator is single-threaded, so logging needs no synchronization.  The
+// global level defaults to kWarn so tests and benches stay quiet; examples
+// raise it to kInfo/kTrace to narrate migrations the way Figure 3-1 does.
+
+#ifndef DEMOS_BASE_LOG_H_
+#define DEMOS_BASE_LOG_H_
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace demos {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+LogLevel& GlobalLogLevel();
+
+inline LogLevel& GlobalLogLevel() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+inline const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "T";
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "-";
+  }
+  return "?";
+}
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* component) : level_(level) {
+    stream_ << "[" << LogLevelName(level) << " " << component << "] ";
+  }
+
+  ~LogLine() {
+    if (level_ >= GlobalLogLevel()) {
+      stream_ << "\n";
+      std::fputs(stream_.str().c_str(), stderr);
+    }
+  }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace demos
+
+#define DEMOS_LOG(level, component) ::demos::LogLine(::demos::LogLevel::level, component)
+
+#endif  // DEMOS_BASE_LOG_H_

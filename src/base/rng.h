@@ -1,0 +1,69 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the simulation (network jitter, loss injection,
+// workload think times, policy tie-breaking) draws from an explicitly seeded
+// Rng so that any run -- including any race between migration and in-flight
+// messages -- is exactly reproducible from its seed.
+
+#ifndef DEMOS_BASE_RNG_H_
+#define DEMOS_BASE_RNG_H_
+
+#include <cstdint>
+
+namespace demos {
+
+// xoshiro256** with a splitmix64 seeder; fast, high quality, and fully
+// deterministic across platforms (unlike std::default_random_engine).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      word = SplitMix64(x);
+    }
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound), bound > 0.
+  std::uint64_t Below(std::uint64_t bound) { return Next() % bound; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::uint64_t Range(std::uint64_t lo, std::uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  // Bernoulli trial.
+  bool Chance(double probability) { return NextDouble() < probability; }
+
+  // Derive an independent stream (for giving each node its own generator).
+  Rng Fork() { return Rng(Next()); }
+
+ private:
+  static std::uint64_t SplitMix64(std::uint64_t& x) {
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  static std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace demos
+
+#endif  // DEMOS_BASE_RNG_H_

@@ -1,0 +1,127 @@
+// Named counters and distributions used for the paper's cost accounting.
+//
+// Each kernel owns a StatsRegistry; benches read the counters after a run to
+// regenerate the Section 6 tables (administrative message counts, forwarded
+// message overhead, bytes moved per migration, link-update latency, ...).
+
+#ifndef DEMOS_BASE_STATS_H_
+#define DEMOS_BASE_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace demos {
+
+// A recorded sample distribution with the handful of summary statistics the
+// benches print.
+class Distribution {
+ public:
+  void Record(double value) { samples_.push_back(value); }
+
+  std::size_t count() const { return samples_.size(); }
+
+  double Sum() const {
+    double s = 0;
+    for (double v : samples_) {
+      s += v;
+    }
+    return s;
+  }
+
+  double Mean() const { return samples_.empty() ? 0.0 : Sum() / static_cast<double>(count()); }
+
+  double Min() const {
+    return samples_.empty() ? 0.0 : *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  double Max() const {
+    return samples_.empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  // Nearest-rank percentile; p in [0, 100].
+  double Percentile(double p) const {
+    if (samples_.empty()) {
+      return 0.0;
+    }
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    auto idx = static_cast<std::size_t>(rank);
+    return sorted[std::min(idx, sorted.size() - 1)];
+  }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+class StatsRegistry {
+ public:
+  void Add(const std::string& name, std::int64_t delta = 1) { counters_[name] += delta; }
+
+  std::int64_t Get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  void Record(const std::string& name, double value) { distributions_[name].Record(value); }
+
+  const Distribution* GetDistribution(const std::string& name) const {
+    auto it = distributions_.find(name);
+    return it == distributions_.end() ? nullptr : &it->second;
+  }
+
+  const std::map<std::string, std::int64_t>& counters() const { return counters_; }
+
+  void Reset() {
+    counters_.clear();
+    distributions_.clear();
+  }
+
+  // Fold another registry into this one (used to aggregate per-kernel stats
+  // into cluster-wide totals).
+  void Merge(const StatsRegistry& other) {
+    for (const auto& [name, value] : other.counters_) {
+      counters_[name] += value;
+    }
+    for (const auto& [name, dist] : other.distributions_) {
+      for (double v : dist.samples()) {
+        distributions_[name].Record(v);
+      }
+    }
+  }
+
+ private:
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, Distribution> distributions_;
+};
+
+// Counter names used by the kernel.  Centralized so tests and benches cannot
+// drift from the implementation.
+namespace stat {
+inline constexpr const char* kMsgsSent = "msgs_sent";
+inline constexpr const char* kMsgsDelivered = "msgs_delivered";
+inline constexpr const char* kMsgsForwarded = "msgs_forwarded";
+inline constexpr const char* kMsgsBounced = "msgs_bounced";
+inline constexpr const char* kLinkUpdateMsgs = "link_update_msgs";
+inline constexpr const char* kLinksPatched = "links_patched";
+inline constexpr const char* kAdminMsgs = "admin_msgs";
+inline constexpr const char* kAdminBytes = "admin_bytes";
+inline constexpr const char* kDataPackets = "data_packets";
+inline constexpr const char* kDataBytes = "data_bytes";
+inline constexpr const char* kDataAcks = "data_acks";
+inline constexpr const char* kMigrations = "migrations";
+inline constexpr const char* kMigrationsRefused = "migrations_refused";
+inline constexpr const char* kPendingForwarded = "pending_forwarded";
+inline constexpr const char* kForwardingAddresses = "forwarding_addresses";
+inline constexpr const char* kWireBytesSent = "wire_bytes_sent";
+inline constexpr const char* kDeliverToKernelMsgs = "deliver_to_kernel_msgs";
+}  // namespace stat
+
+}  // namespace demos
+
+#endif  // DEMOS_BASE_STATS_H_

@@ -1,0 +1,30 @@
+#include "src/fault/crash.h"
+
+#include "src/base/log.h"
+
+namespace demos {
+
+void CrashController::Crash(MachineId machine) {
+  DEMOS_LOG(kInfo, "fault") << "m" << machine << " crashed";
+  cluster_.kernel(machine).SetHalted(true);
+  cluster_.network().SetNodeUp(machine, false);
+}
+
+void CrashController::Revive(MachineId machine) {
+  DEMOS_LOG(kInfo, "fault") << "m" << machine << " revived";
+  cluster_.network().SetNodeUp(machine, true);
+  Kernel& kernel = cluster_.kernel(machine);
+  kernel.SetHalted(false);
+  kernel.KickAllProcesses();
+}
+
+bool CrashController::IsCrashed(MachineId machine) const {
+  return cluster_.kernel(machine).halted();
+}
+
+void CrashController::DegradeThenCrash(MachineId machine, SimDuration grace_us) {
+  DEMOS_LOG(kInfo, "fault") << "m" << machine << " degrading; crash in " << grace_us << "us";
+  cluster_.queue().After(grace_us, [this, machine]() { Crash(machine); });
+}
+
+}  // namespace demos

@@ -1,0 +1,41 @@
+// Crash injection (Sec. 1, 4).
+//
+// Models two failure shapes the paper discusses: a *gradually degrading*
+// processor, whose working processes are evacuated "like rats leaving a
+// sinking ship" before it fails completely, and a hard crash followed by a
+// warm reboot from stable storage (the recovery model under which forwarding
+// addresses survive, since "the same recovery mechanism that works for
+// processes works for forwarding addresses").
+
+#ifndef DEMOS_FAULT_CRASH_H_
+#define DEMOS_FAULT_CRASH_H_
+
+#include "src/kernel/cluster.h"
+
+namespace demos {
+
+class CrashController {
+ public:
+  explicit CrashController(Cluster* cluster) : cluster_(*cluster) {}
+
+  // Hard-crash a machine: its kernel stops processing and the network drops
+  // its traffic.  Kernel state is retained (stable storage).
+  void Crash(MachineId machine);
+
+  // Warm-reboot a crashed machine: processing resumes from the retained
+  // state; pending dispatches and timers are re-armed.
+  void Revive(MachineId machine);
+
+  bool IsCrashed(MachineId machine) const;
+
+  // Mark a machine as degrading: it keeps running (for now), and the caller
+  // is expected to evacuate it.  After `grace_us`, it hard-crashes.
+  void DegradeThenCrash(MachineId machine, SimDuration grace_us);
+
+ private:
+  Cluster& cluster_;
+};
+
+}  // namespace demos
+
+#endif  // DEMOS_FAULT_CRASH_H_

@@ -1,0 +1,44 @@
+// Stable-storage checkpointing and crash recovery.
+//
+// Sec. 1: "If the information necessary to transport a process is saved in
+// stable storage, it may be possible to 'migrate' a process from a processor
+// that has crashed to a working one."  StableStore holds exactly the three
+// sections a live migration moves; RecoverProcess replays them onto a healthy
+// kernel using the same assembly path as migration step 5, then repairs
+// addressing (location registry, and a forwarding address on the crashed
+// machine for when it reboots).
+
+#ifndef DEMOS_FAULT_RECOVERY_H_
+#define DEMOS_FAULT_RECOVERY_H_
+
+#include <map>
+
+#include "src/kernel/cluster.h"
+
+namespace demos {
+
+class StableStore {
+ public:
+  // Snapshot a live process into the store (the "save to stable storage").
+  Status Checkpoint(Cluster& cluster, const ProcessId& pid);
+
+  // Rebuild a checkpointed process on `destination` after its home crashed.
+  // If `leave_forwarding` is set, the crashed machine gets a forwarding
+  // address installed (visible after it reboots).
+  Status RecoverProcess(Cluster& cluster, const ProcessId& pid, MachineId destination,
+                        bool leave_forwarding = true);
+
+  bool Has(const ProcessId& pid) const { return checkpoints_.count(pid) != 0; }
+  std::size_t size() const { return checkpoints_.size(); }
+
+ private:
+  struct Saved {
+    Kernel::ProcessCheckpoint checkpoint;
+    MachineId home = kNoMachine;  // machine it lived on when checkpointed
+  };
+  std::map<ProcessId, Saved> checkpoints_;
+};
+
+}  // namespace demos
+
+#endif  // DEMOS_FAULT_RECOVERY_H_

@@ -1,0 +1,113 @@
+// Cluster: convenience harness that wires up an EventQueue, a SimNetwork
+// (optionally wrapped in ReliableTransport), and one Kernel per machine.
+// Every test, bench, and example builds its DEMOS/MP "network of processors"
+// through this class.
+
+#ifndef DEMOS_KERNEL_CLUSTER_H_
+#define DEMOS_KERNEL_CLUSTER_H_
+
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "src/base/stats.h"
+#include "src/kernel/kernel.h"
+#include "src/net/reliable_channel.h"
+#include "src/net/sim_network.h"
+#include "src/sim/event_queue.h"
+
+namespace demos {
+
+struct ClusterConfig {
+  int machines = 2;
+  SimNetworkConfig network;
+  KernelConfig kernel;
+  // Interpose the seq/ack/retransmit layer (needed whenever the network drops,
+  // duplicates, or reorders packets).
+  bool reliable_layer = false;
+  ReliableConfig reliable;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config) : config_(config) {
+    network_ = std::make_unique<SimNetwork>(&queue_, config.network);
+    Transport* transport = network_.get();
+    if (config.reliable_layer) {
+      reliable_ = std::make_unique<ReliableTransport>(&queue_, network_.get(), config.reliable);
+      transport = reliable_.get();
+    }
+    kernels_.reserve(static_cast<std::size_t>(config.machines));
+    for (int i = 0; i < config.machines; ++i) {
+      KernelConfig kc = config.kernel;
+      kc.seed = config.kernel.seed + static_cast<std::uint64_t>(i);
+      kernels_.push_back(
+          std::make_unique<Kernel>(static_cast<MachineId>(i), &queue_, transport, kc));
+    }
+  }
+
+  EventQueue& queue() { return queue_; }
+  SimNetwork& network() { return *network_; }
+  ReliableTransport* reliable() { return reliable_.get(); }
+
+  Kernel& kernel(MachineId m) {
+    assert(m < kernels_.size());
+    return *kernels_[m];
+  }
+
+  int size() const { return static_cast<int>(kernels_.size()); }
+
+  std::size_t RunUntilIdle(std::size_t max_events = 2'000'000) {
+    return queue_.RunUntilIdle(max_events);
+  }
+  std::size_t RunFor(SimDuration duration) { return queue_.RunFor(duration); }
+
+  // Aggregate kernel counters across the whole cluster (network stats are
+  // separate: network().stats()).
+  StatsRegistry TotalStats() const {
+    StatsRegistry total;
+    for (const auto& kernel : kernels_) {
+      total.Merge(kernel->stats());
+    }
+    return total;
+  }
+
+  std::int64_t TotalStat(const char* name) const {
+    std::int64_t sum = 0;
+    for (const auto& kernel : kernels_) {
+      sum += kernel->stats().Get(name);
+    }
+    return sum;
+  }
+
+  // Locate a process record anywhere in the cluster (test helper).
+  ProcessRecord* FindProcessAnywhere(const ProcessId& pid) {
+    for (auto& kernel : kernels_) {
+      if (ProcessRecord* record = kernel->FindProcess(pid)) {
+        return record;
+      }
+    }
+    return nullptr;
+  }
+
+  // Machine currently hosting a live copy of `pid`, or kNoMachine.
+  MachineId HostOf(const ProcessId& pid) {
+    for (auto& kernel : kernels_) {
+      if (kernel->FindProcess(pid) != nullptr) {
+        return kernel->machine();
+      }
+    }
+    return kNoMachine;
+  }
+
+ private:
+  ClusterConfig config_;
+  EventQueue queue_;
+  std::unique_ptr<SimNetwork> network_;
+  std::unique_ptr<ReliableTransport> reliable_;
+  std::vector<std::unique_ptr<Kernel>> kernels_;
+};
+
+}  // namespace demos
+
+#endif  // DEMOS_KERNEL_CLUSTER_H_

@@ -1,0 +1,329 @@
+// The DEMOS/MP kernel (Sec. 2).
+//
+// One Kernel instance runs per simulated machine.  It implements the
+// primitive objects of the system -- processes, messages, links -- and
+// cooperates with the kernels on other machines to provide the
+// location-transparent message facility.  The kernel has a pseudo-process
+// identity (local id 0) and sends/receives messages like any process.
+//
+// Migration-specific logic (Sec. 3-5) is implemented in migration.cc; message
+// routing, scheduling, bulk data movement, and kernel calls in kernel.cc; the
+// Context implementation programs see is in context.cc.
+
+#ifndef DEMOS_KERNEL_KERNEL_H_
+#define DEMOS_KERNEL_KERNEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/ids.h"
+#include "src/base/rng.h"
+#include "src/base/stats.h"
+#include "src/base/status.h"
+#include "src/kernel/data_mover.h"
+#include "src/kernel/message.h"
+#include "src/kernel/process.h"
+#include "src/net/transport.h"
+#include "src/proc/program.h"
+#include "src/sim/event_queue.h"
+
+namespace demos {
+
+class Kernel;
+
+// Parsed form of a kMigrateOffer payload; also what acceptance policies see.
+struct MigrateOffer {
+  ProcessId pid;
+  MachineId source = kNoMachine;
+  std::uint32_t resident_bytes = 0;
+  std::uint32_t swappable_bytes = 0;
+  std::uint32_t memory_bytes = 0;
+};
+
+struct KernelConfig {
+  // How messages addressed to a departed process are handled (Sec. 4):
+  // forwarding addresses (the paper's mechanism) or the return-to-sender
+  // alternative it argues against (kept as a baseline for the E6 bench).
+  enum class DeliveryMode { kForwarding, kReturnToSender };
+  DeliveryMode delivery_mode = DeliveryMode::kForwarding;
+
+  // Lazy link update (Sec. 5).  Disabled for the ablation arm of E5/E6.
+  bool link_update_enabled = true;
+
+  // Forwarding-address garbage collection (Sec. 4 future work):
+  //   kKeepForever     -- the paper's implementation ("we have not found it
+  //                       necessary to remove forwarding addresses").
+  //   kOnProcessDeath  -- backward pointers along the migration path retire
+  //                       every forwarding address when the process exits.
+  //   kExpireAfterTtl  -- age out forwarding addresses; traffic that later
+  //                       hits a missing address falls back to a locate
+  //                       round trip against the creating machine's location
+  //                       registry ("some system-wide name service", Sec. 4).
+  enum class ForwardingGc { kKeepForever, kOnProcessDeath, kExpireAfterTtl };
+  ForwardingGc forwarding_gc = ForwardingGc::kKeepForever;
+  SimDuration forwarding_ttl_us = 10'000'000;
+
+  // Move-data facility chunk size (Sec. 6: "larger packets ... increasing
+  // effective network throughput").
+  std::size_t data_packet_bytes = 1024;
+
+  // CPU model: fixed dispatch overhead plus a default handler cost (programs
+  // add more via Context::ChargeCpu).
+  SimDuration dispatch_overhead_us = 20;
+  SimDuration default_handler_cpu_us = 30;
+
+  // Simulated real-memory capacity; exceeding it makes the kernel refuse
+  // incoming migrations and process creations (Sec. 3.2 autonomy).
+  std::uint64_t memory_limit_bytes = 64ull * 1024 * 1024;
+
+  // Optional veto over incoming migrations (autonomous/interdomain kernels,
+  // Sec. 3.2).  Null means accept whenever memory allows.
+  std::function<bool(const MigrateOffer&)> accept_migration;
+
+  std::uint64_t seed = 1;
+};
+
+class Kernel {
+ public:
+  Kernel(MachineId machine, EventQueue* queue, Transport* transport, KernelConfig config);
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  MachineId machine() const { return machine_; }
+  ProcessAddress kernel_address() const { return KernelAddress(machine_); }
+  EventQueue& queue() { return queue_; }
+  Rng& rng() { return rng_; }
+  const KernelConfig& config() const { return config_; }
+  StatsRegistry& stats() { return stats_; }
+  const StatsRegistry& stats() const { return stats_; }
+
+  // ---- Harness-level services (used by tests, benches, system bring-up). ----
+
+  // Create a process running registered program `program_name`.
+  Result<ProcessAddress> SpawnProcess(const std::string& program_name,
+                                      std::uint32_t code_size = 4096,
+                                      std::uint32_t data_size = 4096,
+                                      std::uint32_t stack_size = 2048);
+
+  // Inject a message into the delivery system with the kernel as sender.
+  void SendFromKernel(ProcessAddress to, MsgType type, Bytes payload,
+                      std::vector<Link> carry = {}, std::uint8_t flags = kLinkNone);
+
+  // Every process created afterwards is born holding a link to the
+  // switchboard in link-table slot 0 (the standard-link convention of
+  // Sec. 2.3; the switchboard "is used by the system and user processes to
+  // connect arbitrary processes together").
+  void SetSwitchboard(const ProcessAddress& switchboard) { switchboard_ = switchboard; }
+  const ProcessAddress& switchboard() const { return switchboard_; }
+
+  // Replace this kernel's incoming-migration veto (Sec. 3.2 autonomy).
+  void SetAcceptMigration(std::function<bool(const MigrateOffer&)> accept) {
+    config_.accept_migration = std::move(accept);
+  }
+
+  // Ask this kernel to migrate local process `pid` to `destination`,
+  // exactly as a kMigrateRequest control message would.  `requester` receives
+  // the kMigrateDone notification.
+  Status StartMigration(const ProcessId& pid, MachineId destination, ProcessAddress requester);
+
+  // ---- Introspection. ----
+  ProcessRecord* FindProcess(const ProcessId& pid) { return processes_.Find(pid); }
+  const ProcessTable& process_table() const { return processes_; }
+  std::uint64_t memory_used() const { return memory_used_; }
+  std::size_t ready_count() const;
+  std::uint64_t cpu_busy_us() const { return cpu_busy_us_; }
+  bool HasMigrationInProgress() const {
+    return !migration_sources_.empty() || !migration_dests_.empty();
+  }
+
+  // Periodically report load to `collector` (the process manager).  NOTE:
+  // this arms a self-rescheduling event, so clusters with load reports never
+  // go idle -- drive them with RunFor(), not RunUntilIdle().
+  void EnableLoadReports(ProcessAddress collector, SimDuration interval);
+  void StopLoadReports() { load_report_interval_ = 0; }
+
+  // ---- Fault-tolerance hooks (Sec. 1, 4; used by src/fault). ----
+
+  // A halted kernel drops incoming packets and runs nothing -- the crashed
+  // state.  Reviving restores processing of whatever state survived (this
+  // models a warm reboot from stable storage, which is how the paper's
+  // published-communications layer lets forwarding addresses survive a crash).
+  void SetHalted(bool halted) { halted_ = halted; }
+  bool halted() const { return halted_; }
+  // Re-arm dispatching after a revive.
+  void KickAllProcesses();
+
+  // Serialize a process's three migratable sections (resident, swappable,
+  // memory image) -- the checkpoint used to "migrate" a process off a
+  // processor that has crashed (Sec. 1).
+  struct ProcessCheckpoint {
+    ProcessId pid;
+    Bytes resident;
+    Bytes swappable;
+    Bytes image;
+  };
+  Result<ProcessCheckpoint> CheckpointProcess(const ProcessId& pid);
+
+  // Reconstruct a process from a checkpoint on THIS kernel and restart it.
+  Status AdoptProcess(const ProcessCheckpoint& checkpoint);
+
+  // Install a forwarding address (test / recovery helper).
+  void ForceForwardingAddress(const ProcessId& pid, MachineId machine) {
+    processes_.InstallForwardingAddress(pid, machine);
+  }
+
+  // kMigrateDone notifications addressed to this kernel's pseudo-process
+  // (harnesses pass the kernel address as the migration requester).
+  struct MigrateDoneInfo {
+    ProcessId pid;
+    StatusCode status = StatusCode::kOk;
+    MachineId final_home = kNoMachine;
+    SimTime at = 0;
+  };
+  const std::vector<MigrateDoneInfo>& migrate_done_log() const { return migrate_done_log_; }
+
+  // ---- Message system entry points. ----
+
+  // Transmit a fully-formed message toward receiver.last_known_machine.
+  void Transmit(Message msg);
+
+  // Delivery from the transport.
+  void OnWireDelivery(MachineId wire_src, const Bytes& wire);
+
+ private:
+  friend class KernelContext;
+
+  // ---- Routing (Sec. 2.1, 4). ----
+  void RouteIncoming(Message msg, MachineId wire_src);
+  void DeliverToProcess(ProcessRecord& record, Message msg);
+  void ForwardThroughAddress(Message msg, MachineId next_machine);
+  void HandleAbsentReceiver(Message msg, MachineId wire_src);
+  void HandleKernelMessage(Message msg, MachineId wire_src);
+  void HandleControlMessage(ProcessRecord& record, Message msg);
+
+  // ---- Scheduling / CPU model. ----
+  void MaybeScheduleDispatch(ProcessRecord& record);
+  void RunDispatch(ProcessId pid);
+  void RunHandler(ProcessRecord& record, const std::function<void(Context&)>& body);
+  void StartProgram(ProcessRecord& record);
+  void FinalizeExit(const ProcessId& pid);
+  void ArmTimer(ProcessRecord& record, const TimerEntry& entry);
+  void EnqueueLocal(ProcessRecord& record, Message msg);
+
+  // ---- Bulk data movement (data_mover.h). ----
+  std::uint32_t AllocateTransferId() { return next_transfer_id_++; }
+  // Stream `data` as a packet sequence to `to`.  `prototype` supplies the
+  // mode, transfer id, and (for pushes) the self-describing write context;
+  // offset/total/chunk are filled per packet.  Returns the packet count.
+  std::uint32_t StreamBytes(const Bytes& data, DataPacket prototype, const ProcessAddress& to,
+                            std::uint8_t msg_flags);
+  void HandleDataPacket(Message msg);
+  void HandleDataAck(const Message& msg);
+  void HandleReadDataArea(ProcessRecord& record, const Message& msg);
+  // Apply one self-describing push chunk to a local process's data area.
+  void HandleWritePacket(ProcessRecord& record, const Message& msg);
+  void OnPullComplete(IncomingPull& pull);
+  void SendDataMoveDone(const ProcessAddress& instigator, std::uint64_t cookie, Status status,
+                        Bytes data);
+
+  // ---- Migration engine (migration.cc; Sec. 3). ----
+  struct MigrationSource {
+    ProcessAddress requester;
+    MachineId destination = kNoMachine;
+    ExecState prior_state = ExecState::kWaiting;
+    Bytes resident;
+    Bytes swappable;
+    Bytes image;
+    bool accepted = false;
+  };
+
+  struct MigrationDest {
+    MachineId source = kNoMachine;
+    MigrateOffer offer;
+    Bytes sections[kNumMigrationSections];
+    int sections_remaining = kNumMigrationSections;
+    ExecState restored_state = ExecState::kWaiting;
+  };
+
+  void HandleMigrateRequest(ProcessRecord& record, const Message& msg);
+  void HandleMigrateOffer(const Message& msg);
+  void HandleMigrateAccept(const Message& msg);
+  void HandleMigrateReject(const Message& msg);
+  void HandleMoveDataReq(const Message& msg);
+  void HandleTransferComplete(const Message& msg);
+  void HandleCleanupDone(const Message& msg);
+  void OnMigrationSectionReceived(const ProcessId& pid, MigrationSection section, Bytes bytes);
+  void AbortMigrationAtSource(const ProcessId& pid, Status why);
+  void FinishMigrationAtSource(const ProcessId& pid);
+  void RestartMigratedProcess(const ProcessId& pid);
+  void SendMigrateDone(const ProcessAddress& requester, const ProcessId& pid, MachineId final_home,
+                       StatusCode status);
+
+  // ---- Forwarding & location (Sec. 4, 5; migration.cc). ----
+  void HandleLinkUpdate(ProcessRecord& record, const Message& msg);
+  void HandleNotDeliverable(Message msg, MachineId wire_src);
+  void HandleLocateReq(const Message& msg);
+  void HandleLocateResp(const Message& msg);
+  void HandleLocationRegister(const Message& msg);
+  void HandleForwardingClear(const Message& msg);
+  void SendLinkUpdate(const ProcessAddress& original_sender, const ProcessId& migrated,
+                      MachineId new_machine);
+
+  // Kernel service messages (kernel.cc).
+  void HandleCreateProcess(const Message& msg);
+
+  // Admin-message helper: transmit a kernel-to-kernel migration message and
+  // account it as one of the Sec. 6 administrative messages.
+  void SendAdmin(const ProcessAddress& to, MsgType type, Bytes payload);
+
+  MachineId machine_;
+  EventQueue& queue_;
+  Transport* transport_;
+  KernelConfig config_;
+  Rng rng_;
+  StatsRegistry stats_;
+
+  ProcessTable processes_;
+  std::uint32_t next_local_id_ = 1;  // 0 is the kernel pseudo-process
+  ProcessAddress switchboard_;
+  std::uint64_t memory_used_ = 0;
+
+  // CPU model.
+  SimTime cpu_free_at_ = 0;
+  std::uint64_t cpu_busy_us_ = 0;
+
+  // Bulk transfers.
+  std::uint32_t next_transfer_id_ = 1;
+  std::unordered_map<std::uint32_t, OutgoingTransfer> outgoing_transfers_;
+  std::unordered_map<std::uint32_t, IncomingPull> incoming_pulls_;  // keyed by local id
+
+  // Migration state machines.
+  std::unordered_map<ProcessId, MigrationSource, ProcessIdHash> migration_sources_;
+  std::unordered_map<ProcessId, MigrationDest, ProcessIdHash> migration_dests_;
+
+  // Return-to-sender mode: home-machine location registry and messages parked
+  // awaiting a kLocateResp.
+  std::unordered_map<ProcessId, MachineId, ProcessIdHash> location_registry_;
+  std::unordered_map<ProcessId, std::vector<Message>, ProcessIdHash> parked_for_locate_;
+
+  // Load reporting.
+  ProcessAddress load_collector_;
+  SimDuration load_report_interval_ = 0;
+  std::uint64_t cpu_busy_last_report_ = 0;
+
+  std::vector<MigrateDoneInfo> migrate_done_log_;
+  bool halted_ = false;
+  std::uint32_t routes_since_sweep_ = 0;
+};
+
+}  // namespace demos
+
+#endif  // DEMOS_KERNEL_KERNEL_H_

@@ -1,0 +1,181 @@
+// Links: the only connection a DEMOS/MP process has to anything (Sec. 2.1).
+//
+// A link is essentially a protected global process address accessed via a
+// local name space (the per-process link table).  It is context-independent:
+// passing a link to another process does not change where it points.  The
+// address inside a link has two parts (Fig. 2-1): the immutable unique process
+// id, and the mutable last-known-machine field, which is the only thing
+// migration and link update ever touch.
+//
+// A link may carry the DELIVERTOKERNEL attribute (Sec. 2.2) -- messages sent
+// over it are received by the kernel currently hosting the addressed process
+// -- and may grant read/write access to a window of the creating process's
+// data segment (the bulk-data mechanism used for file access and migration).
+
+#ifndef DEMOS_KERNEL_LINK_H_
+#define DEMOS_KERNEL_LINK_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/ids.h"
+#include "src/base/status.h"
+
+namespace demos {
+
+enum LinkFlags : std::uint8_t {
+  kLinkNone = 0,
+  // Messages over this link are received by the kernel hosting the target.
+  kLinkDeliverToKernel = 1u << 0,
+  // Holder may read from the link's data area in the target's data segment.
+  kLinkDataRead = 1u << 1,
+  // Holder may write to the link's data area in the target's data segment.
+  kLinkDataWrite = 1u << 2,
+  // Single-use reply link; consumed by the first send (Sec. 2.4).
+  kLinkReply = 1u << 3,
+};
+
+struct Link {
+  ProcessAddress address;  // the process this link points to
+  std::uint8_t flags = kLinkNone;
+  // Data-area window within the target's data segment; meaningful only when
+  // kLinkDataRead or kLinkDataWrite is set.
+  std::uint32_t data_offset = 0;
+  std::uint32_t data_length = 0;
+
+  friend bool operator==(const Link&, const Link&) = default;
+
+  bool deliver_to_kernel() const { return (flags & kLinkDeliverToKernel) != 0; }
+  bool data_read() const { return (flags & kLinkDataRead) != 0; }
+  bool data_write() const { return (flags & kLinkDataWrite) != 0; }
+  bool reply_link() const { return (flags & kLinkReply) != 0; }
+
+  // Wire size: address(8) + flags(1) + window(8) = 17 bytes.
+  void Serialize(ByteWriter& w) const {
+    w.Address(address);
+    w.U8(flags);
+    w.U32(data_offset);
+    w.U32(data_length);
+  }
+
+  static Link Deserialize(ByteReader& r) {
+    Link l;
+    l.address = r.Address();
+    l.flags = r.U8();
+    l.data_offset = r.U32();
+    l.data_length = r.U32();
+    return l;
+  }
+
+  std::string ToString() const {
+    std::string s = "link->" + address.ToString();
+    if (deliver_to_kernel()) {
+      s += "[K]";
+    }
+    if (reply_link()) {
+      s += "[R]";
+    }
+    return s;
+  }
+};
+
+inline constexpr std::size_t kLinkWireSize = 17;
+
+// A process's link table: slot-indexed storage of the links the process
+// holds.  Slots are reused after removal; LinkIds are only meaningful within
+// the owning process (the local name space of Sec. 2.1).
+class LinkTable {
+ public:
+  LinkId Insert(const Link& link) {
+    for (LinkId i = 0; i < slots_.size(); ++i) {
+      if (!slots_[i].has_value()) {
+        slots_[i] = link;
+        return i;
+      }
+    }
+    slots_.push_back(link);
+    return static_cast<LinkId>(slots_.size() - 1);
+  }
+
+  const Link* Get(LinkId id) const {
+    if (id >= slots_.size() || !slots_[id].has_value()) {
+      return nullptr;
+    }
+    return &*slots_[id];
+  }
+
+  Link* GetMutable(LinkId id) {
+    if (id >= slots_.size() || !slots_[id].has_value()) {
+      return nullptr;
+    }
+    return &*slots_[id];
+  }
+
+  Status Remove(LinkId id) {
+    if (id >= slots_.size() || !slots_[id].has_value()) {
+      return NotFoundError("no link " + std::to_string(id));
+    }
+    slots_[id].reset();
+    return OkStatus();
+  }
+
+  // Patch every link addressing `pid` to point at `new_machine`; returns the
+  // number of links updated.  This is the link-update operation of Sec. 5.
+  int UpdateAddresses(const ProcessId& pid, MachineId new_machine) {
+    int updated = 0;
+    for (auto& slot : slots_) {
+      if (slot.has_value() && slot->address.pid == pid &&
+          slot->address.last_known_machine != new_machine) {
+        slot->address.last_known_machine = new_machine;
+        ++updated;
+      }
+    }
+    return updated;
+  }
+
+  std::size_t LiveCount() const {
+    std::size_t n = 0;
+    for (const auto& slot : slots_) {
+      n += slot.has_value() ? 1 : 0;
+    }
+    return n;
+  }
+
+  std::size_t SlotCount() const { return slots_.size(); }
+
+  void Serialize(ByteWriter& w) const {
+    w.U32(static_cast<std::uint32_t>(slots_.size()));
+    for (const auto& slot : slots_) {
+      w.U8(slot.has_value() ? 1 : 0);
+      if (slot.has_value()) {
+        slot->Serialize(w);
+      }
+    }
+  }
+
+  static LinkTable Deserialize(ByteReader& r) {
+    LinkTable t;
+    const std::uint32_t n = r.U32();
+    for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+      if (r.U8() != 0) {
+        t.slots_.push_back(Link::Deserialize(r));
+      } else {
+        t.slots_.push_back(std::nullopt);
+      }
+    }
+    return t;
+  }
+
+  // For iteration in tests and the command interpreter.
+  const std::vector<std::optional<Link>>& slots() const { return slots_; }
+
+ private:
+  std::vector<std::optional<Link>> slots_;
+};
+
+}  // namespace demos
+
+#endif  // DEMOS_KERNEL_LINK_H_

@@ -1,0 +1,89 @@
+// Load-report messages: the information base for migration decision rules.
+//
+// Sec. 3.1: "The process manager and memory scheduler already monitor system
+// activity for memory and cpu scheduling, and can use the same information to
+// make process migration decisions.  Information on the communications load
+// is also available."  Each kernel periodically sends one of these to its
+// collector (the process manager): machine-level CPU/memory/queue figures
+// plus per-process entries with CPU use and the process's top remote
+// communication partner.
+
+#ifndef DEMOS_KERNEL_LOAD_REPORT_H_
+#define DEMOS_KERNEL_LOAD_REPORT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/ids.h"
+
+namespace demos {
+
+struct ProcessLoadEntry {
+  ProcessId pid;
+  std::uint32_t cpu_used_us = 0;      // lifetime CPU consumed
+  std::uint32_t msgs_handled = 0;     // lifetime messages handled
+  MachineId top_partner = kNoMachine;  // remote machine it talks to most
+  std::uint32_t top_partner_msgs = 0;
+};
+
+struct LoadReport {
+  MachineId machine = kNoMachine;
+  std::uint16_t live_processes = 0;
+  std::uint16_t ready_processes = 0;
+  std::uint32_t cpu_busy_delta_us = 0;  // busy time since the previous report
+  std::uint32_t window_us = 0;          // reporting interval
+  std::uint64_t memory_used = 0;
+  std::uint64_t memory_limit = 0;
+  std::vector<ProcessLoadEntry> processes;
+
+  Bytes Encode() const {
+    ByteWriter w;
+    w.U16(machine);
+    w.U16(live_processes);
+    w.U16(ready_processes);
+    w.U32(cpu_busy_delta_us);
+    w.U32(window_us);
+    w.U64(memory_used);
+    w.U64(memory_limit);
+    w.U16(static_cast<std::uint16_t>(processes.size()));
+    for (const ProcessLoadEntry& p : processes) {
+      w.Pid(p.pid);
+      w.U32(p.cpu_used_us);
+      w.U32(p.msgs_handled);
+      w.U16(p.top_partner);
+      w.U32(p.top_partner_msgs);
+    }
+    return w.Take();
+  }
+
+  static LoadReport Decode(const Bytes& payload, bool* ok) {
+    ByteReader r(payload);
+    LoadReport report;
+    report.machine = r.U16();
+    report.live_processes = r.U16();
+    report.ready_processes = r.U16();
+    report.cpu_busy_delta_us = r.U32();
+    report.window_us = r.U32();
+    report.memory_used = r.U64();
+    report.memory_limit = r.U64();
+    const std::uint16_t n = r.U16();
+    for (std::uint16_t i = 0; i < n && r.ok(); ++i) {
+      ProcessLoadEntry p;
+      p.pid = r.Pid();
+      p.cpu_used_us = r.U32();
+      p.msgs_handled = r.U32();
+      p.top_partner = r.U16();
+      p.top_partner_msgs = r.U32();
+      report.processes.push_back(p);
+    }
+    if (ok != nullptr) {
+      *ok = r.ok();
+    }
+    return report;
+  }
+};
+
+}  // namespace demos
+
+#endif  // DEMOS_KERNEL_LOAD_REPORT_H_

@@ -1,0 +1,115 @@
+#include "src/kernel/message.h"
+
+namespace demos {
+
+const char* MsgTypeName(MsgType t) {
+  switch (t) {
+    case MsgType::kInvalid:
+      return "INVALID";
+    case MsgType::kMigrateRequest:
+      return "MIGRATE_REQUEST";
+    case MsgType::kMigrateOffer:
+      return "MIGRATE_OFFER";
+    case MsgType::kMigrateAccept:
+      return "MIGRATE_ACCEPT";
+    case MsgType::kMigrateReject:
+      return "MIGRATE_REJECT";
+    case MsgType::kMoveDataReq:
+      return "MOVE_DATA_REQ";
+    case MsgType::kTransferComplete:
+      return "TRANSFER_COMPLETE";
+    case MsgType::kCleanupDone:
+      return "CLEANUP_DONE";
+    case MsgType::kMigrateDone:
+      return "MIGRATE_DONE";
+    case MsgType::kMoveDataPacket:
+      return "MOVE_DATA_PACKET";
+    case MsgType::kMoveDataAck:
+      return "MOVE_DATA_ACK";
+    case MsgType::kReadDataArea:
+      return "READ_DATA_AREA";
+    case MsgType::kWriteDataArea:
+      return "WRITE_DATA_AREA";
+    case MsgType::kDataMoveDone:
+      return "DATA_MOVE_DONE";
+    case MsgType::kLinkUpdate:
+      return "LINK_UPDATE";
+    case MsgType::kNotDeliverable:
+      return "NOT_DELIVERABLE";
+    case MsgType::kLocateReq:
+      return "LOCATE_REQ";
+    case MsgType::kLocateResp:
+      return "LOCATE_RESP";
+    case MsgType::kLocationRegister:
+      return "LOCATION_REGISTER";
+    case MsgType::kForwardingClear:
+      return "FORWARDING_CLEAR";
+    case MsgType::kSuspendProcess:
+      return "SUSPEND_PROCESS";
+    case MsgType::kResumeProcess:
+      return "RESUME_PROCESS";
+    case MsgType::kKillProcess:
+      return "KILL_PROCESS";
+    case MsgType::kCreateProcess:
+      return "CREATE_PROCESS";
+    case MsgType::kCreateProcessReply:
+      return "CREATE_PROCESS_REPLY";
+    case MsgType::kTimerFired:
+      return "TIMER_FIRED";
+    case MsgType::kProcessExited:
+      return "PROCESS_EXITED";
+    case MsgType::kLoadReport:
+      return "LOAD_REPORT";
+    default:
+      return t >= MsgType::kUserBase ? "USER" : "UNKNOWN";
+  }
+}
+
+Bytes Message::Serialize() const {
+  ByteWriter w;
+  w.Address(sender);
+  w.Address(receiver);
+  w.U8(flags);
+  w.U16(static_cast<std::uint16_t>(type));
+  w.U8(hop_count);
+  w.U8(static_cast<std::uint8_t>(carried_links.size()));
+  for (const Link& link : carried_links) {
+    link.Serialize(w);
+  }
+  w.Blob(payload);
+  return w.Take();
+}
+
+Message Message::Deserialize(const Bytes& wire, bool* ok) {
+  ByteReader r(wire);
+  Message m;
+  m.sender = r.Address();
+  m.receiver = r.Address();
+  m.flags = r.U8();
+  m.type = static_cast<MsgType>(r.U16());
+  m.hop_count = r.U8();
+  const std::uint8_t n_links = r.U8();
+  m.carried_links.reserve(n_links);
+  for (std::uint8_t i = 0; i < n_links && r.ok(); ++i) {
+    m.carried_links.push_back(Link::Deserialize(r));
+  }
+  m.payload = r.Blob();
+  if (ok != nullptr) {
+    *ok = r.ok();
+  }
+  return m;
+}
+
+std::size_t Message::WireHeaderSize() {
+  // sender(8) + receiver(8) + flags(1) + type(2) + hops(1) + nlinks(1) +
+  // payload length prefix(4).
+  return 8 + 8 + 1 + 2 + 1 + 1 + 4;
+}
+
+std::string Message::ToString() const {
+  return std::string(MsgTypeName(type)) + " " + sender.ToString() + "->" + receiver.ToString() +
+         " (" + std::to_string(payload.size()) + "B, " +
+         std::to_string(carried_links.size()) + " links)";
+}
+
+}  // namespace demos

@@ -1,0 +1,126 @@
+// Messages: the universal interaction mechanism of DEMOS/MP (Sec. 2.1).
+//
+// Everything in this system -- user traffic, file I/O, process control,
+// migration orchestration, link updates -- is a Message.  Kernels have a
+// pseudo-process identity (local id 0 on their machine) so that "messages may
+// be sent to or by a kernel in the same manner as a process".
+//
+// A message is routed to receiver.last_known_machine; the kernel there either
+// delivers it, holds it (target in migration), forwards it (forwarding
+// address), or bounces it (return-to-sender baseline of Sec. 4).
+
+#ifndef DEMOS_KERNEL_MESSAGE_H_
+#define DEMOS_KERNEL_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/ids.h"
+#include "src/kernel/link.h"
+
+namespace demos {
+
+// Message type codes.  Values below kUserBase belong to the kernel protocol;
+// programs use kUserBase and above.
+enum class MsgType : std::uint16_t {
+  kInvalid = 0,
+
+  // ---- Migration protocol (Sec. 3.1).  These are the paper's 9
+  // "administrative" messages; see MigrationAdminMessages() below. ----
+  kMigrateRequest = 1,    // process mgr -> victim (DELIVERTOKERNEL): move to payload machine
+  kMigrateOffer = 2,      // source kernel -> destination kernel: sizes and locations
+  kMigrateAccept = 3,     // destination -> source: process state allocated, start pulls
+  kMigrateReject = 4,     // destination -> source: refused (Sec. 3.2 autonomy)
+  kMoveDataReq = 5,       // destination -> source: pull one section (x3)
+  kTransferComplete = 6,  // destination -> source: all sections received
+  kCleanupDone = 7,       // source -> destination: pending queue forwarded, fwd addr installed
+  kMigrateDone = 8,       // source -> requester: migration finished (status in payload)
+
+  // ---- Bulk data movement (Sec. 2.2 / 6). ----
+  kMoveDataPacket = 16,  // one chunk of a streamed transfer
+  kMoveDataAck = 17,     // per-packet acknowledgement (receiver does not gate the stream)
+  kReadDataArea = 18,    // DELIVERTOKERNEL: stream a window of the target's data segment back
+  kWriteDataArea = 19,   // DELIVERTOKERNEL: announce an incoming stream into the data area
+  kDataMoveDone = 20,    // kernel -> instigating process: transfer complete (payload for reads)
+
+  // ---- Forwarding machinery (Sec. 4, 5). ----
+  kLinkUpdate = 32,      // forwarder -> sender (DELIVERTOKERNEL): patch links to migrated pid
+  kNotDeliverable = 33,  // return-to-sender bounce (alternative scheme of Sec. 4)
+  kLocateReq = 34,       // baseline: ask home kernel where pid lives now
+  kLocateResp = 35,
+  kLocationRegister = 36,  // baseline: destination registers new location at home kernel
+  kForwardingClear = 37,   // GC extension: drop the forwarding address for a dead pid
+
+  // ---- Process control (DELIVERTOKERNEL, Sec. 2.2). ----
+  kSuspendProcess = 48,
+  kResumeProcess = 49,
+  kKillProcess = 50,
+
+  // ---- Kernel services. ----
+  kCreateProcess = 64,       // ask a kernel to create a process
+  kCreateProcessReply = 65,  // reply: carries a link to the new process
+  kTimerFired = 66,          // kernel -> process itself
+  kProcessExited = 67,       // kernel -> interested party (creator)
+  kLoadReport = 68,          // kernel -> process manager: periodic load metrics
+
+  kUserBase = 1000,
+};
+
+inline bool IsMigrationAdminType(MsgType t) {
+  switch (t) {
+    case MsgType::kMigrateRequest:
+    case MsgType::kMigrateOffer:
+    case MsgType::kMigrateAccept:
+    case MsgType::kMigrateReject:
+    case MsgType::kMoveDataReq:
+    case MsgType::kTransferComplete:
+    case MsgType::kCleanupDone:
+    case MsgType::kMigrateDone:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* MsgTypeName(MsgType t);
+
+struct Message {
+  ProcessAddress sender;    // who sent it (kernel pseudo-address for kernel traffic)
+  ProcessAddress receiver;  // where it is going; last_known_machine is rewritten on forward
+  std::uint8_t flags = kLinkNone;  // copied from the link the message was sent over
+  MsgType type = MsgType::kInvalid;
+  Bytes payload;
+  std::vector<Link> carried_links;  // links passed inside the message (Sec. 2.4)
+
+  bool deliver_to_kernel() const { return (flags & kLinkDeliverToKernel) != 0; }
+
+  // Number of times this message has transited a forwarding address; used by
+  // the E4/E9 benches to measure forwarding-chain lengths.
+  std::uint8_t hop_count = 0;
+
+  Bytes Serialize() const;
+  static Message Deserialize(const Bytes& wire, bool* ok);
+
+  // Size of the serialized fixed header (everything except payload bytes and
+  // carried links).  Used by the byte-accounting benches.
+  static std::size_t WireHeaderSize();
+
+  std::size_t WireSize() const {
+    return WireHeaderSize() + payload.size() + carried_links.size() * kLinkWireSize;
+  }
+
+  std::string ToString() const;
+};
+
+// Convenience: make the pseudo-address of machine `m`'s kernel.
+inline ProcessAddress KernelAddress(MachineId m) {
+  return ProcessAddress{m, ProcessId{m, 0}};
+}
+
+inline bool IsKernelPid(const ProcessId& pid) { return pid.local_id == 0; }
+
+}  // namespace demos
+
+#endif  // DEMOS_KERNEL_MESSAGE_H_

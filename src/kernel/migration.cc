@@ -1,0 +1,667 @@
+// Process migration (Sec. 3), message forwarding (Sec. 4), and link update
+// (Sec. 5).
+//
+// The protocol uses exactly nine administrative messages per successful
+// migration, matching the count reported in Sec. 6:
+//
+//   1. kMigrateRequest   requester -> source kernel (DELIVERTOKERNEL)
+//   2. kMigrateOffer     source    -> destination
+//   3. kMigrateAccept    destination -> source
+//   4. kMoveDataReq      destination -> source (resident state)
+//   5. kMoveDataReq      destination -> source (swappable state)
+//   6. kMoveDataReq      destination -> source (memory image)
+//   7. kTransferComplete destination -> source
+//   8. kCleanupDone      source    -> destination
+//   9. kMigrateDone      source    -> requester
+//
+// Steps 3-7 are controlled by the destination kernel, as in the paper; the
+// bulk bytes themselves travel as kMoveDataPacket streams (not administrative
+// messages) and are accounted separately as state-transfer cost.
+
+#include <algorithm>
+#include <utility>
+
+#include "src/base/log.h"
+#include "src/kernel/kernel.h"
+
+namespace demos {
+
+namespace {
+// Cycle/livelock guard for forwarding and return-to-sender retries.
+constexpr std::uint8_t kMaxForwardHops = 32;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Step 1-2: freeze the process and offer it to the destination.
+// ---------------------------------------------------------------------------
+
+Status Kernel::StartMigration(const ProcessId& pid, MachineId destination,
+                              ProcessAddress requester) {
+  ProcessRecord* record = processes_.Find(pid);
+  if (record == nullptr) {
+    const auto* entry = processes_.FindEntry(pid);
+    if (entry != nullptr && entry->IsForwarding()) {
+      // Chase the process: the request is a DELIVERTOKERNEL message, so the
+      // normal forwarding machinery takes it to wherever the process now is.
+    } else if (entry == nullptr) {
+      return NotFoundError("no process " + pid.ToString() + " on m" + std::to_string(machine_));
+    }
+  }
+  ByteWriter w;
+  w.U16(destination);
+  w.Address(requester);
+  Message msg;
+  msg.sender = requester;
+  msg.receiver = ProcessAddress{machine_, pid};
+  msg.flags = kLinkDeliverToKernel;
+  msg.type = MsgType::kMigrateRequest;
+  msg.payload = w.Take();
+  Transmit(std::move(msg));
+  return OkStatus();
+}
+
+void Kernel::HandleMigrateRequest(ProcessRecord& record, const Message& msg) {
+  ByteReader r(msg.payload);
+  const MachineId destination = r.U16();
+  const ProcessAddress requester = r.Address();
+  const ProcessId pid = record.pid;
+
+  if (migration_sources_.count(pid) != 0) {
+    SendMigrateDone(requester, pid, machine_, StatusCode::kUnavailable);
+    return;
+  }
+  if (destination == machine_) {
+    stats_.Add("migrations_noop");
+    SendMigrateDone(requester, pid, machine_, StatusCode::kOk);
+    return;
+  }
+
+  // Step 1: remove the process from execution.  Its recorded state (ready,
+  // waiting, suspended) is preserved so it resumes identically (Sec. 3.1).
+  MigrationSource source;
+  source.requester = requester;
+  source.destination = destination;
+  source.prior_state = record.state;
+  record.state = ExecState::kInMigration;
+
+  // Snapshot the three movable sections.  Pending local timer events are
+  // cancelled via the generation bump; the entries themselves travel in the
+  // swappable state and are re-armed on the destination.
+  record.timer_generation++;
+  record.state = source.prior_state;  // serialize the *recorded* state
+  source.resident = record.SerializeResidentState();
+  record.state = ExecState::kInMigration;
+  source.swappable = record.SerializeSwappableState(queue_.Now());
+  source.image = record.memory.Serialize();
+
+  stats_.Record("resident_state_bytes", static_cast<double>(source.resident.size()));
+  stats_.Record("swappable_state_bytes", static_cast<double>(source.swappable.size()));
+  stats_.Record("memory_image_bytes", static_cast<double>(source.image.size()));
+
+  // Step 2: ask the destination kernel to move the process.
+  ByteWriter offer;
+  offer.Pid(pid);
+  offer.U16(machine_);
+  offer.U32(static_cast<std::uint32_t>(source.resident.size()));
+  offer.U32(static_cast<std::uint32_t>(source.swappable.size()));
+  offer.U32(static_cast<std::uint32_t>(source.image.size()));
+  SendAdmin(KernelAddress(destination), MsgType::kMigrateOffer, offer.Take());
+
+  migration_sources_.emplace(pid, std::move(source));
+  DEMOS_LOG(kInfo, "migrate") << "m" << machine_ << ": offering " << pid.ToString() << " to m"
+                              << destination;
+}
+
+// ---------------------------------------------------------------------------
+// Step 3: the destination allocates a process state (or refuses).
+// ---------------------------------------------------------------------------
+
+void Kernel::HandleMigrateOffer(const Message& msg) {
+  ByteReader r(msg.payload);
+  MigrateOffer offer;
+  offer.pid = r.Pid();
+  offer.source = r.U16();
+  offer.resident_bytes = r.U32();
+  offer.swappable_bytes = r.U32();
+  offer.memory_bytes = r.U32();
+
+  ByteWriter reject;
+  reject.Pid(offer.pid);
+  const bool out_of_memory = memory_used_ + offer.memory_bytes > config_.memory_limit_bytes;
+  const bool vetoed = config_.accept_migration && !config_.accept_migration(offer);
+  if (out_of_memory || vetoed || processes_.FindEntry(offer.pid) != nullptr) {
+    // Sec. 3.2: "If the destination machine refuses, the process cannot be
+    // migrated."
+    reject.U8(static_cast<std::uint8_t>(out_of_memory ? StatusCode::kExhausted
+                                                      : StatusCode::kRefused));
+    SendAdmin(KernelAddress(offer.source), MsgType::kMigrateReject, reject.Take());
+    return;
+  }
+
+  // Allocate an empty process state with the *same* process identifier, and
+  // reserve its memory, as in step 3 of the paper.
+  auto record = std::make_unique<ProcessRecord>();
+  record->pid = offer.pid;
+  record->state = ExecState::kInMigration;
+  memory_used_ += offer.memory_bytes;
+  processes_.Insert(std::move(record));
+
+  MigrationDest dest;
+  dest.source = offer.source;
+  dest.offer = offer;
+  migration_dests_.emplace(offer.pid, dest);
+
+  ByteWriter accept;
+  accept.Pid(offer.pid);
+  SendAdmin(KernelAddress(offer.source), MsgType::kMigrateAccept, accept.Take());
+
+  // Steps 4-5: pull the three sections with the move-data facility.
+  const MigrationSection sections[] = {MigrationSection::kResidentState,
+                                       MigrationSection::kSwappableState,
+                                       MigrationSection::kMemoryImage};
+  for (MigrationSection section : sections) {
+    const std::uint32_t transfer_id = AllocateTransferId();
+    IncomingPull pull;
+    pull.purpose = IncomingPull::Purpose::kMigrationSection;
+    pull.migrating_pid = offer.pid;
+    pull.section = section;
+    incoming_pulls_.emplace(transfer_id, std::move(pull));
+
+    ByteWriter req;
+    req.Pid(offer.pid);
+    req.U8(static_cast<std::uint8_t>(section));
+    req.U32(transfer_id);
+    SendAdmin(KernelAddress(offer.source), MsgType::kMoveDataReq, req.Take());
+  }
+}
+
+void Kernel::HandleMigrateAccept(const Message& msg) {
+  ByteReader r(msg.payload);
+  const ProcessId pid = r.Pid();
+  auto it = migration_sources_.find(pid);
+  if (it != migration_sources_.end()) {
+    it->second.accepted = true;
+  }
+}
+
+void Kernel::HandleMigrateReject(const Message& msg) {
+  ByteReader r(msg.payload);
+  const ProcessId pid = r.Pid();
+  const auto code = static_cast<StatusCode>(r.U8());
+  AbortMigrationAtSource(pid, Status(code, "destination refused migration"));
+}
+
+void Kernel::AbortMigrationAtSource(const ProcessId& pid, Status why) {
+  auto it = migration_sources_.find(pid);
+  if (it == migration_sources_.end()) {
+    return;
+  }
+  MigrationSource source = std::move(it->second);
+  migration_sources_.erase(it);
+
+  ProcessRecord* record = processes_.Find(pid);
+  if (record != nullptr) {
+    record->state = source.prior_state;
+    for (const TimerEntry& timer : record->timers) {
+      ArmTimer(*record, timer);  // re-arm under the new generation
+    }
+    if (record->state == ExecState::kReady) {
+      record->state = ExecState::kWaiting;
+    }
+    MaybeScheduleDispatch(*record);
+  }
+  stats_.Add(stat::kMigrationsRefused);
+  DEMOS_LOG(kInfo, "migrate") << "m" << machine_ << ": migration of " << pid.ToString()
+                              << " aborted: " << why.ToString();
+  SendMigrateDone(source.requester, pid, machine_, why.code());
+}
+
+// ---------------------------------------------------------------------------
+// Steps 4-5: the source streams the requested sections.
+// ---------------------------------------------------------------------------
+
+void Kernel::HandleMoveDataReq(const Message& msg) {
+  ByteReader r(msg.payload);
+  const ProcessId pid = r.Pid();
+  const auto section = static_cast<MigrationSection>(r.U8());
+  const std::uint32_t transfer_id = r.U32();
+
+  auto it = migration_sources_.find(pid);
+  if (it == migration_sources_.end()) {
+    DEMOS_LOG(kWarn, "migrate") << "m" << machine_ << ": MoveDataReq for unknown migration "
+                                << pid.ToString();
+    return;
+  }
+  const MigrationSource& source = it->second;
+  const Bytes* bytes = nullptr;
+  switch (section) {
+    case MigrationSection::kResidentState:
+      bytes = &source.resident;
+      break;
+    case MigrationSection::kSwappableState:
+      bytes = &source.swappable;
+      break;
+    case MigrationSection::kMemoryImage:
+      bytes = &source.image;
+      break;
+  }
+  if (bytes == nullptr) {
+    return;
+  }
+  DataPacket prototype;
+  prototype.mode = StreamMode::kPull;
+  prototype.transfer_id = transfer_id;
+  StreamBytes(*bytes, prototype, KernelAddress(source.destination), kLinkNone);
+}
+
+void Kernel::OnMigrationSectionReceived(const ProcessId& pid, MigrationSection section,
+                                        Bytes bytes) {
+  auto it = migration_dests_.find(pid);
+  if (it == migration_dests_.end()) {
+    return;
+  }
+  MigrationDest& dest = it->second;
+  dest.sections[static_cast<int>(section)] = std::move(bytes);
+  if (--dest.sections_remaining > 0) {
+    return;
+  }
+
+  // All three sections present: assemble the process.
+  ProcessRecord* record = processes_.Find(pid);
+  if (record == nullptr) {
+    migration_dests_.erase(it);
+    return;
+  }
+
+  bool image_ok = false;
+  record->memory = MemoryImage::Deserialize(
+      dest.sections[static_cast<int>(MigrationSection::kMemoryImage)], &image_ok);
+  std::unique_ptr<Program> program;
+  if (image_ok) {
+    program = ProgramRegistry::Instance().Create(record->memory.ProgramName());
+  }
+  Status resident_ok =
+      record->ApplyResidentState(dest.sections[static_cast<int>(MigrationSection::kResidentState)]);
+
+  if (!image_ok || program == nullptr || !resident_ok.ok()) {
+    // The transferred state is unusable (e.g. an interdomain destination that
+    // cannot execute this program).  Refuse late; the source still holds the
+    // authoritative copy and will resume it.
+    DEMOS_LOG(kError, "migrate") << "m" << machine_ << ": cannot instantiate migrated process "
+                                 << pid.ToString();
+    memory_used_ -= std::min<std::uint64_t>(memory_used_, dest.offer.memory_bytes);
+    const MachineId source_machine = dest.source;
+    processes_.Erase(pid);
+    migration_dests_.erase(it);
+    ByteWriter w;
+    w.Pid(pid);
+    w.U8(static_cast<std::uint8_t>(StatusCode::kRefused));
+    SendAdmin(KernelAddress(source_machine), MsgType::kMigrateReject, w.Take());
+    return;
+  }
+
+  // Swap the reservation (serialized image size) for the actual footprint.
+  memory_used_ -= std::min<std::uint64_t>(memory_used_, dest.offer.memory_bytes);
+  memory_used_ += record->memory.TotalSize();
+
+  dest.restored_state = record->state;  // the recorded state from the source
+  record->state = ExecState::kInMigration;
+  record->program = std::move(program);
+  record->started = true;
+  record->migration_history.push_back(dest.source);
+
+  Status swappable_ok = record->ApplySwappableState(
+      dest.sections[static_cast<int>(MigrationSection::kSwappableState)], queue_.Now());
+  if (!swappable_ok.ok()) {
+    DEMOS_LOG(kError, "migrate") << "m" << machine_ << ": bad swappable state for "
+                                 << pid.ToString() << ": " << swappable_ok.ToString();
+  }
+
+  // Step 5 end: control returns to the source kernel.
+  ByteWriter w;
+  w.Pid(pid);
+  SendAdmin(KernelAddress(dest.source), MsgType::kTransferComplete, w.Take());
+}
+
+// ---------------------------------------------------------------------------
+// Steps 6-7: the source forwards pending messages, installs the forwarding
+// address, and reclaims the process.
+// ---------------------------------------------------------------------------
+
+void Kernel::HandleTransferComplete(const Message& msg) {
+  ByteReader r(msg.payload);
+  FinishMigrationAtSource(r.Pid());
+}
+
+void Kernel::FinishMigrationAtSource(const ProcessId& pid) {
+  auto it = migration_sources_.find(pid);
+  if (it == migration_sources_.end()) {
+    return;
+  }
+  MigrationSource source = std::move(it->second);
+  migration_sources_.erase(it);
+
+  ProcessRecord* record = processes_.Find(pid);
+  if (record == nullptr) {
+    return;
+  }
+
+  // Step 6: re-send every message that was queued when the migration started
+  // or arrived since, with the location part of the address updated.
+  while (!record->queue.empty()) {
+    Message pending = std::move(record->queue.front());
+    record->queue.pop_front();
+    pending.receiver.last_known_machine = source.destination;
+    stats_.Add(stat::kPendingForwarded);
+    Transmit(std::move(pending));
+  }
+
+  // Step 7: reclaim all state; leave a forwarding address (8 bytes: the
+  // degenerate process record of Sec. 4) -- or nothing at all in the
+  // return-to-sender baseline.
+  memory_used_ -= std::min<std::uint64_t>(memory_used_, record->memory.TotalSize());
+  if (config_.delivery_mode == KernelConfig::DeliveryMode::kForwarding) {
+    processes_.InstallForwardingAddress(pid, source.destination, queue_.Now());
+    stats_.Add(stat::kForwardingAddresses);
+  } else {
+    processes_.Erase(pid);
+  }
+  if (machine_ == pid.creating_machine) {
+    location_registry_[pid] = source.destination;
+  }
+  stats_.Add("migrations_out");
+
+  ByteWriter done;
+  done.Pid(pid);
+  SendAdmin(KernelAddress(source.destination), MsgType::kCleanupDone, done.Take());
+  SendMigrateDone(source.requester, pid, source.destination, StatusCode::kOk);
+  DEMOS_LOG(kInfo, "migrate") << "m" << machine_ << ": " << pid.ToString() << " moved to m"
+                              << source.destination;
+}
+
+void Kernel::SendMigrateDone(const ProcessAddress& requester, const ProcessId& pid,
+                             MachineId final_home, StatusCode status) {
+  if (!requester.valid()) {
+    return;
+  }
+  ByteWriter w;
+  w.Pid(pid);
+  w.U8(static_cast<std::uint8_t>(status));
+  w.U16(final_home);
+  Message msg;
+  msg.sender = kernel_address();
+  msg.receiver = requester;
+  msg.type = MsgType::kMigrateDone;
+  msg.payload = w.Take();
+  Transmit(std::move(msg));
+}
+
+// ---------------------------------------------------------------------------
+// Step 8: the destination restarts the process.
+// ---------------------------------------------------------------------------
+
+void Kernel::HandleCleanupDone(const Message& msg) {
+  ByteReader r(msg.payload);
+  RestartMigratedProcess(r.Pid());
+}
+
+void Kernel::RestartMigratedProcess(const ProcessId& pid) {
+  auto it = migration_dests_.find(pid);
+  if (it == migration_dests_.end()) {
+    return;
+  }
+  MigrationDest dest = std::move(it->second);
+  migration_dests_.erase(it);
+
+  ProcessRecord* record = processes_.Find(pid);
+  if (record == nullptr) {
+    return;
+  }
+
+  record->state = dest.restored_state == ExecState::kInMigration ? ExecState::kWaiting
+                                                                 : dest.restored_state;
+  if (record->state == ExecState::kReady) {
+    record->state = ExecState::kWaiting;  // MaybeScheduleDispatch re-arms below
+  }
+  for (const TimerEntry& timer : record->timers) {
+    ArmTimer(*record, timer);
+  }
+  MaybeScheduleDispatch(*record);
+
+  // Keep the creating machine's location registry current: the
+  // return-to-sender baseline depends on it, and the TTL forwarding GC uses
+  // it as the fallback name service (Sec. 4).
+  location_registry_[pid] = machine_;
+  if (pid.creating_machine != machine_) {
+    ByteWriter w;
+    w.Pid(pid);
+    w.U16(machine_);
+    SendFromKernel(KernelAddress(pid.creating_machine), MsgType::kLocationRegister, w.Take());
+  }
+  stats_.Add(stat::kMigrations);
+  DEMOS_LOG(kInfo, "migrate") << "m" << machine_ << ": restarted " << pid.ToString()
+                              << " in state " << ExecStateName(record->state);
+}
+
+// ---------------------------------------------------------------------------
+// Message forwarding (Sec. 4) and link update (Sec. 5).
+// ---------------------------------------------------------------------------
+
+void Kernel::ForwardThroughAddress(Message msg, MachineId next_machine) {
+  if (msg.hop_count >= kMaxForwardHops) {
+    DEMOS_LOG(kError, "forward") << "m" << machine_ << ": dropping " << msg.ToString()
+                                 << " after " << int{msg.hop_count} << " hops";
+    return;
+  }
+  stats_.Add(stat::kMsgsForwarded);
+  msg.hop_count++;
+
+  const ProcessAddress original_sender = msg.sender;
+  const ProcessId migrated = msg.receiver.pid;
+  msg.receiver.last_known_machine = next_machine;
+
+  // Byproduct of forwarding (Sec. 5, Fig. 5-1): tell the kernel of the
+  // sending process to bring its links up to date.  Kernels have no link
+  // tables, and updating in response to an update would never terminate.
+  const bool updatable = config_.link_update_enabled && msg.type != MsgType::kLinkUpdate &&
+                         original_sender.valid() && !IsKernelPid(original_sender.pid);
+
+  Transmit(std::move(msg));
+  if (updatable) {
+    SendLinkUpdate(original_sender, migrated, next_machine);
+  }
+}
+
+void Kernel::SendLinkUpdate(const ProcessAddress& original_sender, const ProcessId& migrated,
+                            MachineId new_machine) {
+  ByteWriter w;
+  w.Pid(migrated);
+  w.U16(new_machine);
+  Message update;
+  update.sender = kernel_address();
+  update.receiver = original_sender;
+  update.flags = kLinkDeliverToKernel;
+  update.type = MsgType::kLinkUpdate;
+  update.payload = w.Take();
+  stats_.Add(stat::kLinkUpdateMsgs);
+  Transmit(std::move(update));
+}
+
+void Kernel::HandleLinkUpdate(ProcessRecord& record, const Message& msg) {
+  ByteReader r(msg.payload);
+  const ProcessId migrated = r.Pid();
+  const MachineId new_machine = r.U16();
+  const int patched = record.links.UpdateAddresses(migrated, new_machine);
+  if (patched > 0) {
+    stats_.Add(stat::kLinksPatched, patched);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Absent receivers: dead letters (forwarding mode) or the return-to-sender
+// baseline (Sec. 4's rejected alternative, kept for the E6 comparison).
+// ---------------------------------------------------------------------------
+
+void Kernel::HandleAbsentReceiver(Message msg, MachineId wire_src) {
+  switch (msg.type) {
+    case MsgType::kLinkUpdate:
+    case MsgType::kNotDeliverable:
+    case MsgType::kMoveDataAck:
+    case MsgType::kTimerFired:
+    case MsgType::kDataMoveDone:
+    case MsgType::kMigrateDone:
+      return;  // control noise about a process that no longer exists
+    default:
+      break;
+  }
+  stats_.Add(stat::kMsgsBounced);
+
+  if (config_.delivery_mode == KernelConfig::DeliveryMode::kReturnToSender) {
+    ByteWriter w;
+    w.Blob(msg.Serialize());
+    Message bounce;
+    bounce.sender = kernel_address();
+    bounce.receiver = KernelAddress(wire_src);
+    bounce.type = MsgType::kNotDeliverable;
+    bounce.payload = w.Take();
+    Transmit(std::move(bounce));
+    return;
+  }
+
+  // Forwarding mode: an absent pid means the process terminated -- or its
+  // forwarding address was garbage-collected.  Under TTL GC, fall back to a
+  // locate round trip against the creating machine's location registry before
+  // declaring the message dead.
+  if (config_.forwarding_gc == KernelConfig::ForwardingGc::kExpireAfterTtl &&
+      msg.hop_count < 2 * kMaxForwardHops) {
+    const ProcessId pid = msg.receiver.pid;
+    const MachineId home = pid.creating_machine;
+    msg.hop_count++;
+    if (home == machine_) {
+      auto it = location_registry_.find(pid);
+      if (it != location_registry_.end() && it->second != kNoMachine &&
+          it->second != machine_) {
+        stats_.Add("gc_rerouted");
+        msg.receiver.last_known_machine = it->second;
+        Transmit(std::move(msg));
+        return;
+      }
+    } else {
+      auto& parked = parked_for_locate_[pid];
+      parked.push_back(std::move(msg));
+      if (parked.size() == 1) {
+        ByteWriter w;
+        w.Pid(pid);
+        SendFromKernel(KernelAddress(home), MsgType::kLocateReq, w.Take());
+      }
+      return;
+    }
+  }
+
+  // Dead for good: notify the sending process so it can recover.
+  if (msg.sender.valid() && !IsKernelPid(msg.sender.pid)) {
+    ByteWriter w;
+    w.U16(static_cast<std::uint16_t>(msg.type));
+    w.Pid(msg.receiver.pid);
+    SendFromKernel(msg.sender, MsgType::kNotDeliverable, w.Take());
+  }
+}
+
+void Kernel::HandleNotDeliverable(Message msg, MachineId wire_src) {
+  (void)wire_src;
+  ByteReader r(msg.payload);
+  bool ok = false;
+  Message original = Message::Deserialize(r.Blob(), &ok);
+  if (!ok) {
+    return;
+  }
+  original.hop_count++;
+  if (original.hop_count >= kMaxForwardHops) {
+    if (original.sender.valid() && !IsKernelPid(original.sender.pid)) {
+      ByteWriter w;
+      w.U16(static_cast<std::uint16_t>(original.type));
+      w.Pid(original.receiver.pid);
+      SendFromKernel(original.sender, MsgType::kNotDeliverable, w.Take());
+    }
+    return;
+  }
+
+  const ProcessId pid = original.receiver.pid;
+  auto& parked = parked_for_locate_[pid];
+  parked.push_back(std::move(original));
+  if (parked.size() == 1) {
+    ByteWriter w;
+    w.Pid(pid);
+    SendFromKernel(KernelAddress(pid.creating_machine), MsgType::kLocateReq, w.Take());
+  }
+}
+
+void Kernel::HandleLocateReq(const Message& msg) {
+  ByteReader r(msg.payload);
+  const ProcessId pid = r.Pid();
+  MachineId where = kNoMachine;
+  if (processes_.Find(pid) != nullptr) {
+    where = machine_;
+  } else {
+    auto it = location_registry_.find(pid);
+    if (it != location_registry_.end()) {
+      where = it->second;
+    }
+  }
+  ByteWriter w;
+  w.Pid(pid);
+  w.U16(where);
+  SendFromKernel(msg.sender, MsgType::kLocateResp, w.Take());
+}
+
+void Kernel::HandleLocateResp(const Message& msg) {
+  ByteReader r(msg.payload);
+  const ProcessId pid = r.Pid();
+  const MachineId where = r.U16();
+
+  auto it = parked_for_locate_.find(pid);
+  if (it == parked_for_locate_.end()) {
+    return;
+  }
+  std::vector<Message> parked = std::move(it->second);
+  parked_for_locate_.erase(it);
+
+  for (Message& original : parked) {
+    if (where == kNoMachine) {
+      if (original.sender.valid() && !IsKernelPid(original.sender.pid)) {
+        ByteWriter w;
+        w.U16(static_cast<std::uint16_t>(original.type));
+        w.Pid(pid);
+        SendFromKernel(original.sender, MsgType::kNotDeliverable, w.Take());
+      }
+      continue;
+    }
+    // Patch the sending process's links too, so the baseline gets the same
+    // lazy-update benefit the forwarding scheme enjoys.
+    ProcessRecord* sender = processes_.Find(original.sender.pid);
+    if (sender != nullptr && config_.link_update_enabled) {
+      stats_.Add(stat::kLinksPatched, sender->links.UpdateAddresses(pid, where));
+    }
+    original.receiver.last_known_machine = where;
+    Transmit(std::move(original));
+  }
+}
+
+void Kernel::HandleLocationRegister(const Message& msg) {
+  ByteReader r(msg.payload);
+  const ProcessId pid = r.Pid();
+  const MachineId where = r.U16();
+  location_registry_[pid] = where;
+}
+
+void Kernel::HandleForwardingClear(const Message& msg) {
+  ByteReader r(msg.payload);
+  const ProcessId pid = r.Pid();
+  const auto* entry = processes_.FindEntry(pid);
+  if (entry != nullptr && entry->IsForwarding()) {
+    processes_.Erase(pid);
+    stats_.Add("forwarding_cleared");
+  }
+}
+
+}  // namespace demos

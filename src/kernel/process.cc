@@ -1,0 +1,149 @@
+#include "src/kernel/process.h"
+
+namespace demos {
+
+const char* ExecStateName(ExecState s) {
+  switch (s) {
+    case ExecState::kReady:
+      return "READY";
+    case ExecState::kWaiting:
+      return "WAITING";
+    case ExecState::kSuspended:
+      return "SUSPENDED";
+    case ExecState::kInMigration:
+      return "IN_MIGRATION";
+    case ExecState::kExited:
+      return "EXITED";
+  }
+  return "?";
+}
+
+void DispatchInfo::Serialize(ByteWriter& w) const {
+  for (std::uint16_t r : registers) {
+    w.U16(r);
+  }
+  w.U32(pc);
+  w.U32(sp);
+  w.U16(psw);
+}
+
+DispatchInfo DispatchInfo::Deserialize(ByteReader& r) {
+  DispatchInfo d;
+  for (std::uint16_t& reg : d.registers) {
+    reg = r.U16();
+  }
+  d.pc = r.U32();
+  d.sp = r.U32();
+  d.psw = r.U16();
+  return d;
+}
+
+Bytes ProcessRecord::SerializeResidentState() const {
+  ByteWriter w;
+  w.Pid(pid);
+  w.U8(static_cast<std::uint8_t>(state));
+  w.U8(priority);
+  dispatch.Serialize(w);
+  // Memory tables: per-segment (size, simulated base address).  The base
+  // addresses are synthesized from sizes; they exist so that the memory table
+  // is a real table, as in Fig. 2-2.
+  w.U32(memory.code_size());
+  w.U32(0x1000);
+  w.U32(memory.data_size());
+  w.U32(0x1000 + memory.code_size());
+  w.U32(memory.stack_size());
+  w.U32(0x1000 + memory.code_size() + memory.data_size());
+  // Accounting.
+  w.U64(cpu_used_us);
+  w.U64(messages_handled);
+  w.U64(created_at);
+  // Migration history (backward pointers, Sec. 4 GC).
+  w.U8(static_cast<std::uint8_t>(migration_history.size()));
+  for (MachineId m : migration_history) {
+    w.U16(m);
+  }
+  // Saved kernel-mode context.
+  w.Raw(kernel_context.data(), kernel_context.size());
+  return w.Take();
+}
+
+Status ProcessRecord::ApplyResidentState(const Bytes& blob) {
+  ByteReader r(blob);
+  const ProcessId incoming = r.Pid();
+  if (incoming != pid) {
+    return InvalidArgumentError("resident state pid " + incoming.ToString() +
+                                " does not match record " + pid.ToString());
+  }
+  state = static_cast<ExecState>(r.U8());
+  priority = r.U8();
+  dispatch = DispatchInfo::Deserialize(r);
+  // The memory table is re-derived from the transferred image; consume it.
+  for (int i = 0; i < 6; ++i) {
+    (void)r.U32();
+  }
+  cpu_used_us = r.U64();
+  messages_handled = r.U64();
+  created_at = r.U64();
+  migration_history.clear();
+  const std::uint8_t hops = r.U8();
+  for (std::uint8_t i = 0; i < hops && r.ok(); ++i) {
+    migration_history.push_back(r.U16());
+  }
+  kernel_context.resize(kKernelContextBytes);
+  for (std::size_t i = 0; i < kKernelContextBytes; ++i) {
+    kernel_context[i] = r.U8();
+  }
+  if (!r.ok()) {
+    return InvalidArgumentError("truncated resident state blob");
+  }
+  return OkStatus();
+}
+
+Bytes ProcessRecord::SerializeSwappableState(SimTime now) const {
+  ByteWriter w;
+  links.Serialize(w);
+  // Timers with remaining durations.
+  w.U32(static_cast<std::uint32_t>(timers.size()));
+  for (const TimerEntry& t : timers) {
+    w.U64(t.due > now ? t.due - now : 0);
+    w.U64(t.cookie);
+  }
+  // Communication accounting.
+  w.U16(static_cast<std::uint16_t>(remote_sends.size()));
+  for (const auto& [machine, count] : remote_sends) {
+    w.U16(machine);
+    w.U32(count);
+  }
+  // Program-private state.
+  w.Blob(program != nullptr ? program->SaveState() : Bytes{});
+  return w.Take();
+}
+
+Status ProcessRecord::ApplySwappableState(const Bytes& blob, SimTime now) {
+  ByteReader r(blob);
+  links = LinkTable::Deserialize(r);
+  timers.clear();
+  const std::uint32_t n_timers = r.U32();
+  for (std::uint32_t i = 0; i < n_timers && r.ok(); ++i) {
+    TimerEntry t;
+    t.due = now + r.U64();
+    t.cookie = r.U64();
+    timers.push_back(t);
+  }
+  remote_sends.clear();
+  const std::uint16_t n_partners = r.U16();
+  for (std::uint16_t i = 0; i < n_partners && r.ok(); ++i) {
+    const MachineId machine = r.U16();
+    remote_sends[machine] = r.U32();
+  }
+  Bytes program_state = r.Blob();
+  if (!r.ok()) {
+    return InvalidArgumentError("truncated swappable state blob");
+  }
+  if (program != nullptr) {
+    program->RestoreState(program_state);
+  }
+  return OkStatus();
+}
+
+}  // namespace demos

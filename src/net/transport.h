@@ -1,0 +1,38 @@
+// Inter-machine packet transport abstraction.
+//
+// DEMOS/MP kernels exchange serialized messages over an inter-machine network
+// whose only guarantee (provided by the "published communications" layer of
+// [Powell & Presotto 83]) is that every message sent is eventually delivered.
+// The kernel code talks to this interface; the simulation provides SimNetwork
+// (a latency/bandwidth/loss model) and ReliableTransport (seq/ack/retransmit
+// recovery that restores the eventual-delivery guarantee over a lossy
+// SimNetwork).
+
+#ifndef DEMOS_NET_TRANSPORT_H_
+#define DEMOS_NET_TRANSPORT_H_
+
+#include <functional>
+
+#include "src/base/bytes.h"
+#include "src/base/ids.h"
+
+namespace demos {
+
+class Transport {
+ public:
+  // Called when a payload addressed to the attached machine arrives.
+  using DeliveryHandler = std::function<void(MachineId src, Bytes payload)>;
+
+  virtual ~Transport() = default;
+
+  // Register the delivery handler for a machine.  One handler per machine.
+  virtual void Attach(MachineId node, DeliveryHandler handler) = 0;
+
+  // Send `payload` from `src` to `dst`.  Delivery semantics depend on the
+  // implementation; see SimNetwork and ReliableTransport.
+  virtual void Send(MachineId src, MachineId dst, Bytes payload) = 0;
+};
+
+}  // namespace demos
+
+#endif  // DEMOS_NET_TRANSPORT_H_

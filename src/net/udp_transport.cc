@@ -1,0 +1,115 @@
+#include "src/net/udp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/base/log.h"
+
+namespace demos {
+namespace {
+// Wire framing: 2-byte source machine id, then the kernel message bytes.
+// Large move-data packets fit comfortably below the loopback datagram limit.
+constexpr std::size_t kMaxDatagram = 60 * 1024;
+
+sockaddr_in PortAddress(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+}  // namespace
+
+UdpTransport::UdpTransport(MachineId self, std::uint16_t port_base)
+    : self_(self), port_base_(port_base) {}
+
+UdpTransport::~UdpTransport() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Status UdpTransport::Open() {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) {
+    return InternalError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr = PortAddress(static_cast<std::uint16_t>(port_base_ + self_));
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status failed = InternalError(std::string("bind: ") + std::strerror(errno));
+    ::close(fd_);
+    fd_ = -1;
+    return failed;
+  }
+  return OkStatus();
+}
+
+void UdpTransport::Attach(MachineId node, DeliveryHandler handler) {
+  if (node != self_) {
+    DEMOS_LOG(kError, "udp") << "machine m" << node << " attached to transport owned by m"
+                             << self_;
+  }
+  handler_ = std::move(handler);
+}
+
+void UdpTransport::Send(MachineId src, MachineId dst, Bytes payload) {
+  if (fd_ < 0) {
+    return;
+  }
+  if (src == dst) {
+    // Local delivery stays off the wire, like SimNetwork's local path -- but
+    // must remain asynchronous; loop it through the socket to self.
+  }
+  Bytes frame;
+  frame.reserve(payload.size() + 2);
+  frame.push_back(static_cast<std::uint8_t>(src & 0xFF));
+  frame.push_back(static_cast<std::uint8_t>(src >> 8));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  if (frame.size() > kMaxDatagram) {
+    DEMOS_LOG(kError, "udp") << "dropping oversized datagram (" << frame.size() << " B)";
+    return;
+  }
+  sockaddr_in addr = PortAddress(static_cast<std::uint16_t>(port_base_ + dst));
+  (void)::sendto(fd_, frame.data(), frame.size(), 0, reinterpret_cast<sockaddr*>(&addr),
+                 sizeof(addr));
+}
+
+int UdpTransport::Poll() {
+  if (fd_ < 0 || !handler_) {
+    return 0;
+  }
+  int delivered = 0;
+  for (;;) {
+    Bytes buffer(kMaxDatagram);
+    const ssize_t n = ::recv(fd_, buffer.data(), buffer.size(), MSG_DONTWAIT);
+    if (n < 0) {
+      break;  // EWOULDBLOCK (or error): drained
+    }
+    if (n < 2) {
+      continue;
+    }
+    const MachineId src = static_cast<MachineId>(buffer[0] | (buffer[1] << 8));
+    buffer.erase(buffer.begin(), buffer.begin() + 2);
+    buffer.resize(static_cast<std::size_t>(n - 2));
+    handler_(src, std::move(buffer));
+    ++delivered;
+  }
+  return delivered;
+}
+
+int UdpTransport::Wait(int timeout_ms) {
+  if (fd_ < 0) {
+    return 0;
+  }
+  pollfd pfd{fd_, POLLIN, 0};
+  (void)::poll(&pfd, 1, timeout_ms);
+  return Poll();
+}
+
+}  // namespace demos

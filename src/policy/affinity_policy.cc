@@ -1,0 +1,63 @@
+#include "src/policy/affinity_policy.h"
+
+#include <memory>
+
+#include "src/policy/threshold_balancer.h"
+
+namespace demos {
+
+std::vector<MigrationDecision> AffinityPolicy::Decide(
+    SimTime now, const LoadTable& loads,
+    const std::function<bool(const ProcessLoad&)>& movable) {
+  if (ever_moved_ && now - last_move_at_ < config_.cooldown_us) {
+    return {};
+  }
+  const SimTime horizon = now > config_.staleness_us ? now - config_.staleness_us : 0;
+
+  const ProcessLoad* best = nullptr;
+  std::uint32_t best_new_traffic = 0;
+  for (const auto& [pid, process] : loads.processes()) {
+    if (process.updated_at < horizon || !movable(process)) {
+      continue;
+    }
+    if (process.top_partner == kNoMachine || process.top_partner == process.machine) {
+      continue;
+    }
+    const std::uint32_t acted = acted_counts_.count(pid) != 0 ? acted_counts_.at(pid) : 0;
+    const std::uint32_t fresh =
+        process.top_partner_msgs > acted ? process.top_partner_msgs - acted : 0;
+    if (fresh < config_.min_remote_msgs) {
+      continue;
+    }
+    auto dest = loads.machines().find(process.top_partner);
+    if (dest == loads.machines().end() ||
+        dest->second.cpu_utilization >= config_.destination_cap) {
+      continue;
+    }
+    if (best == nullptr || fresh > best_new_traffic) {
+      best = &process;
+      best_new_traffic = fresh;
+    }
+  }
+  if (best == nullptr) {
+    return {};
+  }
+
+  last_move_at_ = now;
+  ever_moved_ = true;
+  acted_counts_[best->pid] = best->top_partner_msgs;
+  return {MigrationDecision{best->pid, best->machine, best->top_partner}};
+}
+
+void RegisterStandardPolicies() {
+  static const bool registered = [] {
+    auto& registry = PolicyRegistry::Instance();
+    registry.Register("null", [] { return std::make_unique<NullPolicy>(); });
+    registry.Register("threshold", [] { return std::make_unique<ThresholdBalancerPolicy>(); });
+    registry.Register("affinity", [] { return std::make_unique<AffinityPolicy>(); });
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace demos

@@ -1,0 +1,54 @@
+// Communication-affinity policy.
+//
+// Sec. 1: "Moving a process closer to the resource it is using most heavily
+// may reduce system-wide communication traffic."  This rule inspects each
+// process's top remote communication partner (from the kernels' load
+// reports) and moves the process next to that partner when the imbalance is
+// strong enough -- with the same hysteresis discipline as the threshold
+// balancer, and a load cap so affinity does not defeat balance.
+
+#ifndef DEMOS_POLICY_AFFINITY_POLICY_H_
+#define DEMOS_POLICY_AFFINITY_POLICY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/policy/policy.h"
+
+namespace demos {
+
+struct AffinityPolicyConfig {
+  // Minimum messages to the top remote partner before a move is considered.
+  std::uint32_t min_remote_msgs = 50;
+  // The top partner must account for at least this fraction of remote sends
+  // (tracked per report delta; approximated by absolute counts here).
+  SimDuration cooldown_us = 300'000;
+  // Do not move onto a machine hotter than this.
+  double destination_cap = 0.9;
+  SimDuration staleness_us = 1'000'000;
+};
+
+class AffinityPolicy final : public MigrationPolicy {
+ public:
+  AffinityPolicy() = default;
+  explicit AffinityPolicy(AffinityPolicyConfig config) : config_(config) {}
+
+  std::string name() const override { return "affinity"; }
+
+  std::vector<MigrationDecision> Decide(
+      SimTime now, const LoadTable& loads,
+      const std::function<bool(const ProcessLoad&)>& movable) override;
+
+ private:
+  AffinityPolicyConfig config_;
+  SimTime last_move_at_ = 0;
+  bool ever_moved_ = false;
+  // Remote-send counts already acted on, so a process is not re-moved for
+  // traffic that predates its last move.
+  std::map<ProcessId, std::uint32_t> acted_counts_;
+};
+
+}  // namespace demos
+
+#endif  // DEMOS_POLICY_AFFINITY_POLICY_H_

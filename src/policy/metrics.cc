@@ -1,0 +1,60 @@
+#include "src/policy/metrics.h"
+
+#include <algorithm>
+
+namespace demos {
+
+void LoadTable::Apply(const LoadReport& report, SimTime now) {
+  MachineLoad& machine = machines_[report.machine];
+  machine.machine = report.machine;
+  machine.live_processes = report.live_processes;
+  machine.ready_processes = report.ready_processes;
+  machine.cpu_utilization =
+      report.window_us == 0
+          ? 0.0
+          : std::min(1.0, static_cast<double>(report.cpu_busy_delta_us) / report.window_us);
+  machine.memory_used = report.memory_used;
+  machine.memory_limit = report.memory_limit;
+  machine.updated_at = now;
+
+  for (const ProcessLoadEntry& entry : report.processes) {
+    ProcessLoad& process = processes_[entry.pid];
+    process.pid = entry.pid;
+    process.machine = report.machine;
+    process.cpu_used_us = entry.cpu_used_us;
+    process.msgs_handled = entry.msgs_handled;
+    process.top_partner = entry.top_partner;
+    process.top_partner_msgs = entry.top_partner_msgs;
+    process.updated_at = now;
+  }
+}
+
+std::vector<MachineLoad> LoadTable::ByUtilization() const {
+  std::vector<MachineLoad> sorted;
+  sorted.reserve(machines_.size());
+  for (const auto& [id, load] : machines_) {
+    sorted.push_back(load);
+  }
+  std::sort(sorted.begin(), sorted.end(), [](const MachineLoad& a, const MachineLoad& b) {
+    if (a.cpu_utilization != b.cpu_utilization) {
+      return a.cpu_utilization < b.cpu_utilization;
+    }
+    if (a.ready_processes != b.ready_processes) {
+      return a.ready_processes < b.ready_processes;
+    }
+    return a.machine < b.machine;
+  });
+  return sorted;
+}
+
+void LoadTable::ExpireStale(SimTime horizon) {
+  for (auto it = processes_.begin(); it != processes_.end();) {
+    if (it->second.updated_at < horizon) {
+      it = processes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace demos

@@ -1,0 +1,69 @@
+// Cluster load metrics assembled by the process manager from kernel load
+// reports -- the information base for migration decision rules (Sec. 3.1).
+
+#ifndef DEMOS_POLICY_METRICS_H_
+#define DEMOS_POLICY_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/base/ids.h"
+#include "src/kernel/load_report.h"
+#include "src/sim/event_queue.h"
+
+namespace demos {
+
+// Per-machine view, refreshed by each load report.
+struct MachineLoad {
+  MachineId machine = kNoMachine;
+  std::uint16_t live_processes = 0;
+  std::uint16_t ready_processes = 0;
+  double cpu_utilization = 0.0;  // busy fraction of the last window
+  std::uint64_t memory_used = 0;
+  std::uint64_t memory_limit = 0;
+  SimTime updated_at = 0;
+};
+
+// Per-process view (only processes the reporting kernel hosts).
+struct ProcessLoad {
+  ProcessId pid;
+  MachineId machine = kNoMachine;
+  std::uint32_t cpu_used_us = 0;
+  std::uint32_t msgs_handled = 0;
+  MachineId top_partner = kNoMachine;
+  std::uint32_t top_partner_msgs = 0;
+  SimTime updated_at = 0;
+};
+
+// A policy's verdict: move `pid` (currently on `from`) to `to`.
+struct MigrationDecision {
+  ProcessId pid;
+  MachineId from = kNoMachine;
+  MachineId to = kNoMachine;
+};
+
+class LoadTable {
+ public:
+  void Apply(const LoadReport& report, SimTime now);
+
+  const std::map<MachineId, MachineLoad>& machines() const { return machines_; }
+  const std::map<ProcessId, ProcessLoad>& processes() const { return processes_; }
+
+  // Machines sorted by utilization (ties broken by ready count, then id).
+  std::vector<MachineLoad> ByUtilization() const;
+
+  // Drop process entries not refreshed since `horizon` (they migrated or
+  // exited; the hosting kernel stopped reporting them).
+  void ExpireStale(SimTime horizon);
+
+  std::size_t machine_count() const { return machines_.size(); }
+
+ private:
+  std::map<MachineId, MachineLoad> machines_;
+  std::map<ProcessId, ProcessLoad> processes_;
+};
+
+}  // namespace demos
+
+#endif  // DEMOS_POLICY_METRICS_H_

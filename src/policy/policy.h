@@ -1,0 +1,76 @@
+// Migration decision rules.
+//
+// The paper implemented the migration *mechanism* and left the *strategy*
+// open ("Designing an efficient and effective decision rule is still an open
+// research topic", Sec. 3.1; "there is not yet a strategy routine", Sec. 7).
+// This module supplies the three strategy ingredients Sec. 3.1 enumerates --
+// centralized information collection (LoadTable, fed by load reports), an
+// improvement strategy (the concrete policies), and hysteresis (cooldowns and
+// thresholds) -- as pluggable rules the process manager consults.
+
+#ifndef DEMOS_POLICY_POLICY_H_
+#define DEMOS_POLICY_POLICY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/policy/metrics.h"
+
+namespace demos {
+
+class MigrationPolicy {
+ public:
+  virtual ~MigrationPolicy() = default;
+  virtual std::string name() const = 0;
+
+  // Consult the rule.  `movable` filters which processes the manager is
+  // willing to move (system servers are usually excluded, Sec. 5).
+  virtual std::vector<MigrationDecision> Decide(
+      SimTime now, const LoadTable& loads,
+      const std::function<bool(const ProcessLoad&)>& movable) = 0;
+};
+
+// Never migrates; the static-placement baseline for E8.
+class NullPolicy final : public MigrationPolicy {
+ public:
+  std::string name() const override { return "null"; }
+  std::vector<MigrationDecision> Decide(SimTime, const LoadTable&,
+                                        const std::function<bool(const ProcessLoad&)>&) override {
+    return {};
+  }
+};
+
+// Name -> factory registry so the process manager can re-create its policy
+// after migrating (only the name travels in its program state).
+class PolicyRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<MigrationPolicy>()>;
+
+  static PolicyRegistry& Instance() {
+    static PolicyRegistry registry;
+    return registry;
+  }
+
+  void Register(const std::string& name, Factory factory) {
+    factories_[name] = std::move(factory);
+  }
+
+  std::unique_ptr<MigrationPolicy> Create(const std::string& name) const {
+    auto it = factories_.find(name);
+    return it == factories_.end() ? nullptr : it->second();
+  }
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+// Registers "null", "threshold", and "affinity".
+void RegisterStandardPolicies();
+
+}  // namespace demos
+
+#endif  // DEMOS_POLICY_POLICY_H_

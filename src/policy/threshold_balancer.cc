@@ -1,0 +1,58 @@
+#include "src/policy/threshold_balancer.h"
+
+#include <algorithm>
+
+namespace demos {
+
+std::vector<MigrationDecision> ThresholdBalancerPolicy::Decide(
+    SimTime now, const LoadTable& loads,
+    const std::function<bool(const ProcessLoad&)>& movable) {
+  if (loads.machine_count() < 2) {
+    return {};
+  }
+  if (ever_moved_ && now - last_move_at_ < config_.cooldown_us) {
+    return {};  // hysteresis
+  }
+
+  std::vector<MachineLoad> sorted = loads.ByUtilization();
+  // Skip stale rows at both ends.
+  const SimTime horizon = now > config_.staleness_us ? now - config_.staleness_us : 0;
+  std::erase_if(sorted, [&](const MachineLoad& m) { return m.updated_at < horizon; });
+  if (sorted.size() < 2) {
+    return {};
+  }
+
+  const MachineLoad& coldest = sorted.front();
+  const MachineLoad& hottest = sorted.back();
+  const bool cpu_trigger =
+      hottest.cpu_utilization - coldest.cpu_utilization >= config_.utilization_spread;
+  const bool queue_trigger =
+      static_cast<int>(hottest.ready_processes) - coldest.ready_processes >=
+      config_.ready_spread;
+  if (!cpu_trigger && !queue_trigger) {
+    return {};
+  }
+  if (coldest.cpu_utilization >= config_.destination_cap) {
+    return {};  // nowhere sensible to put it
+  }
+
+  // Pick the heaviest movable process on the hottest machine.
+  const ProcessLoad* victim = nullptr;
+  for (const auto& [pid, process] : loads.processes()) {
+    if (process.machine != hottest.machine || !movable(process)) {
+      continue;
+    }
+    if (victim == nullptr || process.cpu_used_us > victim->cpu_used_us) {
+      victim = &process;
+    }
+  }
+  if (victim == nullptr) {
+    return {};
+  }
+
+  last_move_at_ = now;
+  ever_moved_ = true;
+  return {MigrationDecision{victim->pid, hottest.machine, coldest.machine}};
+}
+
+}  // namespace demos

@@ -1,0 +1,51 @@
+// Threshold load balancer with hysteresis.
+//
+// Moves one process per decision round from the most-loaded machine to the
+// least-loaded one, but only when the utilization spread exceeds a threshold
+// and the cooldown since the last move has elapsed -- the "hysteresis
+// mechanism to keep from incurring the cost of migration more often than
+// justified by the gains" (Sec. 3.1).
+
+#ifndef DEMOS_POLICY_THRESHOLD_BALANCER_H_
+#define DEMOS_POLICY_THRESHOLD_BALANCER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/policy/policy.h"
+
+namespace demos {
+
+struct ThresholdBalancerConfig {
+  // Minimum (max - min) utilization spread before any move is considered.
+  double utilization_spread = 0.25;
+  // Alternative trigger: ready-queue length difference.
+  int ready_spread = 3;
+  // Cooldown between successive moves (hysteresis).
+  SimDuration cooldown_us = 200'000;
+  // Ignore load rows older than this.
+  SimDuration staleness_us = 1'000'000;
+  // Keep a destination below this utilization after the move.
+  double destination_cap = 0.85;
+};
+
+class ThresholdBalancerPolicy final : public MigrationPolicy {
+ public:
+  ThresholdBalancerPolicy() = default;
+  explicit ThresholdBalancerPolicy(ThresholdBalancerConfig config) : config_(config) {}
+
+  std::string name() const override { return "threshold"; }
+
+  std::vector<MigrationDecision> Decide(
+      SimTime now, const LoadTable& loads,
+      const std::function<bool(const ProcessLoad&)>& movable) override;
+
+ private:
+  ThresholdBalancerConfig config_;
+  SimTime last_move_at_ = 0;
+  bool ever_moved_ = false;
+};
+
+}  // namespace demos
+
+#endif  // DEMOS_POLICY_THRESHOLD_BALANCER_H_

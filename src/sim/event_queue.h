@@ -1,0 +1,117 @@
+// Discrete-event simulation core.
+//
+// The whole DEMOS/MP cluster runs inside one EventQueue: kernels, the network,
+// process scheduling quanta, and workload timers are all events on a single
+// virtual clock.  This mirrors how the original system ran "in simulation mode
+// on a DEC VAX running UNIX" (Sec. 2) and is what makes every migration race
+// deterministic and byte-exact.
+//
+// Time is in virtual microseconds.  Events scheduled for the same instant run
+// in FIFO order of scheduling, which keeps runs reproducible.
+
+#ifndef DEMOS_SIM_EVENT_QUEUE_H_
+#define DEMOS_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace demos {
+
+using SimTime = std::uint64_t;      // virtual microseconds since simulation start
+using SimDuration = std::uint64_t;  // virtual microseconds
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime Now() const { return now_; }
+
+  // Schedule `fn` to run at absolute virtual time `when` (clamped to Now()).
+  void At(SimTime when, Callback fn) {
+    if (when < now_) {
+      when = now_;
+    }
+    heap_.push(Event{when, next_seq_++, std::move(fn)});
+  }
+
+  // Schedule `fn` to run `delay` microseconds from now.
+  void After(SimDuration delay, Callback fn) { At(now_ + delay, std::move(fn)); }
+
+  bool Empty() const { return heap_.empty(); }
+  std::size_t PendingEvents() const { return heap_.size(); }
+
+  // Run a single event; returns false if the queue was empty.
+  bool Step() {
+    if (heap_.empty()) {
+      return false;
+    }
+    // The callback may schedule more events, so pop before invoking.
+    Event ev = heap_.top();
+    heap_.pop();
+    now_ = ev.when;
+    ev.fn();
+    return true;
+  }
+
+  // Run events until nothing is scheduled.  `max_events` bounds runaway
+  // workloads (0 means unbounded); returns the number of events executed.
+  std::size_t RunUntilIdle(std::size_t max_events = 0) {
+    std::size_t executed = 0;
+    while (!heap_.empty()) {
+      if (max_events != 0 && executed >= max_events) {
+        break;
+      }
+      Step();
+      ++executed;
+    }
+    return executed;
+  }
+
+  // Run events until virtual time reaches `deadline` (events exactly at the
+  // deadline still run).  The clock always advances to the deadline.
+  std::size_t RunUntil(SimTime deadline, std::size_t max_events = 0) {
+    std::size_t executed = 0;
+    while (!heap_.empty() && heap_.top().when <= deadline) {
+      if (max_events != 0 && executed >= max_events) {
+        return executed;
+      }
+      Step();
+      ++executed;
+    }
+    if (now_ < deadline) {
+      now_ = deadline;
+    }
+    return executed;
+  }
+
+  std::size_t RunFor(SimDuration duration, std::size_t max_events = 0) {
+    return RunUntil(now_ + duration, max_events);
+  }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Callback fn;
+  };
+
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;  // FIFO among same-time events
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace demos
+
+#endif  // DEMOS_SIM_EVENT_QUEUE_H_

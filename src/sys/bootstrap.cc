@@ -1,0 +1,145 @@
+#include "src/sys/bootstrap.h"
+
+#include <cassert>
+
+#include "src/sys/command_interpreter.h"
+#include "src/sys/fs/buffer_manager.h"
+#include "src/sys/fs/directory_service.h"
+#include "src/sys/fs/disk_driver.h"
+#include "src/sys/fs/fs_client.h"
+#include "src/sys/fs/request_interpreter.h"
+#include "src/sys/memory_scheduler.h"
+#include "src/sys/process_manager.h"
+#include "src/sys/switchboard.h"
+
+namespace demos {
+namespace {
+
+Link PlainLink(const ProcessAddress& to) {
+  Link link;
+  link.address = to;
+  return link;
+}
+
+void Register(Cluster& cluster, const ProcessAddress& switchboard, const std::string& name,
+              const ProcessAddress& target) {
+  ByteWriter w;
+  w.Str(name);
+  cluster.kernel(switchboard.last_known_machine)
+      .SendFromKernel(switchboard, kSbRegister, w.Take(), {PlainLink(target)});
+}
+
+void Pin(Cluster& cluster, const ProcessAddress& pm, const ProcessAddress& target) {
+  ByteWriter w;
+  w.Pid(target.pid);
+  cluster.kernel(pm.last_known_machine).SendFromKernel(pm, kPmPin, w.Take());
+}
+
+}  // namespace
+
+void RegisterSystemPrograms() {
+  RegisterSwitchboardProgram();
+  RegisterProcessManagerProgram();
+  RegisterMemorySchedulerProgram();
+  RegisterDiskDriverProgram();
+  RegisterBufferManagerProgram();
+  RegisterDirectoryServiceProgram();
+  RegisterRequestInterpreterProgram();
+  RegisterFileClientProgram();
+  RegisterCommandInterpreterProgram();
+}
+
+SystemLayout BootSystem(Cluster& cluster, const BootOptions& options) {
+  RegisterSystemPrograms();
+  SystemLayout layout;
+
+  // Switchboard first; every later process is born with a link to it.
+  auto switchboard =
+      cluster.kernel(options.switchboard_machine).SpawnProcess("switchboard", 4096, 2048, 1024);
+  assert(switchboard.ok());
+  layout.switchboard = *switchboard;
+  for (MachineId m = 0; m < static_cast<MachineId>(cluster.size()); ++m) {
+    cluster.kernel(m).SetSwitchboard(layout.switchboard);
+  }
+
+  DefaultProcessManagerConfig().policy = options.policy;
+  DefaultProcessManagerConfig().policy_interval_us = options.policy_interval_us;
+  auto manager =
+      cluster.kernel(options.manager_machine).SpawnProcess("process_manager", 8192, 4096, 2048);
+  auto scheduler = cluster.kernel(options.manager_machine)
+                       .SpawnProcess("memory_scheduler", 4096, 2048, 1024);
+  assert(manager.ok() && scheduler.ok());
+  layout.process_manager = *manager;
+  layout.memory_scheduler = *scheduler;
+
+  Register(cluster, layout.switchboard, kNameProcessManager, layout.process_manager);
+  Register(cluster, layout.switchboard, kNameMemoryScheduler, layout.memory_scheduler);
+  cluster.kernel(options.manager_machine)
+      .SendFromKernel(layout.process_manager, kPmAttachMs, {},
+                      {PlainLink(layout.memory_scheduler)});
+
+  if (options.load_report_interval_us > 0) {
+    for (MachineId m = 0; m < static_cast<MachineId>(cluster.size()); ++m) {
+      cluster.kernel(m).EnableLoadReports(layout.process_manager,
+                                          options.load_report_interval_us);
+    }
+  }
+
+  if (options.start_file_system) {
+    auto disk =
+        cluster.kernel(options.disk_machine).SpawnProcess("fs.disk", 8192, 4096, 2048);
+    auto buffers =
+        cluster.kernel(options.fs_machine).SpawnProcess("fs.buffers", 8192, 4096, 2048);
+    auto directory =
+        cluster.kernel(options.fs_machine).SpawnProcess("fs.directory", 8192, 4096, 2048);
+    auto request = cluster.kernel(options.fs_machine)
+                       .SpawnProcess("fs.request_interpreter", 8192, 4096, 2048);
+    assert(disk.ok() && buffers.ok() && directory.ok() && request.ok());
+    layout.fs_disk = *disk;
+    layout.fs_buffers = *buffers;
+    layout.fs_directory = *directory;
+    layout.fs_request = *request;
+
+    // Wire the pipeline: buffers -> disk, request interpreter -> {dir, buf}.
+    {
+      ByteWriter w;
+      w.Str("disk");
+      cluster.kernel(options.fs_machine)
+          .SendFromKernel(layout.fs_buffers, kFsAttach, w.Take(), {PlainLink(layout.fs_disk)});
+    }
+    {
+      ByteWriter w;
+      w.Str("directory");
+      cluster.kernel(options.fs_machine)
+          .SendFromKernel(layout.fs_request, kFsAttach, w.Take(),
+                          {PlainLink(layout.fs_directory)});
+    }
+    {
+      ByteWriter w;
+      w.Str("buffers");
+      cluster.kernel(options.fs_machine)
+          .SendFromKernel(layout.fs_request, kFsAttach, w.Take(),
+                          {PlainLink(layout.fs_buffers)});
+    }
+    Register(cluster, layout.switchboard, kNameFileSystem, layout.fs_request);
+    Register(cluster, layout.switchboard, kNameDirectory, layout.fs_directory);
+    Register(cluster, layout.switchboard, kNameBufferManager, layout.fs_buffers);
+    Register(cluster, layout.switchboard, kNameDiskDriver, layout.fs_disk);
+
+    // The disk driver is tied to its unmovable disk (Sec. 5): never
+    // auto-migrated by a policy.  The other system processes are pinned too;
+    // benches that migrate them do so explicitly.
+    Pin(cluster, layout.process_manager, layout.fs_disk);
+  }
+
+  Pin(cluster, layout.process_manager, layout.switchboard);
+  Pin(cluster, layout.process_manager, layout.process_manager);
+  Pin(cluster, layout.process_manager, layout.memory_scheduler);
+
+  // Load reports and policy ticks re-arm themselves, so the queue never goes
+  // idle: settle with a bounded run.
+  cluster.RunFor(20'000);
+  return layout;
+}
+
+}  // namespace demos

@@ -1,0 +1,45 @@
+// System bring-up: spawns and wires the DEMOS/MP system processes of
+// Sec. 2.3 / Fig. 2-3 on a Cluster -- switchboard, process manager, memory
+// scheduler, and the four file-system processes -- and registers the public
+// services with the switchboard.
+
+#ifndef DEMOS_SYS_BOOTSTRAP_H_
+#define DEMOS_SYS_BOOTSTRAP_H_
+
+#include "src/kernel/cluster.h"
+#include "src/sys/protocol.h"
+
+namespace demos {
+
+struct BootOptions {
+  MachineId switchboard_machine = 0;
+  MachineId manager_machine = 0;
+  MachineId fs_machine = 0;     // request interpreter + directory + buffers
+  MachineId disk_machine = 0;   // the unmovable end of the file system
+  SimDuration load_report_interval_us = 50'000;
+  bool start_file_system = true;
+  // Process-manager policy ("null", "threshold", "affinity").
+  std::string policy = "null";
+  SimDuration policy_interval_us = 100'000;
+};
+
+struct SystemLayout {
+  ProcessAddress switchboard;
+  ProcessAddress process_manager;
+  ProcessAddress memory_scheduler;
+  ProcessAddress fs_request;
+  ProcessAddress fs_directory;
+  ProcessAddress fs_buffers;
+  ProcessAddress fs_disk;
+};
+
+// Registers every system program with the global program registry.
+void RegisterSystemPrograms();
+
+// Boots the system processes and settles the cluster.  Requires
+// RegisterSystemPrograms() (called internally).
+SystemLayout BootSystem(Cluster& cluster, const BootOptions& options = {});
+
+}  // namespace demos
+
+#endif  // DEMOS_SYS_BOOTSTRAP_H_

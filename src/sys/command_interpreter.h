@@ -1,0 +1,58 @@
+// The command interpreter (Sec. 2.3): "allows interactive access to DEMOS/MP
+// programs".  This reproduction's variant executes a newline-separated script
+// of commands sequentially, driving the process manager over links:
+//
+//   wait <microseconds>
+//   spawn <alias> <program> <machine|any> [code data stack]
+//   migrate <alias> <machine>
+//   send <alias> <msg-type> [byte byte ...]
+//   evacuate <machine>
+//   print <text...>
+//
+// The script and the program counter are program state, so even the command
+// interpreter itself can be migrated mid-script.
+
+#ifndef DEMOS_SYS_COMMAND_INTERPRETER_H_
+#define DEMOS_SYS_COMMAND_INTERPRETER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/proc/program.h"
+#include "src/sys/protocol.h"
+
+namespace demos {
+
+class CommandInterpreterProgram final : public Program {
+ public:
+  void OnMessage(Context& ctx, const Message& msg) override;
+  void OnTimer(Context& ctx, std::uint64_t cookie) override;
+
+  Bytes SaveState() const override;
+  void RestoreState(const Bytes& state) override;
+
+  // Lines printed by `print` commands (harness-readable).
+  const std::vector<std::string>& output() const { return output_; }
+  bool done() const { return done_; }
+
+ private:
+  void Step(Context& ctx);
+  void RunCommand(Context& ctx, const std::string& line);
+  void Advance(Context& ctx);  // move to the next command
+
+  std::vector<std::string> script_;
+  std::size_t pc_ = 0;
+  bool waiting_reply_ = false;
+  bool done_ = false;
+  std::map<std::string, ProcessAddress> aliases_;
+  std::string pending_alias_;  // alias being spawned
+  std::vector<std::string> output_;
+  LinkId pm_slot_ = kNoLink;  // table-held link to the process manager
+};
+
+void RegisterCommandInterpreterProgram();
+
+}  // namespace demos
+
+#endif  // DEMOS_SYS_COMMAND_INTERPRETER_H_

@@ -1,0 +1,73 @@
+// File system process 3/4: the buffer manager.
+//
+// An LRU write-back sector cache between the request interpreter and the
+// disk driver.  Misses are fetched from the disk; dirty sectors are written
+// back on eviction.  Concurrent misses on the same sector coalesce onto one
+// disk read.
+
+#ifndef DEMOS_SYS_FS_BUFFER_MANAGER_H_
+#define DEMOS_SYS_FS_BUFFER_MANAGER_H_
+
+#include <list>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/proc/program.h"
+#include "src/sys/protocol.h"
+
+namespace demos {
+
+struct BufferManagerConfig {
+  std::size_t capacity_sectors = 64;
+};
+
+BufferManagerConfig& DefaultBufferManagerConfig();
+
+class BufferManagerProgram final : public Program {
+ public:
+  BufferManagerProgram();
+
+  void OnMessage(Context& ctx, const Message& msg) override;
+
+  Bytes SaveState() const override;
+  void RestoreState(const Bytes& state) override;
+
+  std::size_t cached_sectors() const { return cache_.size(); }
+  std::int64_t hits() const { return hits_; }
+  std::int64_t misses() const { return misses_; }
+
+ private:
+  struct CacheEntry {
+    Bytes data;
+    bool dirty = false;
+  };
+
+  struct Waiter {
+    std::uint64_t cookie = 0;
+    std::optional<Link> reply;
+  };
+
+  void HandleRead(Context& ctx, const Message& msg);
+  void HandleWrite(Context& ctx, const Message& msg);
+  void HandleDiskReadReply(Context& ctx, const Message& msg);
+  void Touch(std::uint32_t sector);
+  void InsertAndMaybeEvict(Context& ctx, std::uint32_t sector, CacheEntry entry);
+  void SendToDisk(Context& ctx, bool write, std::uint64_t cookie, std::uint32_t sector,
+                  Bytes data, bool want_reply);
+
+  BufferManagerConfig config_;
+  std::map<std::uint32_t, CacheEntry> cache_;
+  std::list<std::uint32_t> lru_;  // front = most recent
+  std::map<std::uint32_t, std::vector<Waiter>> pending_reads_;  // sector -> waiters
+  LinkId disk_slot_ = kNoLink;  // in the link table: lazy-updatable
+  std::uint64_t next_cookie_ = 1;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+void RegisterBufferManagerProgram();
+
+}  // namespace demos
+
+#endif  // DEMOS_SYS_FS_BUFFER_MANAGER_H_

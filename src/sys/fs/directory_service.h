@@ -1,0 +1,45 @@
+// File system process 2/4: the directory service.
+//
+// Maps file names to file ids, tracks file sizes, and owns sector
+// allocation: each file is a list of disk sectors handed out on demand.
+
+#ifndef DEMOS_SYS_FS_DIRECTORY_SERVICE_H_
+#define DEMOS_SYS_FS_DIRECTORY_SERVICE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/proc/program.h"
+#include "src/sys/protocol.h"
+
+namespace demos {
+
+class DirectoryServiceProgram final : public Program {
+ public:
+  void OnMessage(Context& ctx, const Message& msg) override;
+
+  Bytes SaveState() const override;
+  void RestoreState(const Bytes& state) override;
+
+  std::size_t file_count() const { return files_.size(); }
+
+ private:
+  struct FileMeta {
+    std::uint32_t id = 0;
+    std::uint32_t size = 0;
+    std::vector<std::uint32_t> sectors;
+  };
+
+  FileMeta* FindById(std::uint32_t id);
+
+  std::map<std::string, FileMeta> files_;
+  std::uint32_t next_file_id_ = 1;
+  std::uint32_t next_sector_ = 0;
+};
+
+void RegisterDirectoryServiceProgram();
+
+}  // namespace demos
+
+#endif  // DEMOS_SYS_FS_DIRECTORY_SERVICE_H_

@@ -1,0 +1,143 @@
+#include "src/sys/fs/disk_driver.h"
+
+#include <memory>
+
+namespace demos {
+namespace {
+constexpr std::uint64_t kOpDoneCookie = 0xD15C;
+}  // namespace
+
+DiskDriverConfig& DefaultDiskDriverConfig() {
+  static DiskDriverConfig config;
+  return config;
+}
+
+DiskDriverProgram::DiskDriverProgram() : config_(DefaultDiskDriverConfig()) {}
+
+void DiskDriverProgram::OnMessage(Context& ctx, const Message& msg) {
+  if (msg.type != kDiskRead && msg.type != kDiskWrite) {
+    return;
+  }
+  ByteReader r(msg.payload);
+  Op op;
+  op.is_write = msg.type == kDiskWrite;
+  op.cookie = r.U64();
+  op.sector = r.U32();
+  if (op.is_write) {
+    op.data = r.Blob();
+  }
+  if (!msg.carried_links.empty()) {
+    op.reply = msg.carried_links[0];
+  }
+  queue_.push_back(std::move(op));
+  if (!busy_) {
+    StartNextOp(ctx);
+  }
+}
+
+void DiskDriverProgram::StartNextOp(Context& ctx) {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  ctx.SetTimer(config_.service_time_us, kOpDoneCookie);
+}
+
+void DiskDriverProgram::OnTimer(Context& ctx, std::uint64_t cookie) {
+  if (cookie != kOpDoneCookie) {
+    return;
+  }
+  CompleteOp(ctx);
+  StartNextOp(ctx);
+}
+
+void DiskDriverProgram::CompleteOp(Context& ctx) {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  Op op = std::move(queue_.front());
+  queue_.pop_front();
+
+  ByteWriter w;
+  w.U64(op.cookie);
+  if (op.is_write) {
+    Bytes stored = std::move(op.data);
+    stored.resize(kFsBlockSize, 0);
+    sectors_[op.sector] = std::move(stored);
+    w.U8(static_cast<std::uint8_t>(StatusCode::kOk));
+    if (op.reply.has_value()) {
+      (void)ctx.SendOnLink(*op.reply, kDiskWriteReply, w.Take());
+    }
+  } else {
+    auto it = sectors_.find(op.sector);
+    w.U8(static_cast<std::uint8_t>(StatusCode::kOk));
+    // Unwritten sectors read as zeros, like a freshly formatted disk.
+    w.Blob(it != sectors_.end() ? it->second : Bytes(kFsBlockSize, 0));
+    if (op.reply.has_value()) {
+      (void)ctx.SendOnLink(*op.reply, kDiskReadReply, w.Take());
+    }
+  }
+}
+
+Bytes DiskDriverProgram::SaveState() const {
+  ByteWriter w;
+  w.U64(config_.service_time_us);
+  w.U32(static_cast<std::uint32_t>(sectors_.size()));
+  for (const auto& [sector, data] : sectors_) {
+    w.U32(sector);
+    w.Blob(data);
+  }
+  w.U32(static_cast<std::uint32_t>(queue_.size()));
+  for (const Op& op : queue_) {
+    w.U8(op.is_write ? 1 : 0);
+    w.U64(op.cookie);
+    w.U32(op.sector);
+    w.Blob(op.data);
+    w.U8(op.reply.has_value() ? 1 : 0);
+    if (op.reply.has_value()) {
+      op.reply->Serialize(w);
+    }
+  }
+  w.U8(busy_ ? 1 : 0);
+  return w.Take();
+}
+
+void DiskDriverProgram::RestoreState(const Bytes& state) {
+  ByteReader r(state);
+  config_.service_time_us = r.U64();
+  sectors_.clear();
+  const std::uint32_t n_sectors = r.U32();
+  for (std::uint32_t i = 0; i < n_sectors && r.ok(); ++i) {
+    const std::uint32_t sector = r.U32();
+    sectors_[sector] = r.Blob();
+  }
+  queue_.clear();
+  const std::uint32_t n_ops = r.U32();
+  for (std::uint32_t i = 0; i < n_ops && r.ok(); ++i) {
+    Op op;
+    op.is_write = r.U8() != 0;
+    op.cookie = r.U64();
+    op.sector = r.U32();
+    op.data = r.Blob();
+    if (r.U8() != 0) {
+      op.reply = Link::Deserialize(r);
+    }
+    queue_.push_back(std::move(op));
+  }
+  // The in-service timer travels in the swappable state, so `busy_` resumes
+  // seamlessly wherever the driver lands.
+  busy_ = r.U8() != 0;
+}
+
+void RegisterDiskDriverProgram() {
+  static const bool registered = [] {
+    ProgramRegistry::Instance().Register(
+        "fs.disk", [] { return std::make_unique<DiskDriverProgram>(); });
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace demos

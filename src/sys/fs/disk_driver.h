@@ -1,0 +1,62 @@
+// File system process 4/4: the disk driver.
+//
+// Simulates a sector-addressed disk with a fixed per-operation service time
+// (seek + rotation + transfer) and a single-spindle request queue: one
+// operation is in service at a time; the rest wait.  The paper notes that
+// servers "are often tied to unmovable resources" (Sec. 5) -- the disk driver
+// is exactly such a process, which is why the migration scenario of Sec. 2.3
+// moves the request interpreter, not this.
+
+#ifndef DEMOS_SYS_FS_DISK_DRIVER_H_
+#define DEMOS_SYS_FS_DISK_DRIVER_H_
+
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "src/proc/program.h"
+#include "src/sys/protocol.h"
+
+namespace demos {
+
+struct DiskDriverConfig {
+  SimDuration service_time_us = 3000;  // per sector operation
+};
+
+DiskDriverConfig& DefaultDiskDriverConfig();
+
+class DiskDriverProgram final : public Program {
+ public:
+  DiskDriverProgram();
+
+  void OnMessage(Context& ctx, const Message& msg) override;
+  void OnTimer(Context& ctx, std::uint64_t cookie) override;
+
+  Bytes SaveState() const override;
+  void RestoreState(const Bytes& state) override;
+
+  std::size_t sector_count() const { return sectors_.size(); }
+
+ private:
+  struct Op {
+    bool is_write = false;
+    std::uint64_t cookie = 0;
+    std::uint32_t sector = 0;
+    Bytes data;                 // write payload
+    std::optional<Link> reply;
+  };
+
+  void StartNextOp(Context& ctx);
+  void CompleteOp(Context& ctx);
+
+  DiskDriverConfig config_;
+  std::map<std::uint32_t, Bytes> sectors_;
+  std::deque<Op> queue_;
+  bool busy_ = false;
+};
+
+void RegisterDiskDriverProgram();
+
+}  // namespace demos
+
+#endif  // DEMOS_SYS_FS_DISK_DRIVER_H_

@@ -1,0 +1,87 @@
+// A reference file-system client workload.
+//
+// Drives open -> (read|write)* -> done against the request interpreter,
+// moving file bytes through data-area links exactly as Sec. 2.2 describes
+// ("This is the mechanism for large data transfers, such as file accesses").
+// The client is itself fully migratable mid-I/O: its protocol state lives in
+// SaveState()/RestoreState() and its I/O buffer in the data segment.
+//
+// Configuration and results live at fixed data-segment offsets so harnesses
+// can write the former before start and read the latter after a run:
+//
+//   [0]   u32 magic (0xF5C11E17)        [64]  u64 completed ops
+//   [4]   u32 mode (0 read, 1 write,    [72]  u64 errors
+//          2 alternate)                 [80]  u64 total latency (us)
+//   [8]   u32 io size (bytes)           [88]  u64 done flag
+//   [12]  u32 op count                  [96]  u64 max latency (us)
+//   [16]  u64 think time (us)
+//   [24]  u32 file span (bytes)
+//   [28]  str file name
+//   [256] I/O buffer (io size bytes)
+
+#ifndef DEMOS_SYS_FS_FS_CLIENT_H_
+#define DEMOS_SYS_FS_FS_CLIENT_H_
+
+#include <optional>
+#include <string>
+
+#include "src/proc/program.h"
+#include "src/sys/protocol.h"
+
+namespace demos {
+
+inline constexpr std::uint32_t kFsClientMagic = 0xF5C11E17;
+inline constexpr std::uint32_t kFsClientBufferOffset = 256;
+
+// Harness-side helpers for the layout above.
+struct FsClientConfig {
+  std::uint32_t mode = 2;  // 0 read, 1 write, 2 alternate (write then read)
+  std::uint32_t io_size = 1024;
+  std::uint32_t op_count = 16;
+  std::uint64_t think_us = 1000;
+  std::uint32_t file_span = 64 * 1024;
+  std::string file_name = "data";
+
+  Bytes Encode() const;
+};
+
+struct FsClientResults {
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t total_latency_us = 0;
+  std::uint64_t done = 0;
+  std::uint64_t max_latency_us = 0;
+
+  static FsClientResults Decode(const Bytes& results_window);
+};
+
+class FileClientProgram final : public Program {
+ public:
+  void OnStart(Context& ctx) override;
+  void OnMessage(Context& ctx, const Message& msg) override;
+  void OnTimer(Context& ctx, std::uint64_t cookie) override;
+
+  Bytes SaveState() const override;
+  void RestoreState(const Bytes& state) override;
+
+ private:
+  void LookupFs(Context& ctx);
+  void OpenFile(Context& ctx);
+  void NextOp(Context& ctx);
+  void FinishOne(Context& ctx, bool error, std::uint64_t latency_us);
+  void Accumulate(Context& ctx, std::uint32_t offset, std::uint64_t delta, bool is_max = false);
+
+  // Held in the link table so lazy link update reaches it when the file
+  // system migrates (Sec. 5).
+  LinkId fs_slot_ = kNoLink;
+  std::uint32_t handle_ = 0;
+  std::uint32_t op_index_ = 0;
+  SimTime op_started_at_ = 0;
+  bool opened_ = false;
+};
+
+void RegisterFileClientProgram();
+
+}  // namespace demos
+
+#endif  // DEMOS_SYS_FS_FS_CLIENT_H_

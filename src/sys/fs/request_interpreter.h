@@ -1,0 +1,112 @@
+// File system process 1/4: the request interpreter.
+//
+// The public face of the DEMOS file system (Sec. 2.3): clients send
+// open/read/write/close requests over a link obtained from the switchboard;
+// file bytes move directly between the client's data area and the file system
+// via the move-data facility (Sec. 2.2), never inside request messages.
+//
+// Every in-flight operation is a small explicit state machine whose state --
+// including links to the client and cookies for sub-requests to the
+// directory service and buffer manager -- is serializable.  That is what
+// makes the paper's flagship demonstration work: "It migrates a file system
+// process while several user processes are performing I/O" (Sec. 2.3).
+
+#ifndef DEMOS_SYS_FS_REQUEST_INTERPRETER_H_
+#define DEMOS_SYS_FS_REQUEST_INTERPRETER_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/proc/program.h"
+#include "src/sys/protocol.h"
+
+namespace demos {
+
+class RequestInterpreterProgram final : public Program {
+ public:
+  void OnMessage(Context& ctx, const Message& msg) override;
+  void OnDataMoveDone(Context& ctx, const DataMoveResult& result) override;
+
+  Bytes SaveState() const override;
+  void RestoreState(const Bytes& state) override;
+
+  std::size_t open_handles() const { return handles_.size(); }
+  std::size_t inflight_ops() const { return ops_.size(); }
+  std::int64_t completed_ops() const { return completed_ops_; }
+
+ private:
+  enum class OpKind : std::uint8_t { kOpen, kRead, kWrite, kClose };
+  enum class Phase : std::uint8_t {
+    kLookup,       // waiting for kDirReply (open)
+    kMoveIn,       // waiting for client data (write)
+    kGetBlocks,    // waiting for kDirBlocksReply
+    kSectorIo,     // waiting for kBufReadReply / kBufWriteReply fan-in
+    kMergeWrite,   // write: partial-sector reads done, issuing writes
+    kMoveOut,      // read: pushing data into the client's area
+    kSetSize,      // write: waiting for kDirSizeReply
+  };
+
+  struct Op {
+    OpKind kind = OpKind::kOpen;
+    Phase phase = Phase::kLookup;
+    std::uint64_t id = 0;
+    std::optional<Link> client_reply;
+    std::optional<Link> client_data;
+    std::string name;           // open
+    std::uint32_t handle = 0;
+    std::uint32_t file_id = 0;
+    std::uint32_t offset = 0;
+    std::uint32_t length = 0;
+    Bytes data;                 // assembled file bytes
+    std::vector<std::uint32_t> sectors;
+    std::uint32_t outstanding = 0;  // sub-requests awaited in this phase
+    StatusCode status = StatusCode::kOk;
+    bool create = false;
+  };
+
+  struct SubRef {
+    std::uint64_t op_id = 0;
+    std::uint32_t index = 0;  // sector index within the op
+  };
+
+  struct HandleInfo {
+    std::uint32_t file_id = 0;
+    std::uint32_t size = 0;
+  };
+
+  void HandleOpen(Context& ctx, const Message& msg);
+  void HandleReadWrite(Context& ctx, const Message& msg, bool is_write);
+  void HandleClose(Context& ctx, const Message& msg);
+  void HandleDirReply(Context& ctx, const Message& msg);
+  void HandleBlocksReply(Context& ctx, const Message& msg);
+  void HandleBufReadReply(Context& ctx, const Message& msg);
+  void HandleBufWriteReply(Context& ctx, const Message& msg);
+  void HandleSizeReply(Context& ctx, const Message& msg);
+
+  void StartSectorReads(Context& ctx, Op& op, bool partial_only);
+  void IssueSectorWrites(Context& ctx, Op& op);
+  void FinishRead(Context& ctx, Op& op);
+  void FinishOp(Context& ctx, Op& op, MsgType reply_type, Bytes payload);
+  std::uint64_t NewSub(std::uint64_t op_id, std::uint32_t index);
+  Status SendDir(Context& ctx, MsgType type, Bytes payload);
+  Status SendBuf(Context& ctx, MsgType type, Bytes payload);
+
+  std::map<std::uint32_t, HandleInfo> handles_;
+  std::map<std::uint64_t, Op> ops_;
+  std::map<std::uint64_t, SubRef> subs_;
+  // Links to the other FS processes live in the link table (lazy-updatable).
+  LinkId directory_slot_ = kNoLink;
+  LinkId buffers_slot_ = kNoLink;
+  std::uint32_t next_handle_ = 1;
+  std::uint64_t next_op_ = 1;
+  std::uint64_t next_sub_ = 1;
+  std::int64_t completed_ops_ = 0;
+};
+
+void RegisterRequestInterpreterProgram();
+
+}  // namespace demos
+
+#endif  // DEMOS_SYS_FS_REQUEST_INTERPRETER_H_

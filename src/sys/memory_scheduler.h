@@ -1,0 +1,38 @@
+// The memory scheduler (Sec. 2.3): tracks real-memory usage per machine from
+// the load reports the process manager forwards, and answers placement
+// queries ("where does this much memory fit?").
+
+#ifndef DEMOS_SYS_MEMORY_SCHEDULER_H_
+#define DEMOS_SYS_MEMORY_SCHEDULER_H_
+
+#include <map>
+
+#include "src/proc/program.h"
+#include "src/sys/protocol.h"
+
+namespace demos {
+
+// Extra query: find a machine with at least {bytes} free.
+inline constexpr MsgType kMsFindSpace = static_cast<MsgType>(1123);       // {bytes u64}; reply
+inline constexpr MsgType kMsFindSpaceReply = static_cast<MsgType>(1124);  // {status, machine}
+
+class MemorySchedulerProgram final : public Program {
+ public:
+  void OnMessage(Context& ctx, const Message& msg) override;
+
+  Bytes SaveState() const override;
+  void RestoreState(const Bytes& state) override;
+
+ private:
+  struct MachineMemory {
+    std::uint64_t used = 0;
+    std::uint64_t limit = 0;
+  };
+  std::map<MachineId, MachineMemory> memory_;
+};
+
+void RegisterMemorySchedulerProgram();
+
+}  // namespace demos
+
+#endif  // DEMOS_SYS_MEMORY_SCHEDULER_H_

@@ -1,0 +1,98 @@
+// The process manager (Sec. 2.3, 3.1).
+//
+// "Although the kernel implements the mechanisms of migrating a process, the
+// process manager makes the decision of when and to where to migrate a
+// process."  This server process creates processes on chosen machines (via
+// kCreateProcess kernel messages), collects kernel load reports, forwards
+// them to the memory scheduler, runs a pluggable migration decision rule on a
+// timer, executes explicit migration and evacuation requests, and answers
+// them with kMigrateDone-driven replies.
+
+#ifndef DEMOS_SYS_PROCESS_MANAGER_H_
+#define DEMOS_SYS_PROCESS_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/policy/policy.h"
+#include "src/proc/program.h"
+#include "src/sys/protocol.h"
+
+namespace demos {
+
+// Extra process-manager message types.
+inline constexpr MsgType kPmAttachMs = static_cast<MsgType>(1118);  // carries MS link
+inline constexpr MsgType kPmPin = static_cast<MsgType>(1119);       // {pid}: never auto-migrate
+
+inline constexpr std::uint64_t kPmPolicyTickCookie = 0xB07;
+
+struct ProcessManagerConfig {
+  std::string policy = "null";
+  SimDuration policy_interval_us = 100'000;
+};
+
+// Global knob read when a process manager is instantiated (programs are
+// created by name from the registry, so configuration cannot be passed to the
+// constructor).  Set it before spawning; the policy *name* then travels in
+// the program state across migrations.
+ProcessManagerConfig& DefaultProcessManagerConfig();
+
+class ProcessManagerProgram final : public Program {
+ public:
+  ProcessManagerProgram();
+
+  void OnStart(Context& ctx) override;
+  void OnMessage(Context& ctx, const Message& msg) override;
+  void OnTimer(Context& ctx, std::uint64_t cookie) override;
+
+  Bytes SaveState() const override;
+  void RestoreState(const Bytes& state) override;
+
+  // Introspection for tests.
+  std::size_t inventory_size() const { return inventory_.size(); }
+  std::int64_t migrations_started() const { return migrations_started_; }
+  const LoadTable& loads() const { return loads_; }
+
+ private:
+  struct ManagedProcess {
+    std::string program;
+    MachineId machine = kNoMachine;
+  };
+
+  struct PendingCreate {
+    std::uint64_t requester_cookie = 0;
+    std::optional<Link> reply;
+    std::string program;
+  };
+
+  void HandleCreate(Context& ctx, const Message& msg);
+  void HandleCreateReply(Context& ctx, const Message& msg);
+  void HandleMigrate(Context& ctx, const Message& msg);
+  void HandleMigrateDone(Context& ctx, const Message& msg);
+  void HandleEvacuate(Context& ctx, const Message& msg);
+  void RunPolicy(Context& ctx);
+  void StartMigrationOf(Context& ctx, const ProcessId& pid, MachineId hint, MachineId dest);
+  MachineId ChooseMachine(MachineId requested) const;
+
+  ProcessManagerConfig config_;
+  std::unique_ptr<MigrationPolicy> policy_;
+  LoadTable loads_;
+  std::map<ProcessId, ManagedProcess> inventory_;
+  std::set<ProcessId> pinned_;
+  std::map<std::uint64_t, PendingCreate> pending_creates_;
+  std::map<ProcessId, std::vector<Link>> pending_migrations_;
+  LinkId memory_scheduler_slot_ = kNoLink;  // table-held: lazy-updatable
+  std::uint64_t next_cookie_ = 1;
+  std::int64_t migrations_started_ = 0;
+  std::uint16_t round_robin_ = 0;
+};
+
+void RegisterProcessManagerProgram();
+
+}  // namespace demos
+
+#endif  // DEMOS_SYS_PROCESS_MANAGER_H_

@@ -1,0 +1,92 @@
+// Message protocol of the DEMOS/MP system processes (Sec. 2.3, Fig. 2-3).
+//
+// System services are ordinary processes reached through links; this header
+// defines their request/reply message types and payload codecs.  Requests
+// carry a reply link as carried_links[0] (the reply-link convention of
+// Sec. 2.4); file I/O additionally carries a data-area link for bulk
+// transfer via the move-data facility.
+
+#ifndef DEMOS_SYS_PROTOCOL_H_
+#define DEMOS_SYS_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/bytes.h"
+#include "src/base/ids.h"
+#include "src/kernel/message.h"
+
+namespace demos {
+
+// Link-table slot every process is born with (see Kernel::SetSwitchboard).
+inline constexpr LinkId kSwitchboardSlot = 0;
+
+// ---- Switchboard: distributes links by name. ----
+inline constexpr MsgType kSbRegister = static_cast<MsgType>(1100);     // {name}; carries link
+inline constexpr MsgType kSbLookup = static_cast<MsgType>(1101);       // {name}; carries reply
+inline constexpr MsgType kSbLookupReply = static_cast<MsgType>(1102);  // {status, name}; link
+inline constexpr MsgType kSbList = static_cast<MsgType>(1103);         // {}; carries reply
+inline constexpr MsgType kSbListReply = static_cast<MsgType>(1104);    // {count, names...}
+
+// ---- Process manager. ----
+inline constexpr MsgType kPmCreate = static_cast<MsgType>(1110);  // {program, machine, sizes}
+inline constexpr MsgType kPmCreateReply = static_cast<MsgType>(1111);  // {status, addr}; link
+inline constexpr MsgType kPmMigrate = static_cast<MsgType>(1112);      // {pid, machine, where}
+inline constexpr MsgType kPmMigrateReply = static_cast<MsgType>(1113);  // {status, final}
+inline constexpr MsgType kPmEvacuate = static_cast<MsgType>(1114);      // {machine}
+inline constexpr MsgType kPmPolicyTick = static_cast<MsgType>(1115);    // internal timer
+inline constexpr MsgType kPmStats = static_cast<MsgType>(1116);         // {}; carries reply
+inline constexpr MsgType kPmStatsReply = static_cast<MsgType>(1117);
+
+// ---- Memory scheduler. ----
+inline constexpr MsgType kMsQuery = static_cast<MsgType>(1120);       // {machine}; reply link
+inline constexpr MsgType kMsQueryReply = static_cast<MsgType>(1121);  // {status, used, limit}
+inline constexpr MsgType kMsReport = static_cast<MsgType>(1122);      // forwarded load report
+
+// ---- File system: public interface (request interpreter). ----
+inline constexpr MsgType kFsOpen = static_cast<MsgType>(1130);    // {name, create u8}; reply
+inline constexpr MsgType kFsOpenReply = static_cast<MsgType>(1131);   // {status, handle, size}
+inline constexpr MsgType kFsRead = static_cast<MsgType>(1132);    // {handle, off, len}; reply+data
+inline constexpr MsgType kFsReadReply = static_cast<MsgType>(1133);   // {status, len}
+inline constexpr MsgType kFsWrite = static_cast<MsgType>(1134);   // {handle, off, len}; reply+data
+inline constexpr MsgType kFsWriteReply = static_cast<MsgType>(1135);  // {status, len}
+inline constexpr MsgType kFsClose = static_cast<MsgType>(1136);       // {handle}; reply
+inline constexpr MsgType kFsCloseReply = static_cast<MsgType>(1137);  // {status}
+
+// ---- File system: internal processes.  Every request leads with a u64
+// correlation cookie that the reply echoes. ----
+inline constexpr MsgType kDirLookup = static_cast<MsgType>(1140);  // {ck, name, create}; reply
+inline constexpr MsgType kDirReply = static_cast<MsgType>(1141);   // {ck, status, fileid, size}
+inline constexpr MsgType kDirSetSize = static_cast<MsgType>(1142);    // {ck, fileid, size}; reply
+inline constexpr MsgType kDirSizeReply = static_cast<MsgType>(1143);  // {ck, status}
+inline constexpr MsgType kDirGetBlocks = static_cast<MsgType>(1144);  // {ck, fid, first, n, alloc}
+inline constexpr MsgType kBufRead = static_cast<MsgType>(1145);       // {ck, sector}; reply
+inline constexpr MsgType kBufReadReply = static_cast<MsgType>(1146);  // {ck, status, data}
+inline constexpr MsgType kBufWrite = static_cast<MsgType>(1147);      // {ck, sector, data}; reply
+inline constexpr MsgType kBufWriteReply = static_cast<MsgType>(1148);  // {ck, status}
+inline constexpr MsgType kDirBlocksReply = static_cast<MsgType>(1149);  // {ck, status, sectors}
+inline constexpr MsgType kDiskRead = static_cast<MsgType>(1150);        // {ck, sector}; reply
+inline constexpr MsgType kDiskReadReply = static_cast<MsgType>(1151);   // {ck, status, data}
+inline constexpr MsgType kDiskWrite = static_cast<MsgType>(1152);   // {ck, sector, data}; reply
+inline constexpr MsgType kDiskWriteReply = static_cast<MsgType>(1153);  // {ck, status}
+inline constexpr MsgType kFsAttach = static_cast<MsgType>(1154);  // {role str}; carries link
+
+// ---- Command interpreter / misc. ----
+inline constexpr MsgType kCiRun = static_cast<MsgType>(1160);  // {script}; runs commands
+inline constexpr MsgType kCiDone = static_cast<MsgType>(1161);
+
+// Well-known switchboard names.
+inline constexpr const char* kNameProcessManager = "process_manager";
+inline constexpr const char* kNameMemoryScheduler = "memory_scheduler";
+inline constexpr const char* kNameFileSystem = "fs";
+inline constexpr const char* kNameDirectory = "fs.directory";
+inline constexpr const char* kNameBufferManager = "fs.buffers";
+inline constexpr const char* kNameDiskDriver = "fs.disk";
+
+// File-system geometry.
+inline constexpr std::uint32_t kFsBlockSize = 512;
+inline constexpr std::uint32_t kFsMaxBlocksPerFile = 4096;
+
+}  // namespace demos
+
+#endif  // DEMOS_SYS_PROTOCOL_H_

@@ -1,0 +1,43 @@
+// The switchboard: "a server that distributes links by name.  It is used by
+// the system and user processes to connect arbitrary processes together."
+// (Sec. 2.3.)
+//
+// Registration stores the carried link under a name; lookup duplicates the
+// stored link into the reply.  Because links are context-independent, a link
+// registered before its target migrates keeps working afterwards (it is
+// lazily updated like any other link -- the switchboard's own table is
+// patched by kLinkUpdate messages when its forwarded lookups bounce through
+// forwarding addresses).
+
+#ifndef DEMOS_SYS_SWITCHBOARD_H_
+#define DEMOS_SYS_SWITCHBOARD_H_
+
+#include <map>
+#include <string>
+
+#include "src/proc/program.h"
+#include "src/sys/protocol.h"
+
+namespace demos {
+
+class SwitchboardProgram final : public Program {
+ public:
+  void OnMessage(Context& ctx, const Message& msg) override;
+
+  Bytes SaveState() const override;
+  void RestoreState(const Bytes& state) override;
+
+  // Test/bench introspection.
+  std::size_t entry_count() const { return directory_.size(); }
+
+ private:
+  // The switchboard's copies live in its link table; this map names slots.
+  std::map<std::string, LinkId> directory_;
+};
+
+// Registers the program with the global registry under "switchboard".
+void RegisterSwitchboardProgram();
+
+}  // namespace demos
+
+#endif  // DEMOS_SYS_SWITCHBOARD_H_

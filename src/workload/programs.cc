@@ -1,0 +1,225 @@
+#include "src/workload/programs.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace demos {
+namespace {
+constexpr std::uint64_t kTickCookie = 0x71CC;
+constexpr std::uint64_t kSendCookie = 0x53D;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CpuBoundProgram.
+// ---------------------------------------------------------------------------
+
+void CpuBoundProgram::OnStart(Context& ctx) {
+  ByteReader r(ctx.ReadData(0, 4));
+  if (r.U32() == kCpuBoundMagic) {
+    ctx.SetTimer(1, kTickCookie);
+  }
+}
+
+void CpuBoundProgram::OnTimer(Context& ctx, std::uint64_t cookie) {
+  if (cookie != kTickCookie) {
+    return;
+  }
+  ByteReader r(ctx.ReadData(0, 20));
+  if (r.U32() != kCpuBoundMagic) {
+    return;
+  }
+  const std::uint32_t quantum = r.U32();
+  const std::uint32_t period = r.U32();
+  const std::uint64_t total = r.U64();
+
+  ctx.ChargeCpu(quantum);
+  progress_us_ += quantum;
+  ByteWriter w;
+  w.U64(progress_us_);
+  (void)ctx.WriteData(32, w.bytes());
+
+  if (progress_us_ >= total) {
+    ByteWriter done;
+    done.U64(1);
+    done.U64(ctx.now());
+    (void)ctx.WriteData(40, done.bytes());
+    return;
+  }
+  ctx.SetTimer(std::max<std::uint32_t>(1, period), kTickCookie);
+}
+
+Bytes CpuBoundProgram::SaveState() const {
+  ByteWriter w;
+  w.U64(progress_us_);
+  return w.Take();
+}
+
+void CpuBoundProgram::RestoreState(const Bytes& state) {
+  ByteReader r(state);
+  progress_us_ = r.U64();
+}
+
+// ---------------------------------------------------------------------------
+// RpcServerProgram.
+// ---------------------------------------------------------------------------
+
+void RpcServerProgram::OnMessage(Context& ctx, const Message& msg) {
+  if (msg.type == kAttachTarget && !msg.payload.empty()) {
+    cost_us_ = SimDuration{msg.payload[0]} * 10;
+    return;
+  }
+  if (msg.type != kRpcRequest) {
+    return;
+  }
+  ctx.ChargeCpu(cost_us_);
+  (void)ctx.Reply(msg, kRpcResponse, msg.payload);
+}
+
+Bytes RpcServerProgram::SaveState() const {
+  ByteWriter w;
+  w.U64(cost_us_);
+  return w.Take();
+}
+
+void RpcServerProgram::RestoreState(const Bytes& state) {
+  ByteReader r(state);
+  cost_us_ = r.U64();
+}
+
+// ---------------------------------------------------------------------------
+// RpcClientProgram.
+// ---------------------------------------------------------------------------
+
+void RpcClientProgram::OnStart(Context& ctx) {
+  // Wait for the target link (kAttachTarget) before sending.
+}
+
+void RpcClientProgram::OnMessage(Context& ctx, const Message& msg) {
+  if (msg.type == kAttachTarget) {
+    if (!msg.carried_links.empty()) {
+      if (target_slot_ != kNoLink) {
+        (void)ctx.RemoveLink(target_slot_);
+      }
+      target_slot_ = ctx.AddLink(msg.carried_links[0]);
+      SendNext(ctx);
+    }
+    return;
+  }
+  if (msg.type != kRpcResponse) {
+    return;
+  }
+  samples_.push_back(RpcSample{last_sent_at_, ctx.now() - last_sent_at_});
+  ByteWriter w;
+  w.U64(samples_.size());
+  (void)ctx.WriteData(32, w.bytes());
+
+  ByteReader r(ctx.ReadData(0, 16));
+  if (r.U32() != kRpcClientMagic) {
+    return;
+  }
+  const std::uint32_t count = r.U32();
+  const std::uint32_t period = r.U32();
+  if (sent_ >= count) {
+    return;  // series complete
+  }
+  ctx.SetTimer(std::max<std::uint32_t>(1, period), kSendCookie);
+}
+
+void RpcClientProgram::OnTimer(Context& ctx, std::uint64_t cookie) {
+  if (cookie == kSendCookie) {
+    SendNext(ctx);
+  }
+}
+
+void RpcClientProgram::SendNext(Context& ctx) {
+  if (target_slot_ == kNoLink) {
+    return;
+  }
+  ByteReader r(ctx.ReadData(0, 16));
+  if (r.U32() != kRpcClientMagic) {
+    return;
+  }
+  const std::uint32_t count = r.U32();
+  (void)r.U32();
+  const std::uint32_t payload_bytes = r.U32();
+  if (sent_ >= count) {
+    return;
+  }
+  ++sent_;
+  last_sent_at_ = ctx.now();
+  (void)ctx.Send(target_slot_, kRpcRequest, Bytes(payload_bytes, 0xA5),
+                 {ctx.MakeLink(kLinkReply)});
+}
+
+Bytes RpcClientProgram::SaveState() const {
+  ByteWriter w;
+  w.U32(target_slot_);
+  w.U32(sent_);
+  w.U64(last_sent_at_);
+  w.U32(static_cast<std::uint32_t>(samples_.size()));
+  for (const RpcSample& sample : samples_) {
+    w.U64(sample.sent_at);
+    w.U64(sample.latency_us);
+  }
+  return w.Take();
+}
+
+void RpcClientProgram::RestoreState(const Bytes& state) {
+  ByteReader r(state);
+  target_slot_ = r.U32();
+  sent_ = r.U32();
+  last_sent_at_ = r.U64();
+  samples_.clear();
+  const std::uint32_t n = r.U32();
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    RpcSample sample;
+    sample.sent_at = r.U64();
+    sample.latency_us = r.U64();
+    samples_.push_back(sample);
+  }
+}
+
+void RegisterWorkloadPrograms() {
+  static const bool registered = [] {
+    auto& registry = ProgramRegistry::Instance();
+    registry.Register("cpu_bound", [] { return std::make_unique<CpuBoundProgram>(); });
+    registry.Register("rpc_server", [] { return std::make_unique<RpcServerProgram>(); });
+    registry.Register("rpc_client", [] { return std::make_unique<RpcClientProgram>(); });
+    // Generic utility programs used by benches and examples.  Tests register
+    // richer variants under the same names first; don't clobber them.
+    if (!registry.Has("idle")) {
+      registry.Register("idle", [] {
+        class Idle : public Program {};
+        return std::make_unique<Idle>();
+      });
+    }
+    if (!registry.Has("sink")) {
+      registry.Register("sink", [] {
+        class Sink : public Program {};  // absorbs everything silently
+        return std::make_unique<Sink>();
+      });
+    }
+    if (registry.Has("counter")) {
+      return true;
+    }
+    registry.Register("counter", [] {
+      // Counts kIncrement (1003) messages at data[0..8).
+      class Counter : public Program {
+        void OnMessage(Context& ctx, const Message& msg) override {
+          if (msg.type != static_cast<MsgType>(1003)) {
+            return;
+          }
+          ByteReader r(ctx.ReadData(0, 8));
+          ByteWriter w;
+          w.U64(r.U64() + 1);
+          (void)ctx.WriteData(0, w.bytes());
+        }
+      };
+      return std::make_unique<Counter>();
+    });
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace demos

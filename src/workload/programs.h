@@ -1,0 +1,122 @@
+// Synthetic workload programs.
+//
+// The paper had no authentic workload either ("In the absence of an authentic
+// workload for our test cases, the decision to move a particular process ...
+// was arbitrary", Sec. 3.1).  These programs generate the load shapes its
+// motivation section discusses: CPU-bound computation (load balancing, E8)
+// and request/response communication (affinity and perturbation, E8/E12).
+
+#ifndef DEMOS_WORKLOAD_PROGRAMS_H_
+#define DEMOS_WORKLOAD_PROGRAMS_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/proc/program.h"
+#include "src/sys/protocol.h"
+
+namespace demos {
+
+inline constexpr MsgType kRpcRequest = static_cast<MsgType>(1200);
+inline constexpr MsgType kRpcResponse = static_cast<MsgType>(1201);
+inline constexpr MsgType kAttachTarget = static_cast<MsgType>(1202);  // carries a link
+
+// ---- CPU-bound worker. ----
+// Config at data[0]: magic u32, quantum_us u32, period_us u32, total_us u64.
+// Results: data[32] progress_us u64, data[40] done u64, data[48] finished_at.
+inline constexpr std::uint32_t kCpuBoundMagic = 0xC0DEC7;
+
+struct CpuBoundConfig {
+  std::uint32_t quantum_us = 2000;  // CPU burned per tick
+  std::uint32_t period_us = 2500;   // tick period
+  std::uint64_t total_us = 200'000;
+
+  Bytes Encode() const {
+    ByteWriter w;
+    w.U32(kCpuBoundMagic);
+    w.U32(quantum_us);
+    w.U32(period_us);
+    w.U64(total_us);
+    return w.Take();
+  }
+};
+
+class CpuBoundProgram final : public Program {
+ public:
+  void OnStart(Context& ctx) override;
+  void OnTimer(Context& ctx, std::uint64_t cookie) override;
+
+  Bytes SaveState() const override;
+  void RestoreState(const Bytes& state) override;
+
+ private:
+  std::uint64_t progress_us_ = 0;
+};
+
+// ---- RPC server: echoes kRpcRequest, charging a configurable CPU cost
+// (payload byte 0 of the attach message sets cost/10us; default 50us). ----
+class RpcServerProgram final : public Program {
+ public:
+  void OnMessage(Context& ctx, const Message& msg) override;
+
+  Bytes SaveState() const override;
+  void RestoreState(const Bytes& state) override;
+
+ private:
+  SimDuration cost_us_ = 50;
+};
+
+// ---- RPC client: fixed-rate requests to an attached target; records a
+// (send time, latency) series for the E12 perturbation timeline. ----
+// Config at data[0]: magic u32, count u32, period_us u32, payload_bytes u32.
+// Results: data[32] completed u64.
+inline constexpr std::uint32_t kRpcClientMagic = 0xC11E27;
+
+struct RpcClientConfig {
+  std::uint32_t count = 100;
+  std::uint32_t period_us = 2000;
+  std::uint32_t payload_bytes = 64;
+
+  Bytes Encode() const {
+    ByteWriter w;
+    w.U32(kRpcClientMagic);
+    w.U32(count);
+    w.U32(period_us);
+    w.U32(payload_bytes);
+    return w.Take();
+  }
+};
+
+struct RpcSample {
+  SimTime sent_at = 0;
+  SimDuration latency_us = 0;
+};
+
+class RpcClientProgram final : public Program {
+ public:
+  void OnStart(Context& ctx) override;
+  void OnMessage(Context& ctx, const Message& msg) override;
+  void OnTimer(Context& ctx, std::uint64_t cookie) override;
+
+  Bytes SaveState() const override;
+  void RestoreState(const Bytes& state) override;
+
+  const std::vector<RpcSample>& samples() const { return samples_; }
+
+ private:
+  void SendNext(Context& ctx);
+
+  // The server link lives in the process's link table (slot id here), so the
+  // lazy link update of Sec. 5 patches it after the server migrates.
+  LinkId target_slot_ = kNoLink;
+  std::uint32_t sent_ = 0;
+  SimTime last_sent_at_ = 0;
+  std::vector<RpcSample> samples_;
+};
+
+// Registers "cpu_bound", "rpc_server", "rpc_client".
+void RegisterWorkloadPrograms();
+
+}  // namespace demos
+
+#endif  // DEMOS_WORKLOAD_PROGRAMS_H_

@@ -1,0 +1,232 @@
+// Unit tests for src/base: ids, status, bytes, rng, stats.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/base/bytes.h"
+#include "src/base/ids.h"
+#include "src/base/rng.h"
+#include "src/base/stats.h"
+#include "src/base/status.h"
+
+namespace demos {
+namespace {
+
+TEST(IdsTest, ProcessIdEqualityAndOrdering) {
+  ProcessId a{1, 10};
+  ProcessId b{1, 10};
+  ProcessId c{1, 11};
+  ProcessId d{2, 10};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+  EXPECT_LT(a, d);
+}
+
+TEST(IdsTest, InvalidProcessId) {
+  ProcessId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_TRUE((ProcessId{3, 7}).valid());
+  EXPECT_EQ(kNoProcess, ProcessId{});
+}
+
+TEST(IdsTest, AddressToString) {
+  ProcessAddress addr{5, {2, 42}};
+  EXPECT_EQ(addr.ToString(), "p2.42@m5");
+}
+
+TEST(IdsTest, HashDistinguishesIds) {
+  ProcessIdHash hash;
+  EXPECT_NE(hash(ProcessId{1, 2}), hash(ProcessId{2, 1}));
+}
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = NotFoundError("nope");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: nope");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code : {StatusCode::kOk, StatusCode::kNotFound, StatusCode::kInvalidArgument,
+                          StatusCode::kPermissionDenied, StatusCode::kUnavailable,
+                          StatusCode::kRefused, StatusCode::kExhausted,
+                          StatusCode::kNotDeliverable, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(InvalidArgumentError("bad"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BytesTest, RoundTripScalars) {
+  ByteWriter w;
+  w.U8(0xAB);
+  w.U16(0xBEEF);
+  w.U32(0xDEADBEEF);
+  w.U64(0x0123456789ABCDEFull);
+  w.I64(-12345);
+  Bytes buf = w.Take();
+  EXPECT_EQ(buf.size(), 1u + 2 + 4 + 8 + 8);
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.U8(), 0xAB);
+  EXPECT_EQ(r.U16(), 0xBEEF);
+  EXPECT_EQ(r.U32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.U64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.I64(), -12345);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, RoundTripBlobAndString) {
+  ByteWriter w;
+  w.Blob({1, 2, 3});
+  w.Str("hello");
+  Bytes buf = w.Take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.Blob(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.Str(), "hello");
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(BytesTest, AddressIsEightBytes) {
+  // Sec. 4: a forwarding address (one process address) uses 8 bytes.
+  ByteWriter w;
+  w.Address(ProcessAddress{3, {1, 99}});
+  EXPECT_EQ(w.size(), 8u);
+  ByteReader r(w.bytes());
+  ProcessAddress a = r.Address();
+  EXPECT_EQ(a.last_known_machine, 3);
+  EXPECT_EQ(a.pid, (ProcessId{1, 99}));
+}
+
+TEST(BytesTest, OverrunIsDetected) {
+  Bytes small{1, 2};
+  ByteReader r(small);
+  (void)r.U32();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BytesTest, OverrunBlobReturnsEmpty) {
+  ByteWriter w;
+  w.U32(1000);  // claims 1000 bytes, provides none
+  ByteReader r(w.bytes());
+  EXPECT_TRUE(r.Blob().empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.Next() == b.Next() ? 1 : 0;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(10), 10u);
+    const std::uint64_t v = rng.Range(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng forked = a.Fork();
+  EXPECT_NE(a.Next(), forked.Next());
+}
+
+TEST(StatsTest, CountersAccumulate) {
+  StatsRegistry stats;
+  stats.Add("x");
+  stats.Add("x", 4);
+  EXPECT_EQ(stats.Get("x"), 5);
+  EXPECT_EQ(stats.Get("missing"), 0);
+}
+
+TEST(StatsTest, DistributionSummary) {
+  StatsRegistry stats;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) {
+    stats.Record("d", v);
+  }
+  const Distribution* d = stats.GetDistribution("d");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->count(), 4u);
+  EXPECT_DOUBLE_EQ(d->Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(d->Min(), 1.0);
+  EXPECT_DOUBLE_EQ(d->Max(), 4.0);
+  EXPECT_DOUBLE_EQ(d->Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(d->Percentile(100), 4.0);
+}
+
+TEST(StatsTest, MergeCombines) {
+  StatsRegistry a;
+  StatsRegistry b;
+  a.Add("n", 2);
+  b.Add("n", 3);
+  b.Record("d", 7.0);
+  a.Merge(b);
+  EXPECT_EQ(a.Get("n"), 5);
+  ASSERT_NE(a.GetDistribution("d"), nullptr);
+  EXPECT_EQ(a.GetDistribution("d")->count(), 1u);
+}
+
+TEST(StatsTest, ResetClears) {
+  StatsRegistry stats;
+  stats.Add("n");
+  stats.Record("d", 1.0);
+  stats.Reset();
+  EXPECT_EQ(stats.Get("n"), 0);
+  EXPECT_EQ(stats.GetDistribution("d"), nullptr);
+}
+
+}  // namespace
+}  // namespace demos

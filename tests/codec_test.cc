@@ -1,0 +1,208 @@
+// Robustness tests for every wire codec: round trips, and the guarantee that
+// arbitrary/truncated bytes never crash a decoder (they fail cleanly or
+// produce a value, but never read out of bounds -- the ASan build enforces
+// the memory-safety half of this).
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/kernel/data_mover.h"
+#include "src/kernel/load_report.h"
+#include "src/kernel/message.h"
+#include "src/kernel/process.h"
+
+namespace demos {
+namespace {
+
+TEST(LoadReportCodecTest, RoundTrip) {
+  LoadReport report;
+  report.machine = 3;
+  report.live_processes = 7;
+  report.ready_processes = 2;
+  report.cpu_busy_delta_us = 12345;
+  report.window_us = 50000;
+  report.memory_used = 1 << 20;
+  report.memory_limit = 1 << 26;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    ProcessLoadEntry entry;
+    entry.pid = ProcessId{3, i + 1};
+    entry.cpu_used_us = i * 100;
+    entry.msgs_handled = i * 7;
+    entry.top_partner = static_cast<MachineId>(i % 2);
+    entry.top_partner_msgs = i * 3;
+    report.processes.push_back(entry);
+  }
+
+  bool ok = false;
+  LoadReport back = LoadReport::Decode(report.Encode(), &ok);
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(back.machine, report.machine);
+  EXPECT_EQ(back.live_processes, report.live_processes);
+  EXPECT_EQ(back.cpu_busy_delta_us, report.cpu_busy_delta_us);
+  EXPECT_EQ(back.memory_limit, report.memory_limit);
+  ASSERT_EQ(back.processes.size(), 5u);
+  EXPECT_EQ(back.processes[4].pid, (ProcessId{3, 5}));
+  EXPECT_EQ(back.processes[4].top_partner_msgs, 12u);
+}
+
+TEST(LoadReportCodecTest, TruncationFailsCleanly) {
+  LoadReport report;
+  report.machine = 1;
+  ProcessLoadEntry entry;
+  entry.pid = ProcessId{1, 1};
+  report.processes.push_back(entry);
+  Bytes wire = report.Encode();
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    Bytes truncated(wire.begin(), wire.begin() + static_cast<std::ptrdiff_t>(cut));
+    bool ok = true;
+    (void)LoadReport::Decode(truncated, &ok);
+    EXPECT_FALSE(ok) << "cut at " << cut;
+  }
+}
+
+TEST(DataPacketCodecTest, PullRoundTrip) {
+  DataPacket packet;
+  packet.mode = StreamMode::kPull;
+  packet.streamer = 4;
+  packet.transfer_id = 99;
+  packet.offset = 2048;
+  packet.total = 65536;
+  packet.chunk = Bytes(512, 0xAA);
+  bool ok = false;
+  DataPacket back = DataPacket::Decode(packet.Encode(), &ok);
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(back.mode, StreamMode::kPull);
+  EXPECT_EQ(back.streamer, 4);
+  EXPECT_EQ(back.transfer_id, 99u);
+  EXPECT_EQ(back.offset, 2048u);
+  EXPECT_EQ(back.total, 65536u);
+  EXPECT_EQ(back.chunk, packet.chunk);
+}
+
+TEST(DataPacketCodecTest, PushRoundTripIncludesWriteContext) {
+  DataPacket packet;
+  packet.mode = StreamMode::kPush;
+  packet.streamer = 1;
+  packet.transfer_id = 7;
+  packet.offset = 0;
+  packet.total = 100;
+  packet.area_base = 256;
+  packet.window_offset = 200;
+  packet.window_length = 1000;
+  packet.link_flags = kLinkDataWrite;
+  packet.instigator = ProcessAddress{0, {0, 5}};
+  packet.cookie = 0xC00C1E;
+  packet.chunk = Bytes(100, 0x11);
+  bool ok = false;
+  DataPacket back = DataPacket::Decode(packet.Encode(), &ok);
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(back.area_base, 256u);
+  EXPECT_EQ(back.window_length, 1000u);
+  EXPECT_EQ(back.link_flags, kLinkDataWrite);
+  EXPECT_EQ(back.instigator.pid, (ProcessId{0, 5}));
+  EXPECT_EQ(back.cookie, 0xC00C1Eu);
+}
+
+TEST(DataPacketCodecTest, PullEncodingOmitsPushContext) {
+  DataPacket pull;
+  pull.mode = StreamMode::kPull;
+  pull.chunk = Bytes(8, 0);
+  DataPacket push;
+  push.mode = StreamMode::kPush;
+  push.chunk = Bytes(8, 0);
+  EXPECT_LT(pull.Encode().size(), push.Encode().size());
+}
+
+TEST(DataAckCodecTest, RoundTripWithStatus) {
+  DataAck ack;
+  ack.mode = StreamMode::kPush;
+  ack.transfer_id = 12;
+  ack.offset = 1024;
+  ack.status = StatusCode::kPermissionDenied;
+  bool ok = false;
+  DataAck back = DataAck::Decode(ack.Encode(), &ok);
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(back.mode, StreamMode::kPush);
+  EXPECT_EQ(back.transfer_id, 12u);
+  EXPECT_EQ(back.status, StatusCode::kPermissionDenied);
+}
+
+TEST(ReadAreaRequestCodecTest, RoundTrip) {
+  ReadAreaRequest req;
+  req.transfer_id = 3;
+  req.area_offset = 10;
+  req.length = 500;
+  req.window_offset = 8;
+  req.window_length = 600;
+  req.link_flags = kLinkDataRead;
+  req.reply_machine = 2;
+  req.instigator = ProcessAddress{2, {2, 9}};
+  req.cookie = 77;
+  bool ok = false;
+  ReadAreaRequest back = ReadAreaRequest::Decode(req.Encode(), &ok);
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(back.length, 500u);
+  EXPECT_EQ(back.reply_machine, 2);
+  EXPECT_EQ(back.instigator.pid.local_id, 9u);
+}
+
+// Fuzz-ish: random byte soup through every decoder must not crash, and the
+// `ok` flag must come back usable.
+TEST(CodecFuzzTest, RandomBytesNeverCrashDecoders) {
+  Rng rng(0xF022);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes soup(rng.Below(128));
+    for (auto& b : soup) {
+      b = static_cast<std::uint8_t>(rng.Next());
+    }
+    bool ok = false;
+    (void)Message::Deserialize(soup, &ok);
+    (void)LoadReport::Decode(soup, &ok);
+    (void)DataPacket::Decode(soup, &ok);
+    (void)DataAck::Decode(soup, &ok);
+    (void)ReadAreaRequest::Decode(soup, &ok);
+  }
+  SUCCEED();
+}
+
+TEST(CodecFuzzTest, TruncatedMessagesNeverCrash) {
+  Message m;
+  m.sender = ProcessAddress{0, {0, 1}};
+  m.receiver = ProcessAddress{1, {1, 2}};
+  m.type = MsgType::kUserBase;
+  m.payload = Bytes(64, 0x3C);
+  Link l;
+  l.address = m.sender;
+  m.carried_links = {l, l, l};
+  Bytes wire = m.Serialize();
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    Bytes truncated(wire.begin(), wire.begin() + static_cast<std::ptrdiff_t>(cut));
+    bool ok = true;
+    (void)Message::Deserialize(truncated, &ok);
+    EXPECT_FALSE(ok);
+  }
+}
+
+TEST(CodecFuzzTest, MutatedStateBlobsFailCleanly) {
+  ProcessRecord record;
+  record.pid = ProcessId{0, 1};
+  record.memory = MemoryImage::Create("x", 256, 128, 64);
+  Bytes resident = record.SerializeResidentState();
+  Bytes swappable = record.SerializeSwappableState(0);
+
+  Rng rng(0xBADC0DE);
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes r = resident;
+    Bytes s = swappable;
+    r[rng.Below(r.size())] ^= static_cast<std::uint8_t>(1 + rng.Below(255));
+    s[rng.Below(s.size())] ^= static_cast<std::uint8_t>(1 + rng.Below(255));
+    ProcessRecord target;
+    target.pid = record.pid;
+    (void)target.ApplyResidentState(r);   // may fail; must not crash
+    (void)target.ApplySwappableState(s, 0);
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace demos

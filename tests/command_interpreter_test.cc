@@ -1,0 +1,141 @@
+// Command interpreter tests (Sec. 2.3): script-driven access to the system.
+
+#include <gtest/gtest.h>
+
+#include "src/sys/command_interpreter.h"
+#include "tests/sys_test_util.h"
+
+namespace demos {
+namespace {
+
+class CommandInterpreterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testutil::RegisterPrograms();
+    RegisterSystemPrograms();
+    GlobalCapture().clear();
+  }
+
+  struct Shell {
+    Cluster cluster{ClusterConfig{.machines = 3}};
+    SystemLayout layout;
+    ProcessAddress ci;
+  };
+
+  void Boot(Shell& shell) {
+    BootOptions options;
+    options.start_file_system = false;
+    shell.layout = BootSystem(shell.cluster, options);
+    auto ci = shell.cluster.kernel(0).SpawnProcess("command_interpreter");
+    ASSERT_TRUE(ci.ok());
+    shell.ci = *ci;
+    shell.cluster.RunFor(1000);
+  }
+
+  void Run(Shell& shell, const std::string& script) {
+    ByteWriter w;
+    w.Str(script);
+    shell.cluster.kernel(0).SendFromKernel(shell.ci, kCiRun, w.Take());
+  }
+
+  CommandInterpreterProgram* Program(Shell& shell) {
+    return testutil::ProgramOf<CommandInterpreterProgram>(shell.cluster, shell.ci.pid);
+  }
+
+  bool WaitDone(Shell& shell, SimDuration max_us = 5'000'000) {
+    return testutil::RunUntil(
+        shell.cluster, [&] { return Program(shell) != nullptr && Program(shell)->done(); },
+        max_us);
+  }
+};
+
+TEST_F(CommandInterpreterTest, PrintAndWait) {
+  Shell shell;
+  Boot(shell);
+  Run(shell, "print hello world\nwait 5000\nprint after wait\n");
+  ASSERT_TRUE(WaitDone(shell));
+  const auto& output = Program(shell)->output();
+  ASSERT_EQ(output.size(), 2u);
+  EXPECT_EQ(output[0], "hello world");
+  EXPECT_EQ(output[1], "after wait");
+}
+
+TEST_F(CommandInterpreterTest, SpawnCreatesProcessViaManager) {
+  Shell shell;
+  Boot(shell);
+  Run(shell, "spawn worker counter 1\nprint spawned\n");
+  ASSERT_TRUE(WaitDone(shell));
+  EXPECT_EQ(Program(shell)->output().back(), "spawned");
+  EXPECT_EQ(shell.cluster.kernel(1).process_table().LiveProcessCount(), 1u);
+}
+
+TEST_F(CommandInterpreterTest, SpawnThenMigrateMovesIt) {
+  Shell shell;
+  Boot(shell);
+  Run(shell,
+      "spawn worker counter 1\n"
+      "migrate worker 2\n"
+      "print moved\n");
+  ASSERT_TRUE(WaitDone(shell));
+  EXPECT_EQ(Program(shell)->output().back(), "moved");
+  // The worker now lives on machine 2 with a forwarding address on 1.
+  EXPECT_EQ(shell.cluster.kernel(2).process_table().LiveProcessCount(), 1u);
+  EXPECT_EQ(shell.cluster.kernel(1).process_table().ForwardingAddressCount(), 1u);
+}
+
+TEST_F(CommandInterpreterTest, SendDeliversToAlias) {
+  Shell shell;
+  Boot(shell);
+  Run(shell,
+      "spawn worker counter 1\n"
+      "send worker 1003\n"  // kIncrement
+      "send worker 1003\n"
+      "wait 20000\n");
+  ASSERT_TRUE(WaitDone(shell));
+  // Find the worker and check its counter.
+  for (const auto& [pid, entry] : shell.cluster.kernel(1).process_table().entries()) {
+    if (!entry.IsForwarding()) {
+      ByteReader r(entry.process->memory.ReadData(0, 8));
+      EXPECT_EQ(r.U64(), 2u);
+    }
+  }
+}
+
+TEST_F(CommandInterpreterTest, BadCommandReportsError) {
+  Shell shell;
+  Boot(shell);
+  Run(shell, "frobnicate everything\nprint ok\n");
+  ASSERT_TRUE(WaitDone(shell));
+  const auto& output = Program(shell)->output();
+  ASSERT_EQ(output.size(), 2u);
+  EXPECT_NE(output[0].find("error"), std::string::npos);
+  EXPECT_EQ(output[1], "ok");
+}
+
+TEST_F(CommandInterpreterTest, UnknownAliasReportsError) {
+  Shell shell;
+  Boot(shell);
+  Run(shell, "migrate ghost 1\n");
+  ASSERT_TRUE(WaitDone(shell));
+  EXPECT_NE(Program(shell)->output().back().find("unknown alias"), std::string::npos);
+}
+
+TEST_F(CommandInterpreterTest, InterpreterItselfMigratesMidScript) {
+  Shell shell;
+  Boot(shell);
+  Run(shell,
+      "spawn worker counter 1\n"
+      "wait 50000\n"
+      "print survived\n");
+  shell.cluster.RunFor(20'000);  // inside the wait
+  const MachineId at = shell.cluster.HostOf(shell.ci.pid);
+  ASSERT_TRUE(shell.cluster.kernel(at)
+                  .StartMigration(shell.ci.pid, 2, shell.cluster.kernel(at).kernel_address())
+                  .ok());
+  ASSERT_TRUE(WaitDone(shell));
+  EXPECT_EQ(shell.cluster.HostOf(shell.ci.pid), 2);
+  EXPECT_EQ(Program(shell)->output().back(), "survived");
+}
+
+}  // namespace
+}  // namespace demos

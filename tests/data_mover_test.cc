@@ -1,0 +1,287 @@
+// Tests for the move-data facility (Sec. 2.2, 6): streamed packet transfers
+// into and out of process data areas over DELIVERTOKERNEL links.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tests/test_util.h"
+
+namespace demos {
+namespace {
+
+constexpr MsgType kDoWrite = static_cast<MsgType>(1020);
+constexpr MsgType kDoRead = static_cast<MsgType>(1021);
+
+std::vector<DataMoveResult>& MoveResults() {
+  static std::vector<DataMoveResult> results;
+  return results;
+}
+
+// Drives MoveDataTo / MoveDataFrom against a data-area link carried in the
+// triggering message; completions land in MoveResults().
+class AreaClientProgram : public Program {
+ public:
+  void OnMessage(Context& ctx, const Message& msg) override {
+    if (msg.carried_links.empty()) {
+      return;
+    }
+    const LinkId link = ctx.AddLink(msg.carried_links[0]);
+    ByteReader r(msg.payload);
+    if (msg.type == kDoWrite) {
+      const std::uint32_t offset = r.U32();
+      const std::uint64_t cookie = r.U64();
+      Status s = ctx.MoveDataTo(link, offset, r.Blob(), cookie);
+      if (!s.ok()) {
+        MoveResults().push_back({.cookie = cookie, .status = s, .data = {}});
+      }
+    } else if (msg.type == kDoRead) {
+      const std::uint32_t offset = r.U32();
+      const std::uint32_t length = r.U32();
+      const std::uint64_t cookie = r.U64();
+      Status s = ctx.MoveDataFrom(link, offset, length, cookie);
+      if (!s.ok()) {
+        MoveResults().push_back({.cookie = cookie, .status = s, .data = {}});
+      }
+    }
+  }
+
+  void OnDataMoveDone(Context& ctx, const DataMoveResult& result) override {
+    MoveResults().push_back(result);
+  }
+};
+
+class DataMoverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testutil::RegisterPrograms();
+    static const bool registered = [] {
+      ProgramRegistry::Instance().Register(
+          "area_client", [] { return std::make_unique<AreaClientProgram>(); });
+      return true;
+    }();
+    (void)registered;
+    MoveResults().clear();
+  }
+
+  Link DataLink(const ProcessAddress& target, std::uint8_t flags, std::uint32_t offset,
+                std::uint32_t length) {
+    Link l;
+    l.address = target;
+    l.flags = flags;
+    l.data_offset = offset;
+    l.data_length = length;
+    return l;
+  }
+};
+
+TEST_F(DataMoverTest, WriteIntoRemoteArea) {
+  ClusterConfig config;
+  config.machines = 2;
+  config.kernel.data_packet_bytes = 64;
+  Cluster cluster(config);
+  auto client = cluster.kernel(0).SpawnProcess("area_client");
+  auto host = cluster.kernel(1).SpawnProcess("idle", 1024, 4096, 256);
+  ASSERT_TRUE(client.ok() && host.ok());
+  cluster.RunUntilIdle();
+
+  Bytes data(300);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i);
+  }
+  ByteWriter w;
+  w.U32(16);  // area offset within the window
+  w.U64(111);
+  w.Blob(data);
+  cluster.kernel(0).SendFromKernel(*client, kDoWrite, w.Take(),
+                                   {DataLink(*host, kLinkDataWrite, 100, 1000)});
+  cluster.RunUntilIdle();
+
+  ASSERT_EQ(MoveResults().size(), 1u);
+  EXPECT_TRUE(MoveResults()[0].status.ok());
+  EXPECT_EQ(MoveResults()[0].cookie, 111u);
+  ProcessRecord* record = cluster.kernel(1).FindProcess(host->pid);
+  EXPECT_EQ(record->memory.ReadData(116, 300), data);
+  // 300 bytes in 64-byte chunks = 5 packets, each individually acked.
+  EXPECT_EQ(cluster.kernel(0).stats().Get(stat::kDataPackets), 5);
+  EXPECT_EQ(cluster.kernel(1).stats().Get(stat::kDataAcks), 5);
+}
+
+TEST_F(DataMoverTest, ReadFromRemoteArea) {
+  ClusterConfig config;
+  config.machines = 2;
+  config.kernel.data_packet_bytes = 128;
+  Cluster cluster(config);
+  auto client = cluster.kernel(0).SpawnProcess("area_client");
+  auto host = cluster.kernel(1).SpawnProcess("idle", 1024, 4096, 256);
+  ASSERT_TRUE(client.ok() && host.ok());
+  cluster.RunUntilIdle();
+
+  Bytes content(500);
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    content[i] = static_cast<std::uint8_t>(i * 3);
+  }
+  ASSERT_TRUE(
+      cluster.kernel(1).FindProcess(host->pid)->memory.WriteData(200, content).ok());
+
+  ByteWriter w;
+  w.U32(0);    // area offset
+  w.U32(500);  // length
+  w.U64(222);
+  cluster.kernel(0).SendFromKernel(*client, kDoRead, w.Take(),
+                                   {DataLink(*host, kLinkDataRead, 200, 500)});
+  cluster.RunUntilIdle();
+
+  ASSERT_EQ(MoveResults().size(), 1u);
+  EXPECT_TRUE(MoveResults()[0].status.ok());
+  EXPECT_EQ(MoveResults()[0].data, content);
+}
+
+TEST_F(DataMoverTest, WriteWithoutPermissionFailsLocally) {
+  Cluster cluster(ClusterConfig{});
+  auto client = cluster.kernel(0).SpawnProcess("area_client");
+  auto host = cluster.kernel(1).SpawnProcess("idle");
+  ASSERT_TRUE(client.ok() && host.ok());
+  cluster.RunUntilIdle();
+
+  ByteWriter w;
+  w.U32(0);
+  w.U64(333);
+  w.Blob({1, 2, 3});
+  cluster.kernel(0).SendFromKernel(*client, kDoWrite, w.Take(),
+                                   {DataLink(*host, kLinkDataRead, 0, 100)});  // read-only
+  cluster.RunUntilIdle();
+  ASSERT_EQ(MoveResults().size(), 1u);
+  EXPECT_EQ(MoveResults()[0].status.code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(DataMoverTest, ReadBeyondWindowFailsLocally) {
+  Cluster cluster(ClusterConfig{});
+  auto client = cluster.kernel(0).SpawnProcess("area_client");
+  auto host = cluster.kernel(1).SpawnProcess("idle");
+  ASSERT_TRUE(client.ok() && host.ok());
+  cluster.RunUntilIdle();
+
+  ByteWriter w;
+  w.U32(50);
+  w.U32(100);  // 50 + 100 > window of 100
+  w.U64(444);
+  cluster.kernel(0).SendFromKernel(*client, kDoRead, w.Take(),
+                                   {DataLink(*host, kLinkDataRead, 0, 100)});
+  cluster.RunUntilIdle();
+  ASSERT_EQ(MoveResults().size(), 1u);
+  EXPECT_EQ(MoveResults()[0].status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DataMoverTest, WindowOutsideDataSegmentFailsRemotely) {
+  Cluster cluster(ClusterConfig{});
+  auto client = cluster.kernel(0).SpawnProcess("area_client");
+  auto host = cluster.kernel(1).SpawnProcess("idle", 1024, 256, 256);  // small data seg
+  ASSERT_TRUE(client.ok() && host.ok());
+  cluster.RunUntilIdle();
+
+  ByteWriter w;
+  w.U32(0);
+  w.U32(100);
+  w.U64(555);
+  // Window claims [1000, 2000) but the data segment is only 256 bytes.
+  cluster.kernel(0).SendFromKernel(*client, kDoRead, w.Take(),
+                                   {DataLink(*host, kLinkDataRead, 1000, 1000)});
+  cluster.RunUntilIdle();
+  ASSERT_EQ(MoveResults().size(), 1u);
+  EXPECT_FALSE(MoveResults()[0].status.ok());
+}
+
+TEST_F(DataMoverTest, PushChasesMigratedProcess) {
+  // The write stream is DELIVERTOKERNEL: if the target migrated, the packets
+  // follow the forwarding address and are applied on the new machine
+  // (Sec. 2.2: "without the kernel that instigated the operation being aware
+  // of the process's location").
+  ClusterConfig config;
+  config.machines = 3;
+  Cluster cluster(config);
+  auto client = cluster.kernel(0).SpawnProcess("area_client");
+  auto host = cluster.kernel(1).SpawnProcess("idle", 1024, 4096, 256);
+  ASSERT_TRUE(client.ok() && host.ok());
+  cluster.RunUntilIdle();
+
+  // Move the host to m2; the client still holds a link saying m1.
+  testutil::MigrateAndSettle(cluster, host->pid, 1, 2);
+  ASSERT_NE(cluster.kernel(2).FindProcess(host->pid), nullptr);
+
+  Bytes data(200, 0xAB);
+  ByteWriter w;
+  w.U32(0);
+  w.U64(666);
+  w.Blob(data);
+  cluster.kernel(0).SendFromKernel(*client, kDoWrite, w.Take(),
+                                   {DataLink(*host, kLinkDataWrite, 0, 1024)});
+  cluster.RunUntilIdle();
+
+  ASSERT_EQ(MoveResults().size(), 1u);
+  EXPECT_TRUE(MoveResults()[0].status.ok());
+  EXPECT_EQ(cluster.kernel(2).FindProcess(host->pid)->memory.ReadData(0, 200), data);
+}
+
+TEST_F(DataMoverTest, ReadAnnounceChasesMigratedProcess) {
+  ClusterConfig config;
+  config.machines = 3;
+  Cluster cluster(config);
+  auto client = cluster.kernel(0).SpawnProcess("area_client");
+  auto host = cluster.kernel(1).SpawnProcess("idle", 1024, 4096, 256);
+  ASSERT_TRUE(client.ok() && host.ok());
+  cluster.RunUntilIdle();
+  testutil::MigrateAndSettle(cluster, host->pid, 1, 2);
+
+  Bytes content(64, 0x5C);
+  ASSERT_TRUE(cluster.kernel(2).FindProcess(host->pid)->memory.WriteData(0, content).ok());
+
+  ByteWriter w;
+  w.U32(0);
+  w.U32(64);
+  w.U64(777);
+  cluster.kernel(0).SendFromKernel(*client, kDoRead, w.Take(),
+                                   {DataLink(*host, kLinkDataRead, 0, 64)});
+  cluster.RunUntilIdle();
+  ASSERT_EQ(MoveResults().size(), 1u);
+  EXPECT_TRUE(MoveResults()[0].status.ok());
+  EXPECT_EQ(MoveResults()[0].data, content);
+}
+
+// Packet-size sweep: transfers complete for any chunking, and the packet
+// count is ceil(size / chunk).
+class PacketSizeSweep : public DataMoverTest,
+                        public ::testing::WithParamInterface<std::size_t> {};
+
+TEST_P(PacketSizeSweep, TransferCompletesWithExpectedPacketCount) {
+  ClusterConfig config;
+  config.machines = 2;
+  config.kernel.data_packet_bytes = GetParam();
+  Cluster cluster(config);
+  auto client = cluster.kernel(0).SpawnProcess("area_client");
+  auto host = cluster.kernel(1).SpawnProcess("idle", 1024, 8192, 256);
+  ASSERT_TRUE(client.ok() && host.ok());
+  cluster.RunUntilIdle();
+  const std::int64_t packets_before = cluster.kernel(0).stats().Get(stat::kDataPackets);
+
+  Bytes data(3000, 0x11);
+  ByteWriter w;
+  w.U32(0);
+  w.U64(1);
+  w.Blob(data);
+  cluster.kernel(0).SendFromKernel(*client, kDoWrite, w.Take(),
+                                   {DataLink(*host, kLinkDataWrite, 0, 8000)});
+  cluster.RunUntilIdle();
+
+  ASSERT_EQ(MoveResults().size(), 1u);
+  EXPECT_TRUE(MoveResults()[0].status.ok());
+  const std::int64_t packets = cluster.kernel(0).stats().Get(stat::kDataPackets) - packets_before;
+  EXPECT_EQ(packets, static_cast<std::int64_t>((3000 + GetParam() - 1) / GetParam()));
+  EXPECT_EQ(cluster.kernel(1).FindProcess(host->pid)->memory.ReadData(0, 3000), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Chunks, PacketSizeSweep,
+                         ::testing::Values(16, 64, 128, 512, 1024, 4096));
+
+}  // namespace
+}  // namespace demos

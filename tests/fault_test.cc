@@ -1,0 +1,236 @@
+// Fault-tolerance tests (Sec. 1, 4): evacuation of a dying machine, crash and
+// warm reboot of a forwarding-address holder, and stable-storage recovery.
+
+#include <gtest/gtest.h>
+
+#include "src/fault/crash.h"
+#include "src/fault/recovery.h"
+#include "tests/sys_test_util.h"
+
+namespace demos {
+namespace {
+
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testutil::RegisterPrograms();
+    RegisterSystemPrograms();
+    RegisterWorkloadPrograms();
+    GlobalCapture().clear();
+  }
+};
+
+TEST_F(FaultTest, CrashedMachineDropsTraffic) {
+  Cluster cluster(ClusterConfig{.machines = 2});
+  auto counter = cluster.kernel(1).SpawnProcess("counter");
+  ASSERT_TRUE(counter.ok());
+  cluster.RunUntilIdle();
+
+  CrashController crash(&cluster);
+  crash.Crash(1);
+  cluster.kernel(0).SendFromKernel(*counter, kIncrement, {});
+  cluster.RunUntilIdle();
+  ByteReader r(cluster.kernel(1).FindProcess(counter->pid)->memory.ReadData(0, 8));
+  EXPECT_EQ(r.U64(), 0u);  // never delivered
+}
+
+TEST_F(FaultTest, ReviveResumesProcessing) {
+  Cluster cluster(ClusterConfig{.machines = 2});
+  auto counter = cluster.kernel(1).SpawnProcess("counter");
+  ASSERT_TRUE(counter.ok());
+  cluster.RunUntilIdle();
+
+  CrashController crash(&cluster);
+  crash.Crash(1);
+  cluster.RunFor(10'000);
+  crash.Revive(1);
+  cluster.kernel(0).SendFromKernel(*counter, kIncrement, {});
+  cluster.RunUntilIdle();
+  ByteReader r(cluster.kernel(1).FindProcess(counter->pid)->memory.ReadData(0, 8));
+  EXPECT_EQ(r.U64(), 1u);
+}
+
+TEST_F(FaultTest, ReliableLayerDeliversAcrossCrashWindow) {
+  // With the published-communications substitute underneath, a message sent
+  // while the receiver is down is retransmitted until the reboot -- the
+  // "any message sent will eventually be delivered" guarantee.
+  ClusterConfig config;
+  config.machines = 2;
+  config.reliable_layer = true;
+  config.reliable.retransmit_timeout_us = 5'000;
+  Cluster cluster(config);
+  auto counter = cluster.kernel(1).SpawnProcess("counter");
+  ASSERT_TRUE(counter.ok());
+  cluster.RunUntilIdle();
+
+  CrashController crash(&cluster);
+  crash.Crash(1);
+  cluster.kernel(0).SendFromKernel(*counter, kIncrement, {});
+  cluster.RunFor(20'000);  // retransmissions bouncing off the dead machine
+  crash.Revive(1);
+  cluster.RunFor(100'000);
+
+  ByteReader r(cluster.kernel(1).FindProcess(counter->pid)->memory.ReadData(0, 8));
+  EXPECT_EQ(r.U64(), 1u);
+}
+
+TEST_F(FaultTest, ForwardingAddressSurvivesCrashAndReboot) {
+  // Sec. 4: "Since forwarding addresses are (degenerate) processes, the same
+  // recovery mechanism that works for processes works for forwarding
+  // addresses."
+  ClusterConfig config;
+  config.machines = 3;
+  config.reliable_layer = true;
+  config.reliable.retransmit_timeout_us = 5'000;
+  Cluster cluster(config);
+  auto counter = cluster.kernel(0).SpawnProcess("counter");
+  ASSERT_TRUE(counter.ok());
+  cluster.RunUntilIdle();
+  testutil::MigrateAndSettle(cluster, counter->pid, 0, 1);
+
+  CrashController crash(&cluster);
+  crash.Crash(0);  // the forwarding-address holder dies
+  // A message addressed to the old location keeps being retransmitted.
+  cluster.kernel(2).SendFromKernel(ProcessAddress{0, counter->pid}, kIncrement, {});
+  cluster.RunFor(30'000);
+  crash.Revive(0);  // warm reboot: the 8-byte forwarding address is intact
+  cluster.RunFor(200'000);
+
+  ByteReader r(cluster.kernel(1).FindProcess(counter->pid)->memory.ReadData(0, 8));
+  EXPECT_EQ(r.U64(), 1u);
+}
+
+TEST_F(FaultTest, RatsLeaveSinkingShip) {
+  // Degrade a machine, evacuate it through the process manager, then let it
+  // die; all evacuated processes keep running elsewhere.
+  Cluster cluster(ClusterConfig{.machines = 3});
+  SystemLayout layout = BootSystem(cluster);
+  auto sink = cluster.kernel(0).SpawnProcess("sink");
+  ASSERT_TRUE(sink.ok());
+  cluster.RunFor(1000);
+  testutil::TagProcess(cluster, *sink, 1);
+
+  // Three workers on the doomed machine 2, created through the PM so it
+  // knows about them.
+  std::vector<ProcessId> workers;
+  for (int i = 0; i < 3; ++i) {
+    ByteWriter w;
+    w.U64(static_cast<std::uint64_t>(i));
+    w.Str("counter");
+    w.U16(2);
+    w.U32(1024);
+    w.U32(512);
+    w.U32(256);
+    cluster.kernel(0).SendFromKernel(layout.process_manager, kPmCreate, w.Take(),
+                                     {Link{*sink, kLinkReply, 0, 0}});
+  }
+  ASSERT_TRUE(
+      testutil::RunUntil(cluster, [&] { return testutil::CapturedFor(1).size() >= 3; }));
+  for (const auto& captured : testutil::CapturedFor(1)) {
+    ByteReader r(captured.payload);
+    (void)r.U64();
+    (void)r.U8();
+    workers.push_back(r.Address().pid);
+  }
+
+  CrashController crash(&cluster);
+  crash.DegradeThenCrash(2, /*grace_us=*/400'000);
+  ByteWriter w;
+  w.U16(2);
+  cluster.kernel(0).SendFromKernel(layout.process_manager, kPmEvacuate, w.Take());
+
+  ASSERT_TRUE(testutil::RunUntil(
+      cluster,
+      [&] {
+        for (const ProcessId& pid : workers) {
+          const MachineId at = cluster.HostOf(pid);
+          if (at == 2 || at == kNoMachine) {
+            return false;
+          }
+        }
+        return true;
+      },
+      350'000));
+
+  cluster.RunFor(600'000);  // well past the grace period: machine 2 is dead
+  EXPECT_TRUE(crash.IsCrashed(2));
+  // Everyone still responds to work.
+  for (const ProcessId& pid : workers) {
+    const MachineId at = cluster.HostOf(pid);
+    ASSERT_NE(at, 2);
+    cluster.kernel(0).SendFromKernel(ProcessAddress{at, pid}, kIncrement, {});
+  }
+  cluster.RunFor(50'000);
+  for (const ProcessId& pid : workers) {
+    ProcessRecord* record = cluster.FindProcessAnywhere(pid);
+    ASSERT_NE(record, nullptr);
+    ByteReader r(record->memory.ReadData(0, 8));
+    EXPECT_EQ(r.U64(), 1u);
+  }
+}
+
+TEST_F(FaultTest, CheckpointRecoversProcessFromCrashedMachine) {
+  // Sec. 1: migrate a process "from a processor that has crashed to a
+  // working one" using state saved in stable storage.
+  Cluster cluster(ClusterConfig{.machines = 3});
+  auto counter = cluster.kernel(0).SpawnProcess("counter");
+  ASSERT_TRUE(counter.ok());
+  cluster.RunUntilIdle();
+  for (int i = 0; i < 4; ++i) {
+    cluster.kernel(1).SendFromKernel(*counter, kIncrement, {});
+  }
+  cluster.RunUntilIdle();
+
+  StableStore store;
+  ASSERT_TRUE(store.Checkpoint(cluster, counter->pid).ok());
+
+  CrashController crash(&cluster);
+  crash.Crash(0);
+  ASSERT_TRUE(store.RecoverProcess(cluster, counter->pid, /*destination=*/2).ok());
+  cluster.RunUntilIdle();
+
+  ProcessRecord* recovered = cluster.kernel(2).FindProcess(counter->pid);
+  ASSERT_NE(recovered, nullptr);
+  ByteReader r(recovered->memory.ReadData(0, 8));
+  EXPECT_EQ(r.U64(), 4u);  // counted work survived the crash
+
+  // And it continues to accept messages at the new location.
+  cluster.kernel(1).SendFromKernel(ProcessAddress{2, counter->pid}, kIncrement, {});
+  cluster.RunUntilIdle();
+  ByteReader r2(recovered->memory.ReadData(0, 8));
+  EXPECT_EQ(r2.U64(), 5u);
+}
+
+TEST_F(FaultTest, RebootedHomeForwardsToRecoveredProcess) {
+  Cluster cluster(ClusterConfig{.machines = 3});
+  auto counter = cluster.kernel(0).SpawnProcess("counter");
+  ASSERT_TRUE(counter.ok());
+  cluster.RunUntilIdle();
+
+  StableStore store;
+  ASSERT_TRUE(store.Checkpoint(cluster, counter->pid).ok());
+  CrashController crash(&cluster);
+  crash.Crash(0);
+  ASSERT_TRUE(store.RecoverProcess(cluster, counter->pid, 2).ok());
+  cluster.RunUntilIdle();
+
+  crash.Revive(0);
+  // The revived home holds a forwarding address; old-address traffic chases
+  // the recovered process.  (The recovered copy replaced the stale one.)
+  cluster.kernel(1).SendFromKernel(ProcessAddress{0, counter->pid}, kIncrement, {});
+  cluster.RunUntilIdle();
+  ProcessRecord* recovered = cluster.kernel(2).FindProcess(counter->pid);
+  ASSERT_NE(recovered, nullptr);
+  ByteReader r(recovered->memory.ReadData(0, 8));
+  EXPECT_EQ(r.U64(), 1u);
+}
+
+TEST_F(FaultTest, CheckpointOfMissingProcessFails) {
+  Cluster cluster(ClusterConfig{.machines = 2});
+  StableStore store;
+  EXPECT_FALSE(store.Checkpoint(cluster, ProcessId{0, 999}).ok());
+  EXPECT_FALSE(store.RecoverProcess(cluster, ProcessId{0, 999}, 1).ok());
+}
+
+}  // namespace
+}  // namespace demos

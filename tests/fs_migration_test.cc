@@ -1,0 +1,147 @@
+// The paper's flagship demonstration (Sec. 2.3): "It migrates a file system
+// process while several user processes are performing I/O.  This is more
+// difficult than moving a user process."  These tests migrate each movable
+// file-system process -- and the clients -- mid-workload and require every
+// operation to complete without error.
+
+#include <gtest/gtest.h>
+
+#include "src/sys/fs/request_interpreter.h"
+#include "tests/sys_test_util.h"
+
+namespace demos {
+namespace {
+
+class FsMigrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testutil::RegisterPrograms();
+    RegisterSystemPrograms();
+    GlobalCapture().clear();
+  }
+
+  struct Scenario {
+    Cluster cluster{ClusterConfig{.machines = 4}};
+    SystemLayout layout;
+    std::vector<ProcessId> clients;
+  };
+
+  // Boot and start `n_clients` I/O workloads.
+  void Start(Scenario& s, int n_clients, std::uint32_t ops_per_client = 10) {
+    s.layout = BootSystem(s.cluster);
+    for (int i = 0; i < n_clients; ++i) {
+      FsClientConfig config;
+      config.mode = 2;
+      config.io_size = 900;
+      config.op_count = ops_per_client;
+      config.think_us = 400;
+      config.file_name = "mig_" + std::to_string(i);
+      auto client = s.cluster.kernel(static_cast<MachineId>(1 + i % 3))
+                        .SpawnProcess("fs_client", 4096, kFsClientBufferOffset + 2048, 2048);
+      ASSERT_TRUE(client.ok());
+      testutil::ConfigureFsClient(s.cluster, *client, config);
+      s.clients.push_back(client->pid);
+    }
+  }
+
+  void ExpectAllFinished(Scenario& s, std::uint32_t ops_per_client = 10) {
+    for (const ProcessId& pid : s.clients) {
+      ASSERT_TRUE(testutil::RunUntil(
+          s.cluster,
+          [&] { return testutil::ReadFsClientResults(s.cluster, pid).done != 0; },
+          60'000'000))
+          << "client " << pid.ToString() << " never finished";
+      FsClientResults results = testutil::ReadFsClientResults(s.cluster, pid);
+      EXPECT_EQ(results.completed, ops_per_client);
+      EXPECT_EQ(results.errors, 0u);
+    }
+  }
+
+  // Let some I/O happen, then migrate `victim` to `dest` mid-stream.
+  void MigrateMidStream(Scenario& s, const ProcessId& victim, MachineId dest) {
+    s.cluster.RunFor(15'000);  // several ops in flight / completed
+    const MachineId from = s.cluster.HostOf(victim);
+    ASSERT_NE(from, kNoMachine);
+    ASSERT_TRUE(s.cluster.kernel(from)
+                    .StartMigration(victim, dest, s.cluster.kernel(from).kernel_address())
+                    .ok());
+  }
+};
+
+TEST_F(FsMigrationTest, MigrateRequestInterpreterDuringIo) {
+  Scenario s;
+  Start(s, /*n_clients=*/3);
+  MigrateMidStream(s, s.layout.fs_request.pid, 3);
+  ExpectAllFinished(s);
+  EXPECT_EQ(s.cluster.HostOf(s.layout.fs_request.pid), 3);
+  RequestInterpreterProgram* ri =
+      testutil::ProgramOf<RequestInterpreterProgram>(s.cluster, s.layout.fs_request.pid);
+  ASSERT_NE(ri, nullptr);
+  EXPECT_EQ(ri->inflight_ops(), 0u);  // everything drained after the move
+  EXPECT_GT(ri->completed_ops(), 0);
+}
+
+TEST_F(FsMigrationTest, MigrateBufferManagerDuringIo) {
+  Scenario s;
+  Start(s, 3);
+  MigrateMidStream(s, s.layout.fs_buffers.pid, 2);
+  ExpectAllFinished(s);
+  EXPECT_EQ(s.cluster.HostOf(s.layout.fs_buffers.pid), 2);
+}
+
+TEST_F(FsMigrationTest, MigrateDirectoryServiceDuringIo) {
+  Scenario s;
+  Start(s, 3);
+  MigrateMidStream(s, s.layout.fs_directory.pid, 1);
+  ExpectAllFinished(s);
+}
+
+TEST_F(FsMigrationTest, MigrateClientDuringIo) {
+  Scenario s;
+  Start(s, 2);
+  MigrateMidStream(s, s.clients[0], 3);
+  ExpectAllFinished(s);
+  EXPECT_EQ(s.cluster.HostOf(s.clients[0]), 3);
+}
+
+TEST_F(FsMigrationTest, MigrateRequestInterpreterTwiceDuringIo) {
+  Scenario s;
+  Start(s, 3, /*ops_per_client=*/14);
+  MigrateMidStream(s, s.layout.fs_request.pid, 3);
+  s.cluster.RunFor(30'000);
+  const MachineId now_at = s.cluster.HostOf(s.layout.fs_request.pid);
+  if (now_at != kNoMachine) {
+    (void)s.cluster.kernel(now_at).StartMigration(
+        s.layout.fs_request.pid, 1, s.cluster.kernel(now_at).kernel_address());
+  }
+  ExpectAllFinished(s, 14);
+}
+
+TEST_F(FsMigrationTest, MigrateRequestInterpreterAndClientTogether) {
+  Scenario s;
+  Start(s, 2);
+  MigrateMidStream(s, s.layout.fs_request.pid, 3);
+  MigrateMidStream(s, s.clients[1], 2);
+  ExpectAllFinished(s);
+}
+
+// Property sweep: inject the request-interpreter migration at many different
+// instants; all client I/O must complete errorlessly every time.
+class FsMigrationRaceSweep : public FsMigrationTest,
+                             public ::testing::WithParamInterface<int> {};
+
+TEST_P(FsMigrationRaceSweep, IoSurvivesMigrationAtAnyInstant) {
+  Scenario s;
+  Start(s, 2, /*ops_per_client=*/8);
+  const SimDuration offset = 2'000 + static_cast<SimDuration>(GetParam()) * 3'700;
+  s.cluster.RunFor(offset);
+  const MachineId from = s.cluster.HostOf(s.layout.fs_request.pid);
+  (void)s.cluster.kernel(from).StartMigration(s.layout.fs_request.pid, 3,
+                                              s.cluster.kernel(from).kernel_address());
+  ExpectAllFinished(s, 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Instants, FsMigrationRaceSweep, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace demos

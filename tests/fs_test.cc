@@ -1,0 +1,216 @@
+// File-system stack tests (Sec. 2.3): the four FS processes cooperating, with
+// file bytes moving over data-area links.
+
+#include <gtest/gtest.h>
+
+#include "src/sys/fs/buffer_manager.h"
+#include "src/sys/fs/request_interpreter.h"
+#include "tests/sys_test_util.h"
+
+namespace demos {
+namespace {
+
+class FsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testutil::RegisterPrograms();
+    RegisterSystemPrograms();
+    GlobalCapture().clear();
+  }
+
+  // Spawn a configured fs_client on `machine` and return its address.
+  ProcessAddress SpawnClient(Cluster& cluster, MachineId machine,
+                             const FsClientConfig& config) {
+    auto client = cluster.kernel(machine).SpawnProcess(
+        "fs_client", 4096, kFsClientBufferOffset + config.io_size + 64, 2048);
+    EXPECT_TRUE(client.ok());
+    testutil::ConfigureFsClient(cluster, *client, config);
+    return *client;
+  }
+
+  bool WaitDone(Cluster& cluster, const ProcessId& pid, SimDuration max_us = 20'000'000) {
+    return testutil::RunUntil(
+        cluster, [&] { return testutil::ReadFsClientResults(cluster, pid).done != 0; },
+        max_us);
+  }
+};
+
+TEST_F(FsTest, WriteThenReadRoundTrip) {
+  Cluster cluster(ClusterConfig{.machines = 2});
+  SystemLayout layout = BootSystem(cluster);
+
+  FsClientConfig config;
+  config.mode = 2;  // alternate write/read over the same offsets
+  config.io_size = 1024;
+  config.op_count = 8;
+  config.think_us = 500;
+  config.file_name = "roundtrip";
+  ProcessAddress client = SpawnClient(cluster, 1, config);
+
+  ASSERT_TRUE(WaitDone(cluster, client.pid));
+  FsClientResults results = testutil::ReadFsClientResults(cluster, client.pid);
+  EXPECT_EQ(results.completed, 8u);
+  EXPECT_EQ(results.errors, 0u);
+  EXPECT_GT(results.total_latency_us, 0u);
+  (void)layout;
+}
+
+TEST_F(FsTest, ReadBackSeesWrittenPattern) {
+  Cluster cluster(ClusterConfig{.machines = 2});
+  BootSystem(cluster);
+
+  // Alternate mode writes pattern (op_index + i) then reads the same offset;
+  // verify the final buffer contents equal the pattern of the last write.
+  FsClientConfig config;
+  config.mode = 2;
+  config.io_size = 700;  // deliberately not sector-aligned
+  config.op_count = 2;   // one write (op 0), one read (op 1)
+  config.think_us = 100;
+  config.file_name = "pattern";
+  ProcessAddress client = SpawnClient(cluster, 1, config);
+  ASSERT_TRUE(WaitDone(cluster, client.pid));
+
+  FsClientResults results = testutil::ReadFsClientResults(cluster, client.pid);
+  ASSERT_EQ(results.errors, 0u);
+  ProcessRecord* record = cluster.FindProcessAnywhere(client.pid);
+  Bytes buffer = record->memory.ReadData(kFsClientBufferOffset, config.io_size);
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    ASSERT_EQ(buffer[i], static_cast<std::uint8_t>(0 + i)) << "at " << i;
+  }
+}
+
+TEST_F(FsTest, UnalignedWritesPreserveNeighbours) {
+  // Two clients write adjacent unaligned ranges of one file; the partial-
+  // sector read-merge-write path must not clobber either.
+  Cluster cluster(ClusterConfig{.machines = 2});
+  BootSystem(cluster);
+
+  FsClientConfig config_a;
+  config_a.mode = 1;  // write only
+  config_a.io_size = 300;
+  config_a.op_count = 4;
+  config_a.think_us = 700;
+  config_a.file_name = "shared";
+  ProcessAddress a = SpawnClient(cluster, 1, config_a);
+  ASSERT_TRUE(WaitDone(cluster, a.pid));
+
+  FsClientConfig config_b = config_a;
+  config_b.mode = 0;  // read back the same span
+  ProcessAddress b = SpawnClient(cluster, 1, config_b);
+  ASSERT_TRUE(WaitDone(cluster, b.pid));
+
+  EXPECT_EQ(testutil::ReadFsClientResults(cluster, a.pid).errors, 0u);
+  EXPECT_EQ(testutil::ReadFsClientResults(cluster, b.pid).errors, 0u);
+  EXPECT_EQ(testutil::ReadFsClientResults(cluster, b.pid).completed, 4u);
+}
+
+TEST_F(FsTest, ManyConcurrentClients) {
+  Cluster cluster(ClusterConfig{.machines = 4});
+  BootSystem(cluster);
+
+  std::vector<ProcessId> clients;
+  for (int i = 0; i < 6; ++i) {
+    FsClientConfig config;
+    config.mode = 2;
+    config.io_size = 512;
+    config.op_count = 6;
+    config.think_us = 300 + static_cast<std::uint64_t>(i) * 100;
+    config.file_name = "file_" + std::to_string(i);
+    clients.push_back(SpawnClient(cluster, static_cast<MachineId>(i % 4), config).pid);
+  }
+  for (const ProcessId& pid : clients) {
+    ASSERT_TRUE(WaitDone(cluster, pid));
+    FsClientResults results = testutil::ReadFsClientResults(cluster, pid);
+    EXPECT_EQ(results.completed, 6u);
+    EXPECT_EQ(results.errors, 0u);
+  }
+}
+
+TEST_F(FsTest, BufferCacheHitsOnRepeatedReads) {
+  Cluster cluster(ClusterConfig{.machines = 2});
+  SystemLayout layout = BootSystem(cluster);
+
+  FsClientConfig writer;
+  writer.mode = 1;
+  writer.io_size = 2048;
+  writer.op_count = 2;
+  writer.think_us = 200;
+  writer.file_name = "cached";
+  writer.file_span = 4096;
+  ProcessAddress w = SpawnClient(cluster, 1, writer);
+  ASSERT_TRUE(WaitDone(cluster, w.pid));
+
+  FsClientConfig reader = writer;
+  reader.mode = 0;
+  reader.op_count = 8;  // re-reads the same 2 x 2048 B repeatedly
+  ProcessAddress r = SpawnClient(cluster, 1, reader);
+  ASSERT_TRUE(WaitDone(cluster, r.pid));
+
+  BufferManagerProgram* buffers =
+      testutil::ProgramOf<BufferManagerProgram>(cluster, layout.fs_buffers.pid);
+  ASSERT_NE(buffers, nullptr);
+  EXPECT_GT(buffers->hits(), 0);
+  EXPECT_EQ(testutil::ReadFsClientResults(cluster, r.pid).errors, 0u);
+}
+
+TEST_F(FsTest, OpenOfMissingFileWithoutCreateFails) {
+  Cluster cluster(ClusterConfig{.machines = 2});
+  SystemLayout layout = BootSystem(cluster);
+  auto sink = cluster.kernel(1).SpawnProcess("sink");
+  ASSERT_TRUE(sink.ok());
+  cluster.RunFor(1000);
+  testutil::TagProcess(cluster, *sink, 9);
+
+  ByteWriter w;
+  w.Str("missing");
+  w.U8(0);  // no create
+  cluster.kernel(1).SendFromKernel(layout.fs_request, kFsOpen, w.Take(),
+                                   {Link{*sink, kLinkReply, 0, 0}});
+  ASSERT_TRUE(testutil::RunUntil(cluster, [&] { return !testutil::CapturedFor(9).empty(); }));
+  ByteReader r(Bytes(testutil::CapturedFor(9)[0].payload));
+  EXPECT_EQ(static_cast<StatusCode>(r.U8()), StatusCode::kNotFound);
+}
+
+TEST_F(FsTest, ReadOnBadHandleFails) {
+  Cluster cluster(ClusterConfig{.machines = 2});
+  SystemLayout layout = BootSystem(cluster);
+  auto sink = cluster.kernel(1).SpawnProcess("sink");
+  ASSERT_TRUE(sink.ok());
+  cluster.RunFor(1000);
+  testutil::TagProcess(cluster, *sink, 10);
+
+  ByteWriter w;
+  w.U32(999);  // bogus handle
+  w.U32(0);
+  w.U32(100);
+  cluster.kernel(1).SendFromKernel(layout.fs_request, kFsRead, w.Take(),
+                                   {Link{*sink, kLinkReply, 0, 0}});
+  ASSERT_TRUE(testutil::RunUntil(cluster, [&] { return !testutil::CapturedFor(10).empty(); }));
+  ByteReader r(Bytes(testutil::CapturedFor(10)[0].payload));
+  EXPECT_EQ(static_cast<StatusCode>(r.U8()), StatusCode::kNotFound);
+}
+
+// Parameterized sweep over I/O sizes, including sector-straddling ones.
+class FsIoSizeSweep : public FsTest, public ::testing::WithParamInterface<std::uint32_t> {};
+
+TEST_P(FsIoSizeSweep, RoundTripAnySize) {
+  Cluster cluster(ClusterConfig{.machines = 2});
+  BootSystem(cluster);
+  FsClientConfig config;
+  config.mode = 2;
+  config.io_size = GetParam();
+  config.op_count = 4;
+  config.think_us = 300;
+  config.file_name = "sweep";
+  ProcessAddress client = SpawnClient(cluster, 1, config);
+  ASSERT_TRUE(WaitDone(cluster, client.pid));
+  FsClientResults results = testutil::ReadFsClientResults(cluster, client.pid);
+  EXPECT_EQ(results.completed, 4u);
+  EXPECT_EQ(results.errors, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(IoSizes, FsIoSizeSweep,
+                         ::testing::Values(1, 100, 511, 512, 513, 1000, 4096, 10'000));
+
+}  // namespace
+}  // namespace demos

@@ -1,0 +1,309 @@
+// Edge-case kernel tests: self-links, reply-link consumption, link passing
+// chains, zero-length transfers, exit semantics, and memory accounting.
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace demos {
+namespace {
+
+constexpr MsgType kStartLoop = static_cast<MsgType>(1030);
+constexpr MsgType kSelfNote = static_cast<MsgType>(1031);
+constexpr MsgType kPassItOn = static_cast<MsgType>(1032);
+
+// Sends kSelfNote to itself N times through a link to itself held in its own
+// link table ("processes may have more than one link to a given process
+// (including to themselves)", Sec. 5).
+class SelfLooperProgram : public Program {
+ public:
+  void OnStart(Context& ctx) override { self_slot_ = ctx.AddLink(ctx.MakeLink()); }
+
+  void OnMessage(Context& ctx, const Message& msg) override {
+    if (msg.type == kStartLoop) {
+      remaining_ = msg.payload.empty() ? 0 : msg.payload[0];
+      Tick(ctx);
+    } else if (msg.type == kSelfNote) {
+      ByteReader r(ctx.ReadData(0, 8));
+      ByteWriter w;
+      w.U64(r.U64() + 1);
+      (void)ctx.WriteData(0, w.bytes());
+      Tick(ctx);
+    }
+  }
+
+  Bytes SaveState() const override {
+    ByteWriter w;
+    w.U32(self_slot_);
+    w.U8(remaining_);
+    return w.Take();
+  }
+  void RestoreState(const Bytes& state) override {
+    ByteReader r(state);
+    self_slot_ = r.U32();
+    remaining_ = r.U8();
+  }
+
+ private:
+  void Tick(Context& ctx) {
+    if (remaining_ == 0) {
+      return;
+    }
+    --remaining_;
+    (void)ctx.Send(self_slot_, kSelfNote, {});
+  }
+
+  LinkId self_slot_ = kNoLink;
+  std::uint8_t remaining_ = 0;
+};
+
+// Forwards any carried link to the address named in the payload (link
+// passing: "Once a link is given out, it may be passed to other processes
+// without the knowledge of the process that created the link", Sec. 2.4).
+class PasserProgram : public Program {
+ public:
+  void OnMessage(Context& ctx, const Message& msg) override {
+    if (msg.type != kPassItOn || msg.carried_links.empty()) {
+      return;
+    }
+    ByteReader r(msg.payload);
+    const ProcessAddress next = r.Address();
+    if (next.valid()) {
+      Link to_next;
+      to_next.address = next;
+      Bytes rest(msg.payload.begin() + 8, msg.payload.end());
+      (void)ctx.SendOnLink(to_next, kPassItOn, std::move(rest), {msg.carried_links[0]});
+    } else {
+      // End of the chain: use the carried link.
+      (void)ctx.SendOnLink(msg.carried_links[0], kPing, {0x77});
+    }
+  }
+};
+
+class KernelEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testutil::RegisterPrograms();
+    static const bool registered = [] {
+      auto& reg = ProgramRegistry::Instance();
+      reg.Register("self_looper", [] { return std::make_unique<SelfLooperProgram>(); });
+      reg.Register("passer", [] { return std::make_unique<PasserProgram>(); });
+      return true;
+    }();
+    (void)registered;
+    GlobalCapture().clear();
+  }
+};
+
+TEST_F(KernelEdgeTest, SelfSendLoopCounts) {
+  Cluster cluster(ClusterConfig{.machines = 1});
+  auto looper = cluster.kernel(0).SpawnProcess("self_looper");
+  ASSERT_TRUE(looper.ok());
+  cluster.RunUntilIdle();
+  cluster.kernel(0).SendFromKernel(*looper, kStartLoop, {10});
+  cluster.RunUntilIdle();
+  ByteReader r(cluster.kernel(0).FindProcess(looper->pid)->memory.ReadData(0, 8));
+  EXPECT_EQ(r.U64(), 10u);
+}
+
+TEST_F(KernelEdgeTest, SelfLinkSurvivesMigration) {
+  // The looper's self-link says "machine 0" after moving to machine 1; its
+  // self-sends route through the forwarding address, get patched, and keep
+  // working -- the Sec. 5 "including to themselves" case.
+  Cluster cluster(ClusterConfig{.machines = 2});
+  auto looper = cluster.kernel(0).SpawnProcess("self_looper");
+  ASSERT_TRUE(looper.ok());
+  cluster.RunUntilIdle();
+  testutil::MigrateAndSettle(cluster, looper->pid, 0, 1);
+
+  cluster.kernel(0).SendFromKernel(ProcessAddress{1, looper->pid}, kStartLoop, {8});
+  cluster.RunUntilIdle();
+  ProcessRecord* moved = cluster.kernel(1).FindProcess(looper->pid);
+  ASSERT_NE(moved, nullptr);
+  ByteReader r(moved->memory.ReadData(0, 8));
+  EXPECT_EQ(r.U64(), 8u);
+  // The self-link was patched after at most one forwarded hop.
+  EXPECT_LE(cluster.kernel(0).stats().Get(stat::kMsgsForwarded), 1);
+  const Link* self_link = moved->links.Get(0);  // first (and only) table entry
+  ASSERT_NE(self_link, nullptr);
+  EXPECT_EQ(self_link->address.pid, looper->pid);
+}
+
+TEST_F(KernelEdgeTest, LinkPassedAlongChainStillPointsAtCreator) {
+  Cluster cluster(ClusterConfig{.machines = 4});
+  ProcessAddress sink = [&] {
+    auto s = cluster.kernel(0).SpawnProcess("sink");
+    cluster.RunUntilIdle();
+    testutil::TagProcess(cluster, *s, 1);
+    return *s;
+  }();
+  auto p1 = cluster.kernel(1).SpawnProcess("passer");
+  auto p2 = cluster.kernel(2).SpawnProcess("passer");
+  auto p3 = cluster.kernel(3).SpawnProcess("passer");
+  ASSERT_TRUE(p1.ok() && p2.ok() && p3.ok());
+  cluster.RunUntilIdle();
+
+  // A link to the sink is passed p1 -> p2 -> p3, then used by p3.
+  ByteWriter w;
+  w.Address(*p2);
+  w.Address(*p3);
+  w.Address(ProcessAddress{});  // chain terminator
+  Link to_sink;
+  to_sink.address = sink;
+  cluster.kernel(1).SendFromKernel(*p1, kPassItOn, w.Take(), {to_sink});
+  cluster.RunUntilIdle();
+
+  auto captured = testutil::CapturedFor(1);
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].type, kPing);
+  EXPECT_EQ(captured[0].sender.pid, p3->pid);  // used by the END of the chain
+}
+
+TEST_F(KernelEdgeTest, LinkPassedThroughChainChasesMigratedCreator) {
+  // The sink migrates while its link is in transit through the chain; the
+  // final use still lands (context independence + forwarding).
+  Cluster cluster(ClusterConfig{.machines = 4});
+  auto sink = cluster.kernel(0).SpawnProcess("sink");
+  auto p1 = cluster.kernel(1).SpawnProcess("passer");
+  auto p2 = cluster.kernel(2).SpawnProcess("passer");
+  ASSERT_TRUE(sink.ok() && p1.ok() && p2.ok());
+  cluster.RunUntilIdle();
+  testutil::TagProcess(cluster, *sink, 2);
+
+  ByteWriter w;
+  w.Address(*p2);
+  w.Address(ProcessAddress{});
+  Link to_sink;
+  to_sink.address = *sink;
+  cluster.kernel(1).SendFromKernel(*p1, kPassItOn, w.Take(), {to_sink});
+  // Migrate the sink immediately: the link is now stale while in the chain.
+  (void)cluster.kernel(0).StartMigration(sink->pid, 3, cluster.kernel(0).kernel_address());
+  cluster.RunUntilIdle();
+
+  auto captured = testutil::CapturedFor(2);
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].type, kPing);
+  EXPECT_EQ(cluster.HostOf(sink->pid), 3);
+}
+
+TEST_F(KernelEdgeTest, ReplyLinkIsConsumedBySend) {
+  Cluster cluster(ClusterConfig{.machines = 1});
+  auto echo = cluster.kernel(0).SpawnProcess("echo");
+  ASSERT_TRUE(echo.ok());
+  cluster.RunUntilIdle();
+  ProcessRecord* record = cluster.kernel(0).FindProcess(echo->pid);
+
+  Link reply;
+  reply.address = *echo;
+  reply.flags = kLinkReply;
+  const LinkId slot = record->links.Insert(reply);
+  KernelContext ctx(&cluster.kernel(0), record);
+  ASSERT_TRUE(ctx.Send(slot, kNote, Bytes{}, {}).ok());
+  EXPECT_EQ(record->links.Get(slot), nullptr);  // single use (Sec. 2.4)
+  EXPECT_FALSE(ctx.Send(slot, kNote, Bytes{}, {}).ok());
+}
+
+TEST_F(KernelEdgeTest, NonReplyLinkSurvivesSends) {
+  Cluster cluster(ClusterConfig{.machines = 1});
+  auto echo = cluster.kernel(0).SpawnProcess("echo");
+  ASSERT_TRUE(echo.ok());
+  cluster.RunUntilIdle();
+  ProcessRecord* record = cluster.kernel(0).FindProcess(echo->pid);
+  Link request;
+  request.address = *echo;
+  const LinkId slot = record->links.Insert(request);
+  KernelContext ctx(&cluster.kernel(0), record);
+  ASSERT_TRUE(ctx.Send(slot, kNote, Bytes{}, {}).ok());
+  ASSERT_TRUE(ctx.Send(slot, kNote, Bytes{}, {}).ok());
+  EXPECT_NE(record->links.Get(slot), nullptr);
+}
+
+TEST_F(KernelEdgeTest, ZeroLengthMoveDataCompletes) {
+  Cluster cluster(ClusterConfig{.machines = 2});
+  auto host = cluster.kernel(1).SpawnProcess("idle", 1024, 2048, 256);
+  auto instigator = cluster.kernel(0).SpawnProcess("idle");
+  ASSERT_TRUE(host.ok() && instigator.ok());
+  cluster.RunUntilIdle();
+  ProcessRecord* record = cluster.kernel(0).FindProcess(instigator->pid);
+  Link area;
+  area.address = *host;
+  area.flags = kLinkDataWrite;
+  area.data_offset = 0;
+  area.data_length = 100;
+  const LinkId slot = record->links.Insert(area);
+  KernelContext ctx(&cluster.kernel(0), record);
+  EXPECT_TRUE(ctx.MoveDataTo(slot, 0, {}, 1).ok());
+  cluster.RunUntilIdle();  // the empty stream's single packet + ack settle
+  EXPECT_GE(cluster.TotalStat(stat::kDataAcks), 1);
+}
+
+TEST_F(KernelEdgeTest, MemoryAccountingBalancesOverLifecycle) {
+  Cluster cluster(ClusterConfig{.machines = 2});
+  const std::uint64_t before = cluster.kernel(0).memory_used();
+  auto addr = cluster.kernel(0).SpawnProcess("idle", 8192, 4096, 2048);
+  ASSERT_TRUE(addr.ok());
+  cluster.RunUntilIdle();
+  EXPECT_EQ(cluster.kernel(0).memory_used(), before + 8192 + 4096 + 2048);
+
+  testutil::MigrateAndSettle(cluster, addr->pid, 0, 1);
+  EXPECT_EQ(cluster.kernel(0).memory_used(), before);  // reclaimed at source
+  EXPECT_GE(cluster.kernel(1).memory_used(), 8192u + 4096 + 2048);
+
+  cluster.kernel(0).SendFromKernel(ProcessAddress{1, addr->pid}, MsgType::kKillProcess, {},
+                                   {}, kLinkDeliverToKernel);
+  cluster.RunUntilIdle();
+  EXPECT_EQ(cluster.kernel(1).memory_used(), 0u);
+}
+
+TEST_F(KernelEdgeTest, SuspendedProcessCollectsTimerFiring) {
+  Cluster cluster(ClusterConfig{.machines = 1});
+  auto timer = cluster.kernel(0).SpawnProcess("timer");
+  ASSERT_TRUE(timer.ok());
+  cluster.RunFor(100);  // armed for +50ms
+  cluster.kernel(0).SendFromKernel(*timer, MsgType::kSuspendProcess, {}, {},
+                                   kLinkDeliverToKernel);
+  cluster.RunFor(100'000);  // timer fires while suspended -> queued
+
+  ProcessRecord* record = cluster.kernel(0).FindProcess(timer->pid);
+  ByteReader before(record->memory.ReadData(8, 8));
+  EXPECT_EQ(before.U64(), 0u);  // not delivered yet
+
+  cluster.kernel(0).SendFromKernel(*timer, MsgType::kResumeProcess, {}, {},
+                                   kLinkDeliverToKernel);
+  cluster.RunUntilIdle();
+  ByteReader after(record->memory.ReadData(8, 8));
+  EXPECT_EQ(after.U64(), 1u);  // delivered exactly once after resume
+}
+
+TEST_F(KernelEdgeTest, MigrationWhileSenderHoldsStaleLinkInSavedMessage) {
+  // A link carried inside a message that sits in a suspended receiver's
+  // queue across the receiver's OWN migration still works when finally used.
+  Cluster cluster(ClusterConfig{.machines = 3});
+  auto passer = cluster.kernel(0).SpawnProcess("passer");
+  auto sink = cluster.kernel(2).SpawnProcess("sink");
+  ASSERT_TRUE(passer.ok() && sink.ok());
+  cluster.RunUntilIdle();
+  testutil::TagProcess(cluster, *sink, 3);
+
+  cluster.kernel(0).SendFromKernel(*passer, MsgType::kSuspendProcess, {}, {},
+                                   kLinkDeliverToKernel);
+  cluster.RunUntilIdle();
+  ByteWriter w;
+  w.Address(ProcessAddress{});  // use immediately when processed
+  Link to_sink;
+  to_sink.address = *sink;
+  cluster.kernel(1).SendFromKernel(*passer, kPassItOn, w.Take(), {to_sink});
+  cluster.RunUntilIdle();  // parked in the suspended passer's queue
+
+  testutil::MigrateAndSettle(cluster, passer->pid, 0, 1);  // queue forwarded
+  cluster.kernel(1).SendFromKernel(ProcessAddress{1, passer->pid}, MsgType::kResumeProcess,
+                                   {}, {}, kLinkDeliverToKernel);
+  cluster.RunUntilIdle();
+
+  auto captured = testutil::CapturedFor(3);
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].type, kPing);
+}
+
+}  // namespace
+}  // namespace demos

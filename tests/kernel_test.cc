@@ -1,0 +1,300 @@
+// Kernel behaviour tests: spawning, messaging, scheduling, timers, process
+// control, and kernel services -- everything in Sec. 2 short of migration.
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace demos {
+namespace {
+
+class KernelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testutil::RegisterPrograms();
+    GlobalCapture().clear();
+  }
+
+  Cluster MakeCluster(int machines = 3) {
+    ClusterConfig config;
+    config.machines = machines;
+    return Cluster(config);
+  }
+
+  // Spawn a tagged sink and return a (address, link) pair for replies.
+  ProcessAddress SpawnSink(Cluster& cluster, MachineId m, std::uint64_t tag) {
+    auto addr = cluster.kernel(m).SpawnProcess("sink");
+    EXPECT_TRUE(addr.ok());
+    cluster.RunUntilIdle();
+    testutil::TagProcess(cluster, *addr, tag);
+    return *addr;
+  }
+
+  Link LinkTo(const ProcessAddress& addr, std::uint8_t flags = kLinkNone) {
+    Link l;
+    l.address = addr;
+    l.flags = flags;
+    return l;
+  }
+};
+
+TEST_F(KernelTest, SpawnCreatesWaitingProcess) {
+  Cluster cluster = MakeCluster();
+  auto addr = cluster.kernel(0).SpawnProcess("idle");
+  ASSERT_TRUE(addr.ok());
+  EXPECT_EQ(addr->last_known_machine, 0);
+  EXPECT_EQ(addr->pid.creating_machine, 0);
+  EXPECT_NE(addr->pid.local_id, 0u);  // 0 is the kernel pseudo-process
+  cluster.RunUntilIdle();
+  ProcessRecord* record = cluster.kernel(0).FindProcess(addr->pid);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->state, ExecState::kWaiting);
+  EXPECT_TRUE(record->started);
+}
+
+TEST_F(KernelTest, SpawnUnknownProgramFails) {
+  Cluster cluster = MakeCluster();
+  auto addr = cluster.kernel(0).SpawnProcess("no_such_program");
+  EXPECT_FALSE(addr.ok());
+  EXPECT_EQ(addr.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(KernelTest, SpawnRespectsMemoryLimit) {
+  ClusterConfig config;
+  config.machines = 1;
+  config.kernel.memory_limit_bytes = 10 * 1024;
+  Cluster cluster(config);
+  testutil::RegisterPrograms();
+  auto first = cluster.kernel(0).SpawnProcess("idle", 4096, 2048, 1024);
+  EXPECT_TRUE(first.ok());
+  auto second = cluster.kernel(0).SpawnProcess("idle", 4096, 2048, 1024);
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kExhausted);
+}
+
+TEST_F(KernelTest, PidsAreUniquePerMachine) {
+  Cluster cluster = MakeCluster();
+  auto a = cluster.kernel(0).SpawnProcess("idle");
+  auto b = cluster.kernel(0).SpawnProcess("idle");
+  auto c = cluster.kernel(1).SpawnProcess("idle");
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_NE(a->pid, b->pid);
+  EXPECT_NE(a->pid, c->pid);
+  EXPECT_EQ(c->pid.creating_machine, 1);
+}
+
+TEST_F(KernelTest, CrossMachinePingPong) {
+  Cluster cluster = MakeCluster();
+  ProcessAddress sink = SpawnSink(cluster, 0, 1);
+  auto echo = cluster.kernel(1).SpawnProcess("echo");
+  ASSERT_TRUE(echo.ok());
+  cluster.RunUntilIdle();
+
+  cluster.kernel(0).SendFromKernel(*echo, kPing, {5, 6, 7}, {LinkTo(sink, kLinkReply)});
+  cluster.RunUntilIdle();
+
+  auto captured = testutil::CapturedFor(1);
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].type, kPong);
+  EXPECT_EQ(captured[0].payload, (Bytes{5, 6, 7}));
+  EXPECT_EQ(captured[0].sender.pid, echo->pid);
+}
+
+TEST_F(KernelTest, LocalDeliveryWorksToo) {
+  Cluster cluster = MakeCluster(1);
+  ProcessAddress sink = SpawnSink(cluster, 0, 2);
+  auto echo = cluster.kernel(0).SpawnProcess("echo");
+  ASSERT_TRUE(echo.ok());
+  cluster.RunUntilIdle();
+  cluster.kernel(0).SendFromKernel(*echo, kPing, {1}, {LinkTo(sink, kLinkReply)});
+  cluster.RunUntilIdle();
+  EXPECT_EQ(testutil::CapturedFor(2).size(), 1u);
+}
+
+TEST_F(KernelTest, MessagesToOneProcessAreDeliveredInOrder) {
+  Cluster cluster = MakeCluster(2);
+  ProcessAddress sink = SpawnSink(cluster, 1, 3);
+  for (std::uint8_t i = 0; i < 20; ++i) {
+    cluster.kernel(0).SendFromKernel(sink, kNote, {i});
+  }
+  cluster.RunUntilIdle();
+  auto captured = testutil::CapturedFor(3);
+  ASSERT_EQ(captured.size(), 20u);
+  for (std::uint8_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(captured[i].payload[0], i);
+  }
+}
+
+TEST_F(KernelTest, CounterAccumulatesAcrossMessages) {
+  Cluster cluster = MakeCluster(2);
+  auto counter = cluster.kernel(0).SpawnProcess("counter");
+  ASSERT_TRUE(counter.ok());
+  cluster.RunUntilIdle();
+  for (int i = 0; i < 5; ++i) {
+    cluster.kernel(1).SendFromKernel(*counter, kIncrement, {});
+  }
+  cluster.RunUntilIdle();
+  ProcessRecord* record = cluster.kernel(0).FindProcess(counter->pid);
+  ASSERT_NE(record, nullptr);
+  ByteReader r(record->memory.ReadData(0, 8));
+  EXPECT_EQ(r.U64(), 5u);
+  EXPECT_EQ(record->messages_handled, 5u);
+}
+
+TEST_F(KernelTest, SuspendHoldsMessagesResumeDeliversThem) {
+  Cluster cluster = MakeCluster(2);
+  ProcessAddress sink = SpawnSink(cluster, 0, 4);
+
+  cluster.kernel(1).SendFromKernel(sink, MsgType::kSuspendProcess, {}, {},
+                                   kLinkDeliverToKernel);
+  cluster.RunUntilIdle();
+  ProcessRecord* record = cluster.kernel(0).FindProcess(sink.pid);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->state, ExecState::kSuspended);
+
+  cluster.kernel(1).SendFromKernel(sink, kNote, {1});
+  cluster.RunUntilIdle();
+  EXPECT_TRUE(testutil::CapturedFor(4).empty());
+  EXPECT_EQ(record->queue.size(), 1u);
+
+  cluster.kernel(1).SendFromKernel(sink, MsgType::kResumeProcess, {}, {},
+                                   kLinkDeliverToKernel);
+  cluster.RunUntilIdle();
+  EXPECT_EQ(testutil::CapturedFor(4).size(), 1u);
+  EXPECT_EQ(record->state, ExecState::kWaiting);
+}
+
+TEST_F(KernelTest, KillRemovesProcess) {
+  Cluster cluster = MakeCluster(2);
+  auto victim = cluster.kernel(0).SpawnProcess("idle");
+  ASSERT_TRUE(victim.ok());
+  cluster.RunUntilIdle();
+  cluster.kernel(1).SendFromKernel(*victim, MsgType::kKillProcess, {}, {},
+                                   kLinkDeliverToKernel);
+  cluster.RunUntilIdle();
+  EXPECT_EQ(cluster.kernel(0).FindProcess(victim->pid), nullptr);
+  EXPECT_EQ(cluster.kernel(0).process_table().FindEntry(victim->pid), nullptr);
+}
+
+TEST_F(KernelTest, MessageToDeadProcessBouncesToSenderProcess) {
+  Cluster cluster = MakeCluster(2);
+  ProcessAddress sink = SpawnSink(cluster, 0, 5);
+  auto victim = cluster.kernel(1).SpawnProcess("idle");
+  ASSERT_TRUE(victim.ok());
+  cluster.RunUntilIdle();
+  cluster.kernel(0).SendFromKernel(*victim, MsgType::kKillProcess, {}, {},
+                                   kLinkDeliverToKernel);
+  cluster.RunUntilIdle();
+
+  // A message "from" the sink to the dead process should produce a
+  // NOT_DELIVERABLE notification back to the sink.
+  Message msg;
+  msg.sender = sink;
+  msg.receiver = *victim;
+  msg.type = kNote;
+  cluster.kernel(0).Transmit(std::move(msg));
+  cluster.RunUntilIdle();
+
+  auto captured = testutil::CapturedFor(5);
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].type, MsgType::kNotDeliverable);
+}
+
+TEST_F(KernelTest, TimerFiresOnce) {
+  Cluster cluster = MakeCluster(1);
+  auto echo = cluster.kernel(0).SpawnProcess("echo");
+  ASSERT_TRUE(echo.ok());
+  cluster.RunUntilIdle();
+  ProcessRecord* record = cluster.kernel(0).FindProcess(echo->pid);
+  ASSERT_NE(record, nullptr);
+
+  KernelContext ctx(&cluster.kernel(0), record);
+  ctx.SetTimer(1000, 42);
+  EXPECT_EQ(record->timers.size(), 1u);
+  cluster.RunUntilIdle();
+  EXPECT_TRUE(record->timers.empty());
+  EXPECT_GE(cluster.queue().Now(), 1000u);
+}
+
+TEST_F(KernelTest, CreateProcessServiceRepliesWithLink) {
+  Cluster cluster = MakeCluster(2);
+  ProcessAddress sink = SpawnSink(cluster, 0, 6);
+
+  ByteWriter w;
+  w.Str("idle");
+  w.U32(1024);
+  w.U32(512);
+  w.U32(256);
+  cluster.kernel(0).SendFromKernel(KernelAddress(1), MsgType::kCreateProcess, w.Take(),
+                                   {LinkTo(sink, kLinkReply)});
+  cluster.RunUntilIdle();
+
+  auto captured = testutil::CapturedFor(6);
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].type, MsgType::kCreateProcessReply);
+  ByteReader r(captured[0].payload);
+  EXPECT_EQ(r.U64(), 0u);  // no cookie supplied
+  EXPECT_EQ(static_cast<StatusCode>(r.U8()), StatusCode::kOk);
+  ProcessAddress created = r.Address();
+  EXPECT_EQ(created.last_known_machine, 1);
+  EXPECT_NE(cluster.kernel(1).FindProcess(created.pid), nullptr);
+}
+
+TEST_F(KernelTest, CreateProcessServiceReportsUnknownProgram) {
+  Cluster cluster = MakeCluster(2);
+  ProcessAddress sink = SpawnSink(cluster, 0, 7);
+  ByteWriter w;
+  w.Str("missing_program");
+  w.U32(0);
+  w.U32(0);
+  w.U32(0);
+  cluster.kernel(0).SendFromKernel(KernelAddress(1), MsgType::kCreateProcess, w.Take(),
+                                   {LinkTo(sink, kLinkReply)});
+  cluster.RunUntilIdle();
+  auto captured = testutil::CapturedFor(7);
+  ASSERT_EQ(captured.size(), 1u);
+  ByteReader r(captured[0].payload);
+  (void)r.U64();  // cookie echo
+  EXPECT_EQ(static_cast<StatusCode>(r.U8()), StatusCode::kNotFound);
+}
+
+TEST_F(KernelTest, LoadReportsArrive) {
+  Cluster cluster = MakeCluster(2);
+  ProcessAddress sink = SpawnSink(cluster, 0, 8);
+  cluster.kernel(1).EnableLoadReports(sink, 10'000);
+  cluster.RunFor(35'000);
+  cluster.RunUntilIdle();
+  auto captured = testutil::CapturedFor(8);
+  ASSERT_GE(captured.size(), 3u);
+  EXPECT_EQ(captured[0].type, MsgType::kLoadReport);
+  ByteReader r(captured[0].payload);
+  EXPECT_EQ(r.U16(), 1);  // reporter machine
+}
+
+TEST_F(KernelTest, CpuAccountingAdvances) {
+  Cluster cluster = MakeCluster(1);
+  auto counter = cluster.kernel(0).SpawnProcess("counter");
+  ASSERT_TRUE(counter.ok());
+  cluster.RunUntilIdle();
+  const std::uint64_t before = cluster.kernel(0).cpu_busy_us();
+  for (int i = 0; i < 10; ++i) {
+    cluster.kernel(0).SendFromKernel(*counter, kIncrement, {});
+  }
+  cluster.RunUntilIdle();
+  EXPECT_GT(cluster.kernel(0).cpu_busy_us(), before);
+  ProcessRecord* record = cluster.kernel(0).FindProcess(counter->pid);
+  EXPECT_GT(record->cpu_used_us, 0u);
+}
+
+TEST_F(KernelTest, StatsCountMessages) {
+  Cluster cluster = MakeCluster(2);
+  ProcessAddress sink = SpawnSink(cluster, 1, 9);
+  const std::int64_t sent_before = cluster.kernel(0).stats().Get(stat::kMsgsSent);
+  cluster.kernel(0).SendFromKernel(sink, kNote, {1});
+  cluster.RunUntilIdle();
+  EXPECT_EQ(cluster.kernel(0).stats().Get(stat::kMsgsSent), sent_before + 1);
+  EXPECT_GE(cluster.kernel(1).stats().Get(stat::kMsgsDelivered), 1);
+}
+
+}  // namespace
+}  // namespace demos

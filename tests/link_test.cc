@@ -1,0 +1,143 @@
+// Tests for links and the per-process link table (Sec. 2.1, Fig. 2-1).
+
+#include <gtest/gtest.h>
+
+#include "src/base/bytes.h"
+#include "src/kernel/link.h"
+
+namespace demos {
+namespace {
+
+Link MakeTestLink(MachineId machine, std::uint32_t local_id, std::uint8_t flags = kLinkNone) {
+  Link l;
+  l.address = ProcessAddress{machine, {machine, local_id}};
+  l.flags = flags;
+  return l;
+}
+
+TEST(LinkTest, FlagPredicates) {
+  Link l = MakeTestLink(0, 1, kLinkDeliverToKernel | kLinkReply);
+  EXPECT_TRUE(l.deliver_to_kernel());
+  EXPECT_TRUE(l.reply_link());
+  EXPECT_FALSE(l.data_read());
+  EXPECT_FALSE(l.data_write());
+}
+
+TEST(LinkTest, SerializedSizeMatchesConstant) {
+  Link l = MakeTestLink(2, 7, kLinkDataRead);
+  l.data_offset = 128;
+  l.data_length = 512;
+  ByteWriter w;
+  l.Serialize(w);
+  EXPECT_EQ(w.size(), kLinkWireSize);
+}
+
+TEST(LinkTest, RoundTrip) {
+  Link l = MakeTestLink(3, 11, kLinkDataRead | kLinkDataWrite);
+  l.data_offset = 64;
+  l.data_length = 256;
+  ByteWriter w;
+  l.Serialize(w);
+  ByteReader r(w.bytes());
+  Link back = Link::Deserialize(r);
+  EXPECT_EQ(back, l);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(LinkTableTest, InsertAssignsSlots) {
+  LinkTable t;
+  EXPECT_EQ(t.Insert(MakeTestLink(0, 1)), 0u);
+  EXPECT_EQ(t.Insert(MakeTestLink(0, 2)), 1u);
+  EXPECT_EQ(t.LiveCount(), 2u);
+}
+
+TEST(LinkTableTest, GetReturnsInserted) {
+  LinkTable t;
+  const Link l = MakeTestLink(1, 5);
+  LinkId id = t.Insert(l);
+  ASSERT_NE(t.Get(id), nullptr);
+  EXPECT_EQ(*t.Get(id), l);
+  EXPECT_EQ(t.Get(99), nullptr);
+}
+
+TEST(LinkTableTest, RemoveFreesSlotForReuse) {
+  LinkTable t;
+  LinkId a = t.Insert(MakeTestLink(0, 1));
+  t.Insert(MakeTestLink(0, 2));
+  EXPECT_TRUE(t.Remove(a).ok());
+  EXPECT_EQ(t.Get(a), nullptr);
+  EXPECT_EQ(t.Insert(MakeTestLink(0, 3)), a);  // slot reused
+  EXPECT_FALSE(t.Remove(77).ok());
+}
+
+TEST(LinkTableTest, UpdateAddressesPatchesOnlyMatchingPid) {
+  LinkTable t;
+  const ProcessId target{0, 9};
+  Link stale1;
+  stale1.address = ProcessAddress{0, target};
+  Link stale2;
+  stale2.address = ProcessAddress{0, target};
+  Link other = MakeTestLink(0, 3);
+  LinkId s1 = t.Insert(stale1);
+  LinkId s2 = t.Insert(stale2);
+  LinkId o = t.Insert(other);
+
+  EXPECT_EQ(t.UpdateAddresses(target, 4), 2);
+  EXPECT_EQ(t.Get(s1)->address.last_known_machine, 4);
+  EXPECT_EQ(t.Get(s2)->address.last_known_machine, 4);
+  EXPECT_EQ(t.Get(o)->address.last_known_machine, 0);
+  // Unique id never changes (Fig. 2-1).
+  EXPECT_EQ(t.Get(s1)->address.pid, target);
+}
+
+TEST(LinkTableTest, UpdateIsIdempotent) {
+  LinkTable t;
+  const ProcessId target{0, 9};
+  Link l;
+  l.address = ProcessAddress{0, target};
+  t.Insert(l);
+  EXPECT_EQ(t.UpdateAddresses(target, 4), 1);
+  EXPECT_EQ(t.UpdateAddresses(target, 4), 0);  // already current
+}
+
+TEST(LinkTableTest, SerializeRoundTripPreservesHoles) {
+  LinkTable t;
+  t.Insert(MakeTestLink(0, 1));
+  LinkId mid = t.Insert(MakeTestLink(0, 2, kLinkDataWrite));
+  t.Insert(MakeTestLink(1, 3, kLinkDeliverToKernel));
+  ASSERT_TRUE(t.Remove(mid).ok());
+
+  ByteWriter w;
+  t.Serialize(w);
+  ByteReader r(w.bytes());
+  LinkTable back = LinkTable::Deserialize(r);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(back.SlotCount(), t.SlotCount());
+  EXPECT_EQ(back.LiveCount(), 2u);
+  EXPECT_EQ(back.Get(mid), nullptr);
+  ASSERT_NE(back.Get(0), nullptr);
+  EXPECT_EQ(back.Get(0)->address.pid, (ProcessId{0, 1}));
+  ASSERT_NE(back.Get(2), nullptr);
+  EXPECT_TRUE(back.Get(2)->deliver_to_kernel());
+}
+
+TEST(LinkTableTest, SwappableSizeGrowsWithLinkCount) {
+  // Sec. 6: swappable state is ~600 bytes "depending on the size of the link
+  // table".  Confirm the serialized table grows linearly.
+  LinkTable small;
+  LinkTable big;
+  for (int i = 0; i < 2; ++i) {
+    small.Insert(MakeTestLink(0, static_cast<std::uint32_t>(i + 1)));
+  }
+  for (int i = 0; i < 30; ++i) {
+    big.Insert(MakeTestLink(0, static_cast<std::uint32_t>(i + 1)));
+  }
+  ByteWriter ws;
+  small.Serialize(ws);
+  ByteWriter wb;
+  big.Serialize(wb);
+  EXPECT_EQ(wb.size() - ws.size(), 28 * (kLinkWireSize + 1));
+}
+
+}  // namespace
+}  // namespace demos

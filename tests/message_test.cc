@@ -1,0 +1,126 @@
+// Tests for message serialization and the wire format.
+
+#include <gtest/gtest.h>
+
+#include "src/kernel/message.h"
+
+namespace demos {
+namespace {
+
+Message SampleMessage() {
+  Message m;
+  m.sender = ProcessAddress{1, {1, 10}};
+  m.receiver = ProcessAddress{2, {0, 20}};
+  m.flags = kLinkDeliverToKernel;
+  m.type = MsgType::kMigrateRequest;
+  m.payload = {1, 2, 3, 4};
+  m.hop_count = 3;
+  Link carried;
+  carried.address = ProcessAddress{1, {1, 10}};
+  carried.flags = kLinkReply;
+  m.carried_links.push_back(carried);
+  return m;
+}
+
+TEST(MessageTest, RoundTrip) {
+  Message m = SampleMessage();
+  bool ok = false;
+  Message back = Message::Deserialize(m.Serialize(), &ok);
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(back.sender, m.sender);
+  EXPECT_EQ(back.receiver, m.receiver);
+  EXPECT_EQ(back.flags, m.flags);
+  EXPECT_EQ(back.type, m.type);
+  EXPECT_EQ(back.payload, m.payload);
+  EXPECT_EQ(back.hop_count, m.hop_count);
+  ASSERT_EQ(back.carried_links.size(), 1u);
+  EXPECT_EQ(back.carried_links[0], m.carried_links[0]);
+}
+
+TEST(MessageTest, WireSizeMatchesSerialization) {
+  Message m = SampleMessage();
+  EXPECT_EQ(m.Serialize().size(), m.WireSize());
+}
+
+TEST(MessageTest, EmptyMessageIsHeaderOnly) {
+  Message m;
+  m.sender = KernelAddress(0);
+  m.receiver = KernelAddress(1);
+  m.type = MsgType::kCleanupDone;
+  EXPECT_EQ(m.Serialize().size(), Message::WireHeaderSize());
+}
+
+TEST(MessageTest, TruncatedWireFails) {
+  Message m = SampleMessage();
+  Bytes wire = m.Serialize();
+  wire.resize(wire.size() - 3);
+  bool ok = true;
+  (void)Message::Deserialize(wire, &ok);
+  EXPECT_FALSE(ok);
+}
+
+TEST(MessageTest, DeliverToKernelFlag) {
+  Message m;
+  EXPECT_FALSE(m.deliver_to_kernel());
+  m.flags = kLinkDeliverToKernel;
+  EXPECT_TRUE(m.deliver_to_kernel());
+}
+
+TEST(MessageTest, KernelAddressUsesLocalIdZero) {
+  ProcessAddress k = KernelAddress(7);
+  EXPECT_EQ(k.last_known_machine, 7);
+  EXPECT_EQ(k.pid.creating_machine, 7);
+  EXPECT_EQ(k.pid.local_id, 0u);
+  EXPECT_TRUE(IsKernelPid(k.pid));
+  EXPECT_FALSE(IsKernelPid(ProcessId{7, 1}));
+}
+
+TEST(MessageTest, AdminTypeClassification) {
+  // Exactly the paper's 9-message control protocol counts as administrative.
+  EXPECT_TRUE(IsMigrationAdminType(MsgType::kMigrateRequest));
+  EXPECT_TRUE(IsMigrationAdminType(MsgType::kMigrateOffer));
+  EXPECT_TRUE(IsMigrationAdminType(MsgType::kMigrateAccept));
+  EXPECT_TRUE(IsMigrationAdminType(MsgType::kMigrateReject));
+  EXPECT_TRUE(IsMigrationAdminType(MsgType::kMoveDataReq));
+  EXPECT_TRUE(IsMigrationAdminType(MsgType::kTransferComplete));
+  EXPECT_TRUE(IsMigrationAdminType(MsgType::kCleanupDone));
+  EXPECT_TRUE(IsMigrationAdminType(MsgType::kMigrateDone));
+
+  EXPECT_FALSE(IsMigrationAdminType(MsgType::kMoveDataPacket));
+  EXPECT_FALSE(IsMigrationAdminType(MsgType::kMoveDataAck));
+  EXPECT_FALSE(IsMigrationAdminType(MsgType::kLinkUpdate));
+  EXPECT_FALSE(IsMigrationAdminType(MsgType::kUserBase));
+}
+
+TEST(MessageTest, TypeNamesAreDistinctive) {
+  EXPECT_STREQ(MsgTypeName(MsgType::kMigrateOffer), "MIGRATE_OFFER");
+  EXPECT_STREQ(MsgTypeName(MsgType::kLinkUpdate), "LINK_UPDATE");
+  EXPECT_STREQ(MsgTypeName(static_cast<MsgType>(2000)), "USER");
+}
+
+TEST(MessageTest, ToStringMentionsEndpoints) {
+  Message m = SampleMessage();
+  const std::string s = m.ToString();
+  EXPECT_NE(s.find("MIGRATE_REQUEST"), std::string::npos);
+  EXPECT_NE(s.find("p1.10@m1"), std::string::npos);
+}
+
+TEST(MessageTest, ManyCarriedLinksRoundTrip) {
+  Message m;
+  m.sender = KernelAddress(0);
+  m.receiver = ProcessAddress{1, {1, 1}};
+  m.type = MsgType::kUserBase;
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    Link l;
+    l.address = ProcessAddress{0, {0, i + 1}};
+    m.carried_links.push_back(l);
+  }
+  bool ok = false;
+  Message back = Message::Deserialize(m.Serialize(), &ok);
+  ASSERT_TRUE(ok);
+  ASSERT_EQ(back.carried_links.size(), 20u);
+  EXPECT_EQ(back.carried_links[19].address.pid.local_id, 20u);
+}
+
+}  // namespace
+}  // namespace demos

@@ -1,0 +1,271 @@
+// Tests for the simulated network and the reliable-delivery layer.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/net/reliable_channel.h"
+#include "src/net/sim_network.h"
+#include "src/sim/event_queue.h"
+
+namespace demos {
+namespace {
+
+struct Endpoint {
+  std::vector<std::pair<MachineId, Bytes>> received;
+  void AttachTo(Transport& t, MachineId self) {
+    t.Attach(self, [this](MachineId src, Bytes payload) {
+      received.emplace_back(src, std::move(payload));
+    });
+  }
+};
+
+Bytes Msg(std::initializer_list<std::uint8_t> bytes) { return Bytes(bytes); }
+
+TEST(SimNetworkTest, DeliversBetweenMachines) {
+  EventQueue q;
+  SimNetwork net(&q, {});
+  Endpoint a;
+  Endpoint b;
+  a.AttachTo(net, 0);
+  b.AttachTo(net, 1);
+  net.Send(0, 1, Msg({1, 2, 3}));
+  q.RunUntilIdle();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].first, 0);
+  EXPECT_EQ(b.received[0].second, Msg({1, 2, 3}));
+  EXPECT_TRUE(a.received.empty());
+}
+
+TEST(SimNetworkTest, LocalDeliveryIsAsynchronousButImmediate) {
+  EventQueue q;
+  SimNetwork net(&q, {});
+  Endpoint a;
+  a.AttachTo(net, 0);
+  net.Send(0, 0, Msg({9}));
+  EXPECT_TRUE(a.received.empty());  // not synchronous
+  q.RunUntilIdle();
+  ASSERT_EQ(a.received.size(), 1u);
+  EXPECT_EQ(q.Now(), 0u);  // no propagation delay for local traffic
+}
+
+TEST(SimNetworkTest, PropagationDelayApplies) {
+  SimNetworkConfig config;
+  config.propagation_us = 250;
+  config.bandwidth_bytes_per_us = 1e9;  // effectively no serialization delay
+  EventQueue q;
+  SimNetwork net(&q, config);
+  Endpoint b;
+  b.AttachTo(net, 1);
+  net.Send(0, 1, Msg({1}));
+  q.RunUntilIdle();
+  EXPECT_EQ(q.Now(), 250u);
+}
+
+TEST(SimNetworkTest, BandwidthSerializesLargePayloads) {
+  SimNetworkConfig config;
+  config.propagation_us = 0;
+  config.bandwidth_bytes_per_us = 10.0;
+  config.frame_overhead_bytes = 0;
+  EventQueue q;
+  SimNetwork net(&q, config);
+  Endpoint b;
+  b.AttachTo(net, 1);
+  net.Send(0, 1, Bytes(1000, 0));  // 1000 B at 10 B/us = 100 us
+  q.RunUntilIdle();
+  EXPECT_EQ(q.Now(), 100u);
+}
+
+TEST(SimNetworkTest, OutputPortQueuesBackToBack) {
+  SimNetworkConfig config;
+  config.propagation_us = 0;
+  config.bandwidth_bytes_per_us = 10.0;
+  config.frame_overhead_bytes = 0;
+  EventQueue q;
+  SimNetwork net(&q, config);
+  Endpoint b;
+  b.AttachTo(net, 1);
+  net.Send(0, 1, Bytes(1000, 0));
+  net.Send(0, 1, Bytes(1000, 0));  // must wait for the first frame
+  q.RunUntilIdle();
+  EXPECT_EQ(q.Now(), 200u);
+  EXPECT_EQ(b.received.size(), 2u);
+}
+
+TEST(SimNetworkTest, InOrderWithoutJitter) {
+  EventQueue q;
+  SimNetwork net(&q, {});
+  Endpoint b;
+  b.AttachTo(net, 1);
+  for (std::uint8_t i = 0; i < 50; ++i) {
+    net.Send(0, 1, Msg({i}));
+  }
+  q.RunUntilIdle();
+  ASSERT_EQ(b.received.size(), 50u);
+  for (std::uint8_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(b.received[i].second[0], i);
+  }
+}
+
+TEST(SimNetworkTest, DropInjection) {
+  SimNetworkConfig config;
+  config.drop_probability = 1.0;
+  EventQueue q;
+  SimNetwork net(&q, config);
+  Endpoint b;
+  b.AttachTo(net, 1);
+  net.Send(0, 1, Msg({1}));
+  q.RunUntilIdle();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(net.stats().Get(stat::kNetPacketsDropped), 1);
+}
+
+TEST(SimNetworkTest, DownNodeDropsTraffic) {
+  EventQueue q;
+  SimNetwork net(&q, {});
+  Endpoint b;
+  b.AttachTo(net, 1);
+  net.SetNodeUp(1, false);
+  net.Send(0, 1, Msg({1}));
+  q.RunUntilIdle();
+  EXPECT_TRUE(b.received.empty());
+  net.SetNodeUp(1, true);
+  net.Send(0, 1, Msg({2}));
+  q.RunUntilIdle();
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST(SimNetworkTest, CountsBytes) {
+  SimNetworkConfig config;
+  config.frame_overhead_bytes = 8;
+  EventQueue q;
+  SimNetwork net(&q, config);
+  Endpoint b;
+  b.AttachTo(net, 1);
+  net.Send(0, 1, Bytes(100, 0));
+  q.RunUntilIdle();
+  EXPECT_EQ(net.stats().Get(stat::kNetBytesSent), 108);
+}
+
+// ---------------------------------------------------------------------------
+// ReliableTransport over a lossy SimNetwork: the "published communications"
+// substitute must deliver everything, exactly once, in order.
+// ---------------------------------------------------------------------------
+
+TEST(ReliableTransportTest, DeliversOverPerfectNetwork) {
+  EventQueue q;
+  SimNetwork net(&q, {});
+  ReliableTransport rel(&q, &net, {});
+  Endpoint b;
+  b.AttachTo(rel, 1);
+  rel.Send(0, 1, Msg({42}));
+  q.RunUntilIdle();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].second, Msg({42}));
+}
+
+TEST(ReliableTransportTest, RecoversFromHeavyLoss) {
+  SimNetworkConfig config;
+  config.drop_probability = 0.4;
+  config.seed = 1234;
+  EventQueue q;
+  SimNetwork net(&q, config);
+  ReliableConfig rc;
+  rc.retransmit_timeout_us = 500;
+  ReliableTransport rel(&q, &net, rc);
+  Endpoint b;
+  b.AttachTo(rel, 1);
+  for (std::uint8_t i = 0; i < 100; ++i) {
+    rel.Send(0, 1, Msg({i}));
+  }
+  q.RunUntilIdle();
+  ASSERT_EQ(b.received.size(), 100u);
+  for (std::uint8_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(b.received[i].second[0], i) << "out of order at " << int{i};
+  }
+  EXPECT_GT(rel.stats().Get(stat::kRelRetransmits), 0);
+}
+
+TEST(ReliableTransportTest, SuppressesDuplicates) {
+  SimNetworkConfig config;
+  config.duplicate_probability = 0.5;
+  config.seed = 77;
+  EventQueue q;
+  SimNetwork net(&q, config);
+  ReliableTransport rel(&q, &net, {});
+  Endpoint b;
+  b.AttachTo(rel, 1);
+  for (std::uint8_t i = 0; i < 50; ++i) {
+    rel.Send(0, 1, Msg({i}));
+  }
+  q.RunUntilIdle();
+  EXPECT_EQ(b.received.size(), 50u);
+}
+
+TEST(ReliableTransportTest, BidirectionalStreamsAreIndependent) {
+  EventQueue q;
+  SimNetwork net(&q, {});
+  ReliableTransport rel(&q, &net, {});
+  Endpoint a;
+  Endpoint b;
+  a.AttachTo(rel, 0);
+  b.AttachTo(rel, 1);
+  rel.Send(0, 1, Msg({1}));
+  rel.Send(1, 0, Msg({2}));
+  q.RunUntilIdle();
+  ASSERT_EQ(a.received.size(), 1u);
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(a.received[0].second, Msg({2}));
+  EXPECT_EQ(b.received[0].second, Msg({1}));
+}
+
+TEST(ReliableTransportTest, GivesUpOnDeadPeer) {
+  SimNetworkConfig config;
+  EventQueue q;
+  SimNetwork net(&q, config);
+  ReliableConfig rc;
+  rc.retransmit_timeout_us = 100;
+  rc.max_retries = 5;
+  ReliableTransport rel(&q, &net, rc);
+  Endpoint b;
+  b.AttachTo(rel, 1);
+  net.SetNodeUp(1, false);
+  rel.Send(0, 1, Msg({1}));
+  q.RunUntilIdle();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(rel.stats().Get(stat::kRelGiveUps), 1);
+}
+
+// Property sweep: any loss rate up to 50% still yields exactly-once in-order
+// delivery of every message.
+class ReliableLossSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReliableLossSweep, ExactlyOnceInOrder) {
+  SimNetworkConfig config;
+  config.drop_probability = GetParam() / 100.0;
+  config.duplicate_probability = 0.1;
+  config.seed = 9000 + static_cast<std::uint64_t>(GetParam());
+  EventQueue q;
+  SimNetwork net(&q, config);
+  ReliableConfig rc;
+  rc.retransmit_timeout_us = 400;
+  ReliableTransport rel(&q, &net, rc);
+  Endpoint b;
+  b.AttachTo(rel, 1);
+  constexpr int kCount = 60;
+  for (int i = 0; i < kCount; ++i) {
+    rel.Send(0, 1, Msg({static_cast<std::uint8_t>(i)}));
+  }
+  q.RunUntilIdle();
+  ASSERT_EQ(b.received.size(), static_cast<std::size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(b.received[static_cast<std::size_t>(i)].second[0], i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, ReliableLossSweep,
+                         ::testing::Values(0, 5, 10, 20, 30, 40, 50));
+
+}  // namespace
+}  // namespace demos

@@ -1,0 +1,191 @@
+// Migration-policy unit tests: decision rules over synthetic load tables.
+
+#include <gtest/gtest.h>
+
+#include "src/policy/affinity_policy.h"
+#include "src/policy/policy.h"
+#include "src/policy/threshold_balancer.h"
+
+namespace demos {
+namespace {
+
+LoadReport MakeReport(MachineId machine, double utilization, std::uint16_t ready,
+                      std::vector<ProcessLoadEntry> processes = {}) {
+  LoadReport report;
+  report.machine = machine;
+  report.live_processes = static_cast<std::uint16_t>(processes.size());
+  report.ready_processes = ready;
+  report.window_us = 100'000;
+  report.cpu_busy_delta_us = static_cast<std::uint32_t>(utilization * 100'000);
+  report.memory_used = 1000;
+  report.memory_limit = 100'000;
+  report.processes = std::move(processes);
+  return report;
+}
+
+ProcessLoadEntry Proc(ProcessId pid, std::uint32_t cpu, MachineId partner = kNoMachine,
+                      std::uint32_t partner_msgs = 0) {
+  ProcessLoadEntry entry;
+  entry.pid = pid;
+  entry.cpu_used_us = cpu;
+  entry.top_partner = partner;
+  entry.top_partner_msgs = partner_msgs;
+  return entry;
+}
+
+bool AnyProcess(const ProcessLoad&) { return true; }
+
+TEST(LoadTableTest, ApplyAndSort) {
+  LoadTable table;
+  table.Apply(MakeReport(0, 0.9, 5), 1000);
+  table.Apply(MakeReport(1, 0.1, 0), 1000);
+  table.Apply(MakeReport(2, 0.5, 2), 1000);
+  auto sorted = table.ByUtilization();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted.front().machine, 1);
+  EXPECT_EQ(sorted.back().machine, 0);
+}
+
+TEST(LoadTableTest, UtilizationIsClamped) {
+  LoadTable table;
+  LoadReport overload = MakeReport(0, 5.0, 9);
+  table.Apply(overload, 0);
+  EXPECT_DOUBLE_EQ(table.machines().at(0).cpu_utilization, 1.0);
+}
+
+TEST(LoadTableTest, ExpireStaleDropsOldProcesses) {
+  LoadTable table;
+  table.Apply(MakeReport(0, 0.5, 1, {Proc({0, 1}, 100)}), 1000);
+  table.Apply(MakeReport(1, 0.5, 1, {Proc({1, 1}, 100)}), 5000);
+  table.ExpireStale(3000);
+  EXPECT_EQ(table.processes().count(ProcessId{0, 1}), 0u);
+  EXPECT_EQ(table.processes().count(ProcessId{1, 1}), 1u);
+}
+
+TEST(NullPolicyTest, NeverDecides) {
+  NullPolicy policy;
+  LoadTable table;
+  table.Apply(MakeReport(0, 1.0, 10, {Proc({0, 1}, 1000)}), 0);
+  table.Apply(MakeReport(1, 0.0, 0), 0);
+  EXPECT_TRUE(policy.Decide(0, table, AnyProcess).empty());
+}
+
+TEST(ThresholdBalancerTest, MovesHeaviestProcessFromHotToCold) {
+  ThresholdBalancerPolicy policy;
+  LoadTable table;
+  table.Apply(MakeReport(0, 0.95, 4, {Proc({0, 1}, 500), Proc({0, 2}, 900)}), 1000);
+  table.Apply(MakeReport(1, 0.05, 0), 1000);
+
+  auto decisions = policy.Decide(2000, table, AnyProcess);
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].pid, (ProcessId{0, 2}));  // the heavier one
+  EXPECT_EQ(decisions[0].from, 0);
+  EXPECT_EQ(decisions[0].to, 1);
+}
+
+TEST(ThresholdBalancerTest, NoMoveBelowThreshold) {
+  ThresholdBalancerPolicy policy;
+  LoadTable table;
+  table.Apply(MakeReport(0, 0.55, 1, {Proc({0, 1}, 500)}), 1000);
+  table.Apply(MakeReport(1, 0.45, 1), 1000);
+  EXPECT_TRUE(policy.Decide(2000, table, AnyProcess).empty());
+}
+
+TEST(ThresholdBalancerTest, HysteresisBlocksRapidRepeatMoves) {
+  ThresholdBalancerConfig config;
+  config.cooldown_us = 1'000'000;
+  config.staleness_us = 10'000'000;  // keep the synthetic rows fresh
+  ThresholdBalancerPolicy policy(config);
+  LoadTable table;
+  table.Apply(MakeReport(0, 0.95, 4, {Proc({0, 1}, 500), Proc({0, 2}, 600)}), 1000);
+  table.Apply(MakeReport(1, 0.05, 0), 1000);
+
+  EXPECT_EQ(policy.Decide(2000, table, AnyProcess).size(), 1u);
+  EXPECT_TRUE(policy.Decide(10'000, table, AnyProcess).empty());  // inside cooldown
+  EXPECT_EQ(policy.Decide(1'500'000, table, AnyProcess).size(), 1u);  // cooldown over
+}
+
+TEST(ThresholdBalancerTest, RespectsMovableFilter) {
+  ThresholdBalancerPolicy policy;
+  LoadTable table;
+  table.Apply(MakeReport(0, 0.95, 4, {Proc({0, 1}, 500)}), 1000);
+  table.Apply(MakeReport(1, 0.05, 0), 1000);
+  auto none_movable = [](const ProcessLoad&) { return false; };
+  EXPECT_TRUE(policy.Decide(2000, table, none_movable).empty());
+}
+
+TEST(ThresholdBalancerTest, IgnoresStaleRows) {
+  ThresholdBalancerConfig config;
+  config.staleness_us = 1000;
+  ThresholdBalancerPolicy policy(config);
+  LoadTable table;
+  table.Apply(MakeReport(0, 0.95, 4, {Proc({0, 1}, 500)}), 0);  // stale by decision time
+  table.Apply(MakeReport(1, 0.05, 0), 10'000);
+  EXPECT_TRUE(policy.Decide(10'500, table, AnyProcess).empty());
+}
+
+TEST(ThresholdBalancerTest, QueueSpreadAloneTriggers) {
+  ThresholdBalancerPolicy policy;
+  LoadTable table;
+  // Same CPU but very different ready queues.
+  table.Apply(MakeReport(0, 0.5, 8, {Proc({0, 1}, 500)}), 1000);
+  table.Apply(MakeReport(1, 0.5, 0), 1000);
+  EXPECT_EQ(policy.Decide(2000, table, AnyProcess).size(), 1u);
+}
+
+TEST(AffinityPolicyTest, MovesProcessTowardItsTopPartner) {
+  AffinityPolicyConfig config;
+  config.min_remote_msgs = 10;
+  AffinityPolicy policy(config);
+  LoadTable table;
+  table.Apply(MakeReport(0, 0.3, 1, {Proc({0, 1}, 100, /*partner=*/2, /*msgs=*/500)}), 1000);
+  table.Apply(MakeReport(2, 0.2, 0), 1000);
+
+  auto decisions = policy.Decide(2000, table, AnyProcess);
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].pid, (ProcessId{0, 1}));
+  EXPECT_EQ(decisions[0].to, 2);
+}
+
+TEST(AffinityPolicyTest, IgnoresLocalTraffic) {
+  AffinityPolicy policy;
+  LoadTable table;
+  table.Apply(MakeReport(0, 0.3, 1, {Proc({0, 1}, 100, /*partner=*/0, /*msgs=*/500)}), 1000);
+  EXPECT_TRUE(policy.Decide(2000, table, AnyProcess).empty());
+}
+
+TEST(AffinityPolicyTest, DoesNotMoveOntoHotMachine) {
+  AffinityPolicyConfig config;
+  config.destination_cap = 0.8;
+  AffinityPolicy policy(config);
+  LoadTable table;
+  table.Apply(MakeReport(0, 0.3, 1, {Proc({0, 1}, 100, 2, 500)}), 1000);
+  table.Apply(MakeReport(2, 0.95, 6), 1000);
+  EXPECT_TRUE(policy.Decide(2000, table, AnyProcess).empty());
+}
+
+TEST(AffinityPolicyTest, DoesNotRetriggerOnOldTraffic) {
+  AffinityPolicyConfig config;
+  config.min_remote_msgs = 10;
+  config.cooldown_us = 0;
+  AffinityPolicy policy(config);
+  LoadTable table;
+  table.Apply(MakeReport(0, 0.3, 1, {Proc({0, 1}, 100, 2, 500)}), 1000);
+  table.Apply(MakeReport(2, 0.2, 0), 1000);
+  EXPECT_EQ(policy.Decide(2000, table, AnyProcess).size(), 1u);
+  // Same counts again (process has not talked since): no new decision.
+  EXPECT_TRUE(policy.Decide(3000, table, AnyProcess).empty());
+}
+
+TEST(PolicyRegistryTest, CreatesAllStandardPolicies) {
+  RegisterStandardPolicies();
+  for (const char* name : {"null", "threshold", "affinity"}) {
+    auto policy = PolicyRegistry::Instance().Create(name);
+    ASSERT_NE(policy, nullptr) << name;
+    EXPECT_EQ(policy->name(), name);
+  }
+  EXPECT_EQ(PolicyRegistry::Instance().Create("bogus"), nullptr);
+}
+
+}  // namespace
+}  // namespace demos

@@ -1,0 +1,327 @@
+// Process manager and memory scheduler tests (Sec. 2.3, 3.1).
+
+#include <gtest/gtest.h>
+
+#include "src/sys/memory_scheduler.h"
+#include "src/sys/process_manager.h"
+#include "tests/sys_test_util.h"
+
+namespace demos {
+namespace {
+
+class ProcessManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testutil::RegisterPrograms();
+    RegisterSystemPrograms();
+    RegisterWorkloadPrograms();
+    GlobalCapture().clear();
+    DefaultProcessManagerConfig() = {};
+  }
+
+  Link ReplyLink(const ProcessAddress& to) {
+    Link l;
+    l.address = to;
+    l.flags = kLinkReply;
+    return l;
+  }
+};
+
+TEST_F(ProcessManagerTest, BootBringsUpSystemProcesses) {
+  Cluster cluster(ClusterConfig{.machines = 3});
+  SystemLayout layout = BootSystem(cluster);
+  EXPECT_NE(cluster.FindProcessAnywhere(layout.switchboard.pid), nullptr);
+  EXPECT_NE(cluster.FindProcessAnywhere(layout.process_manager.pid), nullptr);
+  EXPECT_NE(cluster.FindProcessAnywhere(layout.memory_scheduler.pid), nullptr);
+  EXPECT_NE(cluster.FindProcessAnywhere(layout.fs_request.pid), nullptr);
+  EXPECT_NE(cluster.FindProcessAnywhere(layout.fs_disk.pid), nullptr);
+}
+
+TEST_F(ProcessManagerTest, CreatesProcessOnRequestedMachine) {
+  Cluster cluster(ClusterConfig{.machines = 3});
+  SystemLayout layout = BootSystem(cluster);
+  auto sink = cluster.kernel(0).SpawnProcess("sink");
+  ASSERT_TRUE(sink.ok());
+  cluster.RunFor(1000);
+  testutil::TagProcess(cluster, *sink, 1);
+
+  ByteWriter w;
+  w.U64(42);  // requester cookie
+  w.Str("idle");
+  w.U16(2);  // explicit machine
+  w.U32(2048);
+  w.U32(1024);
+  w.U32(512);
+  cluster.kernel(0).SendFromKernel(layout.process_manager, kPmCreate, w.Take(),
+                                   {ReplyLink(*sink)});
+
+  ASSERT_TRUE(testutil::RunUntil(cluster, [&] { return !testutil::CapturedFor(1).empty(); }));
+  auto captured = testutil::CapturedFor(1);
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].type, kPmCreateReply);
+  ByteReader r(captured[0].payload);
+  EXPECT_EQ(r.U64(), 42u);
+  EXPECT_EQ(static_cast<StatusCode>(r.U8()), StatusCode::kOk);
+  ProcessAddress created = r.Address();
+  EXPECT_EQ(created.last_known_machine, 2);
+  EXPECT_NE(cluster.kernel(2).FindProcess(created.pid), nullptr);
+}
+
+TEST_F(ProcessManagerTest, AnyMachinePlacementPrefersIdleMachine) {
+  Cluster cluster(ClusterConfig{.machines = 3});
+  BootOptions options;
+  options.load_report_interval_us = 10'000;
+  SystemLayout layout = BootSystem(cluster, options);
+
+  // Load machine 0 (where the system processes live) with CPU-bound work.
+  auto hog = cluster.kernel(0).SpawnProcess("cpu_bound");
+  ASSERT_TRUE(hog.ok());
+  CpuBoundConfig hog_config;
+  hog_config.quantum_us = 9000;
+  hog_config.period_us = 10'000;
+  hog_config.total_us = 10'000'000;
+  (void)cluster.kernel(0).FindProcess(hog->pid)->memory.WriteData(0, hog_config.Encode());
+  cluster.RunFor(200'000);  // accumulate load reports
+
+  auto sink = cluster.kernel(1).SpawnProcess("sink");
+  ASSERT_TRUE(sink.ok());
+  cluster.RunFor(1000);
+  testutil::TagProcess(cluster, *sink, 2);
+
+  ByteWriter w;
+  w.U64(7);
+  w.Str("idle");
+  w.U16(kNoMachine);  // "any"
+  w.U32(1024);
+  w.U32(512);
+  w.U32(256);
+  cluster.kernel(1).SendFromKernel(layout.process_manager, kPmCreate, w.Take(),
+                                   {ReplyLink(*sink)});
+  ASSERT_TRUE(testutil::RunUntil(cluster, [&] { return !testutil::CapturedFor(2).empty(); }));
+
+  ByteReader r(Bytes(testutil::CapturedFor(2)[0].payload));
+  (void)r.U64();
+  ASSERT_EQ(static_cast<StatusCode>(r.U8()), StatusCode::kOk);
+  ProcessAddress created = r.Address();
+  EXPECT_NE(created.last_known_machine, 0) << "should avoid the loaded machine";
+}
+
+TEST_F(ProcessManagerTest, MigratesOnRequestAndReplies) {
+  Cluster cluster(ClusterConfig{.machines = 3});
+  SystemLayout layout = BootSystem(cluster);
+  auto victim = cluster.kernel(0).SpawnProcess("counter");
+  auto sink = cluster.kernel(2).SpawnProcess("sink");
+  ASSERT_TRUE(victim.ok() && sink.ok());
+  cluster.RunFor(1000);
+  testutil::TagProcess(cluster, *sink, 3);
+
+  ByteWriter w;
+  w.Pid(victim->pid);
+  w.U16(0);  // current machine hint
+  w.U16(1);  // destination
+  cluster.kernel(2).SendFromKernel(layout.process_manager, kPmMigrate, w.Take(),
+                                   {ReplyLink(*sink)});
+  ASSERT_TRUE(testutil::RunUntil(cluster, [&] { return !testutil::CapturedFor(3).empty(); }));
+
+  auto captured = testutil::CapturedFor(3);
+  EXPECT_EQ(captured[0].type, kPmMigrateReply);
+  ByteReader r(captured[0].payload);
+  EXPECT_EQ(r.Pid(), victim->pid);
+  EXPECT_EQ(static_cast<StatusCode>(r.U8()), StatusCode::kOk);
+  EXPECT_EQ(r.U16(), 1);
+  EXPECT_NE(cluster.kernel(1).FindProcess(victim->pid), nullptr);
+}
+
+TEST_F(ProcessManagerTest, ThresholdPolicyBalancesLoad) {
+  Cluster cluster(ClusterConfig{.machines = 2});
+  BootOptions options;
+  options.policy = "threshold";
+  options.policy_interval_us = 50'000;
+  options.load_report_interval_us = 20'000;
+  SystemLayout layout = BootSystem(cluster, options);
+  auto sink = cluster.kernel(1).SpawnProcess("sink");
+  ASSERT_TRUE(sink.ok());
+  cluster.RunFor(1000);
+  testutil::TagProcess(cluster, *sink, 4);
+
+  // Create two CPU hogs via the PM, both pinned-free, both on machine 0.
+  std::vector<ProcessId> hogs;
+  for (int i = 0; i < 2; ++i) {
+    ByteWriter w;
+    w.U64(100 + static_cast<std::uint64_t>(i));
+    w.Str("cpu_bound");
+    w.U16(0);
+    w.U32(2048);
+    w.U32(1024);
+    w.U32(512);
+    cluster.kernel(1).SendFromKernel(layout.process_manager, kPmCreate, w.Take(),
+                                     {ReplyLink(*sink)});
+  }
+  ASSERT_TRUE(
+      testutil::RunUntil(cluster, [&] { return testutil::CapturedFor(4).size() >= 2; }));
+  for (const auto& captured : testutil::CapturedFor(4)) {
+    ByteReader r(captured.payload);
+    (void)r.U64();
+    ASSERT_EQ(static_cast<StatusCode>(r.U8()), StatusCode::kOk);
+    ProcessAddress addr = r.Address();
+    hogs.push_back(addr.pid);
+    CpuBoundConfig config;
+    config.quantum_us = 8000;
+    config.period_us = 10'000;
+    config.total_us = 60'000'000;
+    ProcessRecord* record = cluster.FindProcessAnywhere(addr.pid);
+    ASSERT_NE(record, nullptr);
+    (void)record->memory.WriteData(0, config.Encode());
+    // Kick the program (it read config at OnStart; restart its timer loop).
+    cluster.kernel(addr.last_known_machine)
+        .SendFromKernel(addr, MsgType::kResumeProcess, {}, {}, kLinkDeliverToKernel);
+  }
+  // Nudge: configs were written after OnStart, so re-trigger their tick.
+  for (const ProcessId& pid : hogs) {
+    ProcessRecord* record = cluster.FindProcessAnywhere(pid);
+    KernelContext ctx(&cluster.kernel(cluster.HostOf(pid)), record);
+    ctx.SetTimer(1, 0x71CC);
+  }
+
+  // With both hogs on machine 0, the threshold policy should move one away.
+  const bool balanced = testutil::RunUntil(
+      cluster,
+      [&] {
+        return cluster.HostOf(hogs[0]) != cluster.HostOf(hogs[1]);
+      },
+      3'000'000, 20'000);
+  EXPECT_TRUE(balanced);
+  ProcessManagerProgram* pm =
+      testutil::ProgramOf<ProcessManagerProgram>(cluster, layout.process_manager.pid);
+  ASSERT_NE(pm, nullptr);
+  EXPECT_GE(pm->migrations_started(), 1);
+}
+
+TEST_F(ProcessManagerTest, EvacuateMovesEverythingOffMachine) {
+  Cluster cluster(ClusterConfig{.machines = 3});
+  SystemLayout layout = BootSystem(cluster);
+  auto sink = cluster.kernel(1).SpawnProcess("sink");
+  ASSERT_TRUE(sink.ok());
+  cluster.RunFor(1000);
+  testutil::TagProcess(cluster, *sink, 5);
+
+  // Create three processes on machine 2 via the PM.
+  std::vector<ProcessId> pids;
+  for (int i = 0; i < 3; ++i) {
+    ByteWriter w;
+    w.U64(static_cast<std::uint64_t>(i));
+    w.Str("counter");
+    w.U16(2);
+    w.U32(1024);
+    w.U32(512);
+    w.U32(256);
+    cluster.kernel(1).SendFromKernel(layout.process_manager, kPmCreate, w.Take(),
+                                     {ReplyLink(*sink)});
+  }
+  ASSERT_TRUE(
+      testutil::RunUntil(cluster, [&] { return testutil::CapturedFor(5).size() >= 3; }));
+  for (const auto& captured : testutil::CapturedFor(5)) {
+    ByteReader r(captured.payload);
+    (void)r.U64();
+    (void)r.U8();
+    pids.push_back(r.Address().pid);
+  }
+
+  ByteWriter w;
+  w.U16(2);
+  cluster.kernel(1).SendFromKernel(layout.process_manager, kPmEvacuate, w.Take());
+  const bool evacuated = testutil::RunUntil(
+      cluster,
+      [&] {
+        for (const ProcessId& pid : pids) {
+          if (cluster.HostOf(pid) == 2 || cluster.HostOf(pid) == kNoMachine) {
+            return false;
+          }
+        }
+        return true;
+      },
+      3'000'000);
+  EXPECT_TRUE(evacuated);
+}
+
+TEST_F(ProcessManagerTest, ManagerItselfCanMigrate) {
+  // The PM's inventory, pins, and policy travel in its program state.
+  Cluster cluster(ClusterConfig{.machines = 3});
+  SystemLayout layout = BootSystem(cluster);
+  testutil::MigrateAndSettle(cluster, layout.process_manager.pid, 0, 2);
+  // MigrateAndSettle uses RunUntilIdle; bounded because load reports target
+  // the PM's address and keep working (they are forwarded).  Give it a kick:
+  cluster.RunFor(100'000);
+
+  ASSERT_NE(cluster.kernel(2).FindProcess(layout.process_manager.pid), nullptr);
+  ProcessManagerProgram* pm =
+      testutil::ProgramOf<ProcessManagerProgram>(cluster, layout.process_manager.pid);
+  ASSERT_NE(pm, nullptr);
+
+  // It still creates processes after moving.
+  auto sink = cluster.kernel(1).SpawnProcess("sink");
+  ASSERT_TRUE(sink.ok());
+  cluster.RunFor(1000);
+  testutil::TagProcess(cluster, *sink, 6);
+  ByteWriter w;
+  w.U64(1);
+  w.Str("idle");
+  w.U16(1);
+  w.U32(1024);
+  w.U32(512);
+  w.U32(256);
+  // Old address: the request is forwarded to the PM's new home.
+  cluster.kernel(1).SendFromKernel(ProcessAddress{0, layout.process_manager.pid}, kPmCreate,
+                                   w.Take(), {ReplyLink(*sink)});
+  ASSERT_TRUE(testutil::RunUntil(cluster, [&] { return !testutil::CapturedFor(6).empty(); }));
+  ByteReader r(Bytes(testutil::CapturedFor(6)[0].payload));
+  (void)r.U64();
+  EXPECT_EQ(static_cast<StatusCode>(r.U8()), StatusCode::kOk);
+}
+
+TEST_F(ProcessManagerTest, MemorySchedulerAnswersQueries) {
+  Cluster cluster(ClusterConfig{.machines = 2});
+  BootOptions options;
+  options.load_report_interval_us = 10'000;
+  SystemLayout layout = BootSystem(cluster, options);
+  cluster.RunFor(100'000);  // several reports forwarded PM -> MS
+
+  auto sink = cluster.kernel(1).SpawnProcess("sink");
+  ASSERT_TRUE(sink.ok());
+  cluster.RunFor(1000);
+  testutil::TagProcess(cluster, *sink, 7);
+
+  ByteWriter w;
+  w.U16(0);
+  cluster.kernel(1).SendFromKernel(layout.memory_scheduler, kMsQuery, w.Take(),
+                                   {ReplyLink(*sink)});
+  ASSERT_TRUE(testutil::RunUntil(cluster, [&] { return !testutil::CapturedFor(7).empty(); }));
+  ByteReader r(Bytes(testutil::CapturedFor(7)[0].payload));
+  EXPECT_EQ(static_cast<StatusCode>(r.U8()), StatusCode::kOk);
+  EXPECT_GT(r.U64(), 0u);  // machine 0 hosts system processes => memory in use
+}
+
+TEST_F(ProcessManagerTest, MemorySchedulerFindsSpace) {
+  Cluster cluster(ClusterConfig{.machines = 2});
+  BootOptions options;
+  options.load_report_interval_us = 10'000;
+  SystemLayout layout = BootSystem(cluster, options);
+  cluster.RunFor(60'000);
+
+  auto sink = cluster.kernel(1).SpawnProcess("sink");
+  ASSERT_TRUE(sink.ok());
+  cluster.RunFor(1000);
+  testutil::TagProcess(cluster, *sink, 8);
+
+  ByteWriter w;
+  w.U64(1024);
+  cluster.kernel(1).SendFromKernel(layout.memory_scheduler, kMsFindSpace, w.Take(),
+                                   {Link{*sink, kLinkReply, 0, 0}});
+  ASSERT_TRUE(testutil::RunUntil(cluster, [&] { return !testutil::CapturedFor(8).empty(); }));
+  ByteReader r(Bytes(testutil::CapturedFor(8)[0].payload));
+  EXPECT_EQ(static_cast<StatusCode>(r.U8()), StatusCode::kOk);
+  EXPECT_NE(r.U16(), kNoMachine);
+}
+
+}  // namespace
+}  // namespace demos

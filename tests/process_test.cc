@@ -1,0 +1,196 @@
+// Tests for the process record, memory image, and the two serialized state
+// halves of Fig. 2-2 / Sec. 6.
+
+#include <gtest/gtest.h>
+
+#include "src/kernel/process.h"
+#include "src/proc/memory_image.h"
+
+namespace demos {
+namespace {
+
+TEST(MemoryImageTest, CreateEmbedsProgramName) {
+  MemoryImage image = MemoryImage::Create("editor", 4096, 1024, 512);
+  EXPECT_EQ(image.ProgramName(), "editor");
+  EXPECT_EQ(image.code_size(), 4096u);
+  EXPECT_EQ(image.data_size(), 1024u);
+  EXPECT_EQ(image.stack_size(), 512u);
+  EXPECT_EQ(image.TotalSize(), 4096u + 1024 + 512);
+}
+
+TEST(MemoryImageTest, TinyCodeSizeStillFitsName) {
+  MemoryImage image = MemoryImage::Create("a_rather_long_program_name", 1, 16, 16);
+  EXPECT_EQ(image.ProgramName(), "a_rather_long_program_name");
+  EXPECT_GT(image.code_size(), 1u);
+}
+
+TEST(MemoryImageTest, DataReadWrite) {
+  MemoryImage image = MemoryImage::Create("p", 64, 128, 64);
+  EXPECT_TRUE(image.WriteData(10, {1, 2, 3}).ok());
+  EXPECT_EQ(image.ReadData(10, 3), (Bytes{1, 2, 3}));
+  EXPECT_EQ(image.ReadData(9, 3), (Bytes{0, 1, 2}));
+}
+
+TEST(MemoryImageTest, OutOfRangeWriteRejected) {
+  MemoryImage image = MemoryImage::Create("p", 64, 16, 64);
+  EXPECT_FALSE(image.WriteData(15, {1, 2}).ok());
+  EXPECT_FALSE(image.WriteData(17, {1}).ok());
+  EXPECT_TRUE(image.WriteData(14, {1, 2}).ok());
+}
+
+TEST(MemoryImageTest, OutOfRangeReadReturnsEmpty) {
+  MemoryImage image = MemoryImage::Create("p", 64, 16, 64);
+  EXPECT_TRUE(image.ReadData(15, 2).empty());
+  EXPECT_EQ(image.ReadData(14, 2).size(), 2u);
+}
+
+TEST(MemoryImageTest, SerializeRoundTrip) {
+  MemoryImage image = MemoryImage::Create("prog", 256, 128, 64);
+  ASSERT_TRUE(image.WriteData(0, {9, 8, 7}).ok());
+  bool ok = false;
+  MemoryImage back = MemoryImage::Deserialize(image.Serialize(), &ok);
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(back.ProgramName(), "prog");
+  EXPECT_EQ(back.ReadData(0, 3), (Bytes{9, 8, 7}));
+  EXPECT_EQ(back.TotalSize(), image.TotalSize());
+}
+
+TEST(DispatchInfoTest, RoundTrip) {
+  DispatchInfo d;
+  for (int i = 0; i < 16; ++i) {
+    d.registers[i] = static_cast<std::uint16_t>(i * 1111);
+  }
+  d.pc = 0xCAFE;
+  d.sp = 0xF00D;
+  d.psw = 0x5555;
+  ByteWriter w;
+  d.Serialize(w);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(DispatchInfo::Deserialize(r), d);
+}
+
+ProcessRecord MakeRecord() {
+  ProcessRecord record;
+  record.pid = ProcessId{1, 42};
+  record.state = ExecState::kWaiting;
+  record.priority = 55;
+  record.memory = MemoryImage::Create("counter", 2048, 1024, 512);
+  record.dispatch.pc = 0x1234;
+  record.cpu_used_us = 999;
+  record.messages_handled = 7;
+  record.created_at = 1000;
+  record.migration_history = {0, 3};
+  return record;
+}
+
+TEST(ProcessRecordTest, ResidentStateRoundTrip) {
+  ProcessRecord record = MakeRecord();
+  Bytes blob = record.SerializeResidentState();
+
+  ProcessRecord other;
+  other.pid = record.pid;
+  other.memory = MemoryImage::Create("counter", 2048, 1024, 512);
+  ASSERT_TRUE(other.ApplyResidentState(blob).ok());
+  EXPECT_EQ(other.state, record.state);
+  EXPECT_EQ(other.priority, record.priority);
+  EXPECT_EQ(other.dispatch, record.dispatch);
+  EXPECT_EQ(other.cpu_used_us, record.cpu_used_us);
+  EXPECT_EQ(other.messages_handled, record.messages_handled);
+  EXPECT_EQ(other.migration_history, record.migration_history);
+  EXPECT_EQ(other.kernel_context, record.kernel_context);
+}
+
+TEST(ProcessRecordTest, ResidentStateRejectsWrongPid) {
+  ProcessRecord record = MakeRecord();
+  Bytes blob = record.SerializeResidentState();
+  ProcessRecord other;
+  other.pid = ProcessId{9, 9};
+  EXPECT_FALSE(other.ApplyResidentState(blob).ok());
+}
+
+TEST(ProcessRecordTest, ResidentStateRejectsTruncation) {
+  ProcessRecord record = MakeRecord();
+  Bytes blob = record.SerializeResidentState();
+  blob.resize(blob.size() / 2);
+  ProcessRecord other;
+  other.pid = record.pid;
+  EXPECT_FALSE(other.ApplyResidentState(blob).ok());
+}
+
+TEST(ProcessRecordTest, ResidentStateIsAboutTwoHundredFiftyBytes) {
+  // Sec. 6: "The non-swappable state uses about 250 bytes."
+  ProcessRecord record = MakeRecord();
+  const std::size_t size = record.SerializeResidentState().size();
+  EXPECT_GE(size, 200u);
+  EXPECT_LE(size, 300u);
+}
+
+TEST(ProcessRecordTest, SwappableStateCarriesTimersWithRemainingTime) {
+  ProcessRecord record = MakeRecord();
+  record.timers.push_back({.due = 5000, .cookie = 11});
+  record.timers.push_back({.due = 9000, .cookie = 22});
+  Bytes blob = record.SerializeSwappableState(/*now=*/4000);
+
+  ProcessRecord other;
+  other.pid = record.pid;
+  ASSERT_TRUE(other.ApplySwappableState(blob, /*now=*/100'000).ok());
+  ASSERT_EQ(other.timers.size(), 2u);
+  EXPECT_EQ(other.timers[0].due, 101'000u);  // 1000 remaining
+  EXPECT_EQ(other.timers[0].cookie, 11u);
+  EXPECT_EQ(other.timers[1].due, 105'000u);  // 5000 remaining
+}
+
+TEST(ProcessRecordTest, OverdueTimerBecomesImmediate) {
+  ProcessRecord record = MakeRecord();
+  record.timers.push_back({.due = 100, .cookie = 1});
+  Bytes blob = record.SerializeSwappableState(/*now=*/500);  // already overdue
+  ProcessRecord other;
+  other.pid = record.pid;
+  ASSERT_TRUE(other.ApplySwappableState(blob, /*now=*/1000).ok());
+  EXPECT_EQ(other.timers[0].due, 1000u);
+}
+
+TEST(ProcessRecordTest, SwappableStateCarriesLinkTable) {
+  ProcessRecord record = MakeRecord();
+  Link l;
+  l.address = ProcessAddress{2, {2, 5}};
+  l.flags = kLinkDataRead;
+  record.links.Insert(l);
+  Bytes blob = record.SerializeSwappableState(0);
+
+  ProcessRecord other;
+  other.pid = record.pid;
+  ASSERT_TRUE(other.ApplySwappableState(blob, 0).ok());
+  ASSERT_NE(other.links.Get(0), nullptr);
+  EXPECT_EQ(*other.links.Get(0), l);
+}
+
+TEST(ProcessTableTest, InsertFindErase) {
+  ProcessTable table;
+  auto record = std::make_unique<ProcessRecord>();
+  record->pid = ProcessId{0, 1};
+  ProcessRecord* raw = table.Insert(std::move(record));
+  EXPECT_EQ(table.Find(ProcessId{0, 1}), raw);
+  EXPECT_EQ(table.LiveProcessCount(), 1u);
+  table.Erase(ProcessId{0, 1});
+  EXPECT_EQ(table.Find(ProcessId{0, 1}), nullptr);
+}
+
+TEST(ProcessTableTest, ForwardingAddressReplacesProcess) {
+  ProcessTable table;
+  auto record = std::make_unique<ProcessRecord>();
+  record->pid = ProcessId{0, 1};
+  table.Insert(std::move(record));
+
+  table.InstallForwardingAddress(ProcessId{0, 1}, 5);
+  EXPECT_EQ(table.Find(ProcessId{0, 1}), nullptr);  // no live process
+  const auto* entry = table.FindEntry(ProcessId{0, 1});
+  ASSERT_NE(entry, nullptr);
+  EXPECT_TRUE(entry->IsForwarding());
+  EXPECT_EQ(entry->forward_to, 5);
+  EXPECT_EQ(table.LiveProcessCount(), 0u);
+  EXPECT_EQ(table.ForwardingAddressCount(), 1u);
+}
+
+}  // namespace
+}  // namespace demos

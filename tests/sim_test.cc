@@ -1,0 +1,123 @@
+// Unit tests for the discrete-event engine.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.h"
+
+namespace demos {
+namespace {
+
+TEST(EventQueueTest, StartsAtZero) {
+  EventQueue q;
+  EXPECT_EQ(q.Now(), 0u);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueueTest, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.At(30, [&] { order.push_back(3); });
+  q.At(10, [&] { order.push_back(1); });
+  q.At(20, [&] { order.push_back(2); });
+  q.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.Now(), 30u);
+}
+
+TEST(EventQueueTest, SameTimeIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.At(5, [&order, i] { order.push_back(i); });
+  }
+  q.RunUntilIdle();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EventQueueTest, AfterIsRelative) {
+  EventQueue q;
+  SimTime fired_at = 0;
+  q.At(100, [&] {
+    q.After(50, [&] { fired_at = q.Now(); });
+  });
+  q.RunUntilIdle();
+  EXPECT_EQ(fired_at, 150u);
+}
+
+TEST(EventQueueTest, PastTimesClampToNow) {
+  EventQueue q;
+  bool ran = false;
+  q.At(100, [&] {
+    q.At(10, [&] { ran = true; });  // in the past; runs at now
+  });
+  q.RunUntilIdle();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(q.Now(), 100u);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  int count = 0;
+  q.At(10, [&] { ++count; });
+  q.At(20, [&] { ++count; });
+  q.At(30, [&] { ++count; });
+  q.RunUntil(20);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(q.Now(), 20u);
+  q.RunUntilIdle();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesClockWhenIdle) {
+  EventQueue q;
+  q.RunUntil(500);
+  EXPECT_EQ(q.Now(), 500u);
+}
+
+TEST(EventQueueTest, RunForIsRelative) {
+  EventQueue q;
+  q.RunFor(100);
+  q.RunFor(100);
+  EXPECT_EQ(q.Now(), 200u);
+}
+
+TEST(EventQueueTest, MaxEventsBoundsRunaway) {
+  EventQueue q;
+  std::size_t fired = 0;
+  std::function<void()> loop = [&] {
+    ++fired;
+    q.After(1, loop);
+  };
+  q.After(1, loop);
+  const std::size_t executed = q.RunUntilIdle(1000);
+  EXPECT_EQ(executed, 1000u);
+  EXPECT_EQ(fired, 1000u);
+  EXPECT_FALSE(q.Empty());
+}
+
+TEST(EventQueueTest, StepReturnsFalseWhenEmpty) {
+  EventQueue q;
+  EXPECT_FALSE(q.Step());
+  q.At(1, [] {});
+  EXPECT_TRUE(q.Step());
+  EXPECT_FALSE(q.Step());
+}
+
+TEST(EventQueueTest, EventsScheduledDuringRunExecute) {
+  EventQueue q;
+  int depth = 0;
+  q.At(1, [&] {
+    q.At(2, [&] {
+      q.At(3, [&] { depth = 3; });
+    });
+  });
+  q.RunUntilIdle();
+  EXPECT_EQ(depth, 3);
+}
+
+}  // namespace
+}  // namespace demos

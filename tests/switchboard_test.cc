@@ -1,0 +1,197 @@
+// Switchboard tests (Sec. 2.3): registration, lookup, link distribution, and
+// behaviour across migration of the switchboard itself.
+
+#include <gtest/gtest.h>
+
+#include "src/sys/switchboard.h"
+#include "tests/sys_test_util.h"
+
+namespace demos {
+namespace {
+
+class SwitchboardTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testutil::RegisterPrograms();
+    RegisterSystemPrograms();
+    GlobalCapture().clear();
+  }
+
+  Link PlainLink(const ProcessAddress& to) {
+    Link l;
+    l.address = to;
+    return l;
+  }
+
+  Link ReplyLink(const ProcessAddress& to) {
+    Link l;
+    l.address = to;
+    l.flags = kLinkReply;
+    return l;
+  }
+};
+
+TEST_F(SwitchboardTest, RegisterThenLookupReturnsLink) {
+  Cluster cluster(ClusterConfig{.machines = 2});
+  auto sb = cluster.kernel(0).SpawnProcess("switchboard");
+  auto echo = cluster.kernel(1).SpawnProcess("echo");
+  auto sink = cluster.kernel(1).SpawnProcess("sink");
+  ASSERT_TRUE(sb.ok() && echo.ok() && sink.ok());
+  cluster.RunUntilIdle();
+  testutil::TagProcess(cluster, *sink, 1);
+
+  ByteWriter reg;
+  reg.Str("echo_service");
+  cluster.kernel(0).SendFromKernel(*sb, kSbRegister, reg.Take(), {PlainLink(*echo)});
+
+  ByteWriter lookup;
+  lookup.Str("echo_service");
+  cluster.kernel(1).SendFromKernel(*sb, kSbLookup, lookup.Take(), {ReplyLink(*sink)});
+  cluster.RunUntilIdle();
+
+  auto captured = testutil::CapturedFor(1);
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].type, kSbLookupReply);
+  ByteReader r(captured[0].payload);
+  EXPECT_EQ(static_cast<StatusCode>(r.U8()), StatusCode::kOk);
+  EXPECT_EQ(r.Str(), "echo_service");
+}
+
+TEST_F(SwitchboardTest, LookupOfUnknownNameFails) {
+  Cluster cluster(ClusterConfig{.machines = 2});
+  auto sb = cluster.kernel(0).SpawnProcess("switchboard");
+  auto sink = cluster.kernel(1).SpawnProcess("sink");
+  ASSERT_TRUE(sb.ok() && sink.ok());
+  cluster.RunUntilIdle();
+  testutil::TagProcess(cluster, *sink, 2);
+
+  ByteWriter lookup;
+  lookup.Str("nothing_here");
+  cluster.kernel(1).SendFromKernel(*sb, kSbLookup, lookup.Take(), {ReplyLink(*sink)});
+  cluster.RunUntilIdle();
+
+  auto captured = testutil::CapturedFor(2);
+  ASSERT_EQ(captured.size(), 1u);
+  ByteReader r(captured[0].payload);
+  EXPECT_EQ(static_cast<StatusCode>(r.U8()), StatusCode::kNotFound);
+}
+
+TEST_F(SwitchboardTest, ReRegistrationReplacesEntry) {
+  Cluster cluster(ClusterConfig{.machines = 2});
+  auto sb = cluster.kernel(0).SpawnProcess("switchboard");
+  auto first = cluster.kernel(0).SpawnProcess("echo");
+  auto second = cluster.kernel(1).SpawnProcess("echo");
+  auto sink = cluster.kernel(0).SpawnProcess("sink");
+  ASSERT_TRUE(sb.ok() && first.ok() && second.ok() && sink.ok());
+  cluster.RunUntilIdle();
+  testutil::TagProcess(cluster, *sink, 3);
+
+  for (const ProcessAddress& target : {*first, *second}) {
+    ByteWriter reg;
+    reg.Str("svc");
+    cluster.kernel(0).SendFromKernel(*sb, kSbRegister, reg.Take(), {PlainLink(target)});
+  }
+  cluster.RunUntilIdle();
+
+  ByteWriter lookup;
+  lookup.Str("svc");
+  cluster.kernel(0).SendFromKernel(*sb, kSbLookup, lookup.Take(), {ReplyLink(*sink)});
+  cluster.RunUntilIdle();
+
+  auto captured = testutil::CapturedFor(3);
+  ASSERT_EQ(captured.size(), 1u);
+  // The carried link must point at the SECOND registration.
+  // (Carried links are not stored in the capture payload; check the program.)
+  SwitchboardProgram* program =
+      testutil::ProgramOf<SwitchboardProgram>(cluster, sb->pid);
+  ASSERT_NE(program, nullptr);
+  EXPECT_EQ(program->entry_count(), 1u);
+  ProcessRecord* record = cluster.kernel(0).FindProcess(sb->pid);
+  bool points_at_second = false;
+  for (const auto& slot : record->links.slots()) {
+    if (slot.has_value() && slot->address.pid == second->pid) {
+      points_at_second = true;
+    }
+  }
+  EXPECT_TRUE(points_at_second);
+}
+
+TEST_F(SwitchboardTest, ListReturnsAllNames) {
+  Cluster cluster(ClusterConfig{.machines = 1});
+  auto sb = cluster.kernel(0).SpawnProcess("switchboard");
+  auto sink = cluster.kernel(0).SpawnProcess("sink");
+  auto echo = cluster.kernel(0).SpawnProcess("echo");
+  ASSERT_TRUE(sb.ok() && sink.ok() && echo.ok());
+  cluster.RunUntilIdle();
+  testutil::TagProcess(cluster, *sink, 4);
+
+  for (const char* name : {"alpha", "beta", "gamma"}) {
+    ByteWriter reg;
+    reg.Str(name);
+    cluster.kernel(0).SendFromKernel(*sb, kSbRegister, reg.Take(), {PlainLink(*echo)});
+  }
+  cluster.kernel(0).SendFromKernel(*sb, kSbList, {}, {ReplyLink(*sink)});
+  cluster.RunUntilIdle();
+
+  auto captured = testutil::CapturedFor(4);
+  ASSERT_EQ(captured.size(), 1u);
+  ByteReader r(captured[0].payload);
+  EXPECT_EQ(r.U32(), 3u);
+  EXPECT_EQ(r.Str(), "alpha");
+  EXPECT_EQ(r.Str(), "beta");
+  EXPECT_EQ(r.Str(), "gamma");
+}
+
+TEST_F(SwitchboardTest, SurvivesMigrationWithDirectoryIntact) {
+  // The switchboard is a server with long-lived links (Sec. 2.4's hard case);
+  // after migrating it, lookups through the OLD address still succeed.
+  Cluster cluster(ClusterConfig{.machines = 3});
+  auto sb = cluster.kernel(0).SpawnProcess("switchboard");
+  auto echo = cluster.kernel(1).SpawnProcess("echo");
+  auto sink = cluster.kernel(2).SpawnProcess("sink");
+  ASSERT_TRUE(sb.ok() && echo.ok() && sink.ok());
+  cluster.RunUntilIdle();
+  testutil::TagProcess(cluster, *sink, 5);
+
+  ByteWriter reg;
+  reg.Str("svc");
+  cluster.kernel(0).SendFromKernel(*sb, kSbRegister, reg.Take(), {PlainLink(*echo)});
+  cluster.RunUntilIdle();
+
+  testutil::MigrateAndSettle(cluster, sb->pid, 0, 2);
+  ASSERT_NE(cluster.kernel(2).FindProcess(sb->pid), nullptr);
+
+  ByteWriter lookup;
+  lookup.Str("svc");
+  // Old address (machine 0): goes through the forwarding address.
+  cluster.kernel(1).SendFromKernel(ProcessAddress{0, sb->pid}, kSbLookup, lookup.Take(),
+                                   {ReplyLink(*sink)});
+  cluster.RunUntilIdle();
+
+  auto captured = testutil::CapturedFor(5);
+  ASSERT_EQ(captured.size(), 1u);
+  ByteReader r(captured[0].payload);
+  EXPECT_EQ(static_cast<StatusCode>(r.U8()), StatusCode::kOk);
+  SwitchboardProgram* program = testutil::ProgramOf<SwitchboardProgram>(cluster, sb->pid);
+  ASSERT_NE(program, nullptr);
+  EXPECT_EQ(program->entry_count(), 1u);  // name map survived in program state
+}
+
+TEST_F(SwitchboardTest, EveryProcessIsBornWithSwitchboardLink) {
+  Cluster cluster(ClusterConfig{.machines = 2});
+  auto sb = cluster.kernel(0).SpawnProcess("switchboard");
+  ASSERT_TRUE(sb.ok());
+  cluster.kernel(0).SetSwitchboard(*sb);
+  cluster.kernel(1).SetSwitchboard(*sb);
+
+  auto proc = cluster.kernel(1).SpawnProcess("idle");
+  ASSERT_TRUE(proc.ok());
+  cluster.RunUntilIdle();
+  ProcessRecord* record = cluster.kernel(1).FindProcess(proc->pid);
+  const Link* slot0 = record->links.Get(kSwitchboardSlot);
+  ASSERT_NE(slot0, nullptr);
+  EXPECT_EQ(slot0->address.pid, sb->pid);
+}
+
+}  // namespace
+}  // namespace demos

@@ -1,0 +1,60 @@
+// Helpers for system-process tests: boots the Sec. 2.3 process set on a
+// cluster and provides predicate-driven settling (clusters with periodic
+// load reports never go idle, so RunUntilIdle is unusable here).
+
+#ifndef DEMOS_TESTS_SYS_TEST_UTIL_H_
+#define DEMOS_TESTS_SYS_TEST_UTIL_H_
+
+#include <functional>
+
+#include "src/kernel/cluster.h"
+#include "src/sys/bootstrap.h"
+#include "src/sys/fs/fs_client.h"
+#include "src/sys/protocol.h"
+#include "src/workload/programs.h"
+#include "tests/test_util.h"
+
+namespace demos {
+namespace testutil {
+
+// Run the cluster in steps until `done` holds or `max_us` virtual time
+// elapses.  Returns whether the predicate became true.
+inline bool RunUntil(Cluster& cluster, const std::function<bool()>& done,
+                     SimDuration max_us = 5'000'000, SimDuration step_us = 5'000) {
+  const SimTime deadline = cluster.queue().Now() + max_us;
+  while (!done()) {
+    if (cluster.queue().Now() >= deadline) {
+      return false;
+    }
+    cluster.RunFor(step_us);
+  }
+  return true;
+}
+
+// Write an FsClient configuration into a just-spawned client process.
+inline void ConfigureFsClient(Cluster& cluster, const ProcessAddress& client,
+                              const FsClientConfig& config) {
+  ProcessRecord* record = cluster.kernel(client.last_known_machine).FindProcess(client.pid);
+  (void)record->memory.WriteData(0, config.Encode());
+}
+
+// Read the results window of a (possibly migrated) FsClient.
+inline FsClientResults ReadFsClientResults(Cluster& cluster, const ProcessId& pid) {
+  ProcessRecord* record = cluster.FindProcessAnywhere(pid);
+  if (record == nullptr) {
+    return {};
+  }
+  return FsClientResults::Decode(record->memory.ReadData(64, 40));
+}
+
+// Dynamic-cast view of a live program (works wherever the process lives).
+template <typename T>
+T* ProgramOf(Cluster& cluster, const ProcessId& pid) {
+  ProcessRecord* record = cluster.FindProcessAnywhere(pid);
+  return record == nullptr ? nullptr : dynamic_cast<T*>(record->program.get());
+}
+
+}  // namespace testutil
+}  // namespace demos
+
+#endif  // DEMOS_TESTS_SYS_TEST_UTIL_H_

@@ -1,0 +1,208 @@
+// Shared helpers for the DEMOS/MP test suite: small programs that exercise
+// the kernel-call surface, and convenience wrappers for driving a Cluster.
+
+#ifndef DEMOS_TESTS_TEST_UTIL_H_
+#define DEMOS_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/kernel/cluster.h"
+#include "src/kernel/context_impl.h"
+#include "src/proc/program.h"
+
+namespace demos {
+
+// User-level message types shared by the test programs.
+inline constexpr MsgType kPing = static_cast<MsgType>(1001);
+inline constexpr MsgType kPong = static_cast<MsgType>(1002);
+inline constexpr MsgType kIncrement = static_cast<MsgType>(1003);
+inline constexpr MsgType kGiveLink = static_cast<MsgType>(1004);  // carries a link to self
+inline constexpr MsgType kNote = static_cast<MsgType>(1005);
+
+// Records every non-kernel message a SinkProgram instance receives.  Keyed by
+// a tag stored in the process's data segment, so the log survives the sink
+// being looked at from any machine (sinks themselves are not migrated in
+// tests that rely on this).
+struct CapturedMessage {
+  std::uint64_t tag = 0;
+  MsgType type = MsgType::kInvalid;
+  Bytes payload;
+  ProcessAddress sender;
+  SimTime at = 0;
+};
+
+inline std::vector<CapturedMessage>& GlobalCapture() {
+  static std::vector<CapturedMessage> capture;
+  return capture;
+}
+
+// Echoes kPing as kPong over the carried reply link.
+class EchoProgram : public Program {
+ public:
+  void OnMessage(Context& ctx, const Message& msg) override {
+    if (msg.type == kPing) {
+      (void)ctx.Reply(msg, kPong, msg.payload);
+    }
+  }
+};
+
+// Maintains a counter at data[0..8) and a private counter in program state;
+// both must survive migration for the transparency tests to pass.
+class CounterProgram : public Program {
+ public:
+  void OnMessage(Context& ctx, const Message& msg) override {
+    if (msg.type != kIncrement) {
+      return;
+    }
+    ByteReader r(ctx.ReadData(0, 8));
+    std::uint64_t count = r.U64();
+    ++count;
+    ByteWriter w;
+    w.U64(count);
+    (void)ctx.WriteData(0, w.bytes());
+    ++private_count_;
+    if (!msg.carried_links.empty()) {
+      ByteWriter reply;
+      reply.U64(count);
+      reply.U64(private_count_);
+      (void)ctx.Reply(msg, kPong, reply.Take());
+    }
+  }
+
+  Bytes SaveState() const override {
+    ByteWriter w;
+    w.U64(private_count_);
+    return w.Take();
+  }
+
+  void RestoreState(const Bytes& state) override {
+    ByteReader r(state);
+    private_count_ = r.U64();
+  }
+
+ private:
+  std::uint64_t private_count_ = 0;
+};
+
+// Appends everything it receives to GlobalCapture(), tagged by data[0..8).
+class SinkProgram : public Program {
+ public:
+  void OnMessage(Context& ctx, const Message& msg) override {
+    ByteReader r(ctx.ReadData(0, 8));
+    CapturedMessage captured;
+    captured.tag = r.U64();
+    captured.type = msg.type;
+    captured.payload = msg.payload;
+    captured.sender = msg.sender;
+    captured.at = ctx.now();
+    GlobalCapture().push_back(std::move(captured));
+  }
+};
+
+// Does nothing; exists to be migrated around.
+class IdleProgram : public Program {};
+
+inline constexpr MsgType kSendViaTable = static_cast<MsgType>(1006);
+inline constexpr MsgType kGoTo = static_cast<MsgType>(1007);
+
+// Holds links in its table; on kSendViaTable {link_id u32, type u16, payload}
+// sends over the stored link.  Used to observe lazy link update (Sec. 5).
+class RelayProgram : public Program {
+ public:
+  void OnMessage(Context& ctx, const Message& msg) override {
+    if (msg.type != kSendViaTable) {
+      return;
+    }
+    ByteReader r(msg.payload);
+    const LinkId link = r.U32();
+    const auto type = static_cast<MsgType>(r.U16());
+    (void)ctx.Send(link, type, r.Blob());
+  }
+};
+
+// Sets a timer in OnStart and counts firings at data[8..16); the count must
+// be exactly one even if the process migrates before the timer fires.
+class TimerProgram : public Program {
+ public:
+  void OnStart(Context& ctx) override { ctx.SetTimer(50'000, 77); }
+
+  void OnTimer(Context& ctx, std::uint64_t cookie) override {
+    if (cookie != 77) {
+      return;
+    }
+    ByteReader r(ctx.ReadData(8, 8));
+    std::uint64_t fired = r.U64();
+    ByteWriter w;
+    w.U64(fired + 1);
+    (void)ctx.WriteData(8, w.bytes());
+  }
+};
+
+// Migrates itself on request: kGoTo {machine u16} (Sec. 3.1's voluntary
+// migration).  Also counts kIncrement like CounterProgram.
+class NomadProgram : public Program {
+ public:
+  void OnMessage(Context& ctx, const Message& msg) override {
+    if (msg.type == kGoTo) {
+      ByteReader r(msg.payload);
+      ctx.RequestMigration(r.U16());
+    } else if (msg.type == kIncrement) {
+      ByteReader r(ctx.ReadData(0, 8));
+      ByteWriter w;
+      w.U64(r.U64() + 1);
+      (void)ctx.WriteData(0, w.bytes());
+    }
+  }
+};
+
+namespace testutil {
+
+// Ensure the standard test programs are registered exactly once.
+inline void RegisterPrograms() {
+  static const bool registered = [] {
+    auto& reg = ProgramRegistry::Instance();
+    reg.Register("echo", [] { return std::make_unique<EchoProgram>(); });
+    reg.Register("counter", [] { return std::make_unique<CounterProgram>(); });
+    reg.Register("sink", [] { return std::make_unique<SinkProgram>(); });
+    reg.Register("idle", [] { return std::make_unique<IdleProgram>(); });
+    reg.Register("relay", [] { return std::make_unique<RelayProgram>(); });
+    reg.Register("timer", [] { return std::make_unique<TimerProgram>(); });
+    reg.Register("nomad", [] { return std::make_unique<NomadProgram>(); });
+    return true;
+  }();
+  (void)registered;
+}
+
+// Stamp a u64 tag into a process's data segment (for SinkProgram).
+inline void TagProcess(Cluster& cluster, const ProcessAddress& addr, std::uint64_t tag) {
+  ProcessRecord* record = cluster.kernel(addr.last_known_machine).FindProcess(addr.pid);
+  ByteWriter w;
+  w.U64(tag);
+  (void)record->memory.WriteData(0, w.bytes());
+}
+
+// Messages captured for a given tag.
+inline std::vector<CapturedMessage> CapturedFor(std::uint64_t tag) {
+  std::vector<CapturedMessage> out;
+  for (const CapturedMessage& m : GlobalCapture()) {
+    if (m.tag == tag) {
+      out.push_back(m);
+    }
+  }
+  return out;
+}
+
+// Migrate `pid` (currently on `from`) to `to` and settle the cluster.
+inline void MigrateAndSettle(Cluster& cluster, const ProcessId& pid, MachineId from,
+                             MachineId to) {
+  (void)cluster.kernel(from).StartMigration(pid, to, cluster.kernel(from).kernel_address());
+  cluster.RunUntilIdle();
+}
+
+}  // namespace testutil
+}  // namespace demos
+
+#endif  // DEMOS_TESTS_TEST_UTIL_H_

@@ -1,0 +1,110 @@
+// Tests for the real-socket transport (single process, multiple sockets on
+// loopback, pumped manually).
+
+#include <gtest/gtest.h>
+
+#include "src/kernel/kernel.h"
+#include "src/net/udp_transport.h"
+#include "src/sim/event_queue.h"
+#include "tests/test_util.h"
+
+namespace demos {
+namespace {
+
+// Pick a port base unlikely to collide across test shards.
+std::uint16_t PortBase() { return static_cast<std::uint16_t>(34000 + (getpid() % 2000)); }
+
+TEST(UdpTransportTest, DatagramRoundTrip) {
+  const std::uint16_t base = PortBase();
+  UdpTransport a(0, base);
+  UdpTransport b(1, base);
+  ASSERT_TRUE(a.Open().ok());
+  ASSERT_TRUE(b.Open().ok());
+
+  std::vector<std::pair<MachineId, Bytes>> received;
+  b.Attach(1, [&](MachineId src, Bytes payload) { received.emplace_back(src, payload); });
+
+  a.Send(0, 1, {1, 2, 3, 4});
+  for (int i = 0; i < 100 && received.empty(); ++i) {
+    b.Wait(10);
+  }
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].first, 0);
+  EXPECT_EQ(received[0].second, (Bytes{1, 2, 3, 4}));
+}
+
+TEST(UdpTransportTest, SelfSendLoopsThroughSocket) {
+  const std::uint16_t base = static_cast<std::uint16_t>(PortBase() + 10);
+  UdpTransport a(0, base);
+  ASSERT_TRUE(a.Open().ok());
+  int got = 0;
+  a.Attach(0, [&](MachineId src, Bytes payload) {
+    EXPECT_EQ(src, 0);
+    EXPECT_EQ(payload.size(), 2u);
+    ++got;
+  });
+  a.Send(0, 0, {9, 9});
+  for (int i = 0; i < 100 && got == 0; ++i) {
+    a.Wait(10);
+  }
+  EXPECT_EQ(got, 1);
+}
+
+TEST(UdpTransportTest, BindFailureIsReported) {
+  const std::uint16_t base = static_cast<std::uint16_t>(PortBase() + 20);
+  UdpTransport first(0, base);
+  ASSERT_TRUE(first.Open().ok());
+  UdpTransport clash(0, base);  // same machine id -> same port
+  EXPECT_FALSE(clash.Open().ok());
+}
+
+TEST(UdpTransportTest, FullKernelMigrationOverRealSockets) {
+  // Two kernels in this process, each on its own socket, pumped round-robin;
+  // the counter migrates m0 -> m1 and keeps counting.  This is the in-process
+  // version of examples/realtime_sockets.cpp.
+  testutil::RegisterPrograms();
+  const std::uint16_t base = static_cast<std::uint16_t>(PortBase() + 30);
+  EventQueue q0;
+  EventQueue q1;
+  UdpTransport t0(0, base);
+  UdpTransport t1(1, base);
+  ASSERT_TRUE(t0.Open().ok());
+  ASSERT_TRUE(t1.Open().ok());
+  Kernel k0(0, &q0, &t0, {});
+  Kernel k1(1, &q1, &t1, {});
+
+  auto pump = [&](int rounds) {
+    for (int i = 0; i < rounds; ++i) {
+      t0.Poll();
+      t1.Poll();
+      // Advance both virtual clocks in lockstep 1ms slices.
+      q0.RunFor(1000);
+      q1.RunFor(1000);
+    }
+  };
+
+  auto counter = k0.SpawnProcess("counter");
+  ASSERT_TRUE(counter.ok());
+  pump(5);
+  for (int i = 0; i < 3; ++i) {
+    k1.SendFromKernel(*counter, kIncrement, {});
+  }
+  pump(10);
+
+  ASSERT_TRUE(k0.StartMigration(counter->pid, 1, k0.kernel_address()).ok());
+  pump(50);
+  ProcessRecord* moved = k1.FindProcess(counter->pid);
+  ASSERT_NE(moved, nullptr);
+  ByteReader r(moved->memory.ReadData(0, 8));
+  EXPECT_EQ(r.U64(), 3u);
+
+  // Stale-address traffic is forwarded by k0's real forwarding address.
+  k1.SendFromKernel(ProcessAddress{0, counter->pid}, kIncrement, {});
+  pump(20);
+  ByteReader r2(moved->memory.ReadData(0, 8));
+  EXPECT_EQ(r2.U64(), 4u);
+  EXPECT_EQ(k0.stats().Get(stat::kMsgsForwarded), 1);
+}
+
+}  // namespace
+}  // namespace demos

@@ -1,0 +1,200 @@
+// Workload-program tests: CPU-bound workers, RPC pairs, and their behaviour
+// across migration (the E8/E12 building blocks).
+
+#include <gtest/gtest.h>
+
+#include "src/workload/programs.h"
+#include "tests/sys_test_util.h"
+
+namespace demos {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testutil::RegisterPrograms();
+    RegisterWorkloadPrograms();
+  }
+
+  ProcessAddress SpawnCpuBound(Cluster& cluster, MachineId machine,
+                               const CpuBoundConfig& config) {
+    auto addr = cluster.kernel(machine).SpawnProcess("cpu_bound");
+    EXPECT_TRUE(addr.ok());
+    (void)cluster.kernel(machine).FindProcess(addr->pid)->memory.WriteData(0, config.Encode());
+    return *addr;
+  }
+
+  std::uint64_t ReadU64(Cluster& cluster, const ProcessId& pid, std::uint32_t offset) {
+    ProcessRecord* record = cluster.FindProcessAnywhere(pid);
+    if (record == nullptr) {
+      return 0;
+    }
+    ByteReader r(record->memory.ReadData(offset, 8));
+    return r.U64();
+  }
+};
+
+TEST_F(WorkloadTest, CpuBoundRunsToCompletion) {
+  Cluster cluster(ClusterConfig{.machines = 1});
+  CpuBoundConfig config;
+  config.quantum_us = 1000;
+  config.period_us = 1000;
+  config.total_us = 20'000;
+  ProcessAddress worker = SpawnCpuBound(cluster, 0, config);
+  cluster.RunUntilIdle();
+  EXPECT_EQ(ReadU64(cluster, worker.pid, 32), 20'000u);  // progress
+  EXPECT_EQ(ReadU64(cluster, worker.pid, 40), 1u);       // done
+  EXPECT_GE(cluster.kernel(0).cpu_busy_us(), 20'000u);
+}
+
+TEST_F(WorkloadTest, CpuContentionStretchesCompletionTime) {
+  // Two workers each wanting ~100% of one CPU take about twice as long as
+  // one alone -- the load-balancing motivation of Sec. 1.
+  auto run = [this](int n_workers) {
+    Cluster cluster(ClusterConfig{.machines = 1});
+    CpuBoundConfig config;
+    config.quantum_us = 2000;
+    config.period_us = 2000;
+    config.total_us = 100'000;
+    std::vector<ProcessId> workers;
+    for (int i = 0; i < n_workers; ++i) {
+      workers.push_back(SpawnCpuBound(cluster, 0, config).pid);
+    }
+    cluster.RunUntilIdle();
+    SimTime last_done = 0;
+    for (const ProcessId& pid : workers) {
+      ProcessRecord* record = cluster.FindProcessAnywhere(pid);
+      ByteReader r(record->memory.ReadData(40, 16));
+      EXPECT_EQ(r.U64(), 1u);
+      last_done = std::max<SimTime>(last_done, r.U64());
+    }
+    return last_done;
+  };
+
+  const SimTime solo = run(1);
+  const SimTime contended = run(2);
+  EXPECT_GT(contended, solo + solo / 2);
+}
+
+TEST_F(WorkloadTest, CpuBoundProgressSurvivesMigration) {
+  Cluster cluster(ClusterConfig{.machines = 2});
+  CpuBoundConfig config;
+  config.quantum_us = 1000;
+  config.period_us = 2000;
+  config.total_us = 100'000;
+  ProcessAddress worker = SpawnCpuBound(cluster, 0, config);
+  cluster.RunFor(50'000);
+  const std::uint64_t progress_before = ReadU64(cluster, worker.pid, 32);
+  EXPECT_GT(progress_before, 0u);
+  EXPECT_LT(progress_before, 100'000u);
+
+  testutil::MigrateAndSettle(cluster, worker.pid, 0, 1);
+  EXPECT_EQ(cluster.HostOf(worker.pid), 1);
+  EXPECT_EQ(ReadU64(cluster, worker.pid, 32), 100'000u);
+  EXPECT_EQ(ReadU64(cluster, worker.pid, 40), 1u);
+}
+
+struct RpcPair {
+  ProcessAddress client;
+  ProcessAddress server;
+};
+
+RpcPair SpawnRpcPair(Cluster& cluster, MachineId client_machine, MachineId server_machine,
+                     const RpcClientConfig& config) {
+  auto server = cluster.kernel(server_machine).SpawnProcess("rpc_server");
+  auto client = cluster.kernel(client_machine).SpawnProcess("rpc_client");
+  EXPECT_TRUE(server.ok() && client.ok());
+  (void)cluster.kernel(client_machine)
+      .FindProcess(client->pid)
+      ->memory.WriteData(0, config.Encode());
+  Link to_server;
+  to_server.address = *server;
+  cluster.kernel(client_machine).SendFromKernel(*client, kAttachTarget, {}, {to_server});
+  return RpcPair{*client, *server};
+}
+
+TEST_F(WorkloadTest, RpcSeriesCompletes) {
+  Cluster cluster(ClusterConfig{.machines = 2});
+  RpcClientConfig config;
+  config.count = 20;
+  config.period_us = 1000;
+  RpcPair pair = SpawnRpcPair(cluster, 0, 1, config);
+  cluster.RunUntilIdle();
+
+  RpcClientProgram* client = testutil::ProgramOf<RpcClientProgram>(cluster, pair.client.pid);
+  ASSERT_NE(client, nullptr);
+  ASSERT_EQ(client->samples().size(), 20u);
+  for (const RpcSample& sample : client->samples()) {
+    EXPECT_GT(sample.latency_us, 0u);
+  }
+}
+
+TEST_F(WorkloadTest, RemoteRpcSlowerThanLocal) {
+  // The affinity motivation: co-located RPC is cheaper.
+  auto mean_latency = [this](MachineId client_machine, MachineId server_machine) {
+    Cluster cluster(ClusterConfig{.machines = 2});
+    RpcClientConfig config;
+    config.count = 30;
+    config.period_us = 500;
+    RpcPair pair = SpawnRpcPair(cluster, client_machine, server_machine, config);
+    cluster.RunUntilIdle();
+    RpcClientProgram* client = testutil::ProgramOf<RpcClientProgram>(cluster, pair.client.pid);
+    double total = 0;
+    for (const RpcSample& sample : client->samples()) {
+      total += static_cast<double>(sample.latency_us);
+    }
+    return total / static_cast<double>(client->samples().size());
+  };
+
+  EXPECT_GT(mean_latency(0, 1), mean_latency(0, 0));
+}
+
+TEST_F(WorkloadTest, RpcSurvivesServerMigrationMidSeries) {
+  Cluster cluster(ClusterConfig{.machines = 3});
+  RpcClientConfig config;
+  config.count = 40;
+  config.period_us = 1500;
+  RpcPair pair = SpawnRpcPair(cluster, 0, 1, config);
+  cluster.RunFor(20'000);  // some RPCs done
+
+  ASSERT_TRUE(cluster.kernel(1)
+                  .StartMigration(pair.server.pid, 2, cluster.kernel(1).kernel_address())
+                  .ok());
+  cluster.RunUntilIdle();
+
+  RpcClientProgram* client = testutil::ProgramOf<RpcClientProgram>(cluster, pair.client.pid);
+  ASSERT_NE(client, nullptr);
+  EXPECT_EQ(client->samples().size(), 40u);  // nothing lost
+  EXPECT_EQ(cluster.HostOf(pair.server.pid), 2);
+}
+
+TEST_F(WorkloadTest, RpcSamplesShowMigrationPerturbationThenRecovery) {
+  // The E12 shape: latency spikes briefly around the migration, then returns
+  // to (or below) its baseline.
+  Cluster cluster(ClusterConfig{.machines = 3});
+  RpcClientConfig config;
+  config.count = 60;
+  config.period_us = 2000;
+  RpcPair pair = SpawnRpcPair(cluster, 0, 1, config);
+  cluster.RunFor(40'000);
+  (void)cluster.kernel(1).StartMigration(pair.server.pid, 2,
+                                         cluster.kernel(1).kernel_address());
+  cluster.RunUntilIdle();
+
+  RpcClientProgram* client = testutil::ProgramOf<RpcClientProgram>(cluster, pair.client.pid);
+  ASSERT_EQ(client->samples().size(), 60u);
+  const auto& samples = client->samples();
+  // Steady-state tail: the last 10 samples should look like the first 10
+  // (within 3x), i.e. the perturbation did not persist.
+  double head = 0;
+  double tail = 0;
+  for (int i = 0; i < 10; ++i) {
+    head += static_cast<double>(samples[static_cast<std::size_t>(i)].latency_us);
+    tail += static_cast<double>(samples[samples.size() - 1 - static_cast<std::size_t>(i)]
+                                    .latency_us);
+  }
+  EXPECT_LT(tail, head * 3);
+}
+
+}  // namespace
+}  // namespace demos
