@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_admin_cost.dir/bench_admin_cost.cc.o"
+  "CMakeFiles/bench_admin_cost.dir/bench_admin_cost.cc.o.d"
+  "bench_admin_cost"
+  "bench_admin_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_admin_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_delivery_modes.dir/bench_delivery_modes.cc.o"
+  "CMakeFiles/bench_delivery_modes.dir/bench_delivery_modes.cc.o.d"
+  "bench_delivery_modes"
+  "bench_delivery_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delivery_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_forwarding.dir/bench_forwarding.cc.o"
+  "CMakeFiles/bench_forwarding.dir/bench_forwarding.cc.o.d"
+  "bench_forwarding"
+  "bench_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

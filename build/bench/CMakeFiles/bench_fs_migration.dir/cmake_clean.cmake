@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fs_migration.dir/bench_fs_migration.cc.o"
+  "CMakeFiles/bench_fs_migration.dir/bench_fs_migration.cc.o.d"
+  "bench_fs_migration"
+  "bench_fs_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fs_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

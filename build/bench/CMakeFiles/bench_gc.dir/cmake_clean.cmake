@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gc.dir/bench_gc.cc.o"
+  "CMakeFiles/bench_gc.dir/bench_gc.cc.o.d"
+  "bench_gc"
+  "bench_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

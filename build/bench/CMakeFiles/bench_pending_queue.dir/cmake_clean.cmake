@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pending_queue.dir/bench_pending_queue.cc.o"
+  "CMakeFiles/bench_pending_queue.dir/bench_pending_queue.cc.o.d"
+  "bench_pending_queue"
+  "bench_pending_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pending_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

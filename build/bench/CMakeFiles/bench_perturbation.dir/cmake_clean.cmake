@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perturbation.dir/bench_perturbation.cc.o"
+  "CMakeFiles/bench_perturbation.dir/bench_perturbation.cc.o.d"
+  "bench_perturbation"
+  "bench_perturbation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perturbation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_server_migration.dir/bench_server_migration.cc.o"
+  "CMakeFiles/bench_server_migration.dir/bench_server_migration.cc.o.d"
+  "bench_server_migration"
+  "bench_server_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_server_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

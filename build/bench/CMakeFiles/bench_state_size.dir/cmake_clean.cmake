@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_state_size.dir/bench_state_size.cc.o"
+  "CMakeFiles/bench_state_size.dir/bench_state_size.cc.o.d"
+  "bench_state_size"
+  "bench_state_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_state_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

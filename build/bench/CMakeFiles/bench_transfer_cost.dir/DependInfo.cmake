@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_transfer_cost.cc" "bench/CMakeFiles/bench_transfer_cost.dir/bench_transfer_cost.cc.o" "gcc" "bench/CMakeFiles/bench_transfer_cost.dir/bench_transfer_cost.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/demos_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/demos_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/demos_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/demos_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/demos_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/demos_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

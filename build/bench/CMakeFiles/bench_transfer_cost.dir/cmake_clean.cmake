@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_transfer_cost.dir/bench_transfer_cost.cc.o"
+  "CMakeFiles/bench_transfer_cost.dir/bench_transfer_cost.cc.o.d"
+  "bench_transfer_cost"
+  "bench_transfer_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transfer_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/command_session.dir/command_session.cpp.o"
+  "CMakeFiles/command_session.dir/command_session.cpp.o.d"
+  "command_session"
+  "command_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/command_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

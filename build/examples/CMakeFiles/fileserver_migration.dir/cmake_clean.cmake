@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fileserver_migration.dir/fileserver_migration.cpp.o"
+  "CMakeFiles/fileserver_migration.dir/fileserver_migration.cpp.o.d"
+  "fileserver_migration"
+  "fileserver_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fileserver_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_timeline.dir/migration_timeline.cpp.o"
+  "CMakeFiles/migration_timeline.dir/migration_timeline.cpp.o.d"
+  "migration_timeline"
+  "migration_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_sockets.dir/realtime_sockets.cpp.o"
+  "CMakeFiles/realtime_sockets.dir/realtime_sockets.cpp.o.d"
+  "realtime_sockets"
+  "realtime_sockets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_sockets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

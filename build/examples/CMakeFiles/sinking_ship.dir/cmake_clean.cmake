@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinking_ship.dir/sinking_ship.cpp.o"
+  "CMakeFiles/sinking_ship.dir/sinking_ship.cpp.o.d"
+  "sinking_ship"
+  "sinking_ship.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinking_ship.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

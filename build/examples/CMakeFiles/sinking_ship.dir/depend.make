@@ -1,0 +1,2 @@
+# Empty dependencies file for sinking_ship.
+# This may be replaced when dependencies are built.

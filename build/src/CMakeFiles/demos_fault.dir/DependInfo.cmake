@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/crash.cc" "src/CMakeFiles/demos_fault.dir/fault/crash.cc.o" "gcc" "src/CMakeFiles/demos_fault.dir/fault/crash.cc.o.d"
+  "/root/repo/src/fault/recovery.cc" "src/CMakeFiles/demos_fault.dir/fault/recovery.cc.o" "gcc" "src/CMakeFiles/demos_fault.dir/fault/recovery.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/demos_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/demos_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

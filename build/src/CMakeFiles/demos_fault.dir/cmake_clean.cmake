@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demos_fault.dir/fault/crash.cc.o"
+  "CMakeFiles/demos_fault.dir/fault/crash.cc.o.d"
+  "CMakeFiles/demos_fault.dir/fault/recovery.cc.o"
+  "CMakeFiles/demos_fault.dir/fault/recovery.cc.o.d"
+  "libdemos_fault.a"
+  "libdemos_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demos_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

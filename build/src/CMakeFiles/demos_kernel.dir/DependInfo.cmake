@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/context.cc" "src/CMakeFiles/demos_kernel.dir/kernel/context.cc.o" "gcc" "src/CMakeFiles/demos_kernel.dir/kernel/context.cc.o.d"
+  "/root/repo/src/kernel/kernel.cc" "src/CMakeFiles/demos_kernel.dir/kernel/kernel.cc.o" "gcc" "src/CMakeFiles/demos_kernel.dir/kernel/kernel.cc.o.d"
+  "/root/repo/src/kernel/message.cc" "src/CMakeFiles/demos_kernel.dir/kernel/message.cc.o" "gcc" "src/CMakeFiles/demos_kernel.dir/kernel/message.cc.o.d"
+  "/root/repo/src/kernel/migration.cc" "src/CMakeFiles/demos_kernel.dir/kernel/migration.cc.o" "gcc" "src/CMakeFiles/demos_kernel.dir/kernel/migration.cc.o.d"
+  "/root/repo/src/kernel/process.cc" "src/CMakeFiles/demos_kernel.dir/kernel/process.cc.o" "gcc" "src/CMakeFiles/demos_kernel.dir/kernel/process.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/demos_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demos_kernel.dir/kernel/context.cc.o"
+  "CMakeFiles/demos_kernel.dir/kernel/context.cc.o.d"
+  "CMakeFiles/demos_kernel.dir/kernel/kernel.cc.o"
+  "CMakeFiles/demos_kernel.dir/kernel/kernel.cc.o.d"
+  "CMakeFiles/demos_kernel.dir/kernel/message.cc.o"
+  "CMakeFiles/demos_kernel.dir/kernel/message.cc.o.d"
+  "CMakeFiles/demos_kernel.dir/kernel/migration.cc.o"
+  "CMakeFiles/demos_kernel.dir/kernel/migration.cc.o.d"
+  "CMakeFiles/demos_kernel.dir/kernel/process.cc.o"
+  "CMakeFiles/demos_kernel.dir/kernel/process.cc.o.d"
+  "libdemos_kernel.a"
+  "libdemos_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demos_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/reliable_channel.cc" "src/CMakeFiles/demos_net.dir/net/reliable_channel.cc.o" "gcc" "src/CMakeFiles/demos_net.dir/net/reliable_channel.cc.o.d"
+  "/root/repo/src/net/sim_network.cc" "src/CMakeFiles/demos_net.dir/net/sim_network.cc.o" "gcc" "src/CMakeFiles/demos_net.dir/net/sim_network.cc.o.d"
+  "/root/repo/src/net/udp_transport.cc" "src/CMakeFiles/demos_net.dir/net/udp_transport.cc.o" "gcc" "src/CMakeFiles/demos_net.dir/net/udp_transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

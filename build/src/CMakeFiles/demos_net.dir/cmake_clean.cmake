@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demos_net.dir/net/reliable_channel.cc.o"
+  "CMakeFiles/demos_net.dir/net/reliable_channel.cc.o.d"
+  "CMakeFiles/demos_net.dir/net/sim_network.cc.o"
+  "CMakeFiles/demos_net.dir/net/sim_network.cc.o.d"
+  "CMakeFiles/demos_net.dir/net/udp_transport.cc.o"
+  "CMakeFiles/demos_net.dir/net/udp_transport.cc.o.d"
+  "libdemos_net.a"
+  "libdemos_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demos_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

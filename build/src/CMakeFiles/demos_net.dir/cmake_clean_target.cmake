@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdemos_net.a"
+)

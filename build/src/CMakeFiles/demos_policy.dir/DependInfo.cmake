@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/affinity_policy.cc" "src/CMakeFiles/demos_policy.dir/policy/affinity_policy.cc.o" "gcc" "src/CMakeFiles/demos_policy.dir/policy/affinity_policy.cc.o.d"
+  "/root/repo/src/policy/metrics.cc" "src/CMakeFiles/demos_policy.dir/policy/metrics.cc.o" "gcc" "src/CMakeFiles/demos_policy.dir/policy/metrics.cc.o.d"
+  "/root/repo/src/policy/threshold_balancer.cc" "src/CMakeFiles/demos_policy.dir/policy/threshold_balancer.cc.o" "gcc" "src/CMakeFiles/demos_policy.dir/policy/threshold_balancer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/demos_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/demos_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demos_policy.dir/policy/affinity_policy.cc.o"
+  "CMakeFiles/demos_policy.dir/policy/affinity_policy.cc.o.d"
+  "CMakeFiles/demos_policy.dir/policy/metrics.cc.o"
+  "CMakeFiles/demos_policy.dir/policy/metrics.cc.o.d"
+  "CMakeFiles/demos_policy.dir/policy/threshold_balancer.cc.o"
+  "CMakeFiles/demos_policy.dir/policy/threshold_balancer.cc.o.d"
+  "libdemos_policy.a"
+  "libdemos_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demos_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

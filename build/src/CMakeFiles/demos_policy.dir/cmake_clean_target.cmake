@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdemos_policy.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sys/bootstrap.cc" "src/CMakeFiles/demos_sys.dir/sys/bootstrap.cc.o" "gcc" "src/CMakeFiles/demos_sys.dir/sys/bootstrap.cc.o.d"
+  "/root/repo/src/sys/command_interpreter.cc" "src/CMakeFiles/demos_sys.dir/sys/command_interpreter.cc.o" "gcc" "src/CMakeFiles/demos_sys.dir/sys/command_interpreter.cc.o.d"
+  "/root/repo/src/sys/fs/buffer_manager.cc" "src/CMakeFiles/demos_sys.dir/sys/fs/buffer_manager.cc.o" "gcc" "src/CMakeFiles/demos_sys.dir/sys/fs/buffer_manager.cc.o.d"
+  "/root/repo/src/sys/fs/directory_service.cc" "src/CMakeFiles/demos_sys.dir/sys/fs/directory_service.cc.o" "gcc" "src/CMakeFiles/demos_sys.dir/sys/fs/directory_service.cc.o.d"
+  "/root/repo/src/sys/fs/disk_driver.cc" "src/CMakeFiles/demos_sys.dir/sys/fs/disk_driver.cc.o" "gcc" "src/CMakeFiles/demos_sys.dir/sys/fs/disk_driver.cc.o.d"
+  "/root/repo/src/sys/fs/fs_client.cc" "src/CMakeFiles/demos_sys.dir/sys/fs/fs_client.cc.o" "gcc" "src/CMakeFiles/demos_sys.dir/sys/fs/fs_client.cc.o.d"
+  "/root/repo/src/sys/fs/request_interpreter.cc" "src/CMakeFiles/demos_sys.dir/sys/fs/request_interpreter.cc.o" "gcc" "src/CMakeFiles/demos_sys.dir/sys/fs/request_interpreter.cc.o.d"
+  "/root/repo/src/sys/memory_scheduler.cc" "src/CMakeFiles/demos_sys.dir/sys/memory_scheduler.cc.o" "gcc" "src/CMakeFiles/demos_sys.dir/sys/memory_scheduler.cc.o.d"
+  "/root/repo/src/sys/process_manager.cc" "src/CMakeFiles/demos_sys.dir/sys/process_manager.cc.o" "gcc" "src/CMakeFiles/demos_sys.dir/sys/process_manager.cc.o.d"
+  "/root/repo/src/sys/switchboard.cc" "src/CMakeFiles/demos_sys.dir/sys/switchboard.cc.o" "gcc" "src/CMakeFiles/demos_sys.dir/sys/switchboard.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/demos_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/demos_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/demos_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

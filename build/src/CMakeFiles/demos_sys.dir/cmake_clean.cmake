@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demos_sys.dir/sys/bootstrap.cc.o"
+  "CMakeFiles/demos_sys.dir/sys/bootstrap.cc.o.d"
+  "CMakeFiles/demos_sys.dir/sys/command_interpreter.cc.o"
+  "CMakeFiles/demos_sys.dir/sys/command_interpreter.cc.o.d"
+  "CMakeFiles/demos_sys.dir/sys/fs/buffer_manager.cc.o"
+  "CMakeFiles/demos_sys.dir/sys/fs/buffer_manager.cc.o.d"
+  "CMakeFiles/demos_sys.dir/sys/fs/directory_service.cc.o"
+  "CMakeFiles/demos_sys.dir/sys/fs/directory_service.cc.o.d"
+  "CMakeFiles/demos_sys.dir/sys/fs/disk_driver.cc.o"
+  "CMakeFiles/demos_sys.dir/sys/fs/disk_driver.cc.o.d"
+  "CMakeFiles/demos_sys.dir/sys/fs/fs_client.cc.o"
+  "CMakeFiles/demos_sys.dir/sys/fs/fs_client.cc.o.d"
+  "CMakeFiles/demos_sys.dir/sys/fs/request_interpreter.cc.o"
+  "CMakeFiles/demos_sys.dir/sys/fs/request_interpreter.cc.o.d"
+  "CMakeFiles/demos_sys.dir/sys/memory_scheduler.cc.o"
+  "CMakeFiles/demos_sys.dir/sys/memory_scheduler.cc.o.d"
+  "CMakeFiles/demos_sys.dir/sys/process_manager.cc.o"
+  "CMakeFiles/demos_sys.dir/sys/process_manager.cc.o.d"
+  "CMakeFiles/demos_sys.dir/sys/switchboard.cc.o"
+  "CMakeFiles/demos_sys.dir/sys/switchboard.cc.o.d"
+  "libdemos_sys.a"
+  "libdemos_sys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demos_sys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

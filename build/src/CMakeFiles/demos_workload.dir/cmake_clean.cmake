@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demos_workload.dir/workload/programs.cc.o"
+  "CMakeFiles/demos_workload.dir/workload/programs.cc.o.d"
+  "libdemos_workload.a"
+  "libdemos_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demos_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/command_interpreter_test.dir/command_interpreter_test.cc.o"
+  "CMakeFiles/command_interpreter_test.dir/command_interpreter_test.cc.o.d"
+  "command_interpreter_test"
+  "command_interpreter_test.pdb"
+  "command_interpreter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/command_interpreter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

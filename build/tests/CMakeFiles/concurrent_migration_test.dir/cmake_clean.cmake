@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_migration_test.dir/concurrent_migration_test.cc.o"
+  "CMakeFiles/concurrent_migration_test.dir/concurrent_migration_test.cc.o.d"
+  "concurrent_migration_test"
+  "concurrent_migration_test.pdb"
+  "concurrent_migration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_migration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

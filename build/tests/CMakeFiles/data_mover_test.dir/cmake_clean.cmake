@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_mover_test.dir/data_mover_test.cc.o"
+  "CMakeFiles/data_mover_test.dir/data_mover_test.cc.o.d"
+  "data_mover_test"
+  "data_mover_test.pdb"
+  "data_mover_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_mover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forwarding_test.dir/forwarding_test.cc.o"
+  "CMakeFiles/forwarding_test.dir/forwarding_test.cc.o.d"
+  "forwarding_test"
+  "forwarding_test.pdb"
+  "forwarding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forwarding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

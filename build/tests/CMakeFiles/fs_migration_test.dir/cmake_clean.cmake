@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_migration_test.dir/fs_migration_test.cc.o"
+  "CMakeFiles/fs_migration_test.dir/fs_migration_test.cc.o.d"
+  "fs_migration_test"
+  "fs_migration_test.pdb"
+  "fs_migration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_migration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

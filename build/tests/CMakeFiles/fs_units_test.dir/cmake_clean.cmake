@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_units_test.dir/fs_units_test.cc.o"
+  "CMakeFiles/fs_units_test.dir/fs_units_test.cc.o.d"
+  "fs_units_test"
+  "fs_units_test.pdb"
+  "fs_units_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_units_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossy_integration_test.dir/lossy_integration_test.cc.o"
+  "CMakeFiles/lossy_integration_test.dir/lossy_integration_test.cc.o.d"
+  "lossy_integration_test"
+  "lossy_integration_test.pdb"
+  "lossy_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossy_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

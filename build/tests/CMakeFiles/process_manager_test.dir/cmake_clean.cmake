@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_manager_test.dir/process_manager_test.cc.o"
+  "CMakeFiles/process_manager_test.dir/process_manager_test.cc.o.d"
+  "process_manager_test"
+  "process_manager_test.pdb"
+  "process_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

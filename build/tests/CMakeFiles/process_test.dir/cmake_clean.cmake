@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_test.dir/process_test.cc.o"
+  "CMakeFiles/process_test.dir/process_test.cc.o.d"
+  "process_test"
+  "process_test.pdb"
+  "process_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

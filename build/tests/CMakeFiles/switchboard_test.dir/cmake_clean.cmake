@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switchboard_test.dir/switchboard_test.cc.o"
+  "CMakeFiles/switchboard_test.dir/switchboard_test.cc.o.d"
+  "switchboard_test"
+  "switchboard_test.pdb"
+  "switchboard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switchboard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

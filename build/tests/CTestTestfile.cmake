@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/base_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/link_test[1]_include.cmake")
+include("/root/repo/build/tests/message_test[1]_include.cmake")
+include("/root/repo/build/tests/process_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/data_mover_test[1]_include.cmake")
+include("/root/repo/build/tests/migration_test[1]_include.cmake")
+include("/root/repo/build/tests/forwarding_test[1]_include.cmake")
+include("/root/repo/build/tests/switchboard_test[1]_include.cmake")
+include("/root/repo/build/tests/process_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/fs_test[1]_include.cmake")
+include("/root/repo/build/tests/fs_migration_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/command_interpreter_test[1]_include.cmake")
+include("/root/repo/build/tests/gc_test[1]_include.cmake")
+include("/root/repo/build/tests/lossy_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/codec_test[1]_include.cmake")
+include("/root/repo/build/tests/fs_units_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/udp_transport_test[1]_include.cmake")
+include("/root/repo/build/tests/concurrent_migration_test[1]_include.cmake")
+include("/root/repo/build/tests/determinism_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
