@@ -12,7 +12,7 @@
 namespace demos {
 namespace {
 
-void Run() {
+void Run(bench::TraceSink& trace) {
   bench::RegisterEverything();
   bench::Title("E1", "administrative messages per migration");
   bench::PaperClaim("9 administrative messages per migration, 6-12 bytes each");
@@ -21,7 +21,9 @@ void Run() {
                       "data packets", "data bytes"});
 
   for (std::uint32_t kib : {1u, 4u, 16u, 64u, 256u}) {
-    Cluster cluster(ClusterConfig{.machines = 2});
+    ClusterConfig config{.machines = 2};
+    trace.Configure(config);
+    Cluster cluster(config);
     auto addr = cluster.kernel(0).SpawnProcess("idle", kib * 1024 / 2, kib * 1024 / 4,
                                                kib * 1024 / 4);
     if (!addr.ok()) {
@@ -45,6 +47,7 @@ void Run() {
     table.Row({bench::Num(kib), bench::Num(admin.Get()), size_summary,
                bench::Num(admin_bytes.Get()), bench::Num(packets.Get()),
                bench::Num(data_bytes.Get())});
+    trace.Collect(cluster);
   }
   table.Print();
   bench::Note("admin message count is size-independent (9), as in the paper; our offer");
@@ -54,7 +57,9 @@ void Run() {
 }  // namespace
 }  // namespace demos
 
-int main() {
-  demos::Run();
+int main(int argc, char** argv) {
+  demos::bench::TraceSink trace(argc, argv);
+  demos::Run(trace);
+  trace.Finish();
   return 0;
 }

@@ -17,7 +17,13 @@ constexpr MsgType kSendViaTable = static_cast<MsgType>(1006);
 constexpr MsgType kIncrement = static_cast<MsgType>(1003);
 
 struct Setup {
-  Cluster cluster{ClusterConfig{.machines = 6}};
+  explicit Setup(const bench::TraceSink& trace)
+      : cluster([&trace] {
+          ClusterConfig config{.machines = 6};
+          trace.Configure(config);
+          return config;
+        }()) {}
+  Cluster cluster;
   ProcessAddress relay;
   ProcessAddress counter;
 };
@@ -36,7 +42,7 @@ std::uint64_t CounterValue(Setup& s) {
   return r.U64();
 }
 
-void Run() {
+void Run(bench::TraceSink& trace) {
   bench::RegisterEverything();
   // Test programs (relay/counter) live in the test utilities; register the
   // same behaviour here.
@@ -77,7 +83,7 @@ void Run() {
 
   std::int64_t direct_msgs = -1;
   for (int hops = 0; hops <= 4; ++hops) {
-    Setup s;
+    Setup s(trace);
     auto relay = s.cluster.kernel(5).SpawnProcess("bench_relay");
     auto counter = s.cluster.kernel(0).SpawnProcess("bench_counter");
     if (!relay.ok() || !counter.ok()) {
@@ -123,6 +129,7 @@ void Run() {
     if (CounterValue(s) != 2) {
       std::printf("!! delivery error at %d hops\n", hops);
     }
+    trace.Collect(s.cluster);
   }
   table.Print();
   bench::Note("1 hop costs exactly 2 extra messages (forward + update), as reported;");
@@ -132,7 +139,9 @@ void Run() {
 }  // namespace
 }  // namespace demos
 
-int main() {
-  demos::Run();
+int main(int argc, char** argv) {
+  demos::bench::TraceSink trace(argc, argv);
+  demos::Run(trace);
+  trace.Finish();
   return 0;
 }

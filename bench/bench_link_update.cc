@@ -55,10 +55,12 @@ struct RunResult {
   std::uint64_t delivered = 0;
 };
 
-RunResult RunOnce(SimDuration gap_us, bool link_update, int n_messages) {
+RunResult RunOnce(SimDuration gap_us, bool link_update, int n_messages,
+                  bench::TraceSink& trace) {
   ClusterConfig config;
   config.machines = 3;
   config.kernel.link_update_enabled = link_update;
+  trace.Configure(config);
   Cluster cluster(config);
   auto relay = cluster.kernel(2).SpawnProcess("e5_relay");
   auto counter = cluster.kernel(0).SpawnProcess("e5_counter");
@@ -92,10 +94,11 @@ RunResult RunOnce(SimDuration gap_us, bool link_update, int n_messages) {
   ProcessRecord* record = cluster.FindProcessAnywhere(counter->pid);
   ByteReader r(record->memory.ReadData(0, 8));
   result.delivered = r.U64();
+  trace.Collect(cluster);
   return result;
 }
 
-void Run() {
+void Run(bench::TraceSink& trace) {
   bench::RegisterEverything();
   RegisterBenchPrograms();
 
@@ -106,8 +109,8 @@ void Run() {
   bench::Table table({"send gap us", "fwd (update on)", "updates", "fwd (update off)",
                       "delivered"});
   for (SimDuration gap : {0u, 50u, 100u, 200u, 400u, 800u, 1600u, 5000u}) {
-    RunResult with = RunOnce(gap, /*link_update=*/true, kMessages);
-    RunResult without = RunOnce(gap, /*link_update=*/false, kMessages);
+    RunResult with = RunOnce(gap, /*link_update=*/true, kMessages, trace);
+    RunResult without = RunOnce(gap, /*link_update=*/false, kMessages, trace);
     table.Row({bench::Num(static_cast<std::int64_t>(gap)), bench::Num(with.forwarded),
                bench::Num(with.updates), bench::Num(without.forwarded),
                bench::Num(with.delivered)});
@@ -121,7 +124,9 @@ void Run() {
 }  // namespace
 }  // namespace demos
 
-int main() {
-  demos::Run();
+int main(int argc, char** argv) {
+  demos::bench::TraceSink trace(argc, argv);
+  demos::Run(trace);
+  trace.Finish();
   return 0;
 }

@@ -14,7 +14,7 @@
 namespace demos {
 namespace {
 
-void Run() {
+void Run(bench::TraceSink& trace) {
   bench::RegisterEverything();
   bench::Title("E10", "migration cost vs pending-queue length");
   bench::PaperClaim("each queued message is re-sent at normal inter-machine message cost");
@@ -24,7 +24,9 @@ void Run() {
 
   SimDuration baseline_us = 0;
   for (int queued : {0, 1, 4, 16, 64, 128}) {
-    Cluster cluster(ClusterConfig{.machines = 3});
+    ClusterConfig config{.machines = 3};
+    trace.Configure(config);
+    Cluster cluster(config);
     auto addr = cluster.kernel(0).SpawnProcess("sink", 4096, 4096, 1024);
     if (!addr.ok()) {
       continue;
@@ -54,6 +56,7 @@ void Run() {
     table.Row({bench::Num(queued), bench::Num(pending.Get()),
                bench::Num(static_cast<std::int64_t>(us)), bench::Num(per_msg, 1),
                bench::Num(bytes.Get())});
+    trace.Collect(cluster);
   }
   table.Print();
   bench::Note("pending-forward count equals the queue length exactly; the added time per");
@@ -63,7 +66,9 @@ void Run() {
 }  // namespace
 }  // namespace demos
 
-int main() {
-  demos::Run();
+int main(int argc, char** argv) {
+  demos::bench::TraceSink trace(argc, argv);
+  demos::Run(trace);
+  trace.Finish();
   return 0;
 }

@@ -21,10 +21,12 @@ struct Measurement {
   std::int64_t bytes = 0;
 };
 
-Measurement Measure(std::uint32_t image_bytes, std::size_t packet_bytes) {
+Measurement Measure(std::uint32_t image_bytes, std::size_t packet_bytes,
+                    bench::TraceSink& trace) {
   ClusterConfig config;
   config.machines = 2;
   config.kernel.data_packet_bytes = packet_bytes;
+  trace.Configure(config);
   Cluster cluster(config);
   auto addr = cluster.kernel(0).SpawnProcess("idle", image_bytes / 2, image_bytes / 4,
                                              image_bytes / 4);
@@ -40,10 +42,11 @@ Measurement Measure(std::uint32_t image_bytes, std::size_t packet_bytes) {
   m.packets = packets.Get();
   m.acks = acks.Get();
   m.bytes = bytes.Get();
+  trace.Collect(cluster);
   return m;
 }
 
-void Run() {
+void Run(bench::TraceSink& trace) {
   bench::RegisterEverything();
   bench::Title("E3a", "migration time vs program size (packet = 1 KiB)");
   bench::PaperClaim("3 data moves; program+data dominate for non-trivial processes");
@@ -51,7 +54,7 @@ void Run() {
   bench::Table by_size({"image KiB", "migration us", "packets", "acks", "bytes moved",
                         "throughput MB/s"});
   for (std::uint32_t kib : {1u, 4u, 16u, 64u, 256u, 1024u}) {
-    Measurement m = Measure(kib * 1024, 1024);
+    Measurement m = Measure(kib * 1024, 1024, trace);
     const double mbps = m.migration_us == 0
                             ? 0.0
                             : static_cast<double>(m.bytes) / static_cast<double>(m.migration_us);
@@ -65,7 +68,7 @@ void Run() {
   bench::PaperClaim("larger packets increase effective network throughput");
   bench::Table by_packet({"packet B", "migration us", "packets", "throughput MB/s"});
   for (std::size_t packet : {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u, 8192u}) {
-    Measurement m = Measure(256 * 1024, packet);
+    Measurement m = Measure(256 * 1024, packet, trace);
     const double mbps = m.migration_us == 0
                             ? 0.0
                             : static_cast<double>(m.bytes) / static_cast<double>(m.migration_us);
@@ -80,7 +83,9 @@ void Run() {
 }  // namespace
 }  // namespace demos
 
-int main() {
-  demos::Run();
+int main(int argc, char** argv) {
+  demos::bench::TraceSink trace(argc, argv);
+  demos::Run(trace);
+  trace.Finish();
   return 0;
 }

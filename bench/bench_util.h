@@ -8,12 +8,16 @@
 #define DEMOS_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <iostream>
 #include <string>
+#include <string_view>
 #include <type_traits>
 #include <vector>
 
 #include "src/base/stats.h"
 #include "src/kernel/cluster.h"
+#include "src/obs/trace.h"
+#include "src/obs/trace_export.h"
 #include "src/sys/bootstrap.h"
 #include "src/sys/fs/fs_client.h"
 #include "src/workload/programs.h"
@@ -118,6 +122,78 @@ inline void RegisterEverything() {
   RegisterSystemPrograms();
   RegisterWorkloadPrograms();  // also provides the generic idle/sink/counter
 }
+
+// Cluster-wide counters and histograms (kernels + network) in the shared
+// StatsRegistry::Dump format.
+inline void DumpClusterStats(Cluster& cluster) {
+  StatsRegistry total = cluster.TotalStats();
+  total.Merge(cluster.network().stats());
+  if (cluster.reliable() != nullptr) {
+    total.Merge(cluster.reliable()->stats());
+  }
+  total.Dump(std::cout);
+}
+
+// `--trace-out=<path>` support: a bench that accepts it runs its clusters
+// with tracing enabled, merges every cluster's timeline, and writes one
+// Chrome trace_event JSON file at the end of the run.
+class TraceSink {
+ public:
+  TraceSink(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string_view arg = argv[i];
+      if (arg.rfind("--trace-out=", 0) == 0) {
+        path_ = std::string(arg.substr(12));
+      } else if (arg == "--trace-out" && i + 1 < argc) {
+        path_ = argv[++i];
+      }
+    }
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  // Call on each ClusterConfig before constructing the cluster.
+  void Configure(ClusterConfig& config) const {
+    if (enabled()) {
+      config.EnableTracing();
+    }
+  }
+
+  // Call on each cluster after its run completes (and after every
+  // measurement is read -- this settles the queue, so benches that stop
+  // stepping early, like MigrateNow, still trace the trailing restart).
+  // Histograms are derived per cluster here: independent clusters share
+  // virtual time origins and process ids, so span reconstruction must not
+  // mix their events.
+  void Collect(Cluster& cluster) {
+    if (enabled()) {
+      cluster.RunUntilIdle();
+      Tracer total = cluster.TotalTrace();
+      BuildTraceStats(total.events(), &derived_);
+      merged_.Merge(total);
+    }
+  }
+
+  // Write the merged timeline and report the derived histograms.
+  void Finish() {
+    if (!enabled()) {
+      return;
+    }
+    merged_.SortByTime();
+    std::printf("\ntrace-derived histograms:\n");
+    derived_.Dump(std::cout);
+    if (WriteChromeTraceFile(merged_.events(), path_)) {
+      std::printf("wrote %zu trace events to %s\n", merged_.events().size(), path_.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write trace to %s\n", path_.c_str());
+    }
+  }
+
+ private:
+  std::string path_;
+  Tracer merged_;
+  StatsRegistry derived_;
+};
 
 }  // namespace bench
 }  // namespace demos

@@ -8,6 +8,7 @@
 //   ./build/examples/quickstart
 
 #include <cstdio>
+#include <iostream>
 #include <memory>
 
 #include "src/kernel/cluster.h"
@@ -80,6 +81,8 @@ int Main() {
               static_cast<long long>(cluster.kernel(0).stats().Get(stat::kMsgsForwarded)));
   std::printf("administrative messages for the migration: %lld (the paper's 9)\n",
               static_cast<long long>(cluster.TotalStat(stat::kAdminMsgs)));
+  std::printf("\ncluster-wide counters:\n");
+  cluster.TotalStats().Dump(std::cout);
   return 0;
 }
 

@@ -8,8 +8,10 @@
 #define DEMOS_BASE_STATS_H_
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <map>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -19,7 +21,10 @@ namespace demos {
 // benches print.
 class Distribution {
  public:
-  void Record(double value) { samples_.push_back(value); }
+  void Record(double value) {
+    samples_.push_back(value);
+    sorted_valid_ = false;
+  }
 
   std::size_t count() const { return samples_.size(); }
 
@@ -41,22 +46,38 @@ class Distribution {
     return samples_.empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
   }
 
-  // Nearest-rank percentile; p in [0, 100].
+  // Linearly interpolated percentile; p in [0, 100].  The sorted view is
+  // cached across calls and invalidated by Record, so summarizing one
+  // distribution at many percentiles sorts once, not per call.
   double Percentile(double p) const {
     if (samples_.empty()) {
       return 0.0;
     }
-    std::vector<double> sorted = samples_;
-    std::sort(sorted.begin(), sorted.end());
-    double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
-    auto idx = static_cast<std::size_t>(rank);
-    return sorted[std::min(idx, sorted.size() - 1)];
+    EnsureSorted();
+    p = std::clamp(p, 0.0, 100.0);
+    const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    if (lo + 1 >= sorted_.size()) {
+      return sorted_.back();
+    }
+    const double frac = rank - std::floor(rank);
+    return sorted_[lo] + frac * (sorted_[lo + 1] - sorted_[lo]);
   }
 
   const std::vector<double>& samples() const { return samples_; }
 
  private:
+  void EnsureSorted() const {
+    if (!sorted_valid_) {
+      sorted_ = samples_;
+      std::sort(sorted_.begin(), sorted_.end());
+      sorted_valid_ = true;
+    }
+  }
+
   std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
 };
 
 class StatsRegistry {
@@ -95,6 +116,21 @@ class StatsRegistry {
     }
   }
 
+  // Human-readable report: sorted counters, then distribution summaries.
+  // Shared by benches, examples, and debugging sessions so the format cannot
+  // drift between them.
+  void Dump(std::ostream& os) const {
+    for (const auto& [name, value] : counters_) {
+      os << "  " << name << " = " << value << "\n";
+    }
+    for (const auto& [name, dist] : distributions_) {
+      os << "  " << name << ": n=" << dist.count() << " mean=" << dist.Mean()
+         << " min=" << dist.Min() << " p50=" << dist.Percentile(50)
+         << " p95=" << dist.Percentile(95) << " p99=" << dist.Percentile(99)
+         << " max=" << dist.Max() << "\n";
+    }
+  }
+
  private:
   std::map<std::string, std::int64_t> counters_;
   std::map<std::string, Distribution> distributions_;
@@ -120,6 +156,14 @@ inline constexpr const char* kPendingForwarded = "pending_forwarded";
 inline constexpr const char* kForwardingAddresses = "forwarding_addresses";
 inline constexpr const char* kWireBytesSent = "wire_bytes_sent";
 inline constexpr const char* kDeliverToKernelMsgs = "deliver_to_kernel_msgs";
+
+// Distributions derived from the src/obs tracer (BuildTraceStats): per-phase
+// migration latency breakdown, forwarding-chain lengths, and lazy link-update
+// lag.  Phase distributions are named "phase_<name>_us" per
+// MigrationPhaseName() in src/obs/trace_export.h.
+inline constexpr const char* kMigrationTotalUs = "migration_total_us";
+inline constexpr const char* kForwardHops = "forward_hops";
+inline constexpr const char* kLinkUpdateLagUs = "link_update_lag_us";
 }  // namespace stat
 
 }  // namespace demos

@@ -26,6 +26,14 @@ struct ClusterConfig {
   // duplicates, or reorders packets).
   bool reliable_layer = false;
   ReliableConfig reliable;
+
+  // Convenience: turn on tracing in every layer at once (kernels, network,
+  // and the reliable channel if present).
+  void EnableTracing() {
+    kernel.trace_enabled = true;
+    network.trace_enabled = true;
+    reliable.trace_enabled = true;
+  }
 };
 
 class Cluster {
@@ -78,6 +86,21 @@ class Cluster {
       sum += kernel->stats().Get(name);
     }
     return sum;
+  }
+
+  // Merge every layer's trace events into one time-sorted cluster timeline
+  // (mirrors TotalStats).  Empty when tracing is disabled.
+  Tracer TotalTrace() const {
+    Tracer total;
+    for (const auto& kernel : kernels_) {
+      total.Merge(kernel->tracer());
+    }
+    total.Merge(network_->tracer());
+    if (reliable_) {
+      total.Merge(reliable_->tracer());
+    }
+    total.SortByTime();
+    return total;
   }
 
   // Locate a process record anywhere in the cluster (test helper).

@@ -17,7 +17,11 @@ Kernel::Kernel(MachineId machine, EventQueue* queue, Transport* transport, Kerne
       queue_(*queue),
       transport_(transport),
       config_(config),
-      rng_(config.seed ^ (0x9E3779B9ull * (machine + 1))) {
+      rng_(config.seed ^ (0x9E3779B9ull * (machine + 1))),
+      tracer_(machine) {
+  if (config_.trace_enabled) {
+    tracer_.Enable();
+  }
   transport_->Attach(machine_, [this](MachineId src, Bytes wire) { OnWireDelivery(src, wire); });
 }
 
@@ -130,6 +134,19 @@ void Kernel::Transmit(Message msg) {
     stats_.Add(stat::kAdminBytes, static_cast<std::int64_t>(msg.payload.size()));
     stats_.Record("admin_payload_bytes", static_cast<double>(msg.payload.size()));
   }
+  if (tracer_.enabled()) {
+    // First transmission stamps the lifecycle id; forwarded and bounced
+    // messages keep the id they were born with.
+    if (msg.trace_id == 0) {
+      msg.trace_id = tracer_.NextMessageTraceId();
+      TraceMessage(trace::kMsgSend, msg, static_cast<std::uint64_t>(msg.type), msg.WireSize());
+      if (msg.type == MsgType::kMigrateRequest) {
+        // Step 1 of Sec. 3.1 starts here, on the requester's kernel.
+        TraceMigration(trace::kRequestSent, msg.receiver.pid,
+                       static_cast<std::uint64_t>(msg.receiver.last_known_machine));
+      }
+    }
+  }
   const MachineId dst = msg.receiver.last_known_machine;
   transport_->Send(machine_, dst, msg.Serialize());
 }
@@ -238,6 +255,10 @@ void Kernel::EnqueueLocal(ProcessRecord& record, Message msg) {
 
 void Kernel::DeliverToProcess(ProcessRecord& record, Message msg) {
   stats_.Add(stat::kMsgsDelivered);
+  if (msg.hop_count > 0) {
+    stats_.Record(stat::kForwardHops, static_cast<double>(msg.hop_count));
+  }
+  TraceMessage(trace::kMsgDeliver, msg, msg.hop_count);
   EnqueueLocal(record, std::move(msg));
   MaybeScheduleDispatch(record);
 }

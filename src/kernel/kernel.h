@@ -30,6 +30,7 @@
 #include "src/kernel/message.h"
 #include "src/kernel/process.h"
 #include "src/net/transport.h"
+#include "src/obs/trace.h"
 #include "src/proc/program.h"
 #include "src/sim/event_queue.h"
 
@@ -86,6 +87,10 @@ struct KernelConfig {
   // Sec. 3.2).  Null means accept whenever memory allows.
   std::function<bool(const MigrateOffer&)> accept_migration;
 
+  // Structured event tracing (src/obs).  Off by default: a disabled tracer
+  // records no events and costs one predictable branch per trace point.
+  bool trace_enabled = false;
+
   std::uint64_t seed = 1;
 };
 
@@ -104,6 +109,8 @@ class Kernel {
   const KernelConfig& config() const { return config_; }
   StatsRegistry& stats() { return stats_; }
   const StatsRegistry& stats() const { return stats_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
 
   // ---- Harness-level services (used by tests, benches, system bring-up). ----
 
@@ -284,12 +291,29 @@ class Kernel {
   // account it as one of the Sec. 6 administrative messages.
   void SendAdmin(const ProcessAddress& to, MsgType type, Bytes payload);
 
+  // ---- Trace points (src/obs; no-ops when tracing is disabled). ----
+  void TraceMigration(const char* name, const ProcessId& pid, std::uint64_t arg0 = 0,
+                      std::uint64_t arg1 = 0) {
+    if (tracer_.enabled()) {
+      tracer_.Instant(queue_.Now(), trace::kMigration, name, MigrationSpanId(pid), pid, arg0,
+                      arg1);
+    }
+  }
+  void TraceMessage(const char* name, const Message& msg, std::uint64_t arg0 = 0,
+                    std::uint64_t arg1 = 0) {
+    if (tracer_.enabled() && msg.trace_id != 0) {
+      tracer_.Instant(queue_.Now(), trace::kMessage, name, msg.trace_id, msg.receiver.pid, arg0,
+                      arg1);
+    }
+  }
+
   MachineId machine_;
   EventQueue& queue_;
   Transport* transport_;
   KernelConfig config_;
   Rng rng_;
   StatsRegistry stats_;
+  Tracer tracer_;
 
   ProcessTable processes_;
   std::uint32_t next_local_id_ = 1;  // 0 is the kernel pseudo-process

@@ -72,6 +72,7 @@ Bytes Message::Serialize() const {
   w.U8(flags);
   w.U16(static_cast<std::uint16_t>(type));
   w.U8(hop_count);
+  w.U64(trace_id);
   w.U8(static_cast<std::uint8_t>(carried_links.size()));
   for (const Link& link : carried_links) {
     link.Serialize(w);
@@ -88,6 +89,7 @@ Message Message::Deserialize(const Bytes& wire, bool* ok) {
   m.flags = r.U8();
   m.type = static_cast<MsgType>(r.U16());
   m.hop_count = r.U8();
+  m.trace_id = r.U64();
   const std::uint8_t n_links = r.U8();
   m.carried_links.reserve(n_links);
   for (std::uint8_t i = 0; i < n_links && r.ok(); ++i) {
@@ -101,9 +103,9 @@ Message Message::Deserialize(const Bytes& wire, bool* ok) {
 }
 
 std::size_t Message::WireHeaderSize() {
-  // sender(8) + receiver(8) + flags(1) + type(2) + hops(1) + nlinks(1) +
-  // payload length prefix(4).
-  return 8 + 8 + 1 + 2 + 1 + 1 + 4;
+  // sender(8) + receiver(8) + flags(1) + type(2) + hops(1) + trace id(8) +
+  // nlinks(1) + payload length prefix(4).
+  return 8 + 8 + 1 + 2 + 1 + 8 + 1 + 4;
 }
 
 std::string Message::ToString() const {

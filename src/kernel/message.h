@@ -100,6 +100,12 @@ struct Message {
   // the E4/E9 benches to measure forwarding-chain lengths.
   std::uint8_t hop_count = 0;
 
+  // Lifecycle correlation id for the src/obs tracer: stamped by the first
+  // kernel to Transmit the message (when tracing is enabled; 0 otherwise)
+  // and preserved across forwarding hops and bounces, so a message's full
+  // path through the cluster can be reconstructed from the merged trace.
+  std::uint64_t trace_id = 0;
+
   Bytes Serialize() const;
   static Message Deserialize(const Bytes& wire, bool* ok);
 

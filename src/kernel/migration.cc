@@ -78,6 +78,7 @@ void Kernel::HandleMigrateRequest(ProcessRecord& record, const Message& msg) {
 
   // Step 1: remove the process from execution.  Its recorded state (ready,
   // waiting, suspended) is preserved so it resumes identically (Sec. 3.1).
+  TraceMigration(trace::kMigrationBegin, pid, destination);
   MigrationSource source;
   source.requester = requester;
   source.destination = destination;
@@ -105,6 +106,8 @@ void Kernel::HandleMigrateRequest(ProcessRecord& record, const Message& msg) {
   offer.U32(static_cast<std::uint32_t>(source.resident.size()));
   offer.U32(static_cast<std::uint32_t>(source.swappable.size()));
   offer.U32(static_cast<std::uint32_t>(source.image.size()));
+  TraceMigration(trace::kOfferSent, pid, destination,
+                 source.resident.size() + source.swappable.size() + source.image.size());
   SendAdmin(KernelAddress(destination), MsgType::kMigrateOffer, offer.Take());
 
   migration_sources_.emplace(pid, std::move(source));
@@ -124,6 +127,9 @@ void Kernel::HandleMigrateOffer(const Message& msg) {
   offer.resident_bytes = r.U32();
   offer.swappable_bytes = r.U32();
   offer.memory_bytes = r.U32();
+  TraceMigration(trace::kOfferReceived, offer.pid, offer.source,
+                 std::uint64_t{offer.resident_bytes} + offer.swappable_bytes +
+                     offer.memory_bytes);
 
   ByteWriter reject;
   reject.Pid(offer.pid);
@@ -132,8 +138,9 @@ void Kernel::HandleMigrateOffer(const Message& msg) {
   if (out_of_memory || vetoed || processes_.FindEntry(offer.pid) != nullptr) {
     // Sec. 3.2: "If the destination machine refuses, the process cannot be
     // migrated."
-    reject.U8(static_cast<std::uint8_t>(out_of_memory ? StatusCode::kExhausted
-                                                      : StatusCode::kRefused));
+    const StatusCode code = out_of_memory ? StatusCode::kExhausted : StatusCode::kRefused;
+    reject.U8(static_cast<std::uint8_t>(code));
+    TraceMigration(trace::kRejectSent, offer.pid, static_cast<std::uint64_t>(code));
     SendAdmin(KernelAddress(offer.source), MsgType::kMigrateReject, reject.Take());
     return;
   }
@@ -153,6 +160,7 @@ void Kernel::HandleMigrateOffer(const Message& msg) {
 
   ByteWriter accept;
   accept.Pid(offer.pid);
+  TraceMigration(trace::kAcceptSent, offer.pid);
   SendAdmin(KernelAddress(offer.source), MsgType::kMigrateAccept, accept.Take());
 
   // Steps 4-5: pull the three sections with the move-data facility.
@@ -171,6 +179,7 @@ void Kernel::HandleMigrateOffer(const Message& msg) {
     req.Pid(offer.pid);
     req.U8(static_cast<std::uint8_t>(section));
     req.U32(transfer_id);
+    TraceMigration(trace::kPullRequested, offer.pid, static_cast<std::uint64_t>(section));
     SendAdmin(KernelAddress(offer.source), MsgType::kMoveDataReq, req.Take());
   }
 }
@@ -181,6 +190,7 @@ void Kernel::HandleMigrateAccept(const Message& msg) {
   auto it = migration_sources_.find(pid);
   if (it != migration_sources_.end()) {
     it->second.accepted = true;
+    TraceMigration(trace::kAcceptReceived, pid);
   }
 }
 
@@ -211,6 +221,7 @@ void Kernel::AbortMigrationAtSource(const ProcessId& pid, Status why) {
     MaybeScheduleDispatch(*record);
   }
   stats_.Add(stat::kMigrationsRefused);
+  TraceMigration(trace::kMigrationAborted, pid, static_cast<std::uint64_t>(why.code()));
   DEMOS_LOG(kInfo, "migrate") << "m" << machine_ << ": migration of " << pid.ToString()
                               << " aborted: " << why.ToString();
   SendMigrateDone(source.requester, pid, machine_, why.code());
@@ -248,6 +259,8 @@ void Kernel::HandleMoveDataReq(const Message& msg) {
   if (bytes == nullptr) {
     return;
   }
+  TraceMigration(trace::kSectionStreamed, pid, static_cast<std::uint64_t>(section),
+                 bytes->size());
   DataPacket prototype;
   prototype.mode = StreamMode::kPull;
   prototype.transfer_id = transfer_id;
@@ -261,6 +274,8 @@ void Kernel::OnMigrationSectionReceived(const ProcessId& pid, MigrationSection s
     return;
   }
   MigrationDest& dest = it->second;
+  TraceMigration(trace::kSectionReceived, pid, static_cast<std::uint64_t>(section),
+                 bytes.size());
   dest.sections[static_cast<int>(section)] = std::move(bytes);
   if (--dest.sections_remaining > 0) {
     return;
@@ -320,6 +335,7 @@ void Kernel::OnMigrationSectionReceived(const ProcessId& pid, MigrationSection s
   // Step 5 end: control returns to the source kernel.
   ByteWriter w;
   w.Pid(pid);
+  TraceMigration(trace::kTransferDoneSent, pid);
   SendAdmin(KernelAddress(dest.source), MsgType::kTransferComplete, w.Take());
 }
 
@@ -345,16 +361,20 @@ void Kernel::FinishMigrationAtSource(const ProcessId& pid) {
   if (record == nullptr) {
     return;
   }
+  TraceMigration(trace::kTransferDoneReceived, pid);
 
   // Step 6: re-send every message that was queued when the migration started
   // or arrived since, with the location part of the address updated.
+  std::uint64_t pending_count = 0;
   while (!record->queue.empty()) {
     Message pending = std::move(record->queue.front());
     record->queue.pop_front();
     pending.receiver.last_known_machine = source.destination;
     stats_.Add(stat::kPendingForwarded);
+    ++pending_count;
     Transmit(std::move(pending));
   }
+  TraceMigration(trace::kPendingForwarded, pid, pending_count);
 
   // Step 7: reclaim all state; leave a forwarding address (8 bytes: the
   // degenerate process record of Sec. 4) -- or nothing at all in the
@@ -363,6 +383,7 @@ void Kernel::FinishMigrationAtSource(const ProcessId& pid) {
   if (config_.delivery_mode == KernelConfig::DeliveryMode::kForwarding) {
     processes_.InstallForwardingAddress(pid, source.destination, queue_.Now());
     stats_.Add(stat::kForwardingAddresses);
+    TraceMigration(trace::kForwardingInstalled, pid, source.destination);
   } else {
     processes_.Erase(pid);
   }
@@ -373,6 +394,7 @@ void Kernel::FinishMigrationAtSource(const ProcessId& pid) {
 
   ByteWriter done;
   done.Pid(pid);
+  TraceMigration(trace::kCleanupSent, pid);
   SendAdmin(KernelAddress(source.destination), MsgType::kCleanupDone, done.Take());
   SendMigrateDone(source.requester, pid, source.destination, StatusCode::kOk);
   DEMOS_LOG(kInfo, "migrate") << "m" << machine_ << ": " << pid.ToString() << " moved to m"
@@ -439,6 +461,7 @@ void Kernel::RestartMigratedProcess(const ProcessId& pid) {
     SendFromKernel(KernelAddress(pid.creating_machine), MsgType::kLocationRegister, w.Take());
   }
   stats_.Add(stat::kMigrations);
+  TraceMigration(trace::kRestarted, pid, static_cast<std::uint64_t>(record->state));
   DEMOS_LOG(kInfo, "migrate") << "m" << machine_ << ": restarted " << pid.ToString()
                               << " in state " << ExecStateName(record->state);
 }
@@ -455,6 +478,7 @@ void Kernel::ForwardThroughAddress(Message msg, MachineId next_machine) {
   }
   stats_.Add(stat::kMsgsForwarded);
   msg.hop_count++;
+  TraceMessage(trace::kMsgForward, msg, msg.hop_count, next_machine);
 
   const ProcessAddress original_sender = msg.sender;
   const ProcessId migrated = msg.receiver.pid;
@@ -483,6 +507,13 @@ void Kernel::SendLinkUpdate(const ProcessAddress& original_sender, const Process
   update.flags = kLinkDeliverToKernel;
   update.type = MsgType::kLinkUpdate;
   update.payload = w.Take();
+  if (tracer_.enabled()) {
+    // Pre-stamp the trace id so the send and the eventual apply (at the
+    // sender's kernel) pair up into the link-update-lag histogram.
+    update.trace_id = tracer_.NextMessageTraceId();
+    tracer_.Instant(queue_.Now(), trace::kMessage, trace::kLinkUpdateSent, update.trace_id,
+                    migrated, 0, new_machine);
+  }
   stats_.Add(stat::kLinkUpdateMsgs);
   Transmit(std::move(update));
 }
@@ -495,6 +526,7 @@ void Kernel::HandleLinkUpdate(ProcessRecord& record, const Message& msg) {
   if (patched > 0) {
     stats_.Add(stat::kLinksPatched, patched);
   }
+  TraceMessage(trace::kLinkUpdateApplied, msg, static_cast<std::uint64_t>(patched));
 }
 
 // ---------------------------------------------------------------------------
@@ -515,6 +547,7 @@ void Kernel::HandleAbsentReceiver(Message msg, MachineId wire_src) {
       break;
   }
   stats_.Add(stat::kMsgsBounced);
+  TraceMessage(trace::kMsgBounce, msg, static_cast<std::uint64_t>(msg.type));
 
   if (config_.delivery_mode == KernelConfig::DeliveryMode::kReturnToSender) {
     ByteWriter w;

@@ -55,10 +55,12 @@ void ReliableTransport::ScheduleRetransmit(MachineId src, MachineId dst, std::ui
     if (config_.max_retries != 0 && attempt > config_.max_retries) {
       DEMOS_LOG(kWarn, "rel") << "giving up on frame m" << src << "->m" << dst << " seq " << seq;
       stats_.Add(stat::kRelGiveUps);
+      TraceFrame(trace::kGiveUp, src, seq, attempt);
       sit->second.unacked.erase(uit);
       return;
     }
     stats_.Add(stat::kRelRetransmits);
+    TraceFrame(trace::kRetransmit, src, seq, attempt);
     lower_.Send(src, dst, uit->second);
     SimDuration next = timeout * config_.backoff_permille / 1000;
     ScheduleRetransmit(src, dst, seq, attempt + 1, next);

@@ -18,6 +18,7 @@
 #include "src/base/ids.h"
 #include "src/base/stats.h"
 #include "src/net/transport.h"
+#include "src/obs/trace.h"
 #include "src/sim/event_queue.h"
 
 namespace demos {
@@ -29,6 +30,8 @@ struct ReliableConfig {
   // Give up after this many retransmissions of one frame (0 = never).  Giving
   // up models a permanently dead peer; the frame is dropped and counted.
   std::uint32_t max_retries = 60;
+  // Record retransmits and give-ups into an owned Tracer (src/obs).
+  bool trace_enabled = false;
 };
 
 // Wraps an unreliable Transport (typically a lossy SimNetwork) and presents a
@@ -36,12 +39,18 @@ struct ReliableConfig {
 class ReliableTransport final : public Transport {
  public:
   ReliableTransport(EventQueue* queue, Transport* lower, ReliableConfig config)
-      : queue_(*queue), lower_(*lower), config_(config) {}
+      : queue_(*queue), lower_(*lower), config_(config) {
+    if (config.trace_enabled) {
+      tracer_.Enable();
+    }
+  }
 
   void Attach(MachineId node, DeliveryHandler handler) override;
   void Send(MachineId src, MachineId dst, Bytes payload) override;
 
   StatsRegistry& stats() { return stats_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
 
  private:
   struct PairKey {
@@ -70,6 +79,18 @@ class ReliableTransport final : public Transport {
                           SimDuration timeout);
   static Bytes EncodeData(std::uint64_t seq, const Bytes& payload);
   static Bytes EncodeAck(std::uint64_t cumulative);
+  void TraceFrame(const char* name, MachineId src, std::uint64_t seq, std::uint64_t attempt) {
+    if (tracer_.enabled()) {
+      TraceEvent ev;
+      ev.ts = queue_.Now();
+      ev.machine = src;
+      ev.category = trace::kNet;
+      ev.name = name;
+      ev.arg0 = seq;
+      ev.arg1 = attempt;
+      tracer_.RecordEvent(ev);
+    }
+  }
 
   EventQueue& queue_;
   Transport& lower_;
@@ -78,6 +99,7 @@ class ReliableTransport final : public Transport {
   std::unordered_map<PairKey, SenderState, PairKeyHash> senders_;
   std::unordered_map<PairKey, ReceiverState, PairKeyHash> receivers_;
   StatsRegistry stats_;
+  Tracer tracer_;
 };
 
 namespace stat {

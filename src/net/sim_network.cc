@@ -21,16 +21,19 @@ void SimNetwork::Send(MachineId src, MachineId dst, Bytes payload) {
 
   if (!IsNodeUp(src) || !IsNodeUp(dst)) {
     stats_.Add(stat::kNetPacketsDropped);
+    TraceWire(trace::kPacketDropped, src, dst);
     return;
   }
   if (config_.drop_probability > 0 && rng_.Chance(config_.drop_probability)) {
     stats_.Add(stat::kNetPacketsDropped);
+    TraceWire(trace::kPacketDropped, src, dst);
     return;
   }
 
   SimDuration delay = TransmitDelay(payload.size(), src);
   if (config_.duplicate_probability > 0 && rng_.Chance(config_.duplicate_probability)) {
     stats_.Add(stat::kNetPacketsDuplicated);
+    TraceWire(trace::kPacketDuplicated, src, dst);
     Deliver(src, dst, payload, delay + 1);
   }
   Deliver(src, dst, payload, delay);
@@ -43,6 +46,7 @@ void SimNetwork::Deliver(MachineId src, MachineId dst, const Bytes& payload, Sim
     // receiver hears nothing.
     if ((src != dst && !IsNodeUp(src)) || !IsNodeUp(dst)) {
       stats_.Add(stat::kNetPacketsDropped);
+      TraceWire(trace::kPacketDropped, src, dst);
       return;
     }
     auto it = handlers_.find(dst);

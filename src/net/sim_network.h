@@ -19,6 +19,7 @@
 #include "src/base/rng.h"
 #include "src/base/stats.h"
 #include "src/net/transport.h"
+#include "src/obs/trace.h"
 #include "src/sim/event_queue.h"
 
 namespace demos {
@@ -37,13 +38,20 @@ struct SimNetworkConfig {
   // Fixed per-packet overhead added to the payload when computing
   // serialization time (frame header, etc.).
   std::size_t frame_overhead_bytes = 8;
+  // Record wire anomalies (drops, duplicates) into an owned Tracer, merged
+  // cluster-wide alongside the kernel tracers (src/obs).
+  bool trace_enabled = false;
   std::uint64_t seed = 0x0DE305;
 };
 
 class SimNetwork final : public Transport {
  public:
   SimNetwork(EventQueue* queue, SimNetworkConfig config)
-      : queue_(*queue), config_(config), rng_(config.seed) {}
+      : queue_(*queue), config_(config), rng_(config.seed) {
+    if (config.trace_enabled) {
+      tracer_.Enable();
+    }
+  }
 
   void Attach(MachineId node, DeliveryHandler handler) override {
     handlers_[node] = std::move(handler);
@@ -61,10 +69,24 @@ class SimNetwork final : public Transport {
 
   StatsRegistry& stats() { return stats_; }
   const StatsRegistry& stats() const { return stats_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
 
  private:
   void Deliver(MachineId src, MachineId dst, const Bytes& payload, SimDuration delay);
   SimDuration TransmitDelay(std::size_t payload_size, MachineId src);
+  void TraceWire(const char* name, MachineId src, MachineId dst) {
+    if (tracer_.enabled()) {
+      TraceEvent ev;
+      ev.ts = queue_.Now();
+      ev.machine = src;
+      ev.category = trace::kNet;
+      ev.name = name;
+      ev.arg0 = src;
+      ev.arg1 = dst;
+      tracer_.RecordEvent(ev);
+    }
+  }
 
   EventQueue& queue_;
   SimNetworkConfig config_;
@@ -74,6 +96,7 @@ class SimNetwork final : public Transport {
   // Earliest time each machine's output port is free (serialization model).
   std::unordered_map<MachineId, SimTime> port_free_at_;
   StatsRegistry stats_;
+  Tracer tracer_;
 };
 
 namespace stat {

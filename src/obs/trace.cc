@@ -1,0 +1,12 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+
+namespace demos {
+
+void Tracer::SortByTime() {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.ts < b.ts; });
+}
+
+}  // namespace demos
