@@ -5,13 +5,24 @@
 // (6-12 byte control messages, 8-byte forwarding addresses, ~250/~600 byte
 // process state records) is measurable as bytes rather than estimated.
 // Encoding is little-endian, fixed-width.
+//
+// PayloadRef is the unit of payload ownership on the message path: a shared,
+// refcounted, immutable byte buffer plus an (offset, length) window into it.
+// A message payload, its wire frame, a retransmit buffer, and a pending-queue
+// entry can all alias one allocation; the rare mutating path (patching the
+// receiver machine on a forwarding hop while a retransmit buffer still holds
+// the frame) goes through copy-on-write.
 
 #ifndef DEMOS_BASE_BYTES_H_
 #define DEMOS_BASE_BYTES_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <initializer_list>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/base/ids.h"
@@ -19,6 +30,115 @@
 namespace demos {
 
 using Bytes = std::vector<std::uint8_t>;
+
+// Process-wide counters behind the E-bench copy accounting: how many backing
+// buffers the payload pipeline allocated and how many bytes were physically
+// copied into them.  Moves and slices are free; only genuine allocations and
+// memcpys count.  Single-threaded like the rest of the simulator.
+struct PayloadCounters {
+  inline static std::uint64_t allocations = 0;
+  inline static std::uint64_t copied_bytes = 0;
+
+  static void Reset() {
+    allocations = 0;
+    copied_bytes = 0;
+  }
+};
+
+// A shared immutable view of a refcounted byte buffer.  Copying a PayloadRef
+// bumps a refcount; Slice() aliases a sub-range of the same allocation.
+class PayloadRef {
+ public:
+  PayloadRef() = default;
+
+  // Implicit on purpose: adopting a Bytes buffer moves it into shared
+  // ownership without copying the bytes, so existing `Send(..., w.Take())`
+  // call sites stay zero-copy.
+  PayloadRef(Bytes bytes)  // NOLINT(google-explicit-constructor)
+      : buf_(bytes.empty() ? nullptr : std::make_shared<Bytes>(std::move(bytes))),
+        off_(0),
+        len_(buf_ ? buf_->size() : 0) {
+    if (buf_) {
+      ++PayloadCounters::allocations;
+    }
+  }
+
+  // Braced literals (`msg.payload = {1, 2, 3}`) build a fresh buffer.
+  PayloadRef(std::initializer_list<std::uint8_t> bytes)  // NOLINT
+      : PayloadRef(Bytes(bytes)) {}
+
+  // Explicitly copy `len` bytes into a fresh buffer.
+  static PayloadRef Copy(const void* data, std::size_t len) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    PayloadRef ref{Bytes(p, p + len)};
+    PayloadCounters::copied_bytes += len;
+    return ref;
+  }
+
+  // Alias a sub-range of this ref's window (clamped to it).  No allocation.
+  PayloadRef Slice(std::size_t off, std::size_t len) const {
+    PayloadRef out;
+    off = std::min(off, len_);
+    out.buf_ = buf_;
+    out.off_ = off_ + off;
+    out.len_ = std::min(len, len_ - off);
+    if (out.len_ == 0) {
+      out.buf_.reset();
+      out.off_ = 0;
+    }
+    return out;
+  }
+
+  const std::uint8_t* data() const { return buf_ ? buf_->data() + off_ : nullptr; }
+  std::size_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+  std::uint8_t operator[](std::size_t i) const { return (*buf_)[off_ + i]; }
+  const std::uint8_t* begin() const { return data(); }
+  const std::uint8_t* end() const { return data() + len_; }
+
+  // Materialize an owned copy (counted as a copy).
+  Bytes ToBytes() const {
+    PayloadCounters::copied_bytes += len_;
+    return Bytes(begin(), end());
+  }
+  explicit operator Bytes() const { return ToBytes(); }
+
+  // Copy-on-write mutable access to this ref's window.  Sole owners mutate
+  // the shared buffer in place; if any other PayloadRef aliases the backing
+  // buffer, the window is first cloned so they keep seeing the old bytes.
+  std::uint8_t* MutableData() {
+    if (buf_ == nullptr) {
+      return nullptr;
+    }
+    if (buf_.use_count() > 1) {
+      Bytes clone(begin(), end());
+      PayloadCounters::copied_bytes += len_;
+      buf_ = std::make_shared<Bytes>(std::move(clone));
+      ++PayloadCounters::allocations;
+      off_ = 0;
+    }
+    return buf_->data() + off_;
+  }
+
+  // True if both refs alias the same backing allocation (regardless of
+  // window).  Used by tests to prove the zero-copy invariants.
+  bool SharesBufferWith(const PayloadRef& other) const {
+    return buf_ != nullptr && buf_ == other.buf_;
+  }
+
+  friend bool operator==(const PayloadRef& a, const PayloadRef& b) {
+    return a.len_ == b.len_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator==(const PayloadRef& a, const Bytes& b) {
+    return a.len_ == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator==(const Bytes& a, const PayloadRef& b) { return b == a; }
+
+ private:
+  std::shared_ptr<Bytes> buf_;
+  std::size_t off_ = 0;
+  std::size_t len_ = 0;
+};
 
 class ByteWriter {
  public:
@@ -37,6 +157,13 @@ class ByteWriter {
   }
 
   void Blob(const Bytes& b) {
+    U32(static_cast<std::uint32_t>(b.size()));
+    Raw(b.data(), b.size());
+  }
+
+  // Distinct name (not an overload) so braced `Blob({1, 2, 3})` call sites
+  // stay unambiguous.
+  void BlobRef(const PayloadRef& b) {
     U32(static_cast<std::uint32_t>(b.size()));
     Raw(b.data(), b.size());
   }
@@ -75,10 +202,15 @@ class ByteWriter {
 
 class ByteReader {
  public:
-  explicit ByteReader(const Bytes& buf) : view_(&buf) {}
+  explicit ByteReader(const Bytes& buf) : data_(buf.data()), size_(buf.size()) {}
   // Rvalue buffers (e.g. `ByteReader r(ctx.ReadData(...))`) are moved into the
   // reader so the common construct-from-temporary pattern is safe.
-  explicit ByteReader(Bytes&& buf) : owned_(std::move(buf)), view_(&owned_) {}
+  explicit ByteReader(Bytes&& buf)
+      : owned_(std::move(buf)), data_(owned_.data()), size_(owned_.size()) {}
+  // Shared buffers are retained (refcount bump), not copied; BlobRef() then
+  // aliases sub-ranges of the same allocation.
+  explicit ByteReader(const PayloadRef& ref)
+      : ref_(ref), data_(ref_.data()), size_(ref_.size()) {}
 
   ByteReader(const ByteReader&) = delete;
   ByteReader& operator=(const ByteReader&) = delete;
@@ -95,8 +227,20 @@ class ByteReader {
     if (!Ensure(n)) {
       return out;
     }
-    out.assign(buf().begin() + static_cast<std::ptrdiff_t>(pos_),
-               buf().begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    out.assign(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return out;
+  }
+
+  // Zero-copy variant of Blob() when the reader is backed by a PayloadRef:
+  // the result aliases the backing buffer.  Falls back to a copy otherwise.
+  PayloadRef BlobRef() {
+    std::uint32_t n = U32();
+    if (!Ensure(n)) {
+      return PayloadRef{};
+    }
+    PayloadRef out = ref_.empty() && n > 0 ? PayloadRef::Copy(data_ + pos_, n)
+                                           : ref_.Slice(pos_, n);
     pos_ += n;
     return out;
   }
@@ -107,7 +251,7 @@ class ByteReader {
     if (!Ensure(n)) {
       return out;
     }
-    out.assign(reinterpret_cast<const char*>(buf().data()) + pos_, n);
+    out.assign(reinterpret_cast<const char*>(data_) + pos_, n);
     pos_ += n;
     return out;
   }
@@ -128,8 +272,9 @@ class ByteReader {
 
   // True if every read so far stayed inside the buffer.
   bool ok() const { return !overrun_; }
-  std::size_t remaining() const { return buf().size() - pos_; }
-  bool AtEnd() const { return pos_ >= buf().size(); }
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ >= size_; }
 
  private:
   template <typename T>
@@ -139,25 +284,25 @@ class ByteReader {
     }
     T v{};
     for (std::size_t i = 0; i < sizeof(T); ++i) {
-      v = static_cast<T>(v | (static_cast<T>(buf()[pos_ + i]) << (8 * i)));
+      v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
     }
     pos_ += sizeof(T);
     return v;
   }
 
   bool Ensure(std::size_t n) {
-    if (buf().size() - pos_ < n) {
+    if (size_ - pos_ < n) {
       overrun_ = true;
-      pos_ = buf().size();
+      pos_ = size_;
       return false;
     }
     return true;
   }
 
-  const Bytes& buf() const { return *view_; }
-
   Bytes owned_;
-  const Bytes* view_;
+  PayloadRef ref_;
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
   std::size_t pos_ = 0;
   bool overrun_ = false;
 };

@@ -27,13 +27,11 @@ struct ClusterConfig {
   bool reliable_layer = false;
   ReliableConfig reliable;
 
-  // Convenience: turn on tracing in every layer at once (kernels, network,
-  // and the reliable channel if present).
-  void EnableTracing() {
-    kernel.trace_enabled = true;
-    network.trace_enabled = true;
-    reliable.trace_enabled = true;
-  }
+  // Single authoritative tracing switch.  The per-layer tracers (kernels,
+  // network, and the reliable channel if present) have no config flags of
+  // their own; Cluster enables each one from this setting.
+  bool trace_enabled = false;
+  void EnableTracing() { trace_enabled = true; }
 };
 
 class Cluster {
@@ -41,9 +39,15 @@ class Cluster {
   explicit Cluster(ClusterConfig config) : config_(config) {
     network_ = std::make_unique<SimNetwork>(&queue_, config.network);
     Transport* transport = network_.get();
+    if (config.trace_enabled) {
+      network_->tracer().Enable();
+    }
     if (config.reliable_layer) {
       reliable_ = std::make_unique<ReliableTransport>(&queue_, network_.get(), config.reliable);
       transport = reliable_.get();
+      if (config.trace_enabled) {
+        reliable_->tracer().Enable();
+      }
     }
     kernels_.reserve(static_cast<std::size_t>(config.machines));
     for (int i = 0; i < config.machines; ++i) {
@@ -51,6 +55,9 @@ class Cluster {
       kc.seed = config.kernel.seed + static_cast<std::uint64_t>(i);
       kernels_.push_back(
           std::make_unique<Kernel>(static_cast<MachineId>(i), &queue_, transport, kc));
+      if (config.trace_enabled) {
+        kernels_.back()->tracer().Enable();
+      }
     }
   }
 

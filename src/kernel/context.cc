@@ -16,7 +16,7 @@ Link KernelContext::MakeLink(std::uint8_t flags, std::uint32_t data_offset,
   return link;
 }
 
-Status KernelContext::SendOnLink(const Link& link, MsgType type, Bytes payload,
+Status KernelContext::SendOnLink(const Link& link, MsgType type, PayloadRef payload,
                                  std::vector<Link> carry) {
   if (!link.address.valid()) {
     return InvalidArgumentError("send over an invalid link");
@@ -35,7 +35,8 @@ Status KernelContext::SendOnLink(const Link& link, MsgType type, Bytes payload,
   return OkStatus();
 }
 
-Status KernelContext::Send(LinkId link_id, MsgType type, Bytes payload, std::vector<Link> carry) {
+Status KernelContext::Send(LinkId link_id, MsgType type, PayloadRef payload,
+                           std::vector<Link> carry) {
   const Link* link = record_.links.Get(link_id);
   if (link == nullptr) {
     return NotFoundError("no link " + std::to_string(link_id) + " in table");
@@ -48,7 +49,7 @@ Status KernelContext::Send(LinkId link_id, MsgType type, Bytes payload, std::vec
   return SendOnLink(link_copy, type, std::move(payload), std::move(carry));
 }
 
-Status KernelContext::Reply(const Message& request, MsgType type, Bytes payload,
+Status KernelContext::Reply(const Message& request, MsgType type, PayloadRef payload,
                             std::vector<Link> carry) {
   if (request.carried_links.empty()) {
     return InvalidArgumentError("request carried no reply link");
@@ -56,7 +57,7 @@ Status KernelContext::Reply(const Message& request, MsgType type, Bytes payload,
   return SendOnLink(request.carried_links[0], type, std::move(payload), std::move(carry));
 }
 
-Status KernelContext::MoveDataTo(LinkId link_id, std::uint32_t area_offset, Bytes data,
+Status KernelContext::MoveDataTo(LinkId link_id, std::uint32_t area_offset, PayloadRef data,
                                  std::uint64_t cookie) {
   const Link* link = record_.links.Get(link_id);
   if (link == nullptr) {

@@ -32,13 +32,13 @@ class KernelContext final : public Context {
   const Link* GetLink(LinkId id) const override { return record_.links.Get(id); }
   Status RemoveLink(LinkId id) override { return record_.links.Remove(id); }
 
-  Status Send(LinkId link, MsgType type, Bytes payload, std::vector<Link> carry) override;
-  Status SendOnLink(const Link& link, MsgType type, Bytes payload,
+  Status Send(LinkId link, MsgType type, PayloadRef payload, std::vector<Link> carry) override;
+  Status SendOnLink(const Link& link, MsgType type, PayloadRef payload,
                     std::vector<Link> carry) override;
-  Status Reply(const Message& request, MsgType type, Bytes payload,
+  Status Reply(const Message& request, MsgType type, PayloadRef payload,
                std::vector<Link> carry) override;
 
-  Status MoveDataTo(LinkId link, std::uint32_t area_offset, Bytes data,
+  Status MoveDataTo(LinkId link, std::uint32_t area_offset, PayloadRef data,
                     std::uint64_t cookie) override;
   Status MoveDataFrom(LinkId link, std::uint32_t area_offset, std::uint32_t length,
                       std::uint64_t cookie) override;

@@ -2,10 +2,20 @@
 //
 // DEMOS/MP transfers large blocks -- file data and the three sections of a
 // migrating process -- as a continuous stream of packets.  The receiving
-// kernel acknowledges each packet, but the sender does not wait for
-// acknowledgements before sending the next one.  Streams into or out of a
+// kernel acknowledges the stream, but the sender does not wait for
+// acknowledgements before sending the next packet.  Streams into or out of a
 // process's data area are addressed over DELIVERTOKERNEL links, so the
 // instigating kernel never needs to know which machine the process is on.
+//
+// Acknowledgements are batched: the applying kernel accumulates up to
+// `KernelConfig::data_window_packets` packets and then sends one cumulative
+// kMoveDataAck covering all of them (bytes covered + packet count + first
+// error).  The final packet of a stream, an error, and a target process
+// freezing for migration all flush the pending batch immediately, so
+// completion detection is prompt and every packet is acknowledged exactly
+// once -- by whichever kernel applied it.  A window of 1 degenerates to the
+// paper's one-ack-per-packet behavior.  Since the sender never gates on acks
+// (Sec. 6), batching changes only the admin message count, not the stream.
 //
 // Two stream directions exist:
 //   * PULL: the receiver allocated the transfer id and asked for the bytes
@@ -65,7 +75,7 @@ struct DataPacket {
   std::uint32_t transfer_id = 0;
   std::uint32_t offset = 0;  // byte offset of this chunk within the transfer
   std::uint32_t total = 0;   // total transfer length in bytes
-  Bytes chunk;
+  PayloadRef chunk;          // aliases the stream source / the wire frame
 
   // Push-only context (self-describing write): where the transfer lands in
   // the target's data segment, the data-area window of the link used (for
@@ -93,11 +103,11 @@ struct DataPacket {
       w.Address(instigator);
       w.U64(cookie);
     }
-    w.Blob(chunk);
+    w.BlobRef(chunk);
     return w.Take();
   }
 
-  static DataPacket Decode(const Bytes& payload, bool* ok) {
+  static Result<DataPacket> Decode(const PayloadRef& payload) {
     ByteReader r(payload);
     DataPacket p;
     p.mode = static_cast<StreamMode>(r.U8());
@@ -113,39 +123,45 @@ struct DataPacket {
       p.instigator = r.Address();
       p.cookie = r.U64();
     }
-    p.chunk = r.Blob();
-    if (ok != nullptr) {
-      *ok = r.ok();
+    p.chunk = r.BlobRef();  // aliases the message payload -- no copy
+    if (!r.ok()) {
+      return InvalidArgumentError("malformed data packet");
     }
     return p;
   }
 };
 
-// Wire payload of a kMoveDataAck message.
+// Wire payload of a kMoveDataAck message: one cumulative acknowledgement
+// covering `packets` consecutive packets totalling `covered_bytes` of the
+// stream, carrying the first non-OK status among them (push chunks can fail
+// permission/bounds checks).
 struct DataAck {
   StreamMode mode = StreamMode::kPull;
   std::uint32_t transfer_id = 0;
-  std::uint32_t offset = 0;
-  StatusCode status = StatusCode::kOk;  // push chunks can fail permission/bounds checks
+  std::uint32_t covered_bytes = 0;
+  std::uint16_t packets = 0;
+  StatusCode status = StatusCode::kOk;
 
   Bytes Encode() const {
     ByteWriter w;
     w.U8(static_cast<std::uint8_t>(mode));
     w.U32(transfer_id);
-    w.U32(offset);
+    w.U32(covered_bytes);
+    w.U16(packets);
     w.U8(static_cast<std::uint8_t>(status));
     return w.Take();
   }
 
-  static DataAck Decode(const Bytes& payload, bool* ok) {
+  static Result<DataAck> Decode(const PayloadRef& payload) {
     ByteReader r(payload);
     DataAck a;
     a.mode = static_cast<StreamMode>(r.U8());
     a.transfer_id = r.U32();
-    a.offset = r.U32();
+    a.covered_bytes = r.U32();
+    a.packets = r.U16();
     a.status = static_cast<StatusCode>(r.U8());
-    if (ok != nullptr) {
-      *ok = r.ok();
+    if (!r.ok()) {
+      return InvalidArgumentError("malformed data ack");
     }
     return a;
   }
@@ -179,7 +195,7 @@ struct ReadAreaRequest {
     return w.Take();
   }
 
-  static ReadAreaRequest Decode(const Bytes& payload, bool* ok) {
+  static Result<ReadAreaRequest> Decode(const PayloadRef& payload) {
     ByteReader r(payload);
     ReadAreaRequest q;
     q.transfer_id = r.U32();
@@ -191,19 +207,23 @@ struct ReadAreaRequest {
     q.reply_machine = r.U16();
     q.instigator = r.Address();
     q.cookie = r.U64();
-    if (ok != nullptr) {
-      *ok = r.ok();
+    if (!r.ok()) {
+      return InvalidArgumentError("malformed read-area request");
     }
     return q;
   }
 };
 
-// Sender-side record of a stream with acknowledgements outstanding.
+// Sender-side record of a stream with acknowledgements outstanding.  The
+// stream completes when every byte is accounted for by cumulative acks
+// (applied or rejected) and at least one ack has arrived -- the latter makes
+// zero-length transfers (one empty packet, one ack) terminate.
 struct OutgoingTransfer {
   enum class Purpose : std::uint8_t { kPlain, kAreaWrite };
   Purpose purpose = Purpose::kPlain;
   std::uint32_t packet_count = 0;
-  std::uint32_t acked = 0;
+  std::uint32_t acked_packets = 0;
+  std::uint64_t acked_bytes = 0;
   std::size_t total_bytes = 0;
   SimTime started_at = 0;
   StatusCode first_error = StatusCode::kOk;
@@ -219,12 +239,28 @@ struct IncomingPull {
   Bytes buffer;
   std::uint32_t received = 0;
   bool sized = false;
+  // Batched-ack accumulator (flushed per KernelConfig::data_window_packets).
+  std::uint32_t unacked_bytes = 0;
+  std::uint16_t unacked_packets = 0;
   // Migration pulls:
   ProcessId migrating_pid;
   MigrationSection section = MigrationSection::kResidentState;
   // Area reads:
   ProcessAddress instigator;  // process to notify with kDataMoveDone
   std::uint64_t cookie = 0;
+};
+
+// Receiver-side accumulator for batched acks of a PUSH stream.  Keyed by
+// (streamer machine, transfer id) at whichever kernel applies the chunks;
+// flushed when the window fills, on the stream's final packet, on the first
+// error, and when the target process freezes for migration or exits (so the
+// instigator's byte accounting stays exact across a mid-stream migration).
+struct PushAckState {
+  MachineId streamer = kNoMachine;
+  ProcessId target;
+  std::uint32_t covered_bytes = 0;
+  std::uint16_t packets = 0;
+  StatusCode first_error = StatusCode::kOk;
 };
 
 }  // namespace demos

@@ -19,10 +19,9 @@ Kernel::Kernel(MachineId machine, EventQueue* queue, Transport* transport, Kerne
       config_(config),
       rng_(config.seed ^ (0x9E3779B9ull * (machine + 1))),
       tracer_(machine) {
-  if (config_.trace_enabled) {
-    tracer_.Enable();
-  }
-  transport_->Attach(machine_, [this](MachineId src, Bytes wire) { OnWireDelivery(src, wire); });
+  transport_->Attach(machine_, [this](MachineId src, PayloadRef wire) {
+    OnWireDelivery(src, std::move(wire));
+  });
 }
 
 Kernel::~Kernel() = default;
@@ -109,16 +108,18 @@ void Kernel::FinalizeExit(const ProcessId& pid) {
     // retire every forwarding address left for this process.
     ByteWriter w;
     w.Pid(pid);
+    const PayloadRef cleared(w.Take());  // one buffer, shared by every clear
     for (MachineId m : record->migration_history) {
       Message clear;
       clear.sender = kernel_address();
       clear.receiver = KernelAddress(m);
       clear.type = MsgType::kForwardingClear;
-      clear.payload = w.bytes();
+      clear.payload = cleared;
       Transmit(std::move(clear));
     }
   }
 
+  FlushPushAcksFor(pid);
   processes_.Erase(pid);
 }
 
@@ -148,10 +149,13 @@ void Kernel::Transmit(Message msg) {
     }
   }
   const MachineId dst = msg.receiver.last_known_machine;
-  transport_->Send(machine_, dst, msg.Serialize());
+  // Frame() reuses the frame the message arrived in (forwarding hops and
+  // pending-queue re-sends patch the receiver machine in place); only
+  // locally-built messages are encoded here.
+  transport_->Send(machine_, dst, msg.Frame());
 }
 
-void Kernel::SendFromKernel(ProcessAddress to, MsgType type, Bytes payload,
+void Kernel::SendFromKernel(ProcessAddress to, MsgType type, PayloadRef payload,
                             std::vector<Link> carry, std::uint8_t flags) {
   Message msg;
   msg.sender = kernel_address();
@@ -172,18 +176,17 @@ void Kernel::SendAdmin(const ProcessAddress& to, MsgType type, Bytes payload) {
   Transmit(std::move(msg));
 }
 
-void Kernel::OnWireDelivery(MachineId wire_src, const Bytes& wire) {
+void Kernel::OnWireDelivery(MachineId wire_src, PayloadRef wire) {
   if (halted_) {
     return;  // crashed: the wire falls on deaf ears
   }
-  bool ok = false;
-  Message msg = Message::Deserialize(wire, &ok);
-  if (!ok) {
+  Result<Message> msg = Message::Deserialize(std::move(wire));
+  if (!msg.ok()) {
     DEMOS_LOG(kError, "kernel") << "m" << machine_ << ": malformed wire message from m"
-                                << wire_src;
+                                << wire_src << ": " << msg.status().message();
     return;
   }
-  RouteIncoming(std::move(msg), wire_src);
+  RouteIncoming(std::move(msg).value(), wire_src);
 }
 
 void Kernel::RouteIncoming(Message msg, MachineId wire_src) {
@@ -518,7 +521,7 @@ void Kernel::ArmTimer(ProcessRecord& record, const TimerEntry& entry) {
 // Bulk data movement (Sec. 2.2, 6).
 // ---------------------------------------------------------------------------
 
-std::uint32_t Kernel::StreamBytes(const Bytes& data, DataPacket prototype,
+std::uint32_t Kernel::StreamBytes(const PayloadRef& data, DataPacket prototype,
                                   const ProcessAddress& to, std::uint8_t msg_flags) {
   prototype.streamer = machine_;
   prototype.total = static_cast<std::uint32_t>(data.size());
@@ -533,8 +536,7 @@ std::uint32_t Kernel::StreamBytes(const Bytes& data, DataPacket prototype,
     const std::size_t len = std::min(chunk_size, data.size() - offset);
     DataPacket packet = prototype;
     packet.offset = static_cast<std::uint32_t>(offset);
-    packet.chunk.assign(data.begin() + static_cast<std::ptrdiff_t>(offset),
-                        data.begin() + static_cast<std::ptrdiff_t>(offset + len));
+    packet.chunk = data.Slice(offset, len);  // aliases the source buffer
     Message msg;
     msg.sender = kernel_address();
     msg.receiver = to;
@@ -556,12 +558,12 @@ std::uint32_t Kernel::StreamBytes(const Bytes& data, DataPacket prototype,
 }
 
 void Kernel::HandleDataPacket(Message msg) {
-  bool ok = false;
-  DataPacket packet = DataPacket::Decode(msg.payload, &ok);
-  if (!ok) {
-    DEMOS_LOG(kError, "kernel") << "m" << machine_ << ": malformed data packet";
+  Result<DataPacket> decoded = DataPacket::Decode(msg.payload);
+  if (!decoded.ok()) {
+    DEMOS_LOG(kError, "kernel") << "m" << machine_ << ": " << decoded.status().message();
     return;
   }
+  const DataPacket& packet = *decoded;
   // This path handles PULL packets (kernel-addressed).  PUSH packets arrive
   // via HandleControlMessage/HandleWritePacket.
   auto it = incoming_pulls_.find(packet.transfer_id);
@@ -581,66 +583,133 @@ void Kernel::HandleDataPacket(Message msg) {
     pull.received += static_cast<std::uint32_t>(packet.chunk.size());
   }
 
-  // Acknowledge each packet (Sec. 6).
-  DataAck ack;
-  ack.mode = StreamMode::kPull;
-  ack.transfer_id = packet.transfer_id;
-  ack.offset = packet.offset;
-  stats_.Add(stat::kDataAcks);
-  SendFromKernel(KernelAddress(packet.streamer), MsgType::kMoveDataAck, ack.Encode());
+  // Batched cumulative acknowledgement (Sec. 6): flush when the window fills
+  // or the stream is done, so large pulls cost ~1/window the ack traffic.
+  pull.unacked_bytes += static_cast<std::uint32_t>(packet.chunk.size());
+  pull.unacked_packets++;
+  const bool final_packet = std::uint64_t{packet.offset} + packet.chunk.size() >= packet.total;
+  const bool complete = pull.received >= pull.buffer.size();
+  if (pull.unacked_packets >= config_.data_window_packets || final_packet || complete) {
+    FlushPullAck(packet.transfer_id, pull, packet.streamer);
+  }
 
-  if (pull.received >= pull.buffer.size()) {
+  if (complete) {
     IncomingPull done = std::move(pull);
     incoming_pulls_.erase(it);
     OnPullComplete(done);
   }
 }
 
-void Kernel::HandleWritePacket(ProcessRecord& record, const Message& msg) {
-  bool ok = false;
-  DataPacket packet = DataPacket::Decode(msg.payload, &ok);
+void Kernel::FlushPullAck(std::uint32_t transfer_id, IncomingPull& pull, MachineId streamer) {
+  if (pull.unacked_packets == 0) {
+    return;
+  }
   DataAck ack;
-  ack.mode = StreamMode::kPush;
-  ack.transfer_id = packet.transfer_id;
-  ack.offset = packet.offset;
-  if (!ok || packet.mode != StreamMode::kPush) {
-    ack.status = StatusCode::kInvalidArgument;
+  ack.mode = StreamMode::kPull;
+  ack.transfer_id = transfer_id;
+  ack.covered_bytes = pull.unacked_bytes;
+  ack.packets = pull.unacked_packets;
+  pull.unacked_bytes = 0;
+  pull.unacked_packets = 0;
+  stats_.Add(stat::kDataAcks);
+  SendFromKernel(KernelAddress(streamer), MsgType::kMoveDataAck, ack.Encode());
+}
+
+void Kernel::HandleWritePacket(ProcessRecord& record, const Message& msg) {
+  Result<DataPacket> decoded = DataPacket::Decode(msg.payload);
+  if (!decoded.ok()) {
+    DEMOS_LOG(kError, "kernel") << "m" << machine_ << ": " << decoded.status().message();
+    return;
+  }
+  const DataPacket& packet = *decoded;
+  StatusCode status = StatusCode::kOk;
+  if (packet.mode != StreamMode::kPush) {
+    status = StatusCode::kInvalidArgument;
   } else if ((packet.link_flags & kLinkDataWrite) == 0) {
-    ack.status = StatusCode::kPermissionDenied;
+    status = StatusCode::kPermissionDenied;
   } else {
     const std::uint64_t dest = std::uint64_t{packet.area_base} + packet.offset;
     const std::uint64_t window_end =
         std::uint64_t{packet.window_offset} + packet.window_length;
     if (dest < packet.window_offset || dest + packet.chunk.size() > window_end) {
-      ack.status = StatusCode::kPermissionDenied;  // outside the link's window
+      status = StatusCode::kPermissionDenied;  // outside the link's window
     } else {
-      Status write = record.memory.WriteData(static_cast<std::uint32_t>(dest), packet.chunk);
+      Status write = record.memory.WriteData(static_cast<std::uint32_t>(dest),
+                                             packet.chunk.ToBytes());
       if (!write.ok()) {
-        ack.status = write.code();
+        status = write.code();
       }
     }
   }
+  AccumulatePushAck(packet, record.pid, status);
+}
+
+void Kernel::AccumulatePushAck(const DataPacket& packet, const ProcessId& target,
+                               StatusCode status) {
+  const std::uint64_t key =
+      (std::uint64_t{packet.streamer} << 32) | packet.transfer_id;
+  PushAckState& batch = push_acks_[key];
+  batch.streamer = packet.streamer;
+  batch.target = target;
+  batch.covered_bytes += static_cast<std::uint32_t>(packet.chunk.size());
+  batch.packets++;
+  if (status != StatusCode::kOk && batch.first_error == StatusCode::kOk) {
+    batch.first_error = status;
+  }
+  const bool final_packet = std::uint64_t{packet.offset} + packet.chunk.size() >= packet.total;
+  if (batch.packets >= config_.data_window_packets || final_packet ||
+      status != StatusCode::kOk) {
+    FlushPushAck(key);
+  }
+}
+
+void Kernel::FlushPushAck(std::uint64_t key) {
+  auto it = push_acks_.find(key);
+  if (it == push_acks_.end() || it->second.packets == 0) {
+    return;
+  }
+  const PushAckState batch = it->second;
+  push_acks_.erase(it);
+  DataAck ack;
+  ack.mode = StreamMode::kPush;
+  ack.transfer_id = static_cast<std::uint32_t>(key & 0xFFFFFFFFu);
+  ack.covered_bytes = batch.covered_bytes;
+  ack.packets = batch.packets;
+  ack.status = batch.first_error;
   stats_.Add(stat::kDataAcks);
-  SendFromKernel(KernelAddress(packet.streamer), MsgType::kMoveDataAck, ack.Encode());
+  SendFromKernel(KernelAddress(batch.streamer), MsgType::kMoveDataAck, ack.Encode());
+}
+
+void Kernel::FlushPushAcksFor(const ProcessId& target) {
+  std::vector<std::uint64_t> keys;
+  for (const auto& [key, batch] : push_acks_) {
+    if (batch.target == target) {
+      keys.push_back(key);
+    }
+  }
+  for (std::uint64_t key : keys) {
+    FlushPushAck(key);
+  }
 }
 
 void Kernel::HandleDataAck(const Message& msg) {
-  bool ok = false;
-  DataAck ack = DataAck::Decode(msg.payload, &ok);
-  if (!ok) {
+  Result<DataAck> decoded = DataAck::Decode(msg.payload);
+  if (!decoded.ok()) {
     return;
   }
+  const DataAck& ack = *decoded;
   auto it = outgoing_transfers_.find(ack.transfer_id);
   if (it == outgoing_transfers_.end()) {
     return;
   }
   OutgoingTransfer& out = it->second;
-  out.acked++;
+  out.acked_packets += ack.packets;
+  out.acked_bytes += ack.covered_bytes;
   if (ack.status != StatusCode::kOk && out.first_error == StatusCode::kOk) {
     out.first_error = ack.status;
   }
-  if (out.acked < out.packet_count) {
-    return;
+  if (out.acked_bytes < out.total_bytes || out.acked_packets == 0) {
+    return;  // not every byte accounted for yet
   }
   // Stream fully acknowledged.
   stats_.Record("transfer_us", static_cast<double>(queue_.Now() - out.started_at));
@@ -654,11 +723,11 @@ void Kernel::HandleDataAck(const Message& msg) {
 }
 
 void Kernel::HandleReadDataArea(ProcessRecord& record, const Message& msg) {
-  bool ok = false;
-  ReadAreaRequest req = ReadAreaRequest::Decode(msg.payload, &ok);
-  if (!ok) {
+  Result<ReadAreaRequest> decoded = ReadAreaRequest::Decode(msg.payload);
+  if (!decoded.ok()) {
     return;
   }
+  const ReadAreaRequest& req = *decoded;
   Status status = OkStatus();
   if ((req.link_flags & kLinkDataRead) == 0) {
     status = PermissionDeniedError("link lacks data-read access");
@@ -679,7 +748,8 @@ void Kernel::HandleReadDataArea(ProcessRecord& record, const Message& msg) {
   DataPacket prototype;
   prototype.mode = StreamMode::kPull;
   prototype.transfer_id = req.transfer_id;
-  StreamBytes(data, prototype, KernelAddress(req.reply_machine), kLinkNone);
+  StreamBytes(PayloadRef(std::move(data)), prototype, KernelAddress(req.reply_machine),
+              kLinkNone);
 }
 
 void Kernel::OnPullComplete(IncomingPull& pull) {
@@ -737,22 +807,21 @@ Status Kernel::AdoptProcess(const ProcessCheckpoint& checkpoint) {
   if (processes_.Find(checkpoint.pid) != nullptr) {
     return InvalidArgumentError("process " + checkpoint.pid.ToString() + " already lives here");
   }
-  bool image_ok = false;
-  MemoryImage image = MemoryImage::Deserialize(checkpoint.image, &image_ok);
-  if (!image_ok) {
-    return InvalidArgumentError("corrupt checkpoint image");
+  Result<MemoryImage> image = MemoryImage::Deserialize(checkpoint.image);
+  if (!image.ok()) {
+    return image.status();
   }
-  std::unique_ptr<Program> program = ProgramRegistry::Instance().Create(image.ProgramName());
+  std::unique_ptr<Program> program = ProgramRegistry::Instance().Create(image->ProgramName());
   if (program == nullptr) {
-    return NotFoundError("no registered program '" + image.ProgramName() + "'");
+    return NotFoundError("no registered program '" + image->ProgramName() + "'");
   }
-  if (memory_used_ + image.TotalSize() > config_.memory_limit_bytes) {
+  if (memory_used_ + image->TotalSize() > config_.memory_limit_bytes) {
     return ExhaustedError("out of memory adopting " + checkpoint.pid.ToString());
   }
 
   auto record = std::make_unique<ProcessRecord>();
   record->pid = checkpoint.pid;
-  record->memory = std::move(image);
+  record->memory = std::move(image).value();
   Status resident = record->ApplyResidentState(checkpoint.resident);
   if (!resident.ok()) {
     return resident;

@@ -74,6 +74,11 @@ struct KernelConfig {
   // effective network throughput").
   std::size_t data_packet_bytes = 1024;
 
+  // Move-data ack batching: the applying kernel sends one cumulative ack per
+  // this many packets (plus a flush on the final packet, on errors, and when
+  // the target freezes for migration).  1 = the paper's one-ack-per-packet.
+  std::size_t data_window_packets = 8;
+
   // CPU model: fixed dispatch overhead plus a default handler cost (programs
   // add more via Context::ChargeCpu).
   SimDuration dispatch_overhead_us = 20;
@@ -86,10 +91,6 @@ struct KernelConfig {
   // Optional veto over incoming migrations (autonomous/interdomain kernels,
   // Sec. 3.2).  Null means accept whenever memory allows.
   std::function<bool(const MigrateOffer&)> accept_migration;
-
-  // Structured event tracing (src/obs).  Off by default: a disabled tracer
-  // records no events and costs one predictable branch per trace point.
-  bool trace_enabled = false;
 
   std::uint64_t seed = 1;
 };
@@ -121,7 +122,7 @@ class Kernel {
                                       std::uint32_t stack_size = 2048);
 
   // Inject a message into the delivery system with the kernel as sender.
-  void SendFromKernel(ProcessAddress to, MsgType type, Bytes payload,
+  void SendFromKernel(ProcessAddress to, MsgType type, PayloadRef payload,
                       std::vector<Link> carry = {}, std::uint8_t flags = kLinkNone);
 
   // Every process created afterwards is born holding a link to the
@@ -202,8 +203,9 @@ class Kernel {
   // Transmit a fully-formed message toward receiver.last_known_machine.
   void Transmit(Message msg);
 
-  // Delivery from the transport.
-  void OnWireDelivery(MachineId wire_src, const Bytes& wire);
+  // Delivery from the transport.  The frame is adopted, not copied: the
+  // parsed message's payload aliases it.
+  void OnWireDelivery(MachineId wire_src, PayloadRef wire);
 
  private:
   friend class KernelContext;
@@ -230,14 +232,21 @@ class Kernel {
   // Stream `data` as a packet sequence to `to`.  `prototype` supplies the
   // mode, transfer id, and (for pushes) the self-describing write context;
   // offset/total/chunk are filled per packet.  Returns the packet count.
-  std::uint32_t StreamBytes(const Bytes& data, DataPacket prototype, const ProcessAddress& to,
-                            std::uint8_t msg_flags);
+  std::uint32_t StreamBytes(const PayloadRef& data, DataPacket prototype,
+                            const ProcessAddress& to, std::uint8_t msg_flags);
   void HandleDataPacket(Message msg);
   void HandleDataAck(const Message& msg);
   void HandleReadDataArea(ProcessRecord& record, const Message& msg);
   // Apply one self-describing push chunk to a local process's data area.
   void HandleWritePacket(ProcessRecord& record, const Message& msg);
   void OnPullComplete(IncomingPull& pull);
+  // Batched-ack plumbing (see data_mover.h).
+  void FlushPullAck(std::uint32_t transfer_id, IncomingPull& pull, MachineId streamer);
+  void AccumulatePushAck(const DataPacket& packet, const ProcessId& target, StatusCode status);
+  void FlushPushAck(std::uint64_t key);
+  // Flush every pending push-ack batch aimed at `target` (it is about to
+  // freeze for migration or exit; later chunks will be acked elsewhere).
+  void FlushPushAcksFor(const ProcessId& target);
   void SendDataMoveDone(const ProcessAddress& instigator, std::uint64_t cookie, Status status,
                         Bytes data);
 
@@ -246,9 +255,10 @@ class Kernel {
     ProcessAddress requester;
     MachineId destination = kNoMachine;
     ExecState prior_state = ExecState::kWaiting;
-    Bytes resident;
-    Bytes swappable;
-    Bytes image;
+    // Snapshot sections, shared with the packets streamed from them.
+    PayloadRef resident;
+    PayloadRef swappable;
+    PayloadRef image;
     bool accepted = false;
   };
 
@@ -328,6 +338,9 @@ class Kernel {
   std::uint32_t next_transfer_id_ = 1;
   std::unordered_map<std::uint32_t, OutgoingTransfer> outgoing_transfers_;
   std::unordered_map<std::uint32_t, IncomingPull> incoming_pulls_;  // keyed by local id
+  // Pending push-ack batches, keyed by (streamer machine << 32) | transfer id
+  // (transfer ids are allocated per streaming kernel, so the pair is unique).
+  std::map<std::uint64_t, PushAckState> push_acks_;
 
   // Migration state machines.
   std::unordered_map<ProcessId, MigrationSource, ProcessIdHash> migration_sources_;

@@ -16,6 +16,7 @@
 
 #include "src/base/bytes.h"
 #include "src/base/ids.h"
+#include "src/base/status.h"
 
 namespace demos {
 
@@ -57,7 +58,7 @@ struct LoadReport {
     return w.Take();
   }
 
-  static LoadReport Decode(const Bytes& payload, bool* ok) {
+  static Result<LoadReport> Decode(const PayloadRef& payload) {
     ByteReader r(payload);
     LoadReport report;
     report.machine = r.U16();
@@ -77,8 +78,8 @@ struct LoadReport {
       p.top_partner_msgs = r.U32();
       report.processes.push_back(p);
     }
-    if (ok != nullptr) {
-      *ok = r.ok();
+    if (!r.ok()) {
+      return InvalidArgumentError("malformed load report");
     }
     return report;
   }

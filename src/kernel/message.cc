@@ -65,6 +65,42 @@ const char* MsgTypeName(MsgType t) {
   }
 }
 
+namespace {
+
+// Fixed byte offsets of the mutable header fields within a wire frame.  Only
+// these three change between forwarding hops, so a reused frame is patched at
+// these offsets instead of being re-encoded.
+constexpr std::size_t kOffReceiverMachine = 8;
+constexpr std::size_t kOffReceiverPid = 10;
+constexpr std::size_t kOffFlags = 16;
+constexpr std::size_t kOffType = 17;
+constexpr std::size_t kOffHopCount = 19;
+constexpr std::size_t kOffTraceId = 20;
+constexpr std::size_t kOffLinkCount = 28;
+constexpr std::size_t kOffLinks = 29;
+
+std::uint16_t GetLE16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t GetLE32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void PutLE16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void PutLE64(std::uint8_t* p, std::uint64_t v) {
+  for (std::size_t i = 0; i < 8; ++i) {
+    p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+}  // namespace
+
 Bytes Message::Serialize() const {
   ByteWriter w;
   w.Address(sender);
@@ -77,29 +113,110 @@ Bytes Message::Serialize() const {
   for (const Link& link : carried_links) {
     link.Serialize(w);
   }
-  w.Blob(payload);
+  w.BlobRef(payload);
   return w.Take();
 }
 
-Message Message::Deserialize(const Bytes& wire, bool* ok) {
-  ByteReader r(wire);
-  Message m;
-  m.sender = r.Address();
-  m.receiver = r.Address();
-  m.flags = r.U8();
-  m.type = static_cast<MsgType>(r.U16());
-  m.hop_count = r.U8();
-  m.trace_id = r.U64();
+bool Message::FrameReusable() const {
+  // Everything except receiver machine, hop count, and trace id must still
+  // match the cached frame byte-for-byte, and the payload must still alias it
+  // at the recorded offset; otherwise the frame is stale.
+  if (wire_.size() < kOffLinks || wire_.size() != payload_off_ + payload.size()) {
+    return false;
+  }
+  const std::uint8_t* base = wire_.data();
+  if (GetLE16(base + 0) != sender.last_known_machine ||
+      GetLE16(base + 2) != sender.pid.creating_machine ||
+      GetLE32(base + 4) != sender.pid.local_id ||
+      GetLE16(base + kOffReceiverPid) != receiver.pid.creating_machine ||
+      GetLE32(base + kOffReceiverPid + 2) != receiver.pid.local_id ||
+      base[kOffFlags] != flags || GetLE16(base + kOffType) != static_cast<std::uint16_t>(type) ||
+      base[kOffLinkCount] != carried_links.size()) {
+    return false;
+  }
+  if (payload_off_ < kOffLinks + carried_links.size() * kLinkWireSize + 4 ||
+      (!payload.empty() && payload.data() != base + payload_off_)) {
+    return false;
+  }
+  if (GetLE32(base + payload_off_ - 4) != payload.size()) {
+    return false;
+  }
+  ByteReader links(wire_.Slice(kOffLinks, carried_links.size() * kLinkWireSize));
+  for (const Link& link : carried_links) {
+    if (!(Link::Deserialize(links) == link)) {
+      return false;
+    }
+  }
+  return links.ok();
+}
+
+PayloadRef Message::Frame() {
+  if (wire_.empty() || !FrameReusable()) {
+    wire_ = PayloadRef(Serialize());
+    payload_off_ = wire_.size() - payload.size();
+  } else if (payload.SharesBufferWith(wire_)) {
+    // The payload window is this message's own alias of the frame; release it
+    // so it does not look like a foreign owner to the COW check below.  It is
+    // re-established after the patch.
+    payload = PayloadRef{};
+  }
+  // Patch the hop-mutable fields in place.  MutableData() copies first if the
+  // frame is still aliased elsewhere (e.g. a reliable-layer retransmit
+  // buffer), so prior owners keep seeing the bytes they captured.
+  std::uint8_t* base = wire_.MutableData();
+  PutLE16(base + kOffReceiverMachine, receiver.last_known_machine);
+  base[kOffHopCount] = hop_count;
+  PutLE64(base + kOffTraceId, trace_id);
+  payload = wire_.Slice(payload_off_, wire_.size() - payload_off_);
+  return wire_;
+}
+
+Result<MessageView> MessageView::Parse(PayloadRef frame) {
+  ByteReader r(frame);
+  MessageView v;
+  v.sender_ = r.Address();
+  v.receiver_ = r.Address();
+  v.flags_ = r.U8();
+  v.type_ = static_cast<MsgType>(r.U16());
+  v.hop_count_ = r.U8();
+  v.trace_id_ = r.U64();
   const std::uint8_t n_links = r.U8();
-  m.carried_links.reserve(n_links);
+  v.links_.reserve(n_links);
   for (std::uint8_t i = 0; i < n_links && r.ok(); ++i) {
-    m.carried_links.push_back(Link::Deserialize(r));
+    v.links_.push_back(Link::Deserialize(r));
   }
-  m.payload = r.Blob();
-  if (ok != nullptr) {
-    *ok = r.ok();
+  const std::uint32_t payload_len = r.U32();
+  if (!r.ok() || r.remaining() < payload_len) {
+    return InvalidArgumentError("truncated message frame (" + std::to_string(frame.size()) +
+                                " bytes)");
   }
+  v.payload_off_ = r.pos();
+  v.payload_len_ = payload_len;
+  v.frame_ = std::move(frame);
+  return v;
+}
+
+Message MessageView::ToMessage() const {
+  Message m;
+  m.sender = sender_;
+  m.receiver = receiver_;
+  m.flags = flags_;
+  m.type = type_;
+  m.hop_count = hop_count_;
+  m.trace_id = trace_id_;
+  m.carried_links = links_;
+  m.payload = payload();
+  m.wire_ = frame_;
+  m.payload_off_ = payload_off_;
   return m;
+}
+
+Result<Message> Message::Deserialize(PayloadRef wire) {
+  Result<MessageView> view = MessageView::Parse(std::move(wire));
+  if (!view.ok()) {
+    return view.status();
+  }
+  return view->ToMessage();
 }
 
 std::size_t Message::WireHeaderSize() {

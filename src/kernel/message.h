@@ -18,6 +18,7 @@
 
 #include "src/base/bytes.h"
 #include "src/base/ids.h"
+#include "src/base/status.h"
 #include "src/kernel/link.h"
 
 namespace demos {
@@ -86,12 +87,14 @@ inline bool IsMigrationAdminType(MsgType t) {
 
 const char* MsgTypeName(MsgType t);
 
+class MessageView;
+
 struct Message {
   ProcessAddress sender;    // who sent it (kernel pseudo-address for kernel traffic)
   ProcessAddress receiver;  // where it is going; last_known_machine is rewritten on forward
   std::uint8_t flags = kLinkNone;  // copied from the link the message was sent over
   MsgType type = MsgType::kInvalid;
-  Bytes payload;
+  PayloadRef payload;
   std::vector<Link> carried_links;  // links passed inside the message (Sec. 2.4)
 
   bool deliver_to_kernel() const { return (flags & kLinkDeliverToKernel) != 0; }
@@ -106,8 +109,21 @@ struct Message {
   // path through the cluster can be reconstructed from the merged trace.
   std::uint64_t trace_id = 0;
 
+  // Fresh, owned encoding of the full message.  Cold paths only (embedding a
+  // bounced message as a blob, golden-byte tests); the transmit path uses
+  // Frame().
   Bytes Serialize() const;
-  static Message Deserialize(const Bytes& wire, bool* ok);
+
+  // The wire frame for transmission.  A message parsed off the wire keeps its
+  // frame; only the mutable header fields (receiver machine, hop count, trace
+  // id) differ between hops, so a forwarding hop or a pending-queue re-send
+  // patches those bytes in place -- copy-on-write if the frame is still
+  // shared with a retransmit buffer -- instead of re-serializing the body.
+  // Falls back to a full encode when the frame is absent or stale (any
+  // immutable field or the payload changed since parse).
+  PayloadRef Frame();
+
+  static Result<Message> Deserialize(PayloadRef wire);
 
   // Size of the serialized fixed header (everything except payload bytes and
   // carried links).  Used by the byte-accounting benches.
@@ -118,6 +134,54 @@ struct Message {
   }
 
   std::string ToString() const;
+
+ private:
+  friend class MessageView;
+
+  bool FrameReusable() const;
+
+  // Cached wire frame this message was parsed from (or last encoded to) and
+  // the byte offset of the payload within it.
+  PayloadRef wire_;
+  std::size_t payload_off_ = 0;
+};
+
+// Non-owning (well, refcount-sharing) in-place decoder for a wire frame: the
+// header fields are read once, the payload is aliased, nothing is copied.
+// `Parse` is the single entry point off the wire; `ToMessage()` materializes
+// a Message whose payload still aliases the frame.
+class MessageView {
+ public:
+  static Result<MessageView> Parse(PayloadRef frame);
+
+  const ProcessAddress& sender() const { return sender_; }
+  const ProcessAddress& receiver() const { return receiver_; }
+  std::uint8_t flags() const { return flags_; }
+  MsgType type() const { return type_; }
+  std::uint8_t hop_count() const { return hop_count_; }
+  std::uint64_t trace_id() const { return trace_id_; }
+  const std::vector<Link>& carried_links() const { return links_; }
+  bool deliver_to_kernel() const { return (flags_ & kLinkDeliverToKernel) != 0; }
+
+  // Aliases the frame: no payload allocation.
+  PayloadRef payload() const { return frame_.Slice(payload_off_, payload_len_); }
+  const PayloadRef& frame() const { return frame_; }
+
+  Message ToMessage() const;
+
+ private:
+  MessageView() = default;
+
+  PayloadRef frame_;
+  ProcessAddress sender_;
+  ProcessAddress receiver_;
+  std::uint8_t flags_ = kLinkNone;
+  MsgType type_ = MsgType::kInvalid;
+  std::uint8_t hop_count_ = 0;
+  std::uint64_t trace_id_ = 0;
+  std::vector<Link> links_;
+  std::size_t payload_off_ = 0;
+  std::size_t payload_len_ = 0;
 };
 
 // Convenience: make the pseudo-address of machine `m`'s kernel.

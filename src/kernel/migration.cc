@@ -78,6 +78,9 @@ void Kernel::HandleMigrateRequest(ProcessRecord& record, const Message& msg) {
 
   // Step 1: remove the process from execution.  Its recorded state (ready,
   // waiting, suspended) is preserved so it resumes identically (Sec. 3.1).
+  // Any batched push acks for writes already applied here must go out first so
+  // the instigator's byte accounting stays exact across the snapshot.
+  FlushPushAcksFor(pid);
   TraceMigration(trace::kMigrationBegin, pid, destination);
   MigrationSource source;
   source.requester = requester;
@@ -244,7 +247,7 @@ void Kernel::HandleMoveDataReq(const Message& msg) {
     return;
   }
   const MigrationSource& source = it->second;
-  const Bytes* bytes = nullptr;
+  const PayloadRef* bytes = nullptr;
   switch (section) {
     case MigrationSection::kResidentState:
       bytes = &source.resident;
@@ -288,11 +291,12 @@ void Kernel::OnMigrationSectionReceived(const ProcessId& pid, MigrationSection s
     return;
   }
 
-  bool image_ok = false;
-  record->memory = MemoryImage::Deserialize(
-      dest.sections[static_cast<int>(MigrationSection::kMemoryImage)], &image_ok);
+  Result<MemoryImage> image =
+      MemoryImage::Deserialize(dest.sections[static_cast<int>(MigrationSection::kMemoryImage)]);
+  const bool image_ok = image.ok();
   std::unique_ptr<Program> program;
   if (image_ok) {
+    record->memory = std::move(image).value();
     program = ProgramRegistry::Instance().Create(record->memory.ProgramName());
   }
   Status resident_ok =
@@ -603,11 +607,11 @@ void Kernel::HandleAbsentReceiver(Message msg, MachineId wire_src) {
 void Kernel::HandleNotDeliverable(Message msg, MachineId wire_src) {
   (void)wire_src;
   ByteReader r(msg.payload);
-  bool ok = false;
-  Message original = Message::Deserialize(r.Blob(), &ok);
-  if (!ok) {
+  Result<Message> bounced = Message::Deserialize(r.BlobRef());
+  if (!bounced.ok()) {
     return;
   }
+  Message original = std::move(bounced).value();
   original.hop_count++;
   if (original.hop_count >= kMaxForwardHops) {
     if (original.sender.valid() && !IsKernelPid(original.sender.pid)) {

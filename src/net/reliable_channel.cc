@@ -12,31 +12,31 @@ constexpr std::uint8_t kFrameAck = 1;
 
 void ReliableTransport::Attach(MachineId node, DeliveryHandler handler) {
   handlers_[node] = std::move(handler);
-  lower_.Attach(node, [this, node](MachineId src, Bytes frame) {
-    OnLowerDelivery(node, src, frame);
+  lower_.Attach(node, [this, node](MachineId src, PayloadRef frame) {
+    OnLowerDelivery(node, src, std::move(frame));
   });
 }
 
-Bytes ReliableTransport::EncodeData(std::uint64_t seq, const Bytes& payload) {
+PayloadRef ReliableTransport::EncodeData(std::uint64_t seq, const PayloadRef& payload) {
   ByteWriter w;
   w.U8(kFrameData);
   w.U64(seq);
-  w.Blob(payload);
-  return w.Take();
+  w.BlobRef(payload);
+  return PayloadRef(w.Take());
 }
 
-Bytes ReliableTransport::EncodeAck(std::uint64_t cumulative) {
+PayloadRef ReliableTransport::EncodeAck(std::uint64_t cumulative) {
   ByteWriter w;
   w.U8(kFrameAck);
   w.U64(cumulative);
-  return w.Take();
+  return PayloadRef(w.Take());
 }
 
-void ReliableTransport::Send(MachineId src, MachineId dst, Bytes payload) {
+void ReliableTransport::Send(MachineId src, MachineId dst, PayloadRef payload) {
   SenderState& sender = senders_[PairKey{src, dst}];
   const std::uint64_t seq = sender.next_seq++;
-  Bytes frame = EncodeData(seq, payload);
-  sender.unacked[seq] = frame;
+  PayloadRef frame = EncodeData(seq, payload);
+  sender.unacked[seq] = frame;  // shares the buffer with the wire copy
   lower_.Send(src, dst, std::move(frame));
   ScheduleRetransmit(src, dst, seq, /*attempt=*/1, config_.retransmit_timeout_us);
 }
@@ -67,7 +67,7 @@ void ReliableTransport::ScheduleRetransmit(MachineId src, MachineId dst, std::ui
   });
 }
 
-void ReliableTransport::OnLowerDelivery(MachineId dst, MachineId src, const Bytes& frame) {
+void ReliableTransport::OnLowerDelivery(MachineId dst, MachineId src, PayloadRef frame) {
   ByteReader r(frame);
   const std::uint8_t type = r.U8();
 
@@ -80,7 +80,7 @@ void ReliableTransport::OnLowerDelivery(MachineId dst, MachineId src, const Byte
   }
 
   const std::uint64_t seq = r.U64();
-  Bytes payload = r.Blob();
+  PayloadRef payload = r.BlobRef();  // aliases the frame: no copy on receive
   if (!r.ok()) {
     DEMOS_LOG(kError, "rel") << "malformed frame from m" << src;
     return;

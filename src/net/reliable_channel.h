@@ -30,8 +30,6 @@ struct ReliableConfig {
   // Give up after this many retransmissions of one frame (0 = never).  Giving
   // up models a permanently dead peer; the frame is dropped and counted.
   std::uint32_t max_retries = 60;
-  // Record retransmits and give-ups into an owned Tracer (src/obs).
-  bool trace_enabled = false;
 };
 
 // Wraps an unreliable Transport (typically a lossy SimNetwork) and presents a
@@ -39,14 +37,10 @@ struct ReliableConfig {
 class ReliableTransport final : public Transport {
  public:
   ReliableTransport(EventQueue* queue, Transport* lower, ReliableConfig config)
-      : queue_(*queue), lower_(*lower), config_(config) {
-    if (config.trace_enabled) {
-      tracer_.Enable();
-    }
-  }
+      : queue_(*queue), lower_(*lower), config_(config) {}
 
   void Attach(MachineId node, DeliveryHandler handler) override;
-  void Send(MachineId src, MachineId dst, Bytes payload) override;
+  void Send(MachineId src, MachineId dst, PayloadRef payload) override;
 
   StatsRegistry& stats() { return stats_; }
   Tracer& tracer() { return tracer_; }
@@ -66,19 +60,22 @@ class ReliableTransport final : public Transport {
 
   struct SenderState {
     std::uint64_t next_seq = 0;
-    std::map<std::uint64_t, Bytes> unacked;  // seq -> serialized frame
+    // seq -> serialized frame, shared with the wire copy in flight.  If a
+    // downstream owner patches its view of the frame (forwarding), the
+    // copy-on-write in PayloadRef keeps this retransmit buffer intact.
+    std::map<std::uint64_t, PayloadRef> unacked;
   };
 
   struct ReceiverState {
     std::uint64_t next_expected = 0;
-    std::map<std::uint64_t, Bytes> out_of_order;  // seq -> payload
+    std::map<std::uint64_t, PayloadRef> out_of_order;  // seq -> payload
   };
 
-  void OnLowerDelivery(MachineId dst, MachineId src, const Bytes& frame);
+  void OnLowerDelivery(MachineId dst, MachineId src, PayloadRef frame);
   void ScheduleRetransmit(MachineId src, MachineId dst, std::uint64_t seq, std::uint32_t attempt,
                           SimDuration timeout);
-  static Bytes EncodeData(std::uint64_t seq, const Bytes& payload);
-  static Bytes EncodeAck(std::uint64_t cumulative);
+  static PayloadRef EncodeData(std::uint64_t seq, const PayloadRef& payload);
+  static PayloadRef EncodeAck(std::uint64_t cumulative);
   void TraceFrame(const char* name, MachineId src, std::uint64_t seq, std::uint64_t attempt) {
     if (tracer_.enabled()) {
       TraceEvent ev;

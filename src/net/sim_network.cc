@@ -6,7 +6,7 @@
 
 namespace demos {
 
-void SimNetwork::Send(MachineId src, MachineId dst, Bytes payload) {
+void SimNetwork::Send(MachineId src, MachineId dst, PayloadRef payload) {
   stats_.Add(stat::kNetPacketsSent);
   stats_.Add(stat::kNetBytesSent,
              static_cast<std::int64_t>(payload.size() + config_.frame_overhead_bytes));
@@ -15,7 +15,7 @@ void SimNetwork::Send(MachineId src, MachineId dst, Bytes payload) {
     // Intra-machine kernel traffic does not touch the wire; deliver on the
     // next event-loop turn to preserve asynchronous semantics.
     stats_.Add(stat::kNetLocalDeliveries);
-    Deliver(src, dst, payload, 0);
+    Deliver(src, dst, std::move(payload), 0);
     return;
   }
 
@@ -34,13 +34,13 @@ void SimNetwork::Send(MachineId src, MachineId dst, Bytes payload) {
   if (config_.duplicate_probability > 0 && rng_.Chance(config_.duplicate_probability)) {
     stats_.Add(stat::kNetPacketsDuplicated);
     TraceWire(trace::kPacketDuplicated, src, dst);
-    Deliver(src, dst, payload, delay + 1);
+    Deliver(src, dst, payload, delay + 1);  // refcount bump, not a byte copy
   }
-  Deliver(src, dst, payload, delay);
+  Deliver(src, dst, std::move(payload), delay);
 }
 
-void SimNetwork::Deliver(MachineId src, MachineId dst, const Bytes& payload, SimDuration delay) {
-  queue_.After(delay, [this, src, dst, payload]() {
+void SimNetwork::Deliver(MachineId src, MachineId dst, PayloadRef payload, SimDuration delay) {
+  queue_.After(delay, [this, src, dst, payload = std::move(payload)]() mutable {
     // Both ends must still be alive at delivery time: a frame queued behind a
     // busy output port dies with its sender (crash semantics), and a crashed
     // receiver hears nothing.
@@ -55,7 +55,9 @@ void SimNetwork::Deliver(MachineId src, MachineId dst, const Bytes& payload, Sim
       stats_.Add(stat::kNetPacketsDropped);
       return;
     }
-    it->second(src, payload);
+    // Move our ref out: with the default exactly-once delivery the handler
+    // becomes the sole owner of the frame, enabling in-place forwarding.
+    it->second(src, std::move(payload));
   });
 }
 

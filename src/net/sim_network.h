@@ -38,26 +38,19 @@ struct SimNetworkConfig {
   // Fixed per-packet overhead added to the payload when computing
   // serialization time (frame header, etc.).
   std::size_t frame_overhead_bytes = 8;
-  // Record wire anomalies (drops, duplicates) into an owned Tracer, merged
-  // cluster-wide alongside the kernel tracers (src/obs).
-  bool trace_enabled = false;
   std::uint64_t seed = 0x0DE305;
 };
 
 class SimNetwork final : public Transport {
  public:
   SimNetwork(EventQueue* queue, SimNetworkConfig config)
-      : queue_(*queue), config_(config), rng_(config.seed) {
-    if (config.trace_enabled) {
-      tracer_.Enable();
-    }
-  }
+      : queue_(*queue), config_(config), rng_(config.seed) {}
 
   void Attach(MachineId node, DeliveryHandler handler) override {
     handlers_[node] = std::move(handler);
   }
 
-  void Send(MachineId src, MachineId dst, Bytes payload) override;
+  void Send(MachineId src, MachineId dst, PayloadRef payload) override;
 
   // Partition control: while a machine is "down", packets to and from it are
   // silently dropped (used by the fault-injection suite).
@@ -73,7 +66,7 @@ class SimNetwork final : public Transport {
   const Tracer& tracer() const { return tracer_; }
 
  private:
-  void Deliver(MachineId src, MachineId dst, const Bytes& payload, SimDuration delay);
+  void Deliver(MachineId src, MachineId dst, PayloadRef payload, SimDuration delay);
   SimDuration TransmitDelay(std::size_t payload_size, MachineId src);
   void TraceWire(const char* name, MachineId src, MachineId dst) {
     if (tracer_.enabled()) {

@@ -20,17 +20,21 @@ namespace demos {
 
 class Transport {
  public:
-  // Called when a payload addressed to the attached machine arrives.
-  using DeliveryHandler = std::function<void(MachineId src, Bytes payload)>;
+  // Called when a payload addressed to the attached machine arrives.  The ref
+  // is moved to the handler: on in-memory transports the receiving kernel
+  // usually ends up the sole owner of the frame, which lets a forwarding hop
+  // patch the header in place (see Message::Frame).
+  using DeliveryHandler = std::function<void(MachineId src, PayloadRef payload)>;
 
   virtual ~Transport() = default;
 
   // Register the delivery handler for a machine.  One handler per machine.
   virtual void Attach(MachineId node, DeliveryHandler handler) = 0;
 
-  // Send `payload` from `src` to `dst`.  Delivery semantics depend on the
+  // Send `payload` from `src` to `dst`.  The transport shares the buffer
+  // (refcount) rather than copying it.  Delivery semantics depend on the
   // implementation; see SimNetwork and ReliableTransport.
-  virtual void Send(MachineId src, MachineId dst, Bytes payload) = 0;
+  virtual void Send(MachineId src, MachineId dst, PayloadRef payload) = 0;
 };
 
 }  // namespace demos

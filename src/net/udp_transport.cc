@@ -58,7 +58,7 @@ void UdpTransport::Attach(MachineId node, DeliveryHandler handler) {
   handler_ = std::move(handler);
 }
 
-void UdpTransport::Send(MachineId src, MachineId dst, Bytes payload) {
+void UdpTransport::Send(MachineId src, MachineId dst, PayloadRef payload) {
   if (fd_ < 0) {
     return;
   }
@@ -95,9 +95,10 @@ int UdpTransport::Poll() {
       continue;
     }
     const MachineId src = static_cast<MachineId>(buffer[0] | (buffer[1] << 8));
-    buffer.erase(buffer.begin(), buffer.begin() + 2);
-    buffer.resize(static_cast<std::size_t>(n - 2));
-    handler_(src, std::move(buffer));
+    buffer.resize(static_cast<std::size_t>(n));
+    // Adopt the receive buffer (one allocation per datagram, inherent to the
+    // socket boundary) and alias past the 2-byte source prefix.
+    handler_(src, PayloadRef(std::move(buffer)).Slice(2, static_cast<std::size_t>(n - 2)));
     ++delivered;
   }
   return delivered;

@@ -33,7 +33,7 @@ class UdpTransport final : public Transport {
   Status Open();
 
   void Attach(MachineId node, DeliveryHandler handler) override;
-  void Send(MachineId src, MachineId dst, Bytes payload) override;
+  void Send(MachineId src, MachineId dst, PayloadRef payload) override;
 
   // Drain every datagram currently readable, dispatching each to the
   // attached handler.  Returns the number of datagrams delivered.

@@ -83,14 +83,15 @@ class MemoryImage {
     return w.Take();
   }
 
-  static MemoryImage Deserialize(const Bytes& bytes, bool* ok) {
+  static Result<MemoryImage> Deserialize(const Bytes& bytes) {
     ByteReader r(bytes);
     MemoryImage image;
     image.code_ = r.Blob();
     image.data_ = r.Blob();
     image.stack_ = r.Blob();
-    if (ok != nullptr) {
-      *ok = r.ok();
+    if (!r.ok()) {
+      return InvalidArgumentError("corrupt memory image (" + std::to_string(bytes.size()) +
+                                  " bytes)");
     }
     return image;
   }

@@ -61,19 +61,21 @@ class Context {
   virtual Status RemoveLink(LinkId id) = 0;
 
   // --- Messaging. ---
+  // Payloads are PayloadRef (shared immutable buffers); a plain Bytes argument
+  // converts implicitly, adopting the buffer without a copy.
   // Send over a held link.  Reply links are consumed by the send.
-  virtual Status Send(LinkId link, MsgType type, Bytes payload,
+  virtual Status Send(LinkId link, MsgType type, PayloadRef payload,
                       std::vector<Link> carry = {}) = 0;
   // Send over a link value not stored in the table (e.g. one just received).
-  virtual Status SendOnLink(const Link& link, MsgType type, Bytes payload,
+  virtual Status SendOnLink(const Link& link, MsgType type, PayloadRef payload,
                             std::vector<Link> carry = {}) = 0;
   // Reply over carried_links[0] of `request` (the reply-link convention).
-  virtual Status Reply(const Message& request, MsgType type, Bytes payload,
+  virtual Status Reply(const Message& request, MsgType type, PayloadRef payload,
                        std::vector<Link> carry = {}) = 0;
 
   // --- Bulk data (Sec. 2.2): kernel-mediated transfers over data-area links.
   // Completion (and read data) arrives via OnDataMoveDone with `cookie`.
-  virtual Status MoveDataTo(LinkId link, std::uint32_t area_offset, Bytes data,
+  virtual Status MoveDataTo(LinkId link, std::uint32_t area_offset, PayloadRef data,
                             std::uint64_t cookie) = 0;
   virtual Status MoveDataFrom(LinkId link, std::uint32_t area_offset, std::uint32_t length,
                               std::uint64_t cookie) = 0;

@@ -9,10 +9,9 @@ namespace demos {
 void MemorySchedulerProgram::OnMessage(Context& ctx, const Message& msg) {
   switch (msg.type) {
     case kMsReport: {
-      bool ok = false;
-      LoadReport report = LoadReport::Decode(msg.payload, &ok);
-      if (ok) {
-        memory_[report.machine] = MachineMemory{report.memory_used, report.memory_limit};
+      Result<LoadReport> report = LoadReport::Decode(msg.payload);
+      if (report.ok()) {
+        memory_[report->machine] = MachineMemory{report->memory_used, report->memory_limit};
       }
       return;
     }

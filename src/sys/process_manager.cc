@@ -32,12 +32,12 @@ void ProcessManagerProgram::OnTimer(Context& ctx, std::uint64_t cookie) {
 void ProcessManagerProgram::OnMessage(Context& ctx, const Message& msg) {
   switch (msg.type) {
     case MsgType::kLoadReport: {
-      bool ok = false;
-      LoadReport report = LoadReport::Decode(msg.payload, &ok);
-      if (ok) {
-        loads_.Apply(report, ctx.now());
+      Result<LoadReport> report = LoadReport::Decode(msg.payload);
+      if (report.ok()) {
+        loads_.Apply(*report, ctx.now());
         // "The process and memory managers handle all the high-level
-        // scheduling decisions" (Sec. 2.3): share the raw report.
+        // scheduling decisions" (Sec. 2.3): share the raw report.  The payload
+        // is a PayloadRef, so the relay reuses the received buffer.
         if (memory_scheduler_slot_ != kNoLink) {
           (void)ctx.Send(memory_scheduler_slot_, kMsReport, msg.payload);
         }

@@ -33,16 +33,15 @@ TEST(LoadReportCodecTest, RoundTrip) {
     report.processes.push_back(entry);
   }
 
-  bool ok = false;
-  LoadReport back = LoadReport::Decode(report.Encode(), &ok);
-  ASSERT_TRUE(ok);
-  EXPECT_EQ(back.machine, report.machine);
-  EXPECT_EQ(back.live_processes, report.live_processes);
-  EXPECT_EQ(back.cpu_busy_delta_us, report.cpu_busy_delta_us);
-  EXPECT_EQ(back.memory_limit, report.memory_limit);
-  ASSERT_EQ(back.processes.size(), 5u);
-  EXPECT_EQ(back.processes[4].pid, (ProcessId{3, 5}));
-  EXPECT_EQ(back.processes[4].top_partner_msgs, 12u);
+  Result<LoadReport> back = LoadReport::Decode(report.Encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->machine, report.machine);
+  EXPECT_EQ(back->live_processes, report.live_processes);
+  EXPECT_EQ(back->cpu_busy_delta_us, report.cpu_busy_delta_us);
+  EXPECT_EQ(back->memory_limit, report.memory_limit);
+  ASSERT_EQ(back->processes.size(), 5u);
+  EXPECT_EQ(back->processes[4].pid, (ProcessId{3, 5}));
+  EXPECT_EQ(back->processes[4].top_partner_msgs, 12u);
 }
 
 TEST(LoadReportCodecTest, TruncationFailsCleanly) {
@@ -54,9 +53,7 @@ TEST(LoadReportCodecTest, TruncationFailsCleanly) {
   Bytes wire = report.Encode();
   for (std::size_t cut = 0; cut < wire.size(); ++cut) {
     Bytes truncated(wire.begin(), wire.begin() + static_cast<std::ptrdiff_t>(cut));
-    bool ok = true;
-    (void)LoadReport::Decode(truncated, &ok);
-    EXPECT_FALSE(ok) << "cut at " << cut;
+    EXPECT_FALSE(LoadReport::Decode(PayloadRef(std::move(truncated))).ok()) << "cut at " << cut;
   }
 }
 
@@ -68,15 +65,14 @@ TEST(DataPacketCodecTest, PullRoundTrip) {
   packet.offset = 2048;
   packet.total = 65536;
   packet.chunk = Bytes(512, 0xAA);
-  bool ok = false;
-  DataPacket back = DataPacket::Decode(packet.Encode(), &ok);
-  ASSERT_TRUE(ok);
-  EXPECT_EQ(back.mode, StreamMode::kPull);
-  EXPECT_EQ(back.streamer, 4);
-  EXPECT_EQ(back.transfer_id, 99u);
-  EXPECT_EQ(back.offset, 2048u);
-  EXPECT_EQ(back.total, 65536u);
-  EXPECT_EQ(back.chunk, packet.chunk);
+  Result<DataPacket> back = DataPacket::Decode(packet.Encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->mode, StreamMode::kPull);
+  EXPECT_EQ(back->streamer, 4);
+  EXPECT_EQ(back->transfer_id, 99u);
+  EXPECT_EQ(back->offset, 2048u);
+  EXPECT_EQ(back->total, 65536u);
+  EXPECT_EQ(back->chunk, packet.chunk);
 }
 
 TEST(DataPacketCodecTest, PushRoundTripIncludesWriteContext) {
@@ -93,14 +89,13 @@ TEST(DataPacketCodecTest, PushRoundTripIncludesWriteContext) {
   packet.instigator = ProcessAddress{0, {0, 5}};
   packet.cookie = 0xC00C1E;
   packet.chunk = Bytes(100, 0x11);
-  bool ok = false;
-  DataPacket back = DataPacket::Decode(packet.Encode(), &ok);
-  ASSERT_TRUE(ok);
-  EXPECT_EQ(back.area_base, 256u);
-  EXPECT_EQ(back.window_length, 1000u);
-  EXPECT_EQ(back.link_flags, kLinkDataWrite);
-  EXPECT_EQ(back.instigator.pid, (ProcessId{0, 5}));
-  EXPECT_EQ(back.cookie, 0xC00C1Eu);
+  Result<DataPacket> back = DataPacket::Decode(packet.Encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->area_base, 256u);
+  EXPECT_EQ(back->window_length, 1000u);
+  EXPECT_EQ(back->link_flags, kLinkDataWrite);
+  EXPECT_EQ(back->instigator.pid, (ProcessId{0, 5}));
+  EXPECT_EQ(back->cookie, 0xC00C1Eu);
 }
 
 TEST(DataPacketCodecTest, PullEncodingOmitsPushContext) {
@@ -117,14 +112,16 @@ TEST(DataAckCodecTest, RoundTripWithStatus) {
   DataAck ack;
   ack.mode = StreamMode::kPush;
   ack.transfer_id = 12;
-  ack.offset = 1024;
+  ack.covered_bytes = 4096;
+  ack.packets = 3;
   ack.status = StatusCode::kPermissionDenied;
-  bool ok = false;
-  DataAck back = DataAck::Decode(ack.Encode(), &ok);
-  ASSERT_TRUE(ok);
-  EXPECT_EQ(back.mode, StreamMode::kPush);
-  EXPECT_EQ(back.transfer_id, 12u);
-  EXPECT_EQ(back.status, StatusCode::kPermissionDenied);
+  Result<DataAck> back = DataAck::Decode(ack.Encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->mode, StreamMode::kPush);
+  EXPECT_EQ(back->transfer_id, 12u);
+  EXPECT_EQ(back->covered_bytes, 4096u);
+  EXPECT_EQ(back->packets, 3u);
+  EXPECT_EQ(back->status, StatusCode::kPermissionDenied);
 }
 
 TEST(ReadAreaRequestCodecTest, RoundTrip) {
@@ -138,16 +135,15 @@ TEST(ReadAreaRequestCodecTest, RoundTrip) {
   req.reply_machine = 2;
   req.instigator = ProcessAddress{2, {2, 9}};
   req.cookie = 77;
-  bool ok = false;
-  ReadAreaRequest back = ReadAreaRequest::Decode(req.Encode(), &ok);
-  ASSERT_TRUE(ok);
-  EXPECT_EQ(back.length, 500u);
-  EXPECT_EQ(back.reply_machine, 2);
-  EXPECT_EQ(back.instigator.pid.local_id, 9u);
+  Result<ReadAreaRequest> back = ReadAreaRequest::Decode(req.Encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->length, 500u);
+  EXPECT_EQ(back->reply_machine, 2);
+  EXPECT_EQ(back->instigator.pid.local_id, 9u);
 }
 
-// Fuzz-ish: random byte soup through every decoder must not crash, and the
-// `ok` flag must come back usable.
+// Fuzz-ish: random byte soup through every decoder must not crash; each
+// decoder reports failure through its Result.
 TEST(CodecFuzzTest, RandomBytesNeverCrashDecoders) {
   Rng rng(0xF022);
   for (int trial = 0; trial < 2000; ++trial) {
@@ -155,12 +151,12 @@ TEST(CodecFuzzTest, RandomBytesNeverCrashDecoders) {
     for (auto& b : soup) {
       b = static_cast<std::uint8_t>(rng.Next());
     }
-    bool ok = false;
-    (void)Message::Deserialize(soup, &ok);
-    (void)LoadReport::Decode(soup, &ok);
-    (void)DataPacket::Decode(soup, &ok);
-    (void)DataAck::Decode(soup, &ok);
-    (void)ReadAreaRequest::Decode(soup, &ok);
+    const PayloadRef ref(soup);
+    (void)Message::Deserialize(ref);
+    (void)LoadReport::Decode(ref);
+    (void)DataPacket::Decode(ref);
+    (void)DataAck::Decode(ref);
+    (void)ReadAreaRequest::Decode(ref);
   }
   SUCCEED();
 }
@@ -177,9 +173,7 @@ TEST(CodecFuzzTest, TruncatedMessagesNeverCrash) {
   Bytes wire = m.Serialize();
   for (std::size_t cut = 0; cut < wire.size(); ++cut) {
     Bytes truncated(wire.begin(), wire.begin() + static_cast<std::ptrdiff_t>(cut));
-    bool ok = true;
-    (void)Message::Deserialize(truncated, &ok);
-    EXPECT_FALSE(ok);
+    EXPECT_FALSE(Message::Deserialize(PayloadRef(std::move(truncated))).ok());
   }
 }
 

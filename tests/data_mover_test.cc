@@ -102,9 +102,154 @@ TEST_F(DataMoverTest, WriteIntoRemoteArea) {
   EXPECT_EQ(MoveResults()[0].cookie, 111u);
   ProcessRecord* record = cluster.kernel(1).FindProcess(host->pid);
   EXPECT_EQ(record->memory.ReadData(116, 300), data);
-  // 300 bytes in 64-byte chunks = 5 packets, each individually acked.
+  // 300 bytes in 64-byte chunks = 5 packets; with the default ack window (8)
+  // the whole stream is covered by one cumulative ack, flushed by the final
+  // packet.
+  EXPECT_EQ(cluster.kernel(0).stats().Get(stat::kDataPackets), 5);
+  EXPECT_EQ(cluster.kernel(1).stats().Get(stat::kDataAcks), 1);
+}
+
+TEST_F(DataMoverTest, WindowOneDegeneratesToOneAckPerPacket) {
+  // data_window_packets = 1 reproduces the paper's per-packet acknowledgement
+  // behavior exactly: same bytes land, one ack per packet.
+  ClusterConfig config;
+  config.machines = 2;
+  config.kernel.data_packet_bytes = 64;
+  config.kernel.data_window_packets = 1;
+  Cluster cluster(config);
+  auto client = cluster.kernel(0).SpawnProcess("area_client");
+  auto host = cluster.kernel(1).SpawnProcess("idle", 1024, 4096, 256);
+  ASSERT_TRUE(client.ok() && host.ok());
+  cluster.RunUntilIdle();
+
+  Bytes data(300);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i);
+  }
+  ByteWriter w;
+  w.U32(16);
+  w.U64(112);
+  w.Blob(data);
+  cluster.kernel(0).SendFromKernel(*client, kDoWrite, w.Take(),
+                                   {DataLink(*host, kLinkDataWrite, 100, 1000)});
+  cluster.RunUntilIdle();
+
+  ASSERT_EQ(MoveResults().size(), 1u);
+  EXPECT_TRUE(MoveResults()[0].status.ok());
+  EXPECT_EQ(cluster.kernel(1).FindProcess(host->pid)->memory.ReadData(116, 300), data);
   EXPECT_EQ(cluster.kernel(0).stats().Get(stat::kDataPackets), 5);
   EXPECT_EQ(cluster.kernel(1).stats().Get(stat::kDataAcks), 5);
+}
+
+TEST_F(DataMoverTest, ZeroLengthWriteCompletes) {
+  // An empty transfer is one empty packet and one ack; completion must still
+  // reach the instigator (the >= 1 acked-packets rule).
+  Cluster cluster(ClusterConfig{});
+  auto client = cluster.kernel(0).SpawnProcess("area_client");
+  auto host = cluster.kernel(1).SpawnProcess("idle", 1024, 4096, 256);
+  ASSERT_TRUE(client.ok() && host.ok());
+  cluster.RunUntilIdle();
+
+  ByteWriter w;
+  w.U32(0);
+  w.U64(991);
+  w.Blob({});
+  cluster.kernel(0).SendFromKernel(*client, kDoWrite, w.Take(),
+                                   {DataLink(*host, kLinkDataWrite, 0, 1024)});
+  cluster.RunUntilIdle();
+  ASSERT_EQ(MoveResults().size(), 1u);
+  EXPECT_TRUE(MoveResults()[0].status.ok());
+  EXPECT_EQ(MoveResults()[0].cookie, 991u);
+}
+
+TEST_F(DataMoverTest, ZeroLengthReadCompletes) {
+  Cluster cluster(ClusterConfig{});
+  auto client = cluster.kernel(0).SpawnProcess("area_client");
+  auto host = cluster.kernel(1).SpawnProcess("idle", 1024, 4096, 256);
+  ASSERT_TRUE(client.ok() && host.ok());
+  cluster.RunUntilIdle();
+
+  ByteWriter w;
+  w.U32(0);
+  w.U32(0);  // zero-length read
+  w.U64(992);
+  cluster.kernel(0).SendFromKernel(*client, kDoRead, w.Take(),
+                                   {DataLink(*host, kLinkDataRead, 0, 1024)});
+  cluster.RunUntilIdle();
+  ASSERT_EQ(MoveResults().size(), 1u);
+  EXPECT_TRUE(MoveResults()[0].status.ok());
+  EXPECT_TRUE(MoveResults()[0].data.empty());
+}
+
+TEST_F(DataMoverTest, FinalShortChunkCarriesExactBytes) {
+  // 130 bytes in 64-byte packets: 64 + 64 + 2.  The 2-byte tail must land at
+  // the right offset and the cumulative ack must cover exactly 130 bytes
+  // (completion would hang or fire early otherwise).
+  ClusterConfig config;
+  config.machines = 2;
+  config.kernel.data_packet_bytes = 64;
+  Cluster cluster(config);
+  auto client = cluster.kernel(0).SpawnProcess("area_client");
+  auto host = cluster.kernel(1).SpawnProcess("idle", 1024, 4096, 256);
+  ASSERT_TRUE(client.ok() && host.ok());
+  cluster.RunUntilIdle();
+
+  Bytes data(130);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(255 - i);
+  }
+  ByteWriter w;
+  w.U32(0);
+  w.U64(993);
+  w.Blob(data);
+  cluster.kernel(0).SendFromKernel(*client, kDoWrite, w.Take(),
+                                   {DataLink(*host, kLinkDataWrite, 0, 1024)});
+  cluster.RunUntilIdle();
+
+  ASSERT_EQ(MoveResults().size(), 1u);
+  EXPECT_TRUE(MoveResults()[0].status.ok());
+  EXPECT_EQ(cluster.kernel(0).stats().Get(stat::kDataPackets), 3);
+  EXPECT_EQ(cluster.kernel(1).FindProcess(host->pid)->memory.ReadData(0, 130), data);
+}
+
+TEST_F(DataMoverTest, PushStraddlingMigrationSnapshotStaysExact) {
+  // Start a long push, then migrate the target mid-stream.  Early packets are
+  // applied on m1 (and travel onward inside the memory image); packets
+  // arriving after the freeze are queued and forwarded to m2.  The freeze
+  // flushes m1's partial ack batch, so the instigator's byte accounting -- and
+  // therefore completion -- stays exact across the snapshot.
+  ClusterConfig config;
+  config.machines = 3;
+  config.kernel.data_packet_bytes = 64;
+  Cluster cluster(config);
+  auto client = cluster.kernel(0).SpawnProcess("area_client");
+  auto host = cluster.kernel(1).SpawnProcess("idle", 1024, 4096, 256);
+  ASSERT_TRUE(client.ok() && host.ok());
+  cluster.RunUntilIdle();
+
+  Bytes data(2000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  ByteWriter w;
+  w.U32(0);
+  w.U64(994);
+  w.Blob(data);
+  cluster.kernel(0).SendFromKernel(*client, kDoWrite, w.Take(),
+                                   {DataLink(*host, kLinkDataWrite, 0, 4000)});
+  // Let part of the 32-packet stream land on m1, then freeze the target.
+  cluster.RunFor(1500);
+  (void)cluster.kernel(1).StartMigration(host->pid, 2, cluster.kernel(1).kernel_address());
+  cluster.RunUntilIdle();
+
+  ASSERT_NE(cluster.kernel(2).FindProcess(host->pid), nullptr);
+  ASSERT_EQ(MoveResults().size(), 1u);
+  EXPECT_TRUE(MoveResults()[0].status.ok());
+  EXPECT_EQ(MoveResults()[0].cookie, 994u);
+  EXPECT_EQ(cluster.kernel(2).FindProcess(host->pid)->memory.ReadData(0, 2000), data);
+  // The stream really did straddle the snapshot: both kernels acked packets.
+  EXPECT_GT(cluster.kernel(1).stats().Get(stat::kDataAcks), 0);
+  EXPECT_GT(cluster.kernel(2).stats().Get(stat::kDataAcks), 0);
 }
 
 TEST_F(DataMoverTest, ReadFromRemoteArea) {

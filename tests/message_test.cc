@@ -24,17 +24,16 @@ Message SampleMessage() {
 
 TEST(MessageTest, RoundTrip) {
   Message m = SampleMessage();
-  bool ok = false;
-  Message back = Message::Deserialize(m.Serialize(), &ok);
-  ASSERT_TRUE(ok);
-  EXPECT_EQ(back.sender, m.sender);
-  EXPECT_EQ(back.receiver, m.receiver);
-  EXPECT_EQ(back.flags, m.flags);
-  EXPECT_EQ(back.type, m.type);
-  EXPECT_EQ(back.payload, m.payload);
-  EXPECT_EQ(back.hop_count, m.hop_count);
-  ASSERT_EQ(back.carried_links.size(), 1u);
-  EXPECT_EQ(back.carried_links[0], m.carried_links[0]);
+  Result<Message> back = Message::Deserialize(m.Serialize());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->sender, m.sender);
+  EXPECT_EQ(back->receiver, m.receiver);
+  EXPECT_EQ(back->flags, m.flags);
+  EXPECT_EQ(back->type, m.type);
+  EXPECT_EQ(back->payload, m.payload);
+  EXPECT_EQ(back->hop_count, m.hop_count);
+  ASSERT_EQ(back->carried_links.size(), 1u);
+  EXPECT_EQ(back->carried_links[0], m.carried_links[0]);
 }
 
 TEST(MessageTest, WireSizeMatchesSerialization) {
@@ -54,9 +53,9 @@ TEST(MessageTest, TruncatedWireFails) {
   Message m = SampleMessage();
   Bytes wire = m.Serialize();
   wire.resize(wire.size() - 3);
-  bool ok = true;
-  (void)Message::Deserialize(wire, &ok);
-  EXPECT_FALSE(ok);
+  Result<Message> back = Message::Deserialize(wire);
+  EXPECT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(MessageTest, DeliverToKernelFlag) {
@@ -115,11 +114,104 @@ TEST(MessageTest, ManyCarriedLinksRoundTrip) {
     l.address = ProcessAddress{0, {0, i + 1}};
     m.carried_links.push_back(l);
   }
-  bool ok = false;
-  Message back = Message::Deserialize(m.Serialize(), &ok);
-  ASSERT_TRUE(ok);
-  ASSERT_EQ(back.carried_links.size(), 20u);
-  EXPECT_EQ(back.carried_links[19].address.pid.local_id, 20u);
+  Result<Message> back = Message::Deserialize(m.Serialize());
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->carried_links.size(), 20u);
+  EXPECT_EQ(back->carried_links[19].address.pid.local_id, 20u);
+}
+
+// --- MessageView: in-place header decoding over a shared frame. ---
+
+TEST(MessageViewTest, ParseAliasesTheFrameBuffer) {
+  Message m = SampleMessage();
+  PayloadRef frame(m.Serialize());
+  Result<MessageView> view = MessageView::Parse(frame);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ(view->sender(), m.sender);
+  EXPECT_EQ(view->receiver(), m.receiver);
+  EXPECT_EQ(view->type(), m.type);
+  EXPECT_EQ(view->hop_count(), m.hop_count);
+  EXPECT_TRUE(view->deliver_to_kernel());
+  // The payload accessor is a window into the frame, not a copy.
+  EXPECT_EQ(view->payload(), m.payload);
+  EXPECT_TRUE(view->payload().SharesBufferWith(frame));
+}
+
+TEST(MessageViewTest, ToMessageKeepsPayloadZeroCopy) {
+  Message m = SampleMessage();
+  PayloadRef frame(m.Serialize());
+  Result<MessageView> view = MessageView::Parse(frame);
+  ASSERT_TRUE(view.ok());
+  Message back = view->ToMessage();
+  EXPECT_EQ(back.payload, m.payload);
+  EXPECT_TRUE(back.payload.SharesBufferWith(frame));
+}
+
+TEST(MessageViewTest, TruncatedFrameReportsError) {
+  Message m = SampleMessage();
+  Bytes wire = m.Serialize();
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    Bytes truncated(wire.begin(), wire.begin() + static_cast<std::ptrdiff_t>(cut));
+    Result<MessageView> view = MessageView::Parse(PayloadRef(std::move(truncated)));
+    EXPECT_FALSE(view.ok()) << "cut at " << cut;
+  }
+}
+
+// --- Frame(): one allocation end to end, patched in place when forwarded. ---
+
+TEST(MessageFrameTest, ReceivedMessageReframesWithoutReserializing) {
+  // Emulate the pipeline: the sender's Message dies after framing, so the
+  // receiver is the sole owner of the wire buffer (as after SimNetwork moves
+  // the frame into the delivery handler).
+  const std::uint8_t expected_hops = SampleMessage().hop_count + 1;
+  PayloadRef frame;
+  {
+    Message m = SampleMessage();
+    frame = m.Frame();
+  }
+  Result<Message> received = Message::Deserialize(std::move(frame));
+  ASSERT_TRUE(received.ok());
+
+  // Forwarding patches machine/hop in the existing frame: no new buffer, no
+  // bytes copied.
+  received->receiver.last_known_machine = 9;
+  received->hop_count++;
+  PayloadCounters::Reset();
+  PayloadRef forwarded = received->Frame();
+  EXPECT_EQ(PayloadCounters::allocations, 0u) << "re-frame must not re-serialize";
+  EXPECT_EQ(PayloadCounters::copied_bytes, 0u) << "re-frame must patch in place";
+  EXPECT_TRUE(forwarded.SharesBufferWith(received->payload));
+
+  Result<Message> at_dest = Message::Deserialize(forwarded);
+  ASSERT_TRUE(at_dest.ok());
+  EXPECT_EQ(at_dest->receiver.last_known_machine, 9);
+  EXPECT_EQ(at_dest->hop_count, expected_hops);
+  EXPECT_EQ(at_dest->payload, SampleMessage().payload);
+}
+
+TEST(MessageFrameTest, PatchingCopiesWhenFrameIsShared) {
+  Message m = SampleMessage();
+  Result<Message> received = Message::Deserialize(m.Frame());
+  ASSERT_TRUE(received.ok());
+  PayloadRef retransmit_copy = received->Frame();  // e.g. held by ReliableTransport
+
+  received->receiver.last_known_machine = 9;
+  PayloadRef forwarded = received->Frame();
+  // COW: the retransmit buffer must keep the original receiver machine.
+  EXPECT_FALSE(forwarded.SharesBufferWith(retransmit_copy));
+  Result<Message> old_frame = Message::Deserialize(retransmit_copy);
+  ASSERT_TRUE(old_frame.ok());
+  EXPECT_EQ(old_frame->receiver.last_known_machine, m.receiver.last_known_machine);
+}
+
+TEST(MessageFrameTest, MutatedPayloadForcesReserialize) {
+  Message m = SampleMessage();
+  Result<Message> received = Message::Deserialize(m.Frame());
+  ASSERT_TRUE(received.ok());
+  received->payload = {9, 9, 9, 9, 9};
+  Result<Message> back = Message::Deserialize(received->Frame());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->payload, (Bytes{9, 9, 9, 9, 9}));
 }
 
 }  // namespace

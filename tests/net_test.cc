@@ -15,8 +15,8 @@ namespace {
 struct Endpoint {
   std::vector<std::pair<MachineId, Bytes>> received;
   void AttachTo(Transport& t, MachineId self) {
-    t.Attach(self, [this](MachineId src, Bytes payload) {
-      received.emplace_back(src, std::move(payload));
+    t.Attach(self, [this](MachineId src, PayloadRef payload) {
+      received.emplace_back(src, payload.ToBytes());
     });
   }
 };

@@ -47,12 +47,11 @@ TEST(MemoryImageTest, OutOfRangeReadReturnsEmpty) {
 TEST(MemoryImageTest, SerializeRoundTrip) {
   MemoryImage image = MemoryImage::Create("prog", 256, 128, 64);
   ASSERT_TRUE(image.WriteData(0, {9, 8, 7}).ok());
-  bool ok = false;
-  MemoryImage back = MemoryImage::Deserialize(image.Serialize(), &ok);
-  ASSERT_TRUE(ok);
-  EXPECT_EQ(back.ProgramName(), "prog");
-  EXPECT_EQ(back.ReadData(0, 3), (Bytes{9, 8, 7}));
-  EXPECT_EQ(back.TotalSize(), image.TotalSize());
+  Result<MemoryImage> back = MemoryImage::Deserialize(image.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->ProgramName(), "prog");
+  EXPECT_EQ(back->ReadData(0, 3), (Bytes{9, 8, 7}));
+  EXPECT_EQ(back->TotalSize(), image.TotalSize());
 }
 
 TEST(DispatchInfoTest, RoundTrip) {

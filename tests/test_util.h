@@ -95,7 +95,7 @@ class SinkProgram : public Program {
     CapturedMessage captured;
     captured.tag = r.U64();
     captured.type = msg.type;
-    captured.payload = msg.payload;
+    captured.payload = msg.payload.ToBytes();
     captured.sender = msg.sender;
     captured.at = ctx.now();
     GlobalCapture().push_back(std::move(captured));

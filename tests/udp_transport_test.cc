@@ -22,7 +22,9 @@ TEST(UdpTransportTest, DatagramRoundTrip) {
   ASSERT_TRUE(b.Open().ok());
 
   std::vector<std::pair<MachineId, Bytes>> received;
-  b.Attach(1, [&](MachineId src, Bytes payload) { received.emplace_back(src, payload); });
+  b.Attach(1, [&](MachineId src, PayloadRef payload) {
+    received.emplace_back(src, payload.ToBytes());
+  });
 
   a.Send(0, 1, {1, 2, 3, 4});
   for (int i = 0; i < 100 && received.empty(); ++i) {
@@ -38,7 +40,7 @@ TEST(UdpTransportTest, SelfSendLoopsThroughSocket) {
   UdpTransport a(0, base);
   ASSERT_TRUE(a.Open().ok());
   int got = 0;
-  a.Attach(0, [&](MachineId src, Bytes payload) {
+  a.Attach(0, [&](MachineId src, PayloadRef payload) {
     EXPECT_EQ(src, 0);
     EXPECT_EQ(payload.size(), 2u);
     ++got;
