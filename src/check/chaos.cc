@@ -1,0 +1,495 @@
+#include "src/check/chaos.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/base/rng.h"
+#include "src/fault/crash.h"
+#include "src/kernel/cluster.h"
+#include "src/workload/programs.h"
+
+namespace demos {
+namespace {
+
+// Stale-address kernel traffic (notes are sent to the victim's original spawn
+// address, so late notes ride the whole forwarding chain).
+constexpr MsgType kChaosNote = static_cast<MsgType>(1205);
+
+// Runaway backstop far above what any generated scenario executes.
+constexpr std::size_t kEventCap = 5'000'000;
+
+void WriteConfig(Cluster& cluster, const ProcessAddress& addr, const Bytes& config) {
+  if (!addr.valid()) {
+    return;
+  }
+  ProcessRecord* record = cluster.kernel(addr.last_known_machine).FindProcess(addr.pid);
+  if (record != nullptr) {
+    (void)record->memory.WriteData(0, config);
+  }
+}
+
+const char* GcName(int gc_mode) {
+  switch (gc_mode) {
+    case 1:
+      return "on-death";
+    case 2:
+      return "ttl";
+    default:
+      return "keep-forever";
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Scenario derivation.
+// ---------------------------------------------------------------------------
+
+ChaosScenario ScenarioFromSeed(std::uint64_t seed) {
+  Rng rng(seed ^ 0xC4A05F00Dull);
+  ChaosScenario s;
+  s.seed = seed;
+
+  s.machines = static_cast<int>(2 + rng.Below(4));  // 2..5
+  s.propagation_us = 20 + rng.Below(131);           // 20..150
+  s.bandwidth_bytes_per_us = 5.0 + static_cast<double>(rng.Below(46));
+  s.jitter_us = rng.Chance(0.5) ? 0 : 10 + rng.Below(291);
+  s.drop_probability = rng.Chance(0.5) ? 0.0 : 0.005 + 0.145 * rng.NextDouble();
+  s.duplicate_probability = rng.Chance(0.7) ? 0.0 : 0.005 + 0.075 * rng.NextDouble();
+  s.retransmit_timeout_us = 1000 + rng.Below(3001);
+
+  s.forwarding_mode = !rng.Chance(0.2);
+  const std::uint64_t gc_roll = rng.Below(10);
+  s.gc_mode = gc_roll < 6 ? 0 : (gc_roll < 8 ? 1 : 2);
+  s.data_packet_bytes = std::size_t{128} << rng.Below(6);  // 128..4096
+  s.data_window_packets = 1 + rng.Below(16);
+  s.chaos_window_us = 60'000 + rng.Below(190'001);
+
+  s.pingers = static_cast<int>(1 + rng.Below(3));
+  s.servers = static_cast<int>(1 + rng.Below(3));
+  s.sinks = static_cast<int>(rng.Below(3));
+  s.pinger_ticks = static_cast<std::uint32_t>(3 + rng.Below(8));
+  s.pinger_period_us = static_cast<std::uint32_t>(2500 + rng.Below(5501));
+
+  const std::uint64_t cpu_count = rng.Below(3);
+  for (std::uint64_t i = 0; i < cpu_count; ++i) {
+    ChaosScenario::CpuJob job;
+    job.machine = static_cast<int>(rng.Below(static_cast<std::uint64_t>(s.machines)));
+    job.total_us = 20'000 + rng.Below(60'001);
+    s.cpu_jobs.push_back(job);
+  }
+  const std::uint64_t rpc_count = rng.Below(3);
+  for (std::uint64_t i = 0; i < rpc_count; ++i) {
+    ChaosScenario::RpcPair pair;
+    pair.client_machine = static_cast<int>(rng.Below(static_cast<std::uint64_t>(s.machines)));
+    pair.server_machine = static_cast<int>(rng.Below(static_cast<std::uint64_t>(s.machines)));
+    pair.count = static_cast<std::uint32_t>(5 + rng.Below(16));
+    pair.period_us = static_cast<std::uint32_t>(1000 + rng.Below(3001));
+    s.rpc_pairs.push_back(pair);
+  }
+
+  const auto roster = static_cast<std::uint64_t>(s.RosterSize());
+  const std::uint64_t migration_count = 4 + rng.Below(22);
+  for (std::uint64_t i = 0; i < migration_count; ++i) {
+    ChaosScenario::MigrationEvent ev;
+    ev.at = 5000 + rng.Below(s.chaos_window_us - 5000);
+    ev.victim = static_cast<int>(rng.Below(roster));
+    ev.dest_machine = static_cast<int>(rng.Below(static_cast<std::uint64_t>(s.machines)));
+    s.migrations.push_back(ev);
+  }
+  if (rng.Chance(0.6)) {
+    // A chained burst: back-to-back requests for one victim, spaced so the
+    // follow-ups land while the first transfer is still streaming.
+    const int victim = static_cast<int>(rng.Below(roster));
+    SimTime at = 5000 + rng.Below(s.chaos_window_us - 5000);
+    const std::uint64_t burst = 2 + rng.Below(2);
+    for (std::uint64_t i = 0; i < burst; ++i) {
+      ChaosScenario::MigrationEvent ev;
+      ev.at = at;
+      ev.victim = victim;
+      ev.dest_machine = static_cast<int>(rng.Below(static_cast<std::uint64_t>(s.machines)));
+      s.migrations.push_back(ev);
+      at += 150 + rng.Below(500);
+    }
+  }
+  std::stable_sort(s.migrations.begin(), s.migrations.end(),
+                   [](const auto& a, const auto& b) { return a.at < b.at; });
+
+  if (rng.Chance(0.5)) {
+    const std::uint64_t crash_count = 1 + rng.Below(2);
+    std::vector<SimTime> busy_until(static_cast<std::size_t>(s.machines), 0);
+    for (std::uint64_t i = 0; i < crash_count; ++i) {
+      ChaosScenario::CrashEvent ev;
+      ev.machine = static_cast<int>(rng.Below(static_cast<std::uint64_t>(s.machines)));
+      ev.at = 10'000 + rng.Below(s.chaos_window_us);
+      ev.outage_us = 5000 + rng.Below(35'001);
+      if (ev.at < busy_until[static_cast<std::size_t>(ev.machine)]) {
+        continue;  // would overlap an existing outage of the same machine
+      }
+      busy_until[static_cast<std::size_t>(ev.machine)] = ev.at + ev.outage_us + 1000;
+      s.crashes.push_back(ev);
+    }
+  }
+
+  const std::uint64_t note_count = rng.Below(12);
+  for (std::uint64_t i = 0; i < note_count; ++i) {
+    ChaosScenario::NoteEvent ev;
+    ev.at = 2000 + rng.Below(s.chaos_window_us);
+    ev.from_machine = static_cast<int>(rng.Below(static_cast<std::uint64_t>(s.machines)));
+    ev.victim = static_cast<int>(rng.Below(roster));
+    s.notes.push_back(ev);
+  }
+
+  // The reliable layer is mandatory whenever the network can drop, duplicate,
+  // or reorder frames, or a machine can crash while frames are in flight;
+  // otherwise it joins the rotation like any other knob.
+  s.reliable = s.drop_probability > 0.0 || s.duplicate_probability > 0.0 || s.jitter_us > 0 ||
+               !s.crashes.empty() || rng.Chance(0.25);
+  return s;
+}
+
+std::string ChaosScenario::Describe() const {
+  std::ostringstream os;
+  os << "seed=" << seed << " machines=" << machines << " window=" << chaos_window_us << "us\n";
+  os << "  net: prop=" << propagation_us << "us bw=" << bandwidth_bytes_per_us
+     << "B/us jitter=" << jitter_us << "us drop=" << drop_probability
+     << " dup=" << duplicate_probability << " reliable=" << (reliable ? 1 : 0)
+     << " rto=" << retransmit_timeout_us << "us\n";
+  os << "  kernel: mode=" << (forwarding_mode ? "forwarding" : "return-to-sender")
+     << " gc=" << GcName(gc_mode) << " packet=" << data_packet_bytes
+     << "B window=" << data_window_packets << "\n";
+  os << "  workload: pingers=" << pingers << "(ticks=" << pinger_ticks
+     << ",period=" << pinger_period_us << "us) servers=" << servers << " sinks=" << sinks
+     << " cpu=" << cpu_jobs.size() << (cpu_enabled ? "" : "(disabled)")
+     << " rpc=" << rpc_pairs.size() << (rpc_enabled ? "" : "(disabled)") << "\n";
+  os << "  chaos: migrations=" << migrations.size() << " crashes=" << crashes.size()
+     << " notes=" << notes.size();
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Feature axes.
+// ---------------------------------------------------------------------------
+
+const char* ChaosFeatureName(ChaosFeature feature) {
+  switch (feature) {
+    case ChaosFeature::kCrashes:
+      return "crashes";
+    case ChaosFeature::kDrop:
+      return "drop";
+    case ChaosFeature::kDuplicates:
+      return "dup";
+    case ChaosFeature::kJitter:
+      return "jitter";
+    case ChaosFeature::kNotes:
+      return "notes";
+    case ChaosFeature::kCpuWorkload:
+      return "cpu";
+    case ChaosFeature::kRpcWorkload:
+      return "rpc";
+    case ChaosFeature::kHalveMigrations:
+      return "halve-migrations";
+    case ChaosFeature::kNone:
+      break;
+  }
+  return "none";
+}
+
+ChaosFeature ChaosFeatureFromName(const std::string& name) {
+  for (ChaosFeature f :
+       {ChaosFeature::kCrashes, ChaosFeature::kDrop, ChaosFeature::kDuplicates,
+        ChaosFeature::kJitter, ChaosFeature::kNotes, ChaosFeature::kCpuWorkload,
+        ChaosFeature::kRpcWorkload, ChaosFeature::kHalveMigrations}) {
+    if (name == ChaosFeatureName(f)) {
+      return f;
+    }
+  }
+  return ChaosFeature::kNone;
+}
+
+bool DisableFeature(ChaosScenario* scenario, ChaosFeature feature) {
+  switch (feature) {
+    case ChaosFeature::kCrashes:
+      if (scenario->crashes.empty()) {
+        return false;
+      }
+      scenario->crashes.clear();
+      return true;
+    case ChaosFeature::kDrop:
+      if (scenario->drop_probability == 0.0) {
+        return false;
+      }
+      scenario->drop_probability = 0.0;
+      return true;
+    case ChaosFeature::kDuplicates:
+      if (scenario->duplicate_probability == 0.0) {
+        return false;
+      }
+      scenario->duplicate_probability = 0.0;
+      return true;
+    case ChaosFeature::kJitter:
+      if (scenario->jitter_us == 0) {
+        return false;
+      }
+      scenario->jitter_us = 0;
+      return true;
+    case ChaosFeature::kNotes:
+      if (scenario->notes.empty()) {
+        return false;
+      }
+      scenario->notes.clear();
+      return true;
+    case ChaosFeature::kCpuWorkload:
+      if (!scenario->cpu_enabled || scenario->cpu_jobs.empty()) {
+        return false;
+      }
+      scenario->cpu_enabled = false;
+      return true;
+    case ChaosFeature::kRpcWorkload:
+      if (!scenario->rpc_enabled || scenario->rpc_pairs.empty()) {
+        return false;
+      }
+      scenario->rpc_enabled = false;
+      return true;
+    case ChaosFeature::kHalveMigrations:
+      // Keep the earliest half (the list is time-sorted).
+      if (scenario->migrations.size() <= 1) {
+        return false;
+      }
+      scenario->migrations.resize(scenario->migrations.size() / 2);
+      return true;
+    case ChaosFeature::kNone:
+      break;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Execution.
+// ---------------------------------------------------------------------------
+
+ChaosResult RunScenario(const ChaosScenario& s, const ChaosOptions& options) {
+  RegisterWorkloadPrograms();
+
+  ClusterConfig cc;
+  cc.machines = s.machines;
+  cc.network.propagation_us = s.propagation_us;
+  cc.network.bandwidth_bytes_per_us = s.bandwidth_bytes_per_us;
+  cc.network.jitter_us = s.jitter_us;
+  cc.network.drop_probability = s.drop_probability;
+  cc.network.duplicate_probability = s.duplicate_probability;
+  cc.network.seed = s.seed ^ 0x5EED0DE5ull;
+  cc.reliable_layer = s.reliable;
+  cc.reliable.retransmit_timeout_us = s.retransmit_timeout_us;
+  cc.reliable.max_retries = 0;  // never give up: a crash window stalls delivery, never kills it
+  cc.kernel.seed = s.seed;
+  cc.kernel.delivery_mode = s.forwarding_mode ? KernelConfig::DeliveryMode::kForwarding
+                                              : KernelConfig::DeliveryMode::kReturnToSender;
+  cc.kernel.forwarding_gc = s.gc_mode == 1 ? KernelConfig::ForwardingGc::kOnProcessDeath
+                            : s.gc_mode == 2 ? KernelConfig::ForwardingGc::kExpireAfterTtl
+                                             : KernelConfig::ForwardingGc::kKeepForever;
+  // Far beyond any chaos window, so under TTL mode chains never expire
+  // mid-run (an expired chain is legal but would defeat the convergence and
+  // chain-completeness assertions).
+  cc.kernel.forwarding_ttl_us = 60'000'000;
+  cc.kernel.data_packet_bytes = s.data_packet_bytes;
+  cc.kernel.data_window_packets = s.data_window_packets;
+  cc.kernel.forward_fault = options.forward_fault;
+  cc.trace_enabled = true;  // trace ids are the checker's message identity
+
+  Cluster cluster(cc);
+  ClusterChecker checker(&cluster);
+  cluster.SetObserver(&checker);
+  CrashController faults(&cluster);
+
+  // ---- Roster (slot order documented in ChaosScenario). ----
+  std::vector<ProcessAddress> roster;
+  std::vector<ProcessAddress> pinger_addrs;
+  std::vector<ProcessAddress> server_addrs;
+  auto spawn = [&](int machine, const char* program) {
+    auto addr = cluster.kernel(static_cast<MachineId>(machine % s.machines)).SpawnProcess(program);
+    if (!addr.ok()) {
+      // Keep the roster slot (victim indices must stay stable); an invalid
+      // address makes every event targeting this slot a deterministic no-op.
+      roster.push_back(ProcessAddress{});
+      return ProcessAddress{};
+    }
+    roster.push_back(*addr);
+    checker.ExpectLive(addr->pid);
+    return *addr;
+  };
+  for (int i = 0; i < s.pingers; ++i) {
+    const ProcessAddress addr = spawn(i, "chaos_pinger");
+    ChaosPingerConfig cfg;
+    cfg.ticks = s.pinger_ticks;
+    cfg.period_us = s.pinger_period_us;
+    WriteConfig(cluster, addr, cfg.Encode());
+    pinger_addrs.push_back(addr);
+  }
+  for (int i = 0; i < s.servers; ++i) {
+    server_addrs.push_back(spawn(i + 1, "rpc_server"));
+  }
+  for (int i = 0; i < s.sinks; ++i) {
+    spawn(i + 2, "sink");
+  }
+  for (const ChaosScenario::CpuJob& job : s.cpu_jobs) {
+    const ProcessAddress addr = spawn(job.machine, s.cpu_enabled ? "cpu_bound" : "idle");
+    if (s.cpu_enabled) {
+      CpuBoundConfig cfg;
+      cfg.total_us = job.total_us;
+      WriteConfig(cluster, addr, cfg.Encode());
+    }
+  }
+  for (const ChaosScenario::RpcPair& pair : s.rpc_pairs) {
+    const ProcessAddress client = spawn(pair.client_machine, s.rpc_enabled ? "rpc_client" : "idle");
+    const ProcessAddress server = spawn(pair.server_machine, s.rpc_enabled ? "rpc_server" : "idle");
+    if (s.rpc_enabled && client.valid() && server.valid()) {
+      RpcClientConfig cfg;
+      cfg.count = pair.count;
+      cfg.period_us = pair.period_us;
+      cfg.payload_bytes = 64;
+      WriteConfig(cluster, client, cfg.Encode());
+      Link to_server;
+      to_server.address = server;
+      cluster.kernel(client.last_known_machine)
+          .SendFromKernel(client, kAttachTarget, {}, {to_server});
+    }
+  }
+  for (const ProcessAddress& pinger : pinger_addrs) {
+    for (const ProcessAddress& server : server_addrs) {
+      if (!pinger.valid() || !server.valid()) {
+        continue;
+      }
+      Link to_server;
+      to_server.address = server;
+      cluster.kernel(pinger.last_known_machine)
+          .SendFromKernel(pinger, kAttachTarget, {}, {to_server});
+    }
+  }
+
+  // ---- Chaos schedule. ----
+  for (const ChaosScenario::MigrationEvent& ev : s.migrations) {
+    const ProcessId pid = roster[static_cast<std::size_t>(ev.victim)].pid;
+    const auto dest = static_cast<MachineId>(ev.dest_machine);
+    cluster.queue().At(ev.at, [&cluster, pid, dest] {
+      const MachineId host = cluster.HostOf(pid);
+      if (host == kNoMachine) {
+        return;
+      }
+      (void)cluster.kernel(host).StartMigration(pid, dest, cluster.kernel(host).kernel_address());
+    });
+  }
+  for (const ChaosScenario::CrashEvent& ev : s.crashes) {
+    const auto machine = static_cast<MachineId>(ev.machine);
+    const SimDuration outage = ev.outage_us;
+    cluster.queue().At(ev.at, [&faults, machine, outage] { faults.CrashFor(machine, outage); });
+  }
+  for (const ChaosScenario::NoteEvent& ev : s.notes) {
+    const ProcessAddress target = roster[static_cast<std::size_t>(ev.victim)];
+    if (!target.valid()) {
+      continue;
+    }
+    const auto from = static_cast<MachineId>(ev.from_machine);
+    cluster.queue().At(ev.at, [&cluster, from, target] {
+      cluster.kernel(from).SendFromKernel(target, kChaosNote, {});
+    });
+  }
+
+  // ---- Drain. ----
+  ChaosResult result;
+  result.events_executed = cluster.RunUntilIdle(kEventCap);
+  result.quiescent = cluster.queue().Empty();
+  if (!result.quiescent) {
+    result.violations.push_back(
+        Violation{"quiescence", "event queue still live after " +
+                                    std::to_string(result.events_executed) + " events"});
+  }
+
+  // ---- Link-convergence probes (I5's active half): re-probing every pinger
+  // must drive the per-round forward+bounce delta to zero within a chain
+  // length's worth of rounds, since every probe that crosses a forwarding
+  // address strictly advances the pinger's link toward the live host.
+  if (result.quiescent && !pinger_addrs.empty() && !server_addrs.empty()) {
+    const int max_rounds = s.machines + 3;
+    bool converged = false;
+    for (int round = 0; round < max_rounds && !converged; ++round) {
+      const std::int64_t before =
+          cluster.TotalStat(stat::kMsgsForwarded) + cluster.TotalStat(stat::kMsgsBounced);
+      for (const ProcessAddress& pinger : pinger_addrs) {
+        const MachineId host = cluster.HostOf(pinger.pid);
+        if (host == kNoMachine) {
+          continue;  // reported by the ownership audit
+        }
+        cluster.kernel(host).SendFromKernel(ProcessAddress{host, pinger.pid}, kChaosProbe, {});
+      }
+      cluster.RunUntilIdle(kEventCap);
+      ++result.probe_rounds;
+      const std::int64_t after =
+          cluster.TotalStat(stat::kMsgsForwarded) + cluster.TotalStat(stat::kMsgsBounced);
+      converged = after == before;
+    }
+    result.converged = converged;
+    if (!converged) {
+      result.violations.push_back(
+          Violation{"link-convergence",
+                    "steady-state forward/bounce count still nonzero after " +
+                        std::to_string(result.probe_rounds) + " probe rounds"});
+    }
+  }
+
+  // ---- Audit. ----
+  const std::vector<Violation> audit = checker.CheckAtQuiescence();
+  result.violations.insert(result.violations.end(), audit.begin(), audit.end());
+  result.messages_tracked = checker.tracked_messages();
+  result.suspect_trace_ids = checker.suspect_trace_ids();
+  result.suspect_pids = checker.suspect_pids();
+  if (options.collect_trace) {
+    result.trace = cluster.TotalTrace().events();
+  }
+  cluster.SetObserver(nullptr);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Greedy minimization.
+// ---------------------------------------------------------------------------
+
+MinimizeResult MinimizeScenario(const ChaosScenario& failing, const ChaosOptions& options) {
+  MinimizeResult result;
+  result.scenario = failing;
+
+  ChaosOptions quiet = options;
+  quiet.collect_trace = false;
+  auto still_fails = [&](const ChaosScenario& candidate) {
+    ++result.runs;
+    return !RunScenario(candidate, quiet).ok();
+  };
+
+  for (ChaosFeature feature :
+       {ChaosFeature::kCrashes, ChaosFeature::kDuplicates, ChaosFeature::kDrop,
+        ChaosFeature::kJitter, ChaosFeature::kNotes, ChaosFeature::kCpuWorkload,
+        ChaosFeature::kRpcWorkload}) {
+    ChaosScenario candidate = result.scenario;
+    if (!DisableFeature(&candidate, feature)) {
+      continue;
+    }
+    if (still_fails(candidate)) {
+      result.scenario = candidate;
+      result.disabled.push_back(feature);
+    }
+  }
+  while (true) {
+    ChaosScenario candidate = result.scenario;
+    if (!DisableFeature(&candidate, ChaosFeature::kHalveMigrations)) {
+      break;
+    }
+    if (!still_fails(candidate)) {
+      break;
+    }
+    result.scenario = candidate;
+    ++result.halvings;
+  }
+  return result;
+}
+
+}  // namespace demos

@@ -22,6 +22,11 @@ bool CrashController::IsCrashed(MachineId machine) const {
   return cluster_.kernel(machine).halted();
 }
 
+void CrashController::CrashFor(MachineId machine, SimDuration outage_us) {
+  Crash(machine);
+  cluster_.queue().After(outage_us, [this, machine]() { Revive(machine); });
+}
+
 void CrashController::DegradeThenCrash(MachineId machine, SimDuration grace_us) {
   DEMOS_LOG(kInfo, "fault") << "m" << machine << " degrading; crash in " << grace_us << "us";
   cluster_.queue().After(grace_us, [this, machine]() { Crash(machine); });

@@ -32,6 +32,10 @@ class CrashController {
   // is expected to evacuate it.  After `grace_us`, it hard-crashes.
   void DegradeThenCrash(MachineId machine, SimDuration grace_us);
 
+  // One self-contained fault window: crash now, warm-reboot after
+  // `outage_us`.  The controller must outlive the scheduled revive.
+  void CrashFor(MachineId machine, SimDuration outage_us);
+
  private:
   Cluster& cluster_;
 };

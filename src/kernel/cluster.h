@@ -72,6 +72,14 @@ class Cluster {
 
   int size() const { return static_cast<int>(kernels_.size()); }
 
+  // Attach a passive monitor to every kernel (null detaches).  The observer
+  // must outlive the cluster or be detached before it is destroyed.
+  void SetObserver(KernelObserver* observer) {
+    for (auto& kernel : kernels_) {
+      kernel->SetObserver(observer);
+    }
+  }
+
   std::size_t RunUntilIdle(std::size_t max_events = 2'000'000) {
     return queue_.RunUntilIdle(max_events);
   }

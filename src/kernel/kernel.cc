@@ -64,7 +64,7 @@ Result<ProcessAddress> Kernel::SpawnProcess(const std::string& program_name,
   memory_used_ += footprint;
 
   ProcessRecord* raw = processes_.Insert(std::move(record));
-  location_registry_[raw->pid] = machine_;
+  UpdateLocation(raw->pid, machine_, 0);
   if (switchboard_.valid()) {
     Link to_switchboard;
     to_switchboard.address = switchboard_;
@@ -86,6 +86,14 @@ void Kernel::StartProgram(ProcessRecord& record) {
   });
 }
 
+void Kernel::UpdateLocation(const ProcessId& pid, MachineId where, std::uint64_t version) {
+  LocationEntry& entry = location_registry_[pid];
+  if (version >= entry.version) {
+    entry.where = where;
+    entry.version = version;
+  }
+}
+
 void Kernel::FinalizeExit(const ProcessId& pid) {
   ProcessRecord* record = processes_.Find(pid);
   if (record == nullptr) {
@@ -100,6 +108,7 @@ void Kernel::FinalizeExit(const ProcessId& pid) {
     ByteWriter w;
     w.Pid(pid);
     w.U16(kNoMachine);
+    w.U64(~std::uint64_t{0});  // death outranks any in-flight registration
     SendFromKernel(KernelAddress(pid.creating_machine), MsgType::kLocationRegister, w.Take());
   }
 
@@ -145,6 +154,9 @@ void Kernel::Transmit(Message msg) {
         // Step 1 of Sec. 3.1 starts here, on the requester's kernel.
         TraceMigration(trace::kRequestSent, msg.receiver.pid,
                        static_cast<std::uint64_t>(msg.receiver.last_known_machine));
+      }
+      if (observer_ != nullptr) {
+        observer_->OnMessageSend(machine_, msg);
       }
     }
   }
@@ -401,7 +413,11 @@ void Kernel::RunDispatch(ProcessId pid) {
   if (halted_) {
     return;  // crashed mid-schedule; KickAllProcesses() re-arms on revive
   }
-  if (record->state != ExecState::kReady) {
+  // kWaiting is runnable too: an aborted migration (or a resume) can demote
+  // kReady to kWaiting while this dispatch is already in flight, and its
+  // MaybeScheduleDispatch call will have early-returned on dispatch_scheduled
+  // -- this event is the only one coming.
+  if (record->state != ExecState::kReady && record->state != ExecState::kWaiting) {
     return;  // suspended / migrated / exited since scheduling
   }
   if (record->queue.empty()) {
@@ -411,6 +427,13 @@ void Kernel::RunDispatch(ProcessId pid) {
 
   Message msg = std::move(record->queue.front());
   record->queue.pop_front();
+
+  // Consumption point: the receiver is about to run its handler for this
+  // message.  Timer self-messages (trace id 0) are not part of the message
+  // system proper and are not observed.
+  if (observer_ != nullptr && msg.trace_id != 0) {
+    observer_->OnMessageDeliver(machine_, msg);
+  }
 
   if (msg.deliver_to_kernel()) {
     // A control message that was held in the queue (e.g. during migration)
@@ -838,7 +861,7 @@ Status Kernel::AdoptProcess(const ProcessCheckpoint& checkpoint) {
   memory_used_ += record->memory.TotalSize();
 
   ProcessRecord* raw = processes_.Insert(std::move(record));
-  location_registry_[raw->pid] = machine_;
+  UpdateLocation(raw->pid, machine_, raw->migration_history.size());
   for (const TimerEntry& timer : raw->timers) {
     ArmTimer(*raw, timer);
   }

@@ -28,6 +28,7 @@
 #include "src/base/status.h"
 #include "src/kernel/data_mover.h"
 #include "src/kernel/message.h"
+#include "src/kernel/observer.h"
 #include "src/kernel/process.h"
 #include "src/net/transport.h"
 #include "src/obs/trace.h"
@@ -92,6 +93,12 @@ struct KernelConfig {
   // Sec. 3.2).  Null means accept whenever memory allows.
   std::function<bool(const MigrateOffer&)> accept_migration;
 
+  // Test-only fault injection: mutate a message on each forwarding hop, after
+  // the next-hop patch but before transmission.  Models a buggy forwarding
+  // implementation so the chaos tests can prove the invariant checker catches
+  // one.  Null (the default) in all production configurations.
+  std::function<void(Message&)> forward_fault;
+
   std::uint64_t seed = 1;
 };
 
@@ -105,6 +112,9 @@ class Kernel {
 
   MachineId machine() const { return machine_; }
   ProcessAddress kernel_address() const { return KernelAddress(machine_); }
+
+  // Attach a passive monitor (invariant checker).  Not owned; null detaches.
+  void SetObserver(KernelObserver* observer) { observer_ = observer; }
   EventQueue& queue() { return queue_; }
   Rng& rng() { return rng_; }
   const KernelConfig& config() const { return config_; }
@@ -347,8 +357,17 @@ class Kernel {
   std::unordered_map<ProcessId, MigrationDest, ProcessIdHash> migration_dests_;
 
   // Return-to-sender mode: home-machine location registry and messages parked
-  // awaiting a kLocateResp.
-  std::unordered_map<ProcessId, MachineId, ProcessIdHash> location_registry_;
+  // awaiting a kLocateResp.  Entries are versioned by migration count:
+  // kLocationRegister messages from successive destinations travel from
+  // *different* source machines, so the transport's per-pair ordering cannot
+  // keep them in sequence, and an unversioned registry could regress to a
+  // stale host forever.
+  struct LocationEntry {
+    MachineId where = kNoMachine;
+    std::uint64_t version = 0;
+  };
+  void UpdateLocation(const ProcessId& pid, MachineId where, std::uint64_t version);
+  std::unordered_map<ProcessId, LocationEntry, ProcessIdHash> location_registry_;
   std::unordered_map<ProcessId, std::vector<Message>, ProcessIdHash> parked_for_locate_;
 
   // Load reporting.
@@ -359,6 +378,7 @@ class Kernel {
   std::vector<MigrateDoneInfo> migrate_done_log_;
   bool halted_ = false;
   std::uint32_t routes_since_sweep_ = 0;
+  KernelObserver* observer_ = nullptr;
 };
 
 }  // namespace demos

@@ -102,6 +102,11 @@ void Kernel::HandleMigrateRequest(ProcessRecord& record, const Message& msg) {
   stats_.Record("swappable_state_bytes", static_cast<double>(source.swappable.size()));
   stats_.Record("memory_image_bytes", static_cast<double>(source.image.size()));
 
+  if (observer_ != nullptr) {
+    observer_->OnMigrationFrozen(machine_, destination, record, source.resident,
+                                 source.swappable, source.image);
+  }
+
   // Step 2: ask the destination kernel to move the process.
   ByteWriter offer;
   offer.Pid(pid);
@@ -225,6 +230,9 @@ void Kernel::AbortMigrationAtSource(const ProcessId& pid, Status why) {
   }
   stats_.Add(stat::kMigrationsRefused);
   TraceMigration(trace::kMigrationAborted, pid, static_cast<std::uint64_t>(why.code()));
+  if (observer_ != nullptr) {
+    observer_->OnMigrationAborted(machine_, pid);
+  }
   DEMOS_LOG(kInfo, "migrate") << "m" << machine_ << ": migration of " << pid.ToString()
                               << " aborted: " << why.ToString();
   SendMigrateDone(source.requester, pid, machine_, why.code());
@@ -279,6 +287,9 @@ void Kernel::OnMigrationSectionReceived(const ProcessId& pid, MigrationSection s
   MigrationDest& dest = it->second;
   TraceMigration(trace::kSectionReceived, pid, static_cast<std::uint64_t>(section),
                  bytes.size());
+  if (observer_ != nullptr) {
+    observer_->OnMigrationSection(machine_, pid, section, bytes);
+  }
   dest.sections[static_cast<int>(section)] = std::move(bytes);
   if (--dest.sections_remaining > 0) {
     return;
@@ -376,6 +387,9 @@ void Kernel::FinishMigrationAtSource(const ProcessId& pid) {
     pending.receiver.last_known_machine = source.destination;
     stats_.Add(stat::kPendingForwarded);
     ++pending_count;
+    if (observer_ != nullptr && pending.trace_id != 0) {
+      observer_->OnPendingResend(machine_, pending);
+    }
     Transmit(std::move(pending));
   }
   TraceMigration(trace::kPendingForwarded, pid, pending_count);
@@ -392,7 +406,8 @@ void Kernel::FinishMigrationAtSource(const ProcessId& pid) {
     processes_.Erase(pid);
   }
   if (machine_ == pid.creating_machine) {
-    location_registry_[pid] = source.destination;
+    // This hop will be the destination's (history + 1)'th entry.
+    UpdateLocation(pid, source.destination, record->migration_history.size() + 1);
   }
   stats_.Add("migrations_out");
 
@@ -457,15 +472,19 @@ void Kernel::RestartMigratedProcess(const ProcessId& pid) {
   // Keep the creating machine's location registry current: the
   // return-to-sender baseline depends on it, and the TTL forwarding GC uses
   // it as the fallback name service (Sec. 4).
-  location_registry_[pid] = machine_;
+  UpdateLocation(pid, machine_, record->migration_history.size());
   if (pid.creating_machine != machine_) {
     ByteWriter w;
     w.Pid(pid);
     w.U16(machine_);
+    w.U64(record->migration_history.size());
     SendFromKernel(KernelAddress(pid.creating_machine), MsgType::kLocationRegister, w.Take());
   }
   stats_.Add(stat::kMigrations);
   TraceMigration(trace::kRestarted, pid, static_cast<std::uint64_t>(record->state));
+  if (observer_ != nullptr) {
+    observer_->OnMigrationRestart(machine_, pid, *record);
+  }
   DEMOS_LOG(kInfo, "migrate") << "m" << machine_ << ": restarted " << pid.ToString()
                               << " in state " << ExecStateName(record->state);
 }
@@ -487,6 +506,12 @@ void Kernel::ForwardThroughAddress(Message msg, MachineId next_machine) {
   const ProcessAddress original_sender = msg.sender;
   const ProcessId migrated = msg.receiver.pid;
   msg.receiver.last_known_machine = next_machine;
+  if (config_.forward_fault) {
+    config_.forward_fault(msg);
+  }
+  if (observer_ != nullptr) {
+    observer_->OnMessageForward(machine_, msg, msg.receiver.last_known_machine);
+  }
 
   // Byproduct of forwarding (Sec. 5, Fig. 5-1): tell the kernel of the
   // sending process to bring its links up to date.  Kernels have no link
@@ -552,6 +577,9 @@ void Kernel::HandleAbsentReceiver(Message msg, MachineId wire_src) {
   }
   stats_.Add(stat::kMsgsBounced);
   TraceMessage(trace::kMsgBounce, msg, static_cast<std::uint64_t>(msg.type));
+  if (observer_ != nullptr) {
+    observer_->OnMessageBounce(machine_, msg);
+  }
 
   if (config_.delivery_mode == KernelConfig::DeliveryMode::kReturnToSender) {
     ByteWriter w;
@@ -576,10 +604,10 @@ void Kernel::HandleAbsentReceiver(Message msg, MachineId wire_src) {
     msg.hop_count++;
     if (home == machine_) {
       auto it = location_registry_.find(pid);
-      if (it != location_registry_.end() && it->second != kNoMachine &&
-          it->second != machine_) {
+      if (it != location_registry_.end() && it->second.where != kNoMachine &&
+          it->second.where != machine_) {
         stats_.Add("gc_rerouted");
-        msg.receiver.last_known_machine = it->second;
+        msg.receiver.last_known_machine = it->second.where;
         Transmit(std::move(msg));
         return;
       }
@@ -642,7 +670,7 @@ void Kernel::HandleLocateReq(const Message& msg) {
   } else {
     auto it = location_registry_.find(pid);
     if (it != location_registry_.end()) {
-      where = it->second;
+      where = it->second.where;
     }
   }
   ByteWriter w;
@@ -688,7 +716,8 @@ void Kernel::HandleLocationRegister(const Message& msg) {
   ByteReader r(msg.payload);
   const ProcessId pid = r.Pid();
   const MachineId where = r.U16();
-  location_registry_[pid] = where;
+  const std::uint64_t version = r.U64();
+  UpdateLocation(pid, where, version);
 }
 
 void Kernel::HandleForwardingClear(const Message& msg) {

@@ -476,4 +476,25 @@ void WriteTraceSummary(const std::vector<TraceEvent>& events, std::ostream& os) 
   }
 }
 
+std::vector<TraceEvent> FilterTrace(const std::vector<TraceEvent>& events,
+                                    const std::vector<std::uint64_t>& ids,
+                                    const std::vector<ProcessId>& pids) {
+  std::set<std::uint64_t> keep_ids(ids.begin(), ids.end());
+  std::set<std::uint64_t> keep_spans;
+  for (const ProcessId& pid : pids) {
+    keep_spans.insert(MigrationSpanId(pid));
+  }
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& ev : events) {
+    const bool suspect_msg = keep_ids.count(ev.id) != 0;
+    const bool suspect_pid =
+        keep_spans.count(MigrationSpanId(ev.pid)) != 0 && ev.pid.valid();
+    const bool migration_context = ev.category == trace::kMigration;
+    if (suspect_msg || suspect_pid || migration_context) {
+      out.push_back(ev);
+    }
+  }
+  return out;
+}
+
 }  // namespace demos

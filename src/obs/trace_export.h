@@ -102,6 +102,14 @@ void WriteTraceSummary(const std::vector<TraceEvent>& events, std::ostream& os);
 // Convenience: WriteChromeTrace to a file path.  Returns false on I/O error.
 bool WriteChromeTraceFile(const std::vector<TraceEvent>& events, const std::string& path);
 
+// Trim a cluster timeline to the events relevant to a failure: keeps events
+// whose correlation id is one of `ids` (message lifecycles), whose pid is one
+// of `pids` (their migration spans included), and -- so the repro has
+// context -- every migration-category event.  Order is preserved.
+std::vector<TraceEvent> FilterTrace(const std::vector<TraceEvent>& events,
+                                    const std::vector<std::uint64_t>& ids,
+                                    const std::vector<ProcessId>& pids);
+
 }  // namespace demos
 
 #endif  // DEMOS_OBS_TRACE_EXPORT_H_

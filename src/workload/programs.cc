@@ -179,12 +179,101 @@ void RpcClientProgram::RestoreState(const Bytes& state) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// ChaosPingerProgram.
+// ---------------------------------------------------------------------------
+
+void ChaosPingerProgram::OnStart(Context& ctx) {
+  ByteReader r(ctx.ReadData(0, 12));
+  if (r.U32() != kChaosPingerMagic) {
+    return;
+  }
+  const std::uint32_t ticks = r.U32();
+  const std::uint32_t period = r.U32();
+  if (ticks > 0) {
+    ctx.SetTimer(std::max<std::uint32_t>(1, period), kTickCookie);
+  }
+}
+
+void ChaosPingerProgram::OnMessage(Context& ctx, const Message& msg) {
+  if (msg.type == kAttachTarget) {
+    if (!msg.carried_links.empty()) {
+      targets_.push_back(ctx.AddLink(msg.carried_links[0]));
+    }
+    return;
+  }
+  if (msg.type == kChaosProbe) {
+    for (std::size_t i = 0; i < targets_.size(); ++i) {
+      SendPing(ctx, i);
+    }
+    return;
+  }
+  if (msg.type == kRpcResponse) {
+    ++responses_;
+    ByteWriter w;
+    w.U64(responses_);
+    (void)ctx.WriteData(32, w.bytes());
+  }
+}
+
+void ChaosPingerProgram::OnTimer(Context& ctx, std::uint64_t cookie) {
+  if (cookie != kTickCookie) {
+    return;
+  }
+  ByteReader r(ctx.ReadData(0, 12));
+  if (r.U32() != kChaosPingerMagic) {
+    return;
+  }
+  const std::uint32_t ticks = r.U32();
+  const std::uint32_t period = r.U32();
+  if (sent_ < ticks) {
+    // A tick with no targets attached yet still counts, so the series always
+    // terminates even if no kAttachTarget ever arrives.
+    if (!targets_.empty()) {
+      SendPing(ctx, static_cast<std::size_t>(sent_ % targets_.size()));
+    }
+    ++sent_;
+  }
+  if (sent_ < ticks) {
+    ctx.SetTimer(std::max<std::uint32_t>(1, period), kTickCookie);
+  }
+}
+
+void ChaosPingerProgram::SendPing(Context& ctx, std::size_t index) {
+  ByteWriter w;
+  w.U64(sent_);
+  (void)ctx.Send(targets_[index], kRpcRequest, w.Take(), {ctx.MakeLink(kLinkReply)});
+}
+
+Bytes ChaosPingerProgram::SaveState() const {
+  ByteWriter w;
+  w.U32(static_cast<std::uint32_t>(targets_.size()));
+  for (const LinkId target : targets_) {
+    w.U32(target);
+  }
+  w.U64(sent_);
+  w.U64(responses_);
+  return w.Take();
+}
+
+void ChaosPingerProgram::RestoreState(const Bytes& state) {
+  ByteReader r(state);
+  targets_.clear();
+  const std::uint32_t n = r.U32();
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    targets_.push_back(r.U32());
+  }
+  sent_ = r.U64();
+  responses_ = r.U64();
+}
+
 void RegisterWorkloadPrograms() {
   static const bool registered = [] {
     auto& registry = ProgramRegistry::Instance();
     registry.Register("cpu_bound", [] { return std::make_unique<CpuBoundProgram>(); });
     registry.Register("rpc_server", [] { return std::make_unique<RpcServerProgram>(); });
     registry.Register("rpc_client", [] { return std::make_unique<RpcClientProgram>(); });
+    registry.Register("chaos_pinger", [] { return std::make_unique<ChaosPingerProgram>(); });
     // Generic utility programs used by benches and examples.  Tests register
     // richer variants under the same names first; don't clobber them.
     if (!registry.Has("idle")) {

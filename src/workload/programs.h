@@ -114,7 +114,47 @@ class RpcClientProgram final : public Program {
   std::vector<RpcSample> samples_;
 };
 
-// Registers "cpu_bound", "rpc_server", "rpc_client".
+// ---- Chaos pinger: the traffic source of the chaos-fuzz harness. ----
+// Holds links to any number of attached targets in its link table (so lazy
+// link update patches them), sends finite round-robin kRpcRequest ticks, and
+// answers kChaosProbe by pinging every target at once -- the probe the
+// link-convergence invariant uses to measure steady-state forward hops.
+// Config at data[0]: magic u32, ticks u32, period_us u32.
+// Results: data[32] responses u64.
+inline constexpr MsgType kChaosProbe = static_cast<MsgType>(1203);
+inline constexpr std::uint32_t kChaosPingerMagic = 0xCA05B007;
+
+struct ChaosPingerConfig {
+  std::uint32_t ticks = 8;
+  std::uint32_t period_us = 3000;
+
+  Bytes Encode() const {
+    ByteWriter w;
+    w.U32(kChaosPingerMagic);
+    w.U32(ticks);
+    w.U32(period_us);
+    return w.Take();
+  }
+};
+
+class ChaosPingerProgram final : public Program {
+ public:
+  void OnStart(Context& ctx) override;
+  void OnMessage(Context& ctx, const Message& msg) override;
+  void OnTimer(Context& ctx, std::uint64_t cookie) override;
+
+  Bytes SaveState() const override;
+  void RestoreState(const Bytes& state) override;
+
+ private:
+  void SendPing(Context& ctx, std::size_t index);
+
+  std::vector<LinkId> targets_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t responses_ = 0;
+};
+
+// Registers "cpu_bound", "rpc_server", "rpc_client", "chaos_pinger".
 void RegisterWorkloadPrograms();
 
 }  // namespace demos
