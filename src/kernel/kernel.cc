@@ -102,8 +102,10 @@ void Kernel::FinalizeExit(const ProcessId& pid) {
   memory_used_ -= std::min<std::uint64_t>(memory_used_, record->memory.TotalSize());
 
   // Retire the home registry entry so locate fallbacks report death promptly.
+  // Tombstone rather than erase: a delayed kLocationRegister from an earlier
+  // migration must not re-create a stale entry for a dead pid.
   if (pid.creating_machine == machine_) {
-    location_registry_.erase(pid);
+    UpdateLocation(pid, kNoMachine, ~std::uint64_t{0});
   } else {
     ByteWriter w;
     w.Pid(pid);

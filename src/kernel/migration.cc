@@ -396,8 +396,12 @@ void Kernel::FinishMigrationAtSource(const ProcessId& pid) {
 
   // Step 7: reclaim all state; leave a forwarding address (8 bytes: the
   // degenerate process record of Sec. 4) -- or nothing at all in the
-  // return-to-sender baseline.
+  // return-to-sender baseline.  Both branches free the ProcessRecord, so
+  // capture the registry version first.
+  // This hop will be the destination's (history + 1)'th entry.
+  const std::uint64_t next_version = record->migration_history.size() + 1;
   memory_used_ -= std::min<std::uint64_t>(memory_used_, record->memory.TotalSize());
+  record = nullptr;
   if (config_.delivery_mode == KernelConfig::DeliveryMode::kForwarding) {
     processes_.InstallForwardingAddress(pid, source.destination, queue_.Now());
     stats_.Add(stat::kForwardingAddresses);
@@ -406,8 +410,7 @@ void Kernel::FinishMigrationAtSource(const ProcessId& pid) {
     processes_.Erase(pid);
   }
   if (machine_ == pid.creating_machine) {
-    // This hop will be the destination's (history + 1)'th entry.
-    UpdateLocation(pid, source.destination, record->migration_history.size() + 1);
+    UpdateLocation(pid, source.destination, next_version);
   }
   stats_.Add("migrations_out");
 
