@@ -202,6 +202,52 @@ void BM_SimulatedSecondOfRpc(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatedSecondOfRpc)->Unit(benchmark::kMillisecond);
 
+// Guard for the EventQueue dispatch fix: Step() must move each scheduled
+// callback out of the heap, not copy it.  The probe's copy-constructor bumps
+// a counter that is reported per event; the CI gate asserts it stays 0.
+std::uint64_t g_probe_copies = 0;
+
+struct CallbackCopyProbe {
+  CallbackCopyProbe() = default;
+  CallbackCopyProbe(const CallbackCopyProbe&) { ++g_probe_copies; }
+  CallbackCopyProbe& operator=(const CallbackCopyProbe&) {
+    ++g_probe_copies;
+    return *this;
+  }
+  CallbackCopyProbe(CallbackCopyProbe&&) = default;
+  CallbackCopyProbe& operator=(CallbackCopyProbe&&) = default;
+};
+
+void BM_EventQueueStep(benchmark::State& state) {
+  constexpr std::size_t kBatch = 1024;
+  std::uint64_t dispatch_copies = 0;
+  std::uint64_t sink = 0;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    EventQueue queue;
+    CallbackCopyProbe probe;
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      queue.At(static_cast<SimTime>(i), [probe, &sink] { ++sink; });
+    }
+    // Copies made while scheduling (lambda capture, lambda -> std::function)
+    // are expected; only copies made by the dispatch loop itself count.
+    const std::uint64_t before = g_probe_copies;
+    state.ResumeTiming();
+    while (queue.Step()) {
+    }
+    state.PauseTiming();
+    dispatch_copies += g_probe_copies - before;
+    events += kBatch;
+    state.ResumeTiming();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.counters["callback_copies_per_event"] = benchmark::Counter(
+      static_cast<double>(dispatch_copies) / static_cast<double>(events));
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_EventQueueStep);
+
 }  // namespace
 }  // namespace demos
 

@@ -1,0 +1,280 @@
+// Throughput trajectory: aggregate messages/sec and migrations/sec of the
+// parallel sharded engine at 1/2/4/8 shards, against the single-threaded
+// deterministic engine running the identical token-ring workload.
+//
+// Two phases per shard count:
+//   messages    -- static rings, long-lived tokens: pure cross-shard message
+//                  traffic through the full kernel deliver path.
+//   migrations  -- hopper rings: every node chains self-migrations while
+//                  token traffic keeps arriving on stale addresses (the
+//                  Sec. 3.1 protocol plus forwarding under load).
+//
+// Both engines must agree on the exactly-once program-level reception count;
+// the bench hard-fails on any mismatch, so the numbers can't quietly measure
+// a broken run.  `--json=PATH` writes the stable schema consumed by the CI
+// bench-trajectory gate (schema: demos-bench-throughput-v1).
+//
+// Scaling caveat: aggregate speedup needs real cores.  The JSON records
+// hardware_concurrency so the gate can skip scaling assertions on starved
+// hosts (a 1-core container runs the parallel engine roughly flat).
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/run/parallel_cluster.h"
+#include "src/workload/token_ring_harness.h"
+
+namespace demos {
+namespace {
+
+struct PhaseResult {
+  std::string engine;  // "sequential" | "parallel"
+  std::string phase;   // "messages" | "migrations"
+  int shards = 0;
+  double wall_seconds = 0;
+  std::int64_t messages = 0;    // program-level token receptions
+  std::int64_t migrations = 0;  // completed chained migrations
+  double messages_per_sec = 0;
+  double migrations_per_sec = 0;
+};
+
+struct RingTotals {
+  std::int64_t tokens_seen = 0;
+  std::int64_t migrations = 0;
+};
+
+template <typename ClusterT>
+RingTotals SumProgramCounters(ClusterT& cluster, const std::vector<TokenRing>& rings) {
+  RingTotals totals;
+  for (const TokenRing& ring : rings) {
+    for (const ProcessAddress& node : ring) {
+      ProcessRecord* record = cluster.FindProcessAnywhere(node.pid);
+      if (record == nullptr) {
+        continue;
+      }
+      if (auto* program = dynamic_cast<TokenRingProgram*>(record->program.get())) {
+        totals.tokens_seen += static_cast<std::int64_t>(program->tokens_seen());
+        totals.migrations += program->migrations_started();
+      }
+    }
+  }
+  return totals;
+}
+
+bool CheckExact(const char* what, std::int64_t got, std::int64_t want) {
+  if (got != want) {
+    std::fprintf(stderr, "FATAL: %s: got %lld, want %lld -- run is broken, refusing to report\n",
+                 what, static_cast<long long>(got), static_cast<long long>(want));
+    return false;
+  }
+  return true;
+}
+
+double Seconds(std::chrono::steady_clock::time_point start,
+               std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+// One phase on the deterministic engine: M machines on one thread.
+bool RunSequentialPhase(int machines, const TokenRingSpec& spec, const std::string& phase,
+                        PhaseResult& out) {
+  Cluster cluster(ClusterConfig{.machines = machines});
+  std::vector<TokenRing> rings = BuildTokenRings(cluster, spec);
+  if (rings.empty()) {
+    return false;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  KickTokenRings(cluster, rings, spec.tokens_per_node, spec.hops_per_token);
+  cluster.RunUntilIdle(200'000'000);
+  const auto end = std::chrono::steady_clock::now();
+
+  const RingTotals totals = SumProgramCounters(cluster, rings);
+  // A single-machine cluster has nowhere to migrate to; the program guards
+  // the hop out, so the expected chain count is zero there.
+  const std::int64_t nodes = static_cast<std::int64_t>(spec.rings) * spec.nodes_per_ring;
+  const std::int64_t want_migrations = machines >= 2 ? nodes * spec.migrate_count : 0;
+  if (!CheckExact("sequential token receptions", totals.tokens_seen,
+                  ExpectedTokenReceptions(spec)) ||
+      !CheckExact("sequential migrations", totals.migrations, want_migrations)) {
+    return false;
+  }
+  out.engine = "sequential";
+  out.phase = phase;
+  out.shards = machines;
+  out.wall_seconds = Seconds(start, end);
+  out.messages = totals.tokens_seen;
+  out.migrations = totals.migrations;
+  out.messages_per_sec = static_cast<double>(out.messages) / out.wall_seconds;
+  out.migrations_per_sec = static_cast<double>(out.migrations) / out.wall_seconds;
+  return true;
+}
+
+// One phase on the parallel engine: M shards, one worker thread each.
+bool RunParallelPhase(int machines, const TokenRingSpec& spec, const std::string& phase,
+                      PhaseResult& out) {
+  ParallelCluster cluster(ParallelClusterConfig{.machines = machines});
+  std::vector<TokenRing> rings = BuildTokenRings(cluster, spec);
+  if (rings.empty()) {
+    return false;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  KickTokenRings(cluster, rings, spec.tokens_per_node, spec.hops_per_token);
+  if (!cluster.RunUntilQuiescent(std::chrono::milliseconds(300000))) {
+    std::fprintf(stderr, "FATAL: parallel cluster did not quiesce\n");
+    return false;
+  }
+  const auto end = std::chrono::steady_clock::now();
+
+  const RingTotals totals = SumProgramCounters(cluster, rings);
+  cluster.Stop();
+  const std::int64_t nodes = static_cast<std::int64_t>(spec.rings) * spec.nodes_per_ring;
+  const std::int64_t want_migrations = machines >= 2 ? nodes * spec.migrate_count : 0;
+  if (!CheckExact("parallel token receptions", totals.tokens_seen,
+                  ExpectedTokenReceptions(spec)) ||
+      !CheckExact("parallel migrations", totals.migrations, want_migrations)) {
+    return false;
+  }
+  out.engine = "parallel";
+  out.phase = phase;
+  out.shards = machines;
+  out.wall_seconds = Seconds(start, end);
+  out.messages = totals.tokens_seen;
+  out.migrations = totals.migrations;
+  out.messages_per_sec = static_cast<double>(out.messages) / out.wall_seconds;
+  out.migrations_per_sec = static_cast<double>(out.migrations) / out.wall_seconds;
+  return true;
+}
+
+double FindMessagesPerSec(const std::vector<PhaseResult>& results, const std::string& engine,
+                          int shards) {
+  for (const PhaseResult& r : results) {
+    if (r.engine == engine && r.phase == "messages" && r.shards == shards) {
+      return r.messages_per_sec;
+    }
+  }
+  return 0;
+}
+
+bool WriteJson(const std::string& path, const std::vector<PhaseResult>& results,
+               double scaling_4x) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << "{\n";
+  out << "  \"schema\": \"demos-bench-throughput-v1\",\n";
+  out << "  \"host\": {\n";
+  out << "    \"hardware_concurrency\": " << std::thread::hardware_concurrency() << "\n";
+  out << "  },\n";
+  out << "  \"derived\": {\n";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f", scaling_4x);
+  out << "    \"parallel_scaling_4x\": " << buf << "\n";
+  out << "  },\n";
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const PhaseResult& r = results[i];
+    out << "    {\"engine\": \"" << r.engine << "\", \"phase\": \"" << r.phase
+        << "\", \"shards\": " << r.shards;
+    std::snprintf(buf, sizeof(buf), "%.6f", r.wall_seconds);
+    out << ", \"wall_seconds\": " << buf;
+    out << ", \"messages\": " << r.messages << ", \"migrations\": " << r.migrations;
+    std::snprintf(buf, sizeof(buf), "%.1f", r.messages_per_sec);
+    out << ", \"messages_per_sec\": " << buf;
+    std::snprintf(buf, sizeof(buf), "%.1f", r.migrations_per_sec);
+    out << ", \"migrations_per_sec\": " << buf << "}";
+    out << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n";
+  out << "}\n";
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  std::string json_path;
+  // Work scale knob so CI can trade precision for runtime.
+  double scale = 1.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      scale = std::stod(arg.substr(8));
+    }
+  }
+
+  bench::RegisterEverything();
+  bench::Title("THROUGHPUT", "parallel sharded engine vs deterministic engine");
+  bench::Note("messages phase: static token rings; migrations phase: chained self-migrations "
+              "under stale-address traffic");
+  bench::Note("host hardware_concurrency = " +
+              std::to_string(std::thread::hardware_concurrency()));
+
+  // Fixed total work across shard counts, so rates are directly comparable.
+  TokenRingSpec messages_spec;
+  messages_spec.rings = 8;
+  messages_spec.nodes_per_ring = 8;
+  messages_spec.tokens_per_node = 2;
+  messages_spec.hops_per_token = static_cast<std::uint32_t>(1000 * scale);
+
+  TokenRingSpec migrations_spec;
+  migrations_spec.rings = 4;
+  migrations_spec.nodes_per_ring = 4;
+  migrations_spec.tokens_per_node = 1;
+  migrations_spec.hops_per_token = static_cast<std::uint32_t>(200 * scale);
+  migrations_spec.migrate_count = static_cast<std::uint32_t>(25 * scale);
+  migrations_spec.migrate_after_tokens = 1;
+
+  std::vector<PhaseResult> results;
+  for (const int shards : {1, 2, 4, 8}) {
+    for (const char* engine : {"sequential", "parallel"}) {
+      PhaseResult messages;
+      PhaseResult migrations;
+      const bool seq = std::strcmp(engine, "sequential") == 0;
+      const bool ok =
+          seq ? RunSequentialPhase(shards, messages_spec, "messages", messages) &&
+                    RunSequentialPhase(shards, migrations_spec, "migrations", migrations)
+              : RunParallelPhase(shards, messages_spec, "messages", messages) &&
+                    RunParallelPhase(shards, migrations_spec, "migrations", migrations);
+      if (!ok) {
+        return 1;
+      }
+      results.push_back(messages);
+      results.push_back(migrations);
+    }
+  }
+
+  bench::Table table({"engine", "phase", "shards", "wall_s", "messages", "msgs/sec",
+                      "migrations", "migr/sec"});
+  for (const PhaseResult& r : results) {
+    table.Row({r.engine, r.phase, bench::Num(r.shards), bench::Num(r.wall_seconds, 3),
+               bench::Num(r.messages), bench::Num(r.messages_per_sec, 0),
+               bench::Num(r.migrations), bench::Num(r.migrations_per_sec, 0)});
+  }
+  table.Print();
+
+  const double par1 = FindMessagesPerSec(results, "parallel", 1);
+  const double par4 = FindMessagesPerSec(results, "parallel", 4);
+  const double scaling = par1 > 0 ? par4 / par1 : 0;
+  std::printf("\nparallel msgs/sec scaling, 4 shards vs 1 shard: %.2fx\n", scaling);
+  if (std::thread::hardware_concurrency() < 4) {
+    std::printf("(host has < 4 cores: aggregate scaling is not measurable here)\n");
+  }
+
+  if (!json_path.empty() && !WriteJson(json_path, results, scaling)) {
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace demos
+
+int main(int argc, char** argv) { return demos::Main(argc, argv); }

@@ -17,6 +17,7 @@
 #define DEMOS_BASE_BYTES_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <initializer_list>
@@ -34,14 +35,20 @@ using Bytes = std::vector<std::uint8_t>;
 // Process-wide counters behind the E-bench copy accounting: how many backing
 // buffers the payload pipeline allocated and how many bytes were physically
 // copied into them.  Moves and slices are free; only genuine allocations and
-// memcpys count.  Single-threaded like the rest of the simulator.
+// memcpys count.  Relaxed atomics: shard threads of the parallel engine
+// (src/run) bump them concurrently, and tests read them only at quiescence.
 struct PayloadCounters {
-  inline static std::uint64_t allocations = 0;
-  inline static std::uint64_t copied_bytes = 0;
+  inline static std::atomic<std::uint64_t> allocations{0};
+  inline static std::atomic<std::uint64_t> copied_bytes{0};
+
+  static void CountAllocation() { allocations.fetch_add(1, std::memory_order_relaxed); }
+  static void CountCopied(std::uint64_t bytes) {
+    copied_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  }
 
   static void Reset() {
-    allocations = 0;
-    copied_bytes = 0;
+    allocations.store(0, std::memory_order_relaxed);
+    copied_bytes.store(0, std::memory_order_relaxed);
   }
 };
 
@@ -59,7 +66,7 @@ class PayloadRef {
         off_(0),
         len_(buf_ ? buf_->size() : 0) {
     if (buf_) {
-      ++PayloadCounters::allocations;
+      PayloadCounters::CountAllocation();
     }
   }
 
@@ -71,7 +78,7 @@ class PayloadRef {
   static PayloadRef Copy(const void* data, std::size_t len) {
     const auto* p = static_cast<const std::uint8_t*>(data);
     PayloadRef ref{Bytes(p, p + len)};
-    PayloadCounters::copied_bytes += len;
+    PayloadCounters::CountCopied(len);
     return ref;
   }
 
@@ -98,7 +105,7 @@ class PayloadRef {
 
   // Materialize an owned copy (counted as a copy).
   Bytes ToBytes() const {
-    PayloadCounters::copied_bytes += len_;
+    PayloadCounters::CountCopied(len_);
     return Bytes(begin(), end());
   }
   explicit operator Bytes() const { return ToBytes(); }
@@ -112,9 +119,9 @@ class PayloadRef {
     }
     if (buf_.use_count() > 1) {
       Bytes clone(begin(), end());
-      PayloadCounters::copied_bytes += len_;
+      PayloadCounters::CountCopied(len_);
       buf_ = std::make_shared<Bytes>(std::move(clone));
-      ++PayloadCounters::allocations;
+      PayloadCounters::CountAllocation();
       off_ = 0;
     }
     return buf_->data() + off_;

@@ -1,8 +1,10 @@
 // Lightweight leveled logging.
 //
-// The simulator is single-threaded, so logging needs no synchronization.  The
-// global level defaults to kWarn so tests and benches stay quiet; examples
-// raise it to kInfo/kTrace to narrate migrations the way Figure 3-1 does.
+// Each log line is rendered into a private stringstream and written with one
+// fprintf, so interleaved lines from the parallel engine's shard threads stay
+// whole (level changes are for single-threaded setup only).  The global level
+// defaults to kWarn so tests and benches stay quiet; examples raise it to
+// kInfo/kTrace to narrate migrations the way Figure 3-1 does.
 
 #ifndef DEMOS_BASE_LOG_H_
 #define DEMOS_BASE_LOG_H_

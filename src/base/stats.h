@@ -8,10 +8,13 @@
 #define DEMOS_BASE_STATS_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <ostream>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -80,37 +83,83 @@ class Distribution {
   mutable bool sorted_valid_ = false;
 };
 
+// Thread-safety: each kernel owns one registry, but in the parallel engine
+// (src/run) shard threads increment their own registries while the coordinator
+// aggregates at quiescence, and cross-cutting code (benches, invariants) may
+// read any registry.  Counter increments are relaxed atomic fetch_adds on
+// stable map nodes; the map structure itself is guarded by a shared_mutex
+// taken exclusively only when a new counter name first appears.  Distribution
+// recording stays behind a plain mutex (it is off the per-message hot path).
 class StatsRegistry {
  public:
-  void Add(const std::string& name, std::int64_t delta = 1) { counters_[name] += delta; }
-
-  std::int64_t Get(const std::string& name) const {
-    auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+  StatsRegistry() = default;
+  StatsRegistry(const StatsRegistry& other) { Merge(other); }
+  StatsRegistry& operator=(const StatsRegistry& other) {
+    if (this != &other) {
+      Reset();
+      Merge(other);
+    }
+    return *this;
   }
 
-  void Record(const std::string& name, double value) { distributions_[name].Record(value); }
+  void Add(const std::string& name, std::int64_t delta = 1) {
+    FindOrCreateCounter(name)->fetch_add(delta, std::memory_order_relaxed);
+  }
 
+  std::int64_t Get(const std::string& name) const {
+    std::shared_lock lock(counters_mu_);
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.load(std::memory_order_relaxed);
+  }
+
+  void Record(const std::string& name, double value) {
+    std::lock_guard lock(distributions_mu_);
+    distributions_[name].Record(value);
+  }
+
+  // Pointer into the registry; stable (map nodes never move) but only safe to
+  // use once the recording threads are quiescent.
   const Distribution* GetDistribution(const std::string& name) const {
+    std::lock_guard lock(distributions_mu_);
     auto it = distributions_.find(name);
     return it == distributions_.end() ? nullptr : &it->second;
   }
 
-  const std::map<std::string, std::int64_t>& counters() const { return counters_; }
+  // Point-in-time snapshot of every counter.
+  std::map<std::string, std::int64_t> counters() const {
+    std::shared_lock lock(counters_mu_);
+    std::map<std::string, std::int64_t> out;
+    for (const auto& [name, value] : counters_) {
+      out[name] = value.load(std::memory_order_relaxed);
+    }
+    return out;
+  }
 
   void Reset() {
-    counters_.clear();
+    {
+      std::unique_lock lock(counters_mu_);
+      counters_.clear();
+    }
+    std::lock_guard lock(distributions_mu_);
     distributions_.clear();
   }
 
   // Fold another registry into this one (used to aggregate per-kernel stats
   // into cluster-wide totals).
   void Merge(const StatsRegistry& other) {
-    for (const auto& [name, value] : other.counters_) {
-      counters_[name] += value;
+    for (const auto& [name, value] : other.counters()) {
+      Add(name, value);
     }
-    for (const auto& [name, dist] : other.distributions_) {
-      for (double v : dist.samples()) {
+    std::map<std::string, std::vector<double>> samples;
+    {
+      std::lock_guard lock(other.distributions_mu_);
+      for (const auto& [name, dist] : other.distributions_) {
+        samples[name] = dist.samples();
+      }
+    }
+    std::lock_guard lock(distributions_mu_);
+    for (const auto& [name, values] : samples) {
+      for (double v : values) {
         distributions_[name].Record(v);
       }
     }
@@ -120,9 +169,10 @@ class StatsRegistry {
   // Shared by benches, examples, and debugging sessions so the format cannot
   // drift between them.
   void Dump(std::ostream& os) const {
-    for (const auto& [name, value] : counters_) {
+    for (const auto& [name, value] : counters()) {
       os << "  " << name << " = " << value << "\n";
     }
+    std::lock_guard lock(distributions_mu_);
     for (const auto& [name, dist] : distributions_) {
       os << "  " << name << ": n=" << dist.count() << " mean=" << dist.Mean()
          << " min=" << dist.Min() << " p50=" << dist.Percentile(50)
@@ -132,7 +182,21 @@ class StatsRegistry {
   }
 
  private:
-  std::map<std::string, std::int64_t> counters_;
+  std::atomic<std::int64_t>* FindOrCreateCounter(const std::string& name) {
+    {
+      std::shared_lock lock(counters_mu_);
+      auto it = counters_.find(name);
+      if (it != counters_.end()) {
+        return &it->second;
+      }
+    }
+    std::unique_lock lock(counters_mu_);
+    return &counters_[name];  // value-initialized to 0 on first touch
+  }
+
+  mutable std::shared_mutex counters_mu_;
+  std::map<std::string, std::atomic<std::int64_t>> counters_;
+  mutable std::mutex distributions_mu_;
   std::map<std::string, Distribution> distributions_;
 };
 

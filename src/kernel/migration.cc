@@ -143,7 +143,14 @@ void Kernel::HandleMigrateOffer(const Message& msg) {
   reject.Pid(offer.pid);
   const bool out_of_memory = memory_used_ + offer.memory_bytes > config_.memory_limit_bytes;
   const bool vetoed = config_.accept_migration && !config_.accept_migration(offer);
-  if (out_of_memory || vetoed || processes_.FindEntry(offer.pid) != nullptr) {
+  // Only a LIVE record occupies the pid.  A forwarding entry just means the
+  // process once lived here and left; the arriving process is strictly newer
+  // information than the stale forwarding address, which Insert below
+  // replaces.  Without this a process could never migrate back to any
+  // machine it had previously left.
+  const ProcessTable::Entry* existing = processes_.FindEntry(offer.pid);
+  const bool occupied = existing != nullptr && !existing->IsForwarding();
+  if (out_of_memory || vetoed || occupied) {
     // Sec. 3.2: "If the destination machine refuses, the process cannot be
     // migrated."
     const StatusCode code = out_of_memory ? StatusCode::kExhausted : StatusCode::kRefused;
@@ -153,8 +160,13 @@ void Kernel::HandleMigrateOffer(const Message& msg) {
     return;
   }
 
+  if (existing != nullptr) {
+    stats_.Add("forwarding_superseded");
+  }
+
   // Allocate an empty process state with the *same* process identifier, and
-  // reserve its memory, as in step 3 of the paper.
+  // reserve its memory, as in step 3 of the paper.  Insert replaces a stale
+  // forwarding entry for the pid, if any.
   auto record = std::make_unique<ProcessRecord>();
   record->pid = offer.pid;
   record->state = ExecState::kInMigration;

@@ -1,0 +1,112 @@
+// Bounded lock-free multi-producer queue used as a shard mailbox.
+//
+// This is the classic Vyukov bounded queue: a power-of-two ring of cells,
+// each carrying a sequence number that encodes whether the cell is free for
+// the producer lapping it or holds a value for the consumer.  Producers claim
+// a slot with one CAS on the tail; the consumer side here is specialized to a
+// SINGLE consumer (the owning shard thread), so the head is a plain index
+// that only that thread touches and a pop is wait-free.
+//
+// Guarantees the parallel engine relies on:
+//   - per-producer FIFO: two pushes by the same thread are popped in order
+//     (matches the in-order delivery the sequential SimNetwork provides for a
+//     src->dst pair, which the kernel's path-FIFO invariant I2 assumes);
+//   - bounded: TryPush fails instead of allocating, which is what turns a
+//     fast producer into backpressure rather than an unbounded queue;
+//   - the value is moved only on success, so a failed push leaves the
+//     caller's item intact for the retry loop.
+
+#ifndef DEMOS_RUN_MPSC_QUEUE_H_
+#define DEMOS_RUN_MPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace demos {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+template <typename T>
+class BoundedMpscQueue {
+ public:
+  // Capacity is rounded up to a power of two (minimum 2).
+  explicit BoundedMpscQueue(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) {
+      cap <<= 1;
+    }
+    mask_ = cap - 1;
+    cells_ = std::vector<Cell>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  BoundedMpscQueue(const BoundedMpscQueue&) = delete;
+  BoundedMpscQueue& operator=(const BoundedMpscQueue&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  // Any thread.  Returns false when the ring is full; `item` is moved from
+  // only on success.
+  bool TryPush(T& item) {
+    Cell* cell;
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // the consumer has not freed this lap's cell yet: full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(item);
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer thread only.
+  bool TryPop(T& out) {
+    Cell& cell = cells_[head_ & mask_];
+    const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+    if (static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(head_ + 1) < 0) {
+      return false;  // next cell not published yet: empty
+    }
+    out = std::move(cell.value);
+    cell.value = T{};  // drop payload refs eagerly, not one lap later
+    cell.seq.store(head_ + mask_ + 1, std::memory_order_release);
+    ++head_;
+    return true;
+  }
+
+  // Consumer thread only (reads the unsynchronized head index).
+  bool Empty() const {
+    const Cell& cell = cells_[head_ & mask_];
+    const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+    return static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(head_ + 1) < 0;
+  }
+
+ private:
+  struct alignas(kCacheLineBytes) Cell {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  std::vector<Cell> cells_;
+  std::size_t mask_ = 0;
+  alignas(kCacheLineBytes) std::atomic<std::size_t> tail_{0};  // producers
+  alignas(kCacheLineBytes) std::size_t head_ = 0;              // single consumer
+};
+
+}  // namespace demos
+
+#endif  // DEMOS_RUN_MPSC_QUEUE_H_

@@ -1,0 +1,189 @@
+#include "src/run/parallel_cluster.h"
+
+#include <utility>
+
+namespace demos {
+
+ParallelCluster::ParallelCluster(ParallelClusterConfig config) : config_(config) {
+  router_ = std::make_unique<ShardRouter>(config.machines, config.router);
+  shards_.reserve(static_cast<std::size_t>(config.machines));
+  for (int i = 0; i < config.machines; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->machine = static_cast<MachineId>(i);
+    KernelConfig kc = config.kernel;
+    // Same per-machine seed derivation as the deterministic Cluster, so a
+    // workload staged identically starts from identical kernel state.
+    kc.seed = config.kernel.seed + static_cast<std::uint64_t>(i);
+    shard->kernel = std::make_unique<Kernel>(shard->machine, &shard->queue, router_.get(), kc);
+    if (config.trace_enabled) {
+      shard->kernel->tracer().Enable();
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ParallelCluster::~ParallelCluster() { Stop(); }
+
+void ParallelCluster::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  stop_.store(false, std::memory_order_release);
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    s->idle.store(false, std::memory_order_seq_cst);
+    s->thread = std::thread([this, s] { ShardMain(*s); });
+  }
+}
+
+void ParallelCluster::Stop() {
+  if (!started_) {
+    return;
+  }
+  stop_.store(true, std::memory_order_release);
+  router_->WakeAll();
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) {
+      shard->thread.join();
+    }
+  }
+  started_ = false;
+}
+
+void ParallelCluster::Post(MachineId m, std::function<void()> fn) {
+  Shard& shard = *shards_[m];
+  posted_.fetch_add(1, std::memory_order_seq_cst);
+  {
+    std::lock_guard<std::mutex> lock(shard.posted_mu);
+    shard.posted.push_back(std::move(fn));
+  }
+  router_->Wake(m);
+}
+
+bool ParallelCluster::HasLocalWork(Shard& shard) {
+  if (!shard.queue.Empty() || router_->HasMail(shard.machine)) {
+    return true;
+  }
+  std::lock_guard<std::mutex> lock(shard.posted_mu);
+  return !shard.posted.empty();
+}
+
+std::size_t ParallelCluster::DrainPosted(Shard& shard) {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(shard.posted_mu);
+    batch.swap(shard.posted);
+  }
+  for (auto& fn : batch) {
+    fn();
+    posted_done_.fetch_add(1, std::memory_order_seq_cst);
+  }
+  return batch.size();
+}
+
+void ParallelCluster::ShardMain(Shard& shard) {
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::size_t did = 0;
+    did += router_->Drain(shard.machine, config_.drain_batch);
+    did += DrainPosted(shard);
+    std::size_t steps = 0;
+    while (steps < config_.event_batch && shard.queue.Step()) {
+      ++steps;
+    }
+    did += steps;
+    if (did != 0) {
+      continue;
+    }
+    // Nothing anywhere this round (so the event queue is empty; it can only
+    // refill through mail or posted work, which the quiescence counters see).
+    shard.idle.store(true, std::memory_order_seq_cst);
+    router_->Park(shard.machine, config_.idle_park, [this, &shard] {
+      return HasLocalWork(shard) || stop_.load(std::memory_order_relaxed);
+    });
+    shard.idle.store(false, std::memory_order_seq_cst);
+  }
+}
+
+ParallelCluster::Snapshot ParallelCluster::TakeSnapshot() const {
+  Snapshot snap;
+  snap.all_idle = true;
+  for (const auto& shard : shards_) {
+    snap.all_idle = shard->idle.load(std::memory_order_seq_cst) && snap.all_idle;
+  }
+  snap.sent = router_->sent();
+  snap.consumed = router_->consumed();
+  snap.posted = posted_.load(std::memory_order_seq_cst);
+  snap.posted_done = posted_done_.load(std::memory_order_seq_cst);
+  return snap;
+}
+
+bool ParallelCluster::RunUntilQuiescent(std::chrono::milliseconds timeout) {
+  Start();
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  Snapshot prev;
+  bool have_prev = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    Snapshot snap = TakeSnapshot();
+    if (snap.Quiet()) {
+      // One quiet snapshot can race a message between the counter reads; two
+      // quiet snapshots with *unchanged* monotonic counters cannot -- any
+      // work in between would have bumped sent/consumed/posted.
+      if (have_prev && prev.SameCounters(snap)) {
+        return true;
+      }
+      prev = snap;
+      have_prev = true;
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    } else {
+      have_prev = false;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  return false;
+}
+
+StatsRegistry ParallelCluster::TotalStats() const {
+  StatsRegistry total;
+  for (const auto& shard : shards_) {
+    total.Merge(shard->kernel->stats());
+  }
+  return total;
+}
+
+std::int64_t ParallelCluster::TotalStat(const char* name) const {
+  std::int64_t sum = 0;
+  for (const auto& shard : shards_) {
+    sum += shard->kernel->stats().Get(name);
+  }
+  return sum;
+}
+
+Tracer ParallelCluster::TotalTrace() const {
+  Tracer total;
+  for (const auto& shard : shards_) {
+    total.Merge(shard->kernel->tracer());
+  }
+  total.SortByTime();
+  return total;
+}
+
+ProcessRecord* ParallelCluster::FindProcessAnywhere(const ProcessId& pid) {
+  for (auto& shard : shards_) {
+    if (ProcessRecord* record = shard->kernel->FindProcess(pid)) {
+      return record;
+    }
+  }
+  return nullptr;
+}
+
+MachineId ParallelCluster::HostOf(const ProcessId& pid) {
+  for (auto& shard : shards_) {
+    if (shard->kernel->FindProcess(pid) != nullptr) {
+      return shard->kernel->machine();
+    }
+  }
+  return kNoMachine;
+}
+
+}  // namespace demos

@@ -1,0 +1,146 @@
+// ParallelCluster: the parallel real-time execution engine.
+//
+// The deterministic Cluster (src/kernel/cluster.h) runs every kernel on one
+// virtual clock -- perfect for byte-exact replay, useless for throughput.
+// ParallelCluster gives each Kernel a *shard*: a dedicated worker thread, a
+// private EventQueue (timers and dispatch quanta advance on the shard's own
+// virtual clock), and a bounded lock-free MPSC mailbox fed by the ShardRouter
+// transport.  This is the paper's actual topology -- one kernel per Z8000,
+// communicating only by messages -- mapped onto cores.
+//
+// Ownership rules (what makes the hot path thread-correct with no locks):
+//   - Every piece of kernel state (process table, link tables, pending
+//     queues, forwarding addresses, stats, rng, tracer) is owned by its
+//     shard and touched only from that shard's thread.
+//   - Cross-shard effects travel exclusively as framed messages through the
+//     ShardRouter; the handler runs on the *destination* shard's thread.
+//   - The only shared-memory concurrency is PayloadRef refcounts (shared_ptr
+//     atomics), stats/payload counters (relaxed atomics), and the
+//     mailbox/quiescence machinery in src/run.
+//
+// Lifecycle: construct; stage the workload single-threaded (SpawnProcess,
+// SendFromKernel -- sends are parked in mailboxes); Start(); then alternate
+// RunUntilQuiescent() with Post() injections; Stop() joins.  Aggregate reads
+// (TotalStats, HostOf, FindProcessAnywhere, TotalTrace) are only valid
+// before Start or after a true RunUntilQuiescent/Stop.
+//
+// The same Kernel code runs the same 8-step Sec. 3.1 migration protocol and
+// byte-identical wire format in both engines; the sequential-equivalence test
+// in tests/parallel_cluster_test.cc holds both engines to the same final
+// state.
+
+#ifndef DEMOS_RUN_PARALLEL_CLUSTER_H_
+#define DEMOS_RUN_PARALLEL_CLUSTER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/base/stats.h"
+#include "src/kernel/kernel.h"
+#include "src/run/shard_router.h"
+#include "src/sim/event_queue.h"
+
+namespace demos {
+
+struct ParallelClusterConfig {
+  int machines = 2;
+  KernelConfig kernel;
+  ShardRouterConfig router;
+  // Mailbox messages handled per scheduling round before the shard looks at
+  // its event queue again (receive-side batching).
+  std::size_t drain_batch = 128;
+  // Local events run per round before the mailbox is polled again.
+  std::size_t event_batch = 256;
+  // How long a shard with nothing to do parks before rechecking (also the
+  // recovery bound for a theoretically lost wakeup).
+  std::chrono::microseconds idle_park{200};
+  // Per-kernel tracers (each written only by its shard thread).
+  bool trace_enabled = false;
+  void EnableTracing() { trace_enabled = true; }
+};
+
+class ParallelCluster {
+ public:
+  explicit ParallelCluster(ParallelClusterConfig config);
+  ~ParallelCluster();
+
+  ParallelCluster(const ParallelCluster&) = delete;
+  ParallelCluster& operator=(const ParallelCluster&) = delete;
+
+  Kernel& kernel(MachineId m) { return *shards_[m]->kernel; }
+  // The shard's private virtual clock (setup/inspection only).
+  EventQueue& queue(MachineId m) { return shards_[m]->queue; }
+  ShardRouter& router() { return *router_; }
+  int size() const { return static_cast<int>(shards_.size()); }
+
+  // Launch the worker threads (idempotent).
+  void Start();
+  // Block until the cluster is quiescent: every shard idle, every mailbox
+  // empty, every posted closure done -- confirmed by two identical counter
+  // snapshots.  Returns false on timeout.  Threads stay parked afterwards, so
+  // Post() + another RunUntilQuiescent() continues the run.
+  bool RunUntilQuiescent(std::chrono::milliseconds timeout = std::chrono::milliseconds(10000));
+  // Ask all workers to exit and join them (idempotent; Start() restarts).
+  void Stop();
+
+  // Run `fn` on shard `m`'s thread (the only legal way to poke a kernel
+  // while the cluster is running).  Counted by the quiescence detector.
+  void Post(MachineId m, std::function<void()> fn);
+
+  // ---- Aggregate reads; require pre-Start or quiescence. ----
+  StatsRegistry TotalStats() const;
+  std::int64_t TotalStat(const char* name) const;
+  Tracer TotalTrace() const;
+  ProcessRecord* FindProcessAnywhere(const ProcessId& pid);
+  MachineId HostOf(const ProcessId& pid);
+
+ private:
+  struct Shard {
+    MachineId machine = kNoMachine;
+    EventQueue queue;
+    std::unique_ptr<Kernel> kernel;
+    std::mutex posted_mu;
+    std::vector<std::function<void()>> posted;
+    // True while the shard believes it has nothing to do.  seq_cst pairs
+    // with the router counters in the quiescence check.
+    std::atomic<bool> idle{false};
+    std::thread thread;
+  };
+
+  struct Snapshot {
+    bool all_idle = false;
+    std::uint64_t sent = 0;
+    std::uint64_t consumed = 0;
+    std::uint64_t posted = 0;
+    std::uint64_t posted_done = 0;
+
+    bool Quiet() const { return all_idle && sent == consumed && posted == posted_done; }
+    bool SameCounters(const Snapshot& other) const {
+      return sent == other.sent && consumed == other.consumed && posted == other.posted &&
+             posted_done == other.posted_done;
+    }
+  };
+
+  void ShardMain(Shard& shard);
+  bool HasLocalWork(Shard& shard);
+  std::size_t DrainPosted(Shard& shard);
+  Snapshot TakeSnapshot() const;
+
+  ParallelClusterConfig config_;
+  std::unique_ptr<ShardRouter> router_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> posted_{0};
+  std::atomic<std::uint64_t> posted_done_{0};
+  bool started_ = false;
+};
+
+}  // namespace demos
+
+#endif  // DEMOS_RUN_PARALLEL_CLUSTER_H_

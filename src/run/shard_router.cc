@@ -1,0 +1,145 @@
+#include "src/run/shard_router.h"
+
+#include <cassert>
+#include <thread>
+
+#include "src/base/log.h"
+
+namespace demos {
+
+ShardRouter::ShardRouter(int machines, ShardRouterConfig config) : config_(config) {
+  inboxes_.reserve(static_cast<std::size_t>(machines));
+  for (int i = 0; i < machines; ++i) {
+    inboxes_.push_back(std::make_unique<Inbox>(config_.mailbox_capacity));
+  }
+}
+
+void ShardRouter::Attach(MachineId node, DeliveryHandler handler) {
+  assert(node < inboxes_.size());
+  inboxes_[node]->handler = std::move(handler);
+}
+
+void ShardRouter::Send(MachineId src, MachineId dst, PayloadRef payload) {
+  assert(dst < inboxes_.size());
+  Inbox& inbox = *inboxes_[dst];
+  MailItem item{src, std::move(payload)};
+
+  // Count the send before the push so the quiescence detector sees the
+  // message as in-flight for the whole push+pop+handle window.
+  sent_.fetch_add(1, std::memory_order_seq_cst);
+
+  if (!inbox.queue.TryPush(item)) {
+    backpressure_hits_.fetch_add(1, std::memory_order_relaxed);
+    std::size_t spins = 0;
+    const auto blocked_since = std::chrono::steady_clock::now();
+    bool warned = false;
+    do {
+      // The consumer may be parked behind a full mailbox it has not started
+      // draining yet; make sure it is running before we wait on it.
+      Wake(dst);
+      // Deadlock escape: dst's consumer may itself be blocked pushing into
+      // *our* full ring.  Emptying our ring into our spill (no handlers run)
+      // unblocks it, which guarantees global progress for any cycle of full
+      // mailboxes while keeping the stall a real backpressure wait.
+      if (RescueOwnInbox(src) == 0) {
+        if (spins++ < config_.spin_before_yield) {
+          // busy retry
+        } else {
+          std::this_thread::yield();
+          if (!warned &&
+              std::chrono::steady_clock::now() - blocked_since > config_.stall_warning) {
+            warned = true;
+            DEMOS_LOG(kWarn, "router")
+                << "send m" << src << "->m" << dst << " blocked >"
+                << config_.stall_warning.count() << "ms on a full mailbox; still waiting";
+          }
+        }
+      }
+    } while (!inbox.queue.TryPush(item));
+  }
+
+  // Producer/consumer handshake against a lost wakeup: the push above
+  // (release store) must be ordered before the sleeping check, and the
+  // consumer orders its sleeping store before re-checking the mailbox.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (inbox.sleeping.load(std::memory_order_relaxed)) {
+    Wake(dst);
+  }
+}
+
+std::size_t ShardRouter::RescueOwnInbox(MachineId src) {
+  if (src >= inboxes_.size()) {
+    return 0;
+  }
+  Inbox& inbox = *inboxes_[src];
+  std::size_t rescued = 0;
+  MailItem item;
+  while (inbox.queue.TryPop(item)) {
+    inbox.spill.push_back(std::move(item));
+    ++rescued;
+  }
+  if (rescued != 0) {
+    spill_rescues_.fetch_add(rescued, std::memory_order_relaxed);
+  }
+  return rescued;
+}
+
+std::size_t ShardRouter::Drain(MachineId node, std::size_t max_items) {
+  Inbox& inbox = *inboxes_[node];
+  std::size_t drained = 0;
+  MailItem item;
+  while (drained < max_items) {
+    // Spill first: everything there predates everything still in the ring.
+    if (!inbox.spill.empty()) {
+      item = std::move(inbox.spill.front());
+      inbox.spill.pop_front();
+    } else if (!inbox.queue.TryPop(item)) {
+      break;
+    }
+    inbox.handler(item.src, std::move(item.payload));
+    // After the handler: a message is "consumed" only once every effect it
+    // had on this shard (including sends it triggered, already counted in
+    // sent_) is visible.
+    consumed_.fetch_add(1, std::memory_order_seq_cst);
+    ++drained;
+  }
+  return drained;
+}
+
+bool ShardRouter::HasMail(MachineId node) const {
+  const Inbox& inbox = *inboxes_[node];
+  return !inbox.spill.empty() || !inbox.queue.Empty();
+}
+
+void ShardRouter::Park(MachineId node, std::chrono::microseconds timeout,
+                       const std::function<bool()>& has_work) {
+  Inbox& inbox = *inboxes_[node];
+  std::unique_lock<std::mutex> lock(inbox.mu);
+  inbox.sleeping.store(true, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  // Re-check under the advertised sleeping flag: any producer that pushed
+  // before seeing sleeping==true is caught here, any producer that pushes
+  // after will see the flag and notify.
+  if (!has_work()) {
+    inbox.cv.wait_for(lock, timeout);
+  }
+  inbox.sleeping.store(false, std::memory_order_relaxed);
+}
+
+void ShardRouter::Wake(MachineId node) {
+  Inbox& inbox = *inboxes_[node];
+  {
+    // Taking the mutex pairs the notify with the consumer's check-then-wait
+    // window; notifying without it could land between the two.
+    std::lock_guard<std::mutex> lock(inbox.mu);
+  }
+  inbox.cv.notify_one();
+}
+
+void ShardRouter::WakeAll() {
+  for (std::size_t i = 0; i < inboxes_.size(); ++i) {
+    Wake(static_cast<MachineId>(i));
+  }
+}
+
+}  // namespace demos

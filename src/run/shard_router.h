@@ -1,0 +1,128 @@
+// ShardRouter: the in-process transport of the parallel engine.
+//
+// In ParallelCluster each kernel's shard runs on its own thread, and this
+// class replaces SimNetwork: Send() enqueues the framed PayloadRef straight
+// into the destination shard's bounded lock-free mailbox (no latency model,
+// no loss -- the "published communications" eventual-delivery guarantee is
+// trivially met by a reliable in-memory hop).  The receive side batch-drains
+// the mailbox from the shard thread, and wakeups are amortised: a producer
+// notifies the destination's condvar only when the consumer has advertised
+// that it is parked.
+//
+// Backpressure, not unbounded queues: when a mailbox is full the producer
+// spins/yields until the consumer frees a slot.  Because producers are shard
+// threads themselves this is a real backpressure loop (the fast shard stalls
+// until the slow one catches up).  One escape hatch keeps a cycle of full
+// mailboxes from deadlocking: a blocked producer moves the contents of its
+// OWN ring into an owner-thread-only spill queue (no handlers run, so there
+// is no reentrancy), which frees its ring for whoever is blocked on it; the
+// spill is consumed ahead of the ring, so per-path FIFO is preserved.  This
+// is why Send(src, ...) must be called from the thread that owns shard
+// `src` once the cluster is running.
+//
+// sent()/consumed() are cluster-global monotonic counters used by the
+// quiescence detector: sent is bumped before the push, consumed after the
+// handler has fully run, so "sent == consumed" can only be observed when no
+// message is in a mailbox or being processed.
+
+#ifndef DEMOS_RUN_SHARD_ROUTER_H_
+#define DEMOS_RUN_SHARD_ROUTER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/ids.h"
+#include "src/net/transport.h"
+#include "src/run/mpsc_queue.h"
+
+namespace demos {
+
+struct ShardRouterConfig {
+  // Mailbox ring capacity per shard (rounded up to a power of two).
+  std::size_t mailbox_capacity = 1 << 14;
+  // Failed pushes before a blocked producer starts yielding the CPU.
+  std::size_t spin_before_yield = 64;
+  // A producer blocked this long on one push logs a stall diagnostic (it
+  // keeps waiting; the harness timeout is the actual deadline).
+  std::chrono::milliseconds stall_warning{5000};
+};
+
+class ShardRouter final : public Transport {
+ public:
+  explicit ShardRouter(int machines, ShardRouterConfig config = {});
+
+  // ---- Transport interface (producer side). ----
+  void Attach(MachineId node, DeliveryHandler handler) override;
+  // Blocking when dst's mailbox is full.  While the cluster is running this
+  // must be called from the thread that owns shard `src` (the kernel always
+  // does); during single-threaded staging any thread may call it.
+  void Send(MachineId src, MachineId dst, PayloadRef payload) override;
+
+  // ---- Consumer side; every call below is shard-thread-only for `node`. ----
+  // Pop up to `max_items` messages and run the attached handler on each.
+  // Returns the number of messages consumed.
+  std::size_t Drain(MachineId node, std::size_t max_items);
+  bool HasMail(MachineId node) const;
+  // Park the shard thread until a producer wakes it, `has_work` turns true,
+  // or `timeout` elapses.  The timeout doubles as missed-wakeup insurance.
+  void Park(MachineId node, std::chrono::microseconds timeout,
+            const std::function<bool()>& has_work);
+
+  // Wake one shard / all shards (Post() injection and Stop() teardown).
+  void Wake(MachineId node);
+  void WakeAll();
+
+  int machines() const { return static_cast<int>(inboxes_.size()); }
+  std::uint64_t sent() const { return sent_.load(std::memory_order_seq_cst); }
+  std::uint64_t consumed() const { return consumed_.load(std::memory_order_seq_cst); }
+  // How many sends hit a full mailbox (backpressure events, not spin laps).
+  std::uint64_t backpressure_hits() const {
+    return backpressure_hits_.load(std::memory_order_relaxed);
+  }
+  // How many messages a blocked producer rescued from its own ring into its
+  // spill queue (nonzero only when a cycle of full mailboxes was broken).
+  std::uint64_t spill_rescues() const { return spill_rescues_.load(std::memory_order_relaxed); }
+
+ private:
+  struct MailItem {
+    MachineId src = kNoMachine;
+    PayloadRef payload;
+  };
+
+  struct Inbox {
+    explicit Inbox(std::size_t capacity) : queue(capacity) {}
+
+    BoundedMpscQueue<MailItem> queue;
+    DeliveryHandler handler;
+    // Owner-thread-only overflow, filled exclusively by the deadlock escape
+    // hatch in Send and always consumed before the ring.
+    std::deque<MailItem> spill;
+    std::mutex mu;
+    std::condition_variable cv;
+    // Advertised by the consumer before it blocks on cv; producers skip the
+    // notify syscall entirely while this is false.
+    std::atomic<bool> sleeping{false};
+  };
+
+  // Move everything poppable in `src`'s own ring into its spill queue.
+  std::size_t RescueOwnInbox(MachineId src);
+
+  ShardRouterConfig config_;
+  std::vector<std::unique_ptr<Inbox>> inboxes_;
+  std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> consumed_{0};
+  std::atomic<std::uint64_t> backpressure_hits_{0};
+  std::atomic<std::uint64_t> spill_rescues_{0};
+};
+
+}  // namespace demos
+
+#endif  // DEMOS_RUN_SHARD_ROUTER_H_

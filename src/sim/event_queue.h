@@ -1,10 +1,12 @@
 // Discrete-event simulation core.
 //
-// The whole DEMOS/MP cluster runs inside one EventQueue: kernels, the network,
-// process scheduling quanta, and workload timers are all events on a single
-// virtual clock.  This mirrors how the original system ran "in simulation mode
-// on a DEC VAX running UNIX" (Sec. 2) and is what makes every migration race
-// deterministic and byte-exact.
+// In the deterministic engine the whole DEMOS/MP cluster runs inside one
+// EventQueue: kernels, the network, process scheduling quanta, and workload
+// timers are all events on a single virtual clock.  This mirrors how the
+// original system ran "in simulation mode on a DEC VAX running UNIX" (Sec. 2)
+// and is what makes every migration race deterministic and byte-exact.  In
+// the parallel engine (src/run) each shard owns a private EventQueue driven
+// only by its worker thread; the class itself is not thread-safe.
 //
 // Time is in virtual microseconds.  Events scheduled for the same instant run
 // in FIFO order of scheduling, which keeps runs reproducible.
@@ -12,9 +14,9 @@
 #ifndef DEMOS_SIM_EVENT_QUEUE_H_
 #define DEMOS_SIM_EVENT_QUEUE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <utility>
 #include <vector>
 
@@ -34,7 +36,8 @@ class EventQueue {
     if (when < now_) {
       when = now_;
     }
-    heap_.push(Event{when, next_seq_++, std::move(fn)});
+    heap_.push_back(Event{when, next_seq_++, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
   }
 
   // Schedule `fn` to run `delay` microseconds from now.
@@ -48,9 +51,13 @@ class EventQueue {
     if (heap_.empty()) {
       return false;
     }
-    // The callback may schedule more events, so pop before invoking.
-    Event ev = heap_.top();
-    heap_.pop();
+    // The callback may schedule more events, so pop before invoking.  The
+    // heap is a raw vector (not std::priority_queue, whose const top() would
+    // force a std::function copy per event): sift the next event to the back,
+    // then move it out.
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
     now_ = ev.when;
     ev.fn();
     return true;
@@ -74,7 +81,7 @@ class EventQueue {
   // deadline still run).  The clock always advances to the deadline.
   std::size_t RunUntil(SimTime deadline, std::size_t max_events = 0) {
     std::size_t executed = 0;
-    while (!heap_.empty() && heap_.top().when <= deadline) {
+    while (!heap_.empty() && heap_.front().when <= deadline) {
       if (max_events != 0 && executed >= max_events) {
         return executed;
       }
@@ -107,7 +114,9 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  // Min-heap on (when, seq) maintained with std::push_heap/pop_heap;
+  // heap_.front() is always the next event.
+  std::vector<Event> heap_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
 };

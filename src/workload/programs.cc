@@ -267,6 +267,112 @@ void ChaosPingerProgram::RestoreState(const Bytes& state) {
   responses_ = r.U64();
 }
 
+// ---------------------------------------------------------------------------
+// TokenRingProgram.
+// ---------------------------------------------------------------------------
+
+std::optional<TokenRingConfig> TokenRingProgram::LoadConfig(Context& ctx) const {
+  ByteReader r(ctx.ReadData(0, 16));
+  if (r.U32() != kTokenRingMagic) {
+    return std::nullopt;
+  }
+  TokenRingConfig config;
+  config.machines = r.U32();
+  config.migrate_after_tokens = r.U32();
+  config.migrate_count = r.U32();
+  return config;
+}
+
+void TokenRingProgram::MaybeHop(Context& ctx, const TokenRingConfig& config) {
+  if (migrations_started_ >= config.migrate_count || config.machines < 2) {
+    return;
+  }
+  ++migrations_started_;
+  ctx.RequestMigration(
+      static_cast<MachineId>((ctx.machine() + 1) % static_cast<MachineId>(config.machines)));
+}
+
+void TokenRingProgram::OnMessage(Context& ctx, const Message& msg) {
+  if (msg.type == kAttachTarget) {
+    if (!msg.carried_links.empty()) {
+      if (target_slot_ != kNoLink) {
+        (void)ctx.RemoveLink(target_slot_);
+      }
+      target_slot_ = ctx.AddLink(msg.carried_links[0]);
+    }
+    return;
+  }
+  if (msg.type == kTokenKick) {
+    const std::optional<TokenRingConfig> config = LoadConfig(ctx);
+    if (!config) {
+      return;
+    }
+    ByteReader r(msg.payload);
+    const std::uint32_t count = r.U32();
+    const std::uint32_t hops = r.U32();
+    if (target_slot_ != kNoLink) {
+      for (std::uint32_t i = 0; i < count; ++i) {
+        ByteWriter w;
+        w.U32(hops);
+        (void)ctx.Send(target_slot_, kTokenPass, w.Take());
+      }
+    }
+    // Hopper mode: the migration chain starts on the first kick instead of a
+    // token threshold.
+    if (config->migrate_after_tokens == 0 && migrations_started_ == 0) {
+      MaybeHop(ctx, *config);
+    }
+    return;
+  }
+  if (msg.type == kTokenPass) {
+    const std::optional<TokenRingConfig> config = LoadConfig(ctx);
+    ++tokens_seen_;
+    ByteReader r(msg.payload);
+    const std::uint32_t hops = r.U32();
+    if (hops > 0 && target_slot_ != kNoLink) {
+      ByteWriter w;
+      w.U32(hops - 1);
+      (void)ctx.Send(target_slot_, kTokenPass, w.Take());
+    }
+    // Exactly-once chain start: tokens_seen_ only passes the threshold once.
+    if (config && config->migrate_after_tokens != 0 &&
+        tokens_seen_ == config->migrate_after_tokens) {
+      MaybeHop(ctx, *config);
+    }
+    return;
+  }
+  if (msg.type == MsgType::kMigrateDone) {
+    const std::optional<TokenRingConfig> config = LoadConfig(ctx);
+    if (!config) {
+      return;
+    }
+    ByteReader r(msg.payload);
+    const ProcessId pid = r.Pid();
+    const auto status = static_cast<StatusCode>(r.U8());
+    if (pid == ctx.self().pid && status == StatusCode::kOk && migrations_started_ > 0) {
+      // Chain the next self-migration off the completion of the last one;
+      // this serialization is what makes the final home deterministic.
+      MaybeHop(ctx, *config);
+    }
+    return;
+  }
+}
+
+Bytes TokenRingProgram::SaveState() const {
+  ByteWriter w;
+  w.U32(target_slot_);
+  w.U64(tokens_seen_);
+  w.U32(migrations_started_);
+  return w.Take();
+}
+
+void TokenRingProgram::RestoreState(const Bytes& state) {
+  ByteReader r(state);
+  target_slot_ = r.U32();
+  tokens_seen_ = r.U64();
+  migrations_started_ = r.U32();
+}
+
 void RegisterWorkloadPrograms() {
   static const bool registered = [] {
     auto& registry = ProgramRegistry::Instance();
@@ -274,6 +380,7 @@ void RegisterWorkloadPrograms() {
     registry.Register("rpc_server", [] { return std::make_unique<RpcServerProgram>(); });
     registry.Register("rpc_client", [] { return std::make_unique<RpcClientProgram>(); });
     registry.Register("chaos_pinger", [] { return std::make_unique<ChaosPingerProgram>(); });
+    registry.Register("token_ring", [] { return std::make_unique<TokenRingProgram>(); });
     // Generic utility programs used by benches and examples.  Tests register
     // richer variants under the same names first; don't clobber them.
     if (!registry.Has("idle")) {

@@ -154,7 +154,60 @@ class ChaosPingerProgram final : public Program {
   std::uint64_t responses_ = 0;
 };
 
-// Registers "cpu_bound", "rpc_server", "rpc_client", "chaos_pinger".
+// ---- Token ring: the self-clocked workload both execution engines share. ----
+// Each node holds a link to the next node (kAttachTarget).  A kTokenKick
+// {count u32, hops u32} injects `count` tokens, each forwarded `hops` times
+// around the ring -- no timers, so the workload is entirely message-clocked
+// and both engines reach the exact same delivery counts at quiescence.
+//
+// Migration is deterministic by construction: a node with migrate_count > 0
+// starts a chain of self-migrations (always to (machine + 1) % machines)
+// either on its first kick (migrate_after_tokens == 0) or when its token
+// count reaches migrate_after_tokens; each subsequent hop is triggered only
+// by the kMigrateDone of the previous one, so the final home is
+// (start + migrate_count) % machines regardless of engine or timing.
+// Config at data[0]: magic u32, machines u32, migrate_after_tokens u32,
+// migrate_count u32.
+inline constexpr MsgType kTokenPass = static_cast<MsgType>(1204);
+inline constexpr MsgType kTokenKick = static_cast<MsgType>(1205);
+inline constexpr std::uint32_t kTokenRingMagic = 0x7053A917;
+
+struct TokenRingConfig {
+  std::uint32_t machines = 2;
+  std::uint32_t migrate_after_tokens = 0;
+  std::uint32_t migrate_count = 0;
+
+  Bytes Encode() const {
+    ByteWriter w;
+    w.U32(kTokenRingMagic);
+    w.U32(machines);
+    w.U32(migrate_after_tokens);
+    w.U32(migrate_count);
+    return w.Take();
+  }
+};
+
+class TokenRingProgram final : public Program {
+ public:
+  void OnMessage(Context& ctx, const Message& msg) override;
+
+  Bytes SaveState() const override;
+  void RestoreState(const Bytes& state) override;
+
+  std::uint64_t tokens_seen() const { return tokens_seen_; }
+  std::uint32_t migrations_started() const { return migrations_started_; }
+
+ private:
+  std::optional<TokenRingConfig> LoadConfig(Context& ctx) const;
+  void MaybeHop(Context& ctx, const TokenRingConfig& config);
+
+  LinkId target_slot_ = kNoLink;
+  std::uint64_t tokens_seen_ = 0;
+  std::uint32_t migrations_started_ = 0;
+};
+
+// Registers "cpu_bound", "rpc_server", "rpc_client", "chaos_pinger",
+// "token_ring".
 void RegisterWorkloadPrograms();
 
 }  // namespace demos

@@ -1,0 +1,134 @@
+// Shared staging for the token-ring workload (tests + bench_throughput).
+//
+// Works on either execution engine: everything here is template code over
+// the harness surface both Cluster and ParallelCluster expose (kernel(m),
+// size()).  All staging must happen while the cluster is single-threaded
+// (before ParallelCluster::Start, or any time on the sequential engine);
+// in-flight injections into a running parallel cluster go through
+// ParallelCluster::Post instead.
+
+#ifndef DEMOS_WORKLOAD_TOKEN_RING_HARNESS_H_
+#define DEMOS_WORKLOAD_TOKEN_RING_HARNESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/ids.h"
+#include "src/workload/programs.h"
+
+namespace demos {
+
+struct TokenRingSpec {
+  int rings = 1;
+  int nodes_per_ring = 4;
+  // Tokens injected per node by KickTokenRings and hops each token makes.
+  std::uint32_t tokens_per_node = 1;
+  std::uint32_t hops_per_token = 100;
+  // Chained self-migrations per node (0 = static ring) and the token count
+  // that triggers the first hop (0 = first kick triggers it).
+  std::uint32_t migrate_count = 0;
+  std::uint32_t migrate_after_tokens = 0;
+};
+
+// One ring's nodes in ring order; node j holds a link to node (j+1) % size.
+using TokenRing = std::vector<ProcessAddress>;
+
+// Spawn the rings round-robin across machines (node j of ring r starts on
+// machine (r + j) % M, so neighbours are cross-machine whenever M > 1) and
+// attach the next-node links.  Returns the rings; all processes are staged
+// but no tokens are in flight yet.
+template <typename ClusterT>
+std::vector<TokenRing> BuildTokenRings(ClusterT& cluster, const TokenRingSpec& spec) {
+  const int machines = cluster.size();
+  TokenRingConfig config;
+  config.machines = static_cast<std::uint32_t>(machines);
+  config.migrate_count = spec.migrate_count;
+  config.migrate_after_tokens = spec.migrate_after_tokens;
+
+  std::vector<TokenRing> rings;
+  rings.reserve(static_cast<std::size_t>(spec.rings));
+  for (int r = 0; r < spec.rings; ++r) {
+    TokenRing ring;
+    ring.reserve(static_cast<std::size_t>(spec.nodes_per_ring));
+    for (int j = 0; j < spec.nodes_per_ring; ++j) {
+      const auto machine = static_cast<MachineId>((r + j) % machines);
+      auto addr = cluster.kernel(machine).SpawnProcess("token_ring");
+      if (!addr.ok()) {
+        return {};
+      }
+      (void)cluster.kernel(machine)
+          .FindProcess(addr->pid)
+          ->memory.WriteData(0, config.Encode());
+      ring.push_back(*addr);
+    }
+    for (int j = 0; j < spec.nodes_per_ring; ++j) {
+      const ProcessAddress& node = ring[static_cast<std::size_t>(j)];
+      const ProcessAddress& next =
+          ring[static_cast<std::size_t>((j + 1) % spec.nodes_per_ring)];
+      Link to_next;
+      to_next.address = next;
+      cluster.kernel(node.last_known_machine)
+          .SendFromKernel(node, kAttachTarget, {}, {to_next});
+    }
+    rings.push_back(std::move(ring));
+  }
+  return rings;
+}
+
+inline Bytes MakeKickPayload(std::uint32_t tokens, std::uint32_t hops) {
+  ByteWriter w;
+  w.U32(tokens);
+  w.U32(hops);
+  return w.Take();
+}
+
+// Kick every node.  Kicks are addressed to each node's *original* machine, so
+// after migrations they exercise the forwarding path (stale-address traffic).
+template <typename ClusterT>
+void KickTokenRings(ClusterT& cluster, const std::vector<TokenRing>& rings,
+                    std::uint32_t tokens, std::uint32_t hops) {
+  const Bytes payload = MakeKickPayload(tokens, hops);
+  for (const TokenRing& ring : rings) {
+    for (const ProcessAddress& node : ring) {
+      cluster.kernel(0).SendFromKernel(node, kTokenKick, payload);
+    }
+  }
+}
+
+// Exact cluster-wide msgs_delivered for a staged-and-kicked ring set WITHOUT
+// migrations: one kAttachTarget and one kTokenKick per node, and (hops + 1)
+// token deliveries per injected token.  Probe rounds add 2 per node per round
+// (kick + single zero-hop token); both engines must land on this exact count
+// at quiescence.  Only valid for migrate_count == 0: a message that arrives
+// while its receiver is frozen mid-migration is held and later consumed
+// without a msgs_delivered bump, so under migration the kernel stat
+// undercounts by a timing-dependent amount -- use ExpectedTokenReceptions
+// (program-level counters) for exactly-once checks in that case.
+inline std::int64_t ExpectedRingDeliveries(const TokenRingSpec& spec, int probe_rounds = 0) {
+  const std::int64_t nodes =
+      static_cast<std::int64_t>(spec.rings) * spec.nodes_per_ring;
+  std::int64_t total = nodes;  // kAttachTarget
+  total += nodes;              // kTokenKick
+  total += nodes * static_cast<std::int64_t>(spec.tokens_per_node) *
+           (static_cast<std::int64_t>(spec.hops_per_token) + 1);
+  total += static_cast<std::int64_t>(probe_rounds) * 2 * nodes;
+  return total;
+}
+
+// Exact cluster-wide sum of TokenRingProgram::tokens_seen() at quiescence: a
+// token injected with H hops is received H + 1 times, and each probe round
+// injects one zero-hop token per node.  tokens_seen_ travels with the process
+// through SaveState/RestoreState, so this count is engine- and
+// timing-invariant even under chained migrations -- the exactly-once metric.
+inline std::int64_t ExpectedTokenReceptions(const TokenRingSpec& spec, int probe_rounds = 0) {
+  const std::int64_t nodes =
+      static_cast<std::int64_t>(spec.rings) * spec.nodes_per_ring;
+  std::int64_t total = nodes * static_cast<std::int64_t>(spec.tokens_per_node) *
+                       (static_cast<std::int64_t>(spec.hops_per_token) + 1);
+  total += static_cast<std::int64_t>(probe_rounds) * nodes;
+  return total;
+}
+
+}  // namespace demos
+
+#endif  // DEMOS_WORKLOAD_TOKEN_RING_HARNESS_H_

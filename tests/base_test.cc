@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "src/base/bytes.h"
 #include "src/base/ids.h"
@@ -226,6 +229,71 @@ TEST(StatsTest, ResetClears) {
   stats.Reset();
   EXPECT_EQ(stats.Get("n"), 0);
   EXPECT_EQ(stats.GetDistribution("d"), nullptr);
+}
+
+TEST(StatsTest, CopyTakesSnapshot) {
+  StatsRegistry a;
+  a.Add("n", 7);
+  a.Record("d", 1.0);
+  StatsRegistry b = a;
+  a.Add("n", 1);
+  EXPECT_EQ(b.Get("n"), 7);
+  ASSERT_NE(b.GetDistribution("d"), nullptr);
+  EXPECT_EQ(b.GetDistribution("d")->count(), 1u);
+}
+
+// The parallel engine increments counters from every shard thread (and the
+// coordinator merges them); hammer one registry from many threads and check
+// nothing tears or is lost.
+TEST(StatsTest, ConcurrentIncrementsDoNotTear) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  StatsRegistry stats;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&stats, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        stats.Add("shared");
+        stats.Add("per_thread_" + std::to_string(t));
+        if (i % 64 == 0) {
+          stats.Record("dist", static_cast<double>(i));
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(stats.Get("shared"), kThreads * kPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(stats.Get("per_thread_" + std::to_string(t)), kPerThread);
+  }
+  ASSERT_NE(stats.GetDistribution("dist"), nullptr);
+  EXPECT_EQ(stats.GetDistribution("dist")->count(),
+            static_cast<std::size_t>(kThreads) * ((kPerThread + 63) / 64));
+}
+
+TEST(PayloadCountersTest, ConcurrentCountsDoNotTear) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  PayloadCounters::Reset();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        PayloadCounters::CountAllocation();
+        PayloadCounters::CountCopied(3);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(PayloadCounters::allocations.load(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(PayloadCounters::copied_bytes.load(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread * 3);
+  PayloadCounters::Reset();
 }
 
 }  // namespace

@@ -325,6 +325,36 @@ TEST_F(MigrationTest, ChainOfMigrationsLeavesForwardingChain) {
   EXPECT_EQ(data.U64(), 1u);
 }
 
+TEST_F(MigrationTest, ProcessCanMigrateBackToMachineItLeft) {
+  // Returning home finds a stale forwarding entry for the pid; the arriving
+  // process must supersede it, not be refused (a live record still refuses --
+  // see DestinationCanRefuse).
+  Cluster cluster(ClusterConfig{.machines = 2});
+  auto counter = cluster.kernel(0).SpawnProcess("counter");
+  ASSERT_TRUE(counter.ok());
+  cluster.RunUntilIdle();
+
+  testutil::MigrateAndSettle(cluster, counter->pid, 0, 1);
+  testutil::MigrateAndSettle(cluster, counter->pid, 1, 0);
+
+  ProcessRecord* home = cluster.kernel(0).FindProcess(counter->pid);
+  ASSERT_NE(home, nullptr);
+  EXPECT_EQ(home->migration_history, (std::vector<MachineId>{0, 1}));
+  EXPECT_EQ(cluster.TotalStat("forwarding_superseded"), 1);
+
+  // Machine 1 now forwards, and the returned process is fully reachable.
+  cluster.kernel(1).SendFromKernel(ProcessAddress{1, counter->pid}, kIncrement, {});
+  cluster.RunUntilIdle();
+  ByteReader data(home->memory.ReadData(0, 8));
+  EXPECT_EQ(data.U64(), 1u);
+
+  // Round trip again: the supersede works repeatedly.
+  testutil::MigrateAndSettle(cluster, counter->pid, 0, 1);
+  testutil::MigrateAndSettle(cluster, counter->pid, 1, 0);
+  EXPECT_NE(cluster.kernel(0).FindProcess(counter->pid), nullptr);
+  EXPECT_EQ(cluster.TotalStat("forwarding_superseded"), 3);
+}
+
 TEST_F(MigrationTest, VoluntaryMigrationViaRequestMigration) {
   Cluster cluster(ClusterConfig{.machines = 2});
   auto nomad = cluster.kernel(0).SpawnProcess("nomad");

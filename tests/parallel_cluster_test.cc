@@ -1,0 +1,425 @@
+// Tests for the parallel execution engine (src/run): the lock-free mailbox,
+// the ShardRouter transport, ParallelCluster quiescence, and -- the point of
+// the whole engine -- sequential/parallel equivalence: the same token-ring
+// workload with chained migrations and stale-link traffic must converge to
+// identical process locations, link tables, and delivery counts on both the
+// deterministic Cluster and the threaded ParallelCluster.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/base/stats.h"
+#include "src/kernel/cluster.h"
+#include "src/run/mpsc_queue.h"
+#include "src/run/parallel_cluster.h"
+#include "src/run/shard_router.h"
+#include "src/workload/programs.h"
+#include "src/workload/token_ring_harness.h"
+
+namespace demos {
+namespace {
+
+class ParallelClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override { RegisterWorkloadPrograms(); }
+};
+
+// ---------------------------------------------------------------------------
+// BoundedMpscQueue units.
+// ---------------------------------------------------------------------------
+
+TEST_F(ParallelClusterTest, MpscQueueFifoAndCapacity) {
+  BoundedMpscQueue<int> queue(4);
+  EXPECT_EQ(queue.capacity(), 4u);
+  EXPECT_TRUE(queue.Empty());
+
+  for (int i = 0; i < 4; ++i) {
+    int v = i;
+    EXPECT_TRUE(queue.TryPush(v));
+  }
+  int overflow = 99;
+  EXPECT_FALSE(queue.TryPush(overflow));
+  EXPECT_EQ(overflow, 99);  // untouched on failure
+
+  for (int i = 0; i < 4; ++i) {
+    int out = -1;
+    ASSERT_TRUE(queue.TryPop(out));
+    EXPECT_EQ(out, i);
+  }
+  int out = -1;
+  EXPECT_FALSE(queue.TryPop(out));
+  EXPECT_TRUE(queue.Empty());
+
+  // Wrap-around after the ring has gone full once.
+  for (int lap = 0; lap < 3; ++lap) {
+    for (int i = 0; i < 3; ++i) {
+      int v = lap * 10 + i;
+      ASSERT_TRUE(queue.TryPush(v));
+    }
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(queue.TryPop(out));
+      EXPECT_EQ(out, lap * 10 + i);
+    }
+  }
+}
+
+TEST_F(ParallelClusterTest, MpscQueueMovesOnlyOnSuccess) {
+  BoundedMpscQueue<std::unique_ptr<int>> queue(2);
+  auto a = std::make_unique<int>(1);
+  auto b = std::make_unique<int>(2);
+  auto c = std::make_unique<int>(3);
+  ASSERT_TRUE(queue.TryPush(a));
+  ASSERT_TRUE(queue.TryPush(b));
+  EXPECT_EQ(a, nullptr);
+  EXPECT_FALSE(queue.TryPush(c));
+  ASSERT_NE(c, nullptr);  // a failed push must not consume the item
+  EXPECT_EQ(*c, 3);
+
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(queue.TryPop(out));
+  EXPECT_EQ(*out, 1);
+  ASSERT_TRUE(queue.TryPush(c));
+  ASSERT_TRUE(queue.TryPop(out));
+  EXPECT_EQ(*out, 2);
+  ASSERT_TRUE(queue.TryPop(out));
+  EXPECT_EQ(*out, 3);
+}
+
+TEST_F(ParallelClusterTest, MpscQueueConcurrentProducersKeepPerProducerFifo) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 4000;
+  BoundedMpscQueue<std::pair<int, int>> queue(64);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        std::pair<int, int> item{p, i};
+        while (!queue.TryPush(item)) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  std::vector<int> next_expected(kProducers, 0);
+  int received = 0;
+  while (received < kProducers * kPerProducer) {
+    std::pair<int, int> item;
+    if (!queue.TryPop(item)) {
+      std::this_thread::yield();
+      continue;
+    }
+    ASSERT_EQ(item.second, next_expected[item.first])
+        << "producer " << item.first << " reordered";
+    ++next_expected[item.first];
+    ++received;
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  EXPECT_TRUE(queue.Empty());
+}
+
+// ---------------------------------------------------------------------------
+// ShardRouter: backpressure and delivery accounting.
+// ---------------------------------------------------------------------------
+
+TEST_F(ParallelClusterTest, ShardRouterBackpressureBlocksWithoutLosingOrOrdering) {
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 3000;
+  ShardRouterConfig config;
+  config.mailbox_capacity = 8;  // tiny: every producer slams into backpressure
+  ShardRouter router(kProducers + 1, config);
+
+  const MachineId sink = 0;
+  std::map<std::uint32_t, std::uint32_t> next_seq;
+  std::uint64_t received = 0;
+  router.Attach(sink, [&](MachineId /*src*/, PayloadRef payload) {
+    ByteReader r(payload);
+    const std::uint32_t producer = r.U32();
+    const std::uint32_t seq = r.U32();
+    EXPECT_EQ(seq, next_seq[producer]) << "producer " << producer << " reordered";
+    next_seq[producer] = seq + 1;
+    ++received;
+  });
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    // Each producer thread sends as shard p+1, which it trivially owns.
+    producers.emplace_back([&router, p] {
+      const auto src = static_cast<MachineId>(p + 1);
+      for (int i = 0; i < kPerProducer; ++i) {
+        ByteWriter w;
+        w.U32(static_cast<std::uint32_t>(p));
+        w.U32(static_cast<std::uint32_t>(i));
+        router.Send(src, sink, w.Take());
+      }
+    });
+  }
+
+  const std::uint64_t want = static_cast<std::uint64_t>(kProducers) * kPerProducer;
+  while (received < want) {
+    if (router.Drain(sink, 64) == 0) {
+      std::this_thread::yield();
+    }
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  EXPECT_EQ(router.sent(), want);
+  EXPECT_EQ(router.consumed(), want);
+  EXPECT_GT(router.backpressure_hits(), 0u);
+  EXPECT_FALSE(router.HasMail(sink));
+}
+
+// ---------------------------------------------------------------------------
+// ParallelCluster lifecycle: quiescence, Post, restart.
+// ---------------------------------------------------------------------------
+
+TEST_F(ParallelClusterTest, EmptyClusterIsImmediatelyQuiescent) {
+  ParallelCluster cluster(ParallelClusterConfig{.machines = 4});
+  EXPECT_TRUE(cluster.RunUntilQuiescent(std::chrono::milliseconds(2000)));
+  cluster.Stop();
+}
+
+TEST_F(ParallelClusterTest, PostRunsOnShardThreadAndRestartWorks) {
+  ParallelCluster cluster(ParallelClusterConfig{.machines = 2});
+  auto sink = cluster.kernel(1).SpawnProcess("token_ring");
+  ASSERT_TRUE(sink.ok());
+  TokenRingConfig config;
+  config.machines = 2;
+  (void)cluster.kernel(1).FindProcess(sink->pid)->memory.WriteData(0, config.Encode());
+  ASSERT_TRUE(cluster.RunUntilQuiescent());
+  const std::int64_t before = cluster.TotalStat(stat::kMsgsDelivered);
+
+  // Inject from shard 0's thread while the cluster is running.
+  cluster.Post(0, [&cluster, addr = *sink] {
+    cluster.kernel(0).SendFromKernel(addr, kTokenKick, MakeKickPayload(1, 0));
+  });
+  ASSERT_TRUE(cluster.RunUntilQuiescent());
+  EXPECT_EQ(cluster.TotalStat(stat::kMsgsDelivered), before + 1);
+
+  // Stop/Start: the same cluster keeps working across a full join cycle.
+  cluster.Stop();
+  cluster.Post(1, [&cluster, addr = *sink] {
+    cluster.kernel(1).SendFromKernel(addr, kTokenKick, MakeKickPayload(1, 0));
+  });
+  ASSERT_TRUE(cluster.RunUntilQuiescent());
+  EXPECT_EQ(cluster.TotalStat(stat::kMsgsDelivered), before + 2);
+  cluster.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Sequential/parallel equivalence.
+// ---------------------------------------------------------------------------
+
+// The link a ring node holds to its successor, or nullptr.
+const Link* LinkToNext(ProcessRecord* record, const ProcessId& next_pid) {
+  if (record == nullptr) {
+    return nullptr;
+  }
+  for (LinkId slot = 0; slot < 64; ++slot) {
+    const Link* link = record->links.Get(slot);
+    if (link != nullptr && link->address.pid == next_pid) {
+      return link;
+    }
+  }
+  return nullptr;
+}
+
+struct RingEndState {
+  std::map<std::uint64_t, MachineId> host;         // keyed by pid key
+  std::map<std::uint64_t, MachineId> link_target;  // node -> where its next-link points
+  std::map<std::uint64_t, std::uint32_t> migrations;  // node -> chained hops done
+  std::int64_t delivered = 0;
+  std::int64_t bounced = 0;
+  std::int64_t tokens_seen = 0;  // program-level exactly-once count
+};
+
+std::uint64_t PidKey(const ProcessId& pid) {
+  return (static_cast<std::uint64_t>(pid.creating_machine) << 32) | pid.local_id;
+}
+
+template <typename ClusterT>
+RingEndState CaptureEndState(ClusterT& cluster, const std::vector<TokenRing>& rings) {
+  RingEndState state;
+  for (const TokenRing& ring : rings) {
+    for (std::size_t j = 0; j < ring.size(); ++j) {
+      const ProcessId& pid = ring[j].pid;
+      const ProcessId& next_pid = ring[(j + 1) % ring.size()].pid;
+      state.host[PidKey(pid)] = cluster.HostOf(pid);
+      ProcessRecord* record = cluster.FindProcessAnywhere(pid);
+      const Link* link = LinkToNext(record, next_pid);
+      state.link_target[PidKey(pid)] =
+          link != nullptr ? link->address.last_known_machine : kNoMachine;
+      if (record != nullptr) {
+        if (auto* program = dynamic_cast<TokenRingProgram*>(record->program.get())) {
+          state.tokens_seen += static_cast<std::int64_t>(program->tokens_seen());
+          state.migrations[PidKey(pid)] = program->migrations_started();
+        }
+      }
+    }
+  }
+  state.delivered = cluster.TotalStat(stat::kMsgsDelivered);
+  state.bounced = cluster.TotalStat(stat::kMsgsBounced);
+  return state;
+}
+
+// Run the shared workload on the deterministic engine.
+RingEndState RunSequential(int machines, const TokenRingSpec& spec, int probe_rounds) {
+  Cluster cluster(ClusterConfig{.machines = machines});
+  std::vector<TokenRing> rings = BuildTokenRings(cluster, spec);
+  EXPECT_FALSE(rings.empty());
+  KickTokenRings(cluster, rings, spec.tokens_per_node, spec.hops_per_token);
+  EXPECT_LT(cluster.RunUntilIdle(20'000'000), 20'000'000u) << "workload did not terminate";
+  for (int round = 0; round < probe_rounds; ++round) {
+    KickTokenRings(cluster, rings, 1, 0);
+    cluster.RunUntilIdle();
+  }
+  return CaptureEndState(cluster, rings);
+}
+
+// Run the identical workload on the parallel engine.
+RingEndState RunParallel(int machines, const TokenRingSpec& spec, int probe_rounds,
+                         ParallelClusterConfig config = {}) {
+  config.machines = machines;
+  ParallelCluster cluster(config);
+  std::vector<TokenRing> rings = BuildTokenRings(cluster, spec);
+  EXPECT_FALSE(rings.empty());
+  KickTokenRings(cluster, rings, spec.tokens_per_node, spec.hops_per_token);
+  EXPECT_TRUE(cluster.RunUntilQuiescent(std::chrono::milliseconds(60000)));
+  for (int round = 0; round < probe_rounds; ++round) {
+    const Bytes payload = MakeKickPayload(1, 0);
+    cluster.Post(0, [&cluster, &rings, payload] {
+      for (const TokenRing& ring : rings) {
+        for (const ProcessAddress& node : ring) {
+          cluster.kernel(0).SendFromKernel(node, kTokenKick, payload);
+        }
+      }
+    });
+    EXPECT_TRUE(cluster.RunUntilQuiescent(std::chrono::milliseconds(60000)));
+  }
+  RingEndState state = CaptureEndState(cluster, rings);
+  cluster.Stop();
+  return state;
+}
+
+TEST_F(ParallelClusterTest, EquivalenceStaticRings) {
+  const int machines = 4;
+  TokenRingSpec spec;
+  spec.rings = 4;
+  spec.nodes_per_ring = 6;
+  spec.tokens_per_node = 2;
+  spec.hops_per_token = 50;
+
+  RingEndState seq = RunSequential(machines, spec, /*probe_rounds=*/0);
+  RingEndState par = RunParallel(machines, spec, /*probe_rounds=*/0);
+
+  EXPECT_EQ(seq.delivered, ExpectedRingDeliveries(spec));
+  EXPECT_EQ(par.delivered, ExpectedRingDeliveries(spec));
+  EXPECT_EQ(seq.bounced, 0);
+  EXPECT_EQ(par.bounced, 0);
+  EXPECT_EQ(seq.host, par.host);
+  EXPECT_EQ(seq.link_target, par.link_target);
+}
+
+TEST_F(ParallelClusterTest, EquivalenceChainedMigrationsAndStaleLinks) {
+  const int machines = 4;
+  TokenRingSpec spec;
+  spec.rings = 3;
+  spec.nodes_per_ring = 4;
+  spec.tokens_per_node = 2;
+  spec.hops_per_token = 40;
+  spec.migrate_count = 3;
+  spec.migrate_after_tokens = 2;
+  // Each probe round advances a stale link at least one forwarding hop, so
+  // migrate_count + 1 rounds guarantee convergence on both engines.
+  const int probe_rounds = static_cast<int>(spec.migrate_count) + 1;
+
+  RingEndState seq = RunSequential(machines, spec, probe_rounds);
+  RingEndState par = RunParallel(machines, spec, probe_rounds);
+
+  // msgs_delivered undercounts by a timing-dependent amount under migration
+  // (held messages are consumed without a bump), so the exactly-once check
+  // uses the program-level reception counter, which both engines must match.
+  const std::int64_t expected = ExpectedTokenReceptions(spec, probe_rounds);
+  EXPECT_EQ(seq.tokens_seen, expected);
+  EXPECT_EQ(par.tokens_seen, expected);
+  EXPECT_EQ(seq.bounced, 0);
+  EXPECT_EQ(par.bounced, 0);
+
+  // Ground truth: every node chained exactly migrate_count hops of +1.
+  TokenRingSpec static_spec = spec;
+  Cluster reference(ClusterConfig{.machines = machines});
+  std::vector<TokenRing> layout = BuildTokenRings(reference, static_spec);
+  for (const TokenRing& ring : layout) {
+    for (std::size_t j = 0; j < ring.size(); ++j) {
+      const ProcessAddress& node = ring[j];
+      const auto want_host = static_cast<MachineId>(
+          (node.last_known_machine + spec.migrate_count) % machines);
+      EXPECT_EQ(seq.host.at(PidKey(node.pid)), want_host) << "sequential host diverged";
+      EXPECT_EQ(par.host.at(PidKey(node.pid)), want_host) << "parallel host diverged";
+      EXPECT_EQ(seq.migrations.at(PidKey(node.pid)), spec.migrate_count);
+      EXPECT_EQ(par.migrations.at(PidKey(node.pid)), spec.migrate_count);
+      // After the probe rounds, each node's next-link must have converged on
+      // the successor's true host (identical in both engines).
+      const ProcessAddress& next = ring[(j + 1) % ring.size()];
+      const auto want_target = static_cast<MachineId>(
+          (next.last_known_machine + spec.migrate_count) % machines);
+      EXPECT_EQ(seq.link_target.at(PidKey(node.pid)), want_target);
+      EXPECT_EQ(par.link_target.at(PidKey(node.pid)), want_target);
+    }
+  }
+}
+
+// Cross-shard forwarding hammered mid-migration: many rings, every node
+// migrating early, while tokens from every other node are still addressed to
+// the pre-migration machines.  TSan runs this in CI; the assertions double as
+// an exactly-once check under real concurrency.
+TEST_F(ParallelClusterTest, StressForwardingDuringMigrationStorm) {
+  const int machines = 8;
+  TokenRingSpec spec;
+  spec.rings = 8;
+  spec.nodes_per_ring = 8;
+  spec.tokens_per_node = 2;
+  spec.hops_per_token = 40;
+  spec.migrate_count = 2;
+  spec.migrate_after_tokens = 1;  // first token triggers the chain: maximum overlap
+
+  RingEndState par = RunParallel(machines, spec, /*probe_rounds=*/0);
+  EXPECT_EQ(par.tokens_seen, ExpectedTokenReceptions(spec));
+  EXPECT_EQ(par.bounced, 0);
+  for (const auto& [pid, host] : par.host) {
+    EXPECT_NE(host, kNoMachine) << "a process vanished mid-storm";
+  }
+  for (const auto& [pid, count] : par.migrations) {
+    EXPECT_EQ(count, spec.migrate_count) << "a migration chain stalled";
+  }
+}
+
+// A deliberately tiny mailbox forces sustained backpressure (and possibly the
+// cyclic-full escape hatch) through the full kernel path; delivery accounting
+// must stay exact.
+TEST_F(ParallelClusterTest, TinyMailboxBackpressureKeepsExactlyOnce) {
+  const int machines = 2;
+  TokenRingSpec spec;
+  spec.rings = 2;
+  spec.nodes_per_ring = 4;
+  spec.tokens_per_node = 4;
+  spec.hops_per_token = 200;
+
+  ParallelClusterConfig config;
+  config.router.mailbox_capacity = 8;
+  RingEndState par = RunParallel(machines, spec, /*probe_rounds=*/0, config);
+  EXPECT_EQ(par.delivered, ExpectedRingDeliveries(spec));
+  EXPECT_EQ(par.bounced, 0);
+}
+
+}  // namespace
+}  // namespace demos

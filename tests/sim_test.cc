@@ -119,5 +119,37 @@ TEST(EventQueueTest, EventsScheduledDuringRunExecute) {
   EXPECT_EQ(depth, 3);
 }
 
+namespace {
+struct CopyProbe {
+  CopyProbe() = default;
+  CopyProbe(const CopyProbe& other) : copies(other.copies) { ++*copies; }
+  CopyProbe& operator=(const CopyProbe& other) {
+    copies = other.copies;
+    ++*copies;
+    return *this;
+  }
+  CopyProbe(CopyProbe&&) = default;
+  CopyProbe& operator=(CopyProbe&&) = default;
+  int* copies = nullptr;
+};
+}  // namespace
+
+// Dispatch must move the callback out of the heap, never copy it: a copy per
+// event would re-copy every captured payload on the hot path.
+TEST(EventQueueTest, StepMovesCallbacksWithoutCopying) {
+  EventQueue q;
+  int copies = 0;
+  int runs = 0;
+  for (int i = 0; i < 16; ++i) {
+    CopyProbe probe;
+    probe.copies = &copies;
+    q.At(static_cast<SimTime>(i), [probe, &runs] { ++runs; });
+  }
+  const int after_scheduling = copies;
+  q.RunUntilIdle();
+  EXPECT_EQ(runs, 16);
+  EXPECT_EQ(copies, after_scheduling) << "Step() copied a callback";
+}
+
 }  // namespace
 }  // namespace demos
