@@ -216,6 +216,12 @@ inline constexpr const char* kDataBytes = "data_bytes";
 inline constexpr const char* kDataAcks = "data_acks";
 inline constexpr const char* kMigrations = "migrations";
 inline constexpr const char* kMigrationsRefused = "migrations_refused";
+inline constexpr const char* kMigrationsTimedOut = "migrations_timed_out";
+inline constexpr const char* kMigrationsReaped = "migrations_reaped";
+inline constexpr const char* kMigrationsAdopted = "migrations_adopted";
+inline constexpr const char* kMigrationsRefusedSuspect = "migrations_refused_suspect";
+inline constexpr const char* kPeersSuspected = "peers_suspected";
+inline constexpr const char* kStaleMigrationMsgs = "migrations_stale_msgs";
 inline constexpr const char* kPendingForwarded = "pending_forwarded";
 inline constexpr const char* kForwardingAddresses = "forwarding_addresses";
 inline constexpr const char* kWireBytesSent = "wire_bytes_sent";

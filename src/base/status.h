@@ -24,6 +24,7 @@ enum class StatusCode {
   kExhausted,         // out of a simulated resource (memory, table slots)
   kNotDeliverable,    // return-to-sender delivery mode bounced the message
   kInternal,          // invariant violation inside the library
+  kPeerTimeout,       // migration peer silent past its per-phase deadline
 };
 
 const char* StatusCodeName(StatusCode code);
@@ -73,6 +74,8 @@ inline const char* StatusCodeName(StatusCode code) {
       return "NOT_DELIVERABLE";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kPeerTimeout:
+      return "PEER_TIMEOUT";
   }
   return "UNKNOWN";
 }

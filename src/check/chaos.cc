@@ -148,6 +148,34 @@ ChaosScenario ScenarioFromSeed(std::uint64_t seed) {
   return s;
 }
 
+ChaosScenario PermanentDeathScenarioFromSeed(std::uint64_t seed) {
+  ChaosScenario s = ScenarioFromSeed(seed);
+  // A separate stream keeps the base plan byte-identical to ScenarioFromSeed.
+  Rng rng(seed ^ 0xDEADD00Dull);
+  if (s.machines < 3) {
+    s.machines = 3;  // the death must leave >= 2 live machines to migrate between
+  }
+  s.crashes.clear();  // one permanent death replaces the revival windows
+  s.reliable = true;
+  // Forwarding only: the return-to-sender baseline can never converge its
+  // links past a corpse (each probe bounces forever), which is part of why
+  // the paper rejected it -- not a bug worth re-finding 500 times a night.
+  s.forwarding_mode = true;
+  // Finite retries let the transport reach its give-up verdict on frames into
+  // the corpse.  Loss between *live* machines must stay impossible in
+  // practice, so cap the drop rate: at 8% drop, 12 retries leave a frame-loss
+  // probability around 1e-13 -- below one expected loss across the nightly
+  // sweep.
+  s.drop_probability = std::min(s.drop_probability, 0.08);
+  s.max_retries = static_cast<std::uint32_t>(12 + rng.Below(8));
+  s.migration_deadline_us = 60'000 + rng.Below(140'001);
+  ChaosScenario::DeathEvent death;
+  death.at = 10'000 + rng.Below(s.chaos_window_us);
+  death.machine = static_cast<int>(rng.Below(static_cast<std::uint64_t>(s.machines)));
+  s.deaths.push_back(death);
+  return s;
+}
+
 std::string ChaosScenario::Describe() const {
   std::ostringstream os;
   os << "seed=" << seed << " machines=" << machines << " window=" << chaos_window_us << "us\n";
@@ -163,7 +191,10 @@ std::string ChaosScenario::Describe() const {
      << " cpu=" << cpu_jobs.size() << (cpu_enabled ? "" : "(disabled)")
      << " rpc=" << rpc_pairs.size() << (rpc_enabled ? "" : "(disabled)") << "\n";
   os << "  chaos: migrations=" << migrations.size() << " crashes=" << crashes.size()
-     << " notes=" << notes.size();
+     << " deaths=" << deaths.size() << " notes=" << notes.size();
+  if (!deaths.empty()) {
+    os << " retries=" << max_retries << " deadline=" << migration_deadline_us << "us";
+  }
   return os.str();
 }
 
@@ -210,10 +241,11 @@ ChaosFeature ChaosFeatureFromName(const std::string& name) {
 bool DisableFeature(ChaosScenario* scenario, ChaosFeature feature) {
   switch (feature) {
     case ChaosFeature::kCrashes:
-      if (scenario->crashes.empty()) {
+      if (scenario->crashes.empty() && scenario->deaths.empty()) {
         return false;
       }
       scenario->crashes.clear();
+      scenario->deaths.clear();
       return true;
     case ChaosFeature::kDrop:
       if (scenario->drop_probability == 0.0) {
@@ -281,8 +313,15 @@ ChaosResult RunScenario(const ChaosScenario& s, const ChaosOptions& options) {
   cc.network.seed = s.seed ^ 0x5EED0DE5ull;
   cc.reliable_layer = s.reliable;
   cc.reliable.retransmit_timeout_us = s.retransmit_timeout_us;
-  cc.reliable.max_retries = 0;  // never give up: a crash window stalls delivery, never kills it
+  // 0 = never give up: a revival crash window stalls delivery, never kills
+  // it.  Permanent-death scenarios set a finite budget instead.
+  cc.reliable.max_retries = s.max_retries;
   cc.kernel.seed = s.seed;
+  if (s.migration_deadline_us > 0) {
+    cc.kernel.migration_deadlines.offer_accept_us = s.migration_deadline_us;
+    cc.kernel.migration_deadlines.transfer_progress_us = s.migration_deadline_us;
+    cc.kernel.migration_deadlines.handoff_us = s.migration_deadline_us;
+  }
   cc.kernel.delivery_mode = s.forwarding_mode ? KernelConfig::DeliveryMode::kForwarding
                                               : KernelConfig::DeliveryMode::kReturnToSender;
   cc.kernel.forwarding_gc = s.gc_mode == 1 ? KernelConfig::ForwardingGc::kOnProcessDeath
@@ -384,6 +423,10 @@ ChaosResult RunScenario(const ChaosScenario& s, const ChaosOptions& options) {
     const SimDuration outage = ev.outage_us;
     cluster.queue().At(ev.at, [&faults, machine, outage] { faults.CrashFor(machine, outage); });
   }
+  for (const ChaosScenario::DeathEvent& ev : s.deaths) {
+    const auto machine = static_cast<MachineId>(ev.machine);
+    cluster.queue().At(ev.at, [&faults, machine] { faults.Crash(machine); });
+  }
   for (const ChaosScenario::NoteEvent& ev : s.notes) {
     const ProcessAddress target = roster[static_cast<std::size_t>(ev.victim)];
     if (!target.valid()) {
@@ -417,8 +460,8 @@ ChaosResult RunScenario(const ChaosScenario& s, const ChaosOptions& options) {
           cluster.TotalStat(stat::kMsgsForwarded) + cluster.TotalStat(stat::kMsgsBounced);
       for (const ProcessAddress& pinger : pinger_addrs) {
         const MachineId host = cluster.HostOf(pinger.pid);
-        if (host == kNoMachine) {
-          continue;  // reported by the ownership audit
+        if (host == kNoMachine || cluster.kernel(host).halted()) {
+          continue;  // lost (ownership audit's problem) or died with its machine
         }
         cluster.kernel(host).SendFromKernel(ProcessAddress{host, pinger.pid}, kChaosProbe, {});
       }
@@ -438,6 +481,9 @@ ChaosResult RunScenario(const ChaosScenario& s, const ChaosOptions& options) {
   }
 
   // ---- Audit. ----
+  for (const ChaosScenario::DeathEvent& ev : s.deaths) {
+    checker.MarkMachineDead(static_cast<MachineId>(ev.machine));
+  }
   const std::vector<Violation> audit = checker.CheckAtQuiescence();
   result.violations.insert(result.violations.end(), audit.begin(), audit.end());
   result.messages_tracked = checker.tracked_messages();

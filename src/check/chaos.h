@@ -36,6 +36,14 @@ struct ChaosScenario {
   double duplicate_probability = 0.0;
   bool reliable = false;
   SimDuration retransmit_timeout_us = 2000;
+  // 0 = retransmit forever.  Right for revival-window scenarios (a crash
+  // stalls delivery, never kills it); permanent-death scenarios use a finite
+  // count so frames into the corpse reach the transport's give-up verdict.
+  std::uint32_t max_retries = 0;
+
+  // 0 = migration watchdogs disabled (no permanent failure to time out).
+  // Permanent-death scenarios arm all three per-phase deadlines with this.
+  SimDuration migration_deadline_us = 0;
 
   // Kernel policy.
   bool forwarding_mode = true;  // false: return-to-sender baseline
@@ -81,6 +89,11 @@ struct ChaosScenario {
     int machine = 0;
   };
   std::vector<CrashEvent> crashes;
+  struct DeathEvent {
+    SimTime at = 0;
+    int machine = 0;  // hard-crashes at `at` and never revives
+  };
+  std::vector<DeathEvent> deaths;
   struct NoteEvent {
     SimTime at = 0;
     int from_machine = 0;
@@ -97,6 +110,13 @@ struct ChaosScenario {
 
 // Derive the full plan from a seed.  Same seed, same plan, always.
 ChaosScenario ScenarioFromSeed(std::uint64_t seed);
+
+// Permanent-death variant: starts from ScenarioFromSeed(seed), then replaces
+// the revival crash windows with one machine that dies mid-window and never
+// comes back, arms the migration watchdogs, and gives the reliable transport
+// a finite retry budget.  Exercises source rollback, destination reap/adopt,
+// the suspect list, and the I8 liveness audit with dead-machine exemptions.
+ChaosScenario PermanentDeathScenarioFromSeed(std::uint64_t seed);
 
 // Feature axes the minimizer (and --disable=) can turn off.
 enum class ChaosFeature {

@@ -38,6 +38,8 @@ ClusterChecker::ClusterChecker(Cluster* cluster, CheckerConfig config)
 
 void ClusterChecker::ExpectLive(const ProcessId& pid) { expected_live_.push_back(pid); }
 
+void ClusterChecker::MarkMachineDead(MachineId machine) { dead_machines_.insert(machine); }
+
 void ClusterChecker::AddViolation(const std::string& invariant, const std::string& detail) {
   violations_.push_back(Violation{invariant, detail});
 }
@@ -73,6 +75,8 @@ void ClusterChecker::OnMessageSend(MachineId machine, const Message& msg) {
   st.type = static_cast<std::uint16_t>(msg.type);
   st.pair_seq = pair_next_seq_[PairKey{st.sender, st.receiver}]++;
   st.path_hash = CombineHash(kFnvOffset, machine);
+  st.origin = machine;
+  st.last_dest = msg.receiver.last_known_machine;
   tracked_.emplace(msg.trace_id, st);
 }
 
@@ -134,8 +138,11 @@ void ClusterChecker::OnMessageDeliver(MachineId machine, const Message& msg) {
 }
 
 void ClusterChecker::OnMessageForward(MachineId machine, const Message& msg, MachineId next) {
-  (void)next;
   ExtendPath(msg.trace_id, machine);
+  auto it = tracked_.find(msg.trace_id);
+  if (it != tracked_.end()) {
+    it->second.last_dest = next;
+  }
 }
 
 void ClusterChecker::OnMessageBounce(MachineId machine, const Message& msg) {
@@ -148,6 +155,10 @@ void ClusterChecker::OnMessageBounce(MachineId machine, const Message& msg) {
 
 void ClusterChecker::OnPendingResend(MachineId machine, const Message& msg) {
   ExtendPath(msg.trace_id, machine);
+  auto it = tracked_.find(msg.trace_id);
+  if (it != tracked_.end()) {
+    it->second.last_dest = msg.receiver.last_known_machine;
+  }
 }
 
 void ClusterChecker::OnMigrationFrozen(MachineId source, MachineId dest,
@@ -237,6 +248,42 @@ void ClusterChecker::OnMigrationAborted(MachineId source, const ProcessId& pid) 
 // Quiescence audit.
 // ---------------------------------------------------------------------------
 
+void ClusterChecker::CollectDeadPids() {
+  if (dead_machines_.empty()) {
+    return;
+  }
+  // A process died with its machine iff it has a live (non-forwarding) record
+  // on a dead machine and no live record on any live machine.  A process that
+  // rolled back to a live source, or was adopted by a live destination, has a
+  // live record elsewhere and is NOT dead -- losing its messages would still
+  // be a violation.
+  for (MachineId dead : dead_machines_) {
+    if (dead >= cluster_.size()) {
+      continue;
+    }
+    for (const auto& [pid, entry] : cluster_.kernel(dead).process_table().entries()) {
+      if (entry.IsForwarding()) {
+        continue;
+      }
+      bool alive_elsewhere = false;
+      for (int m = 0; m < cluster_.size(); ++m) {
+        const MachineId mid = static_cast<MachineId>(m);
+        if (MachineDead(mid)) {
+          continue;
+        }
+        const ProcessTable::Entry* other = cluster_.kernel(mid).process_table().FindEntry(pid);
+        if (other != nullptr && !other->IsForwarding()) {
+          alive_elsewhere = true;
+          break;
+        }
+      }
+      if (!alive_elsewhere) {
+        dead_pids_.insert(pid);
+      }
+    }
+  }
+}
+
 void ClusterChecker::CheckExactlyOnce() {
   // In the return-to-sender baseline, a message that races a chain of
   // migrations can exhaust the hop cap and be dead-lettered (the sender is
@@ -252,6 +299,14 @@ void ClusterChecker::CheckExactlyOnce() {
     }
     if (st.delivers == 0) {
       if (return_to_sender && st.bounces > 0) {
+        continue;
+      }
+      // Permanent machine death excuses loss (never duplication): the send
+      // originated on a machine that died with it queued, the message was
+      // last headed into a machine that died, or the receiver itself died
+      // with its machine.
+      if (MachineDead(st.origin) || MachineDead(st.last_dest) ||
+          dead_pids_.count(st.receiver) != 0) {
         continue;
       }
       AddViolation("exactly-once", "msg " + Hex(trace_id) + " type " + std::to_string(st.type) +
@@ -273,11 +328,18 @@ void ClusterChecker::CheckOwnership() {
   for (const ProcessId& pid : expected_live_) {
     std::vector<MachineId> hosts;
     for (int m = 0; m < cluster_.size(); ++m) {
-      if (cluster_.kernel(static_cast<MachineId>(m)).FindProcess(pid) != nullptr) {
-        hosts.push_back(static_cast<MachineId>(m));
+      const MachineId mid = static_cast<MachineId>(m);
+      if (MachineDead(mid)) {
+        continue;  // a corpse's table is not ownership
+      }
+      if (cluster_.kernel(mid).FindProcess(pid) != nullptr) {
+        hosts.push_back(mid);
       }
     }
     if (hosts.empty()) {
+      if (dead_pids_.count(pid) != 0) {
+        continue;  // died with its machine -- legitimately gone
+      }
       AddViolation("single-owner", pid.ToString() + " has no live record on any kernel: lost");
       SuspectProcess(pid);
     } else if (hosts.size() > 1) {
@@ -289,28 +351,40 @@ void ClusterChecker::CheckOwnership() {
       SuspectProcess(pid);
     }
   }
+}
+
+// I8: no live kernel may still be mid-migration at quiescence.  With the
+// per-phase watchdogs armed, a silent partner must resolve to rollback
+// (source), reap, or adopt (destination); a half-open entry or a process
+// frozen in kInMigration means some failure path never fired.
+void ClusterChecker::CheckLiveness() {
   for (int m = 0; m < cluster_.size(); ++m) {
-    Kernel& kernel = cluster_.kernel(static_cast<MachineId>(m));
+    const MachineId mid = static_cast<MachineId>(m);
+    if (MachineDead(mid)) {
+      continue;
+    }
+    Kernel& kernel = cluster_.kernel(mid);
     if (kernel.HasMigrationInProgress()) {
-      AddViolation("single-owner",
+      AddViolation("liveness",
                    "m" + std::to_string(m) + " still has migration state at quiescence");
     }
     for (const auto& [pid, entry] : kernel.process_table().entries()) {
       if (!entry.IsForwarding() && entry.process->state == ExecState::kInMigration) {
-        AddViolation("single-owner", pid.ToString() + " stuck in kInMigration on m" +
-                                         std::to_string(m) + " at quiescence");
+        AddViolation("liveness", pid.ToString() + " stuck in kInMigration on m" +
+                                     std::to_string(m) + " at quiescence");
         SuspectProcess(pid);
       }
     }
   }
-  if (!active_migrations_.empty()) {
-    for (const auto& [pid, active] : active_migrations_) {
-      AddViolation("single-owner", "migration of " + pid.ToString() + " (m" +
-                                       std::to_string(active.source) + "->m" +
-                                       std::to_string(active.dest) +
-                                       ") never restarted or aborted");
-      SuspectProcess(pid);
+  for (const auto& [pid, active] : active_migrations_) {
+    if (MachineDead(active.source) || MachineDead(active.dest)) {
+      continue;  // the partner died; the surviving end is audited above
     }
+    AddViolation("liveness", "migration of " + pid.ToString() + " (m" +
+                                 std::to_string(active.source) + "->m" +
+                                 std::to_string(active.dest) +
+                                 ") never restarted or aborted");
+    SuspectProcess(pid);
   }
 }
 
@@ -320,12 +394,20 @@ void ClusterChecker::CheckForwardingChains() {
   const int n = cluster_.size();
 
   // Walk from (machine, pid): returns the live host reached, or kNoMachine.
-  // `cycle` is set when the walk exceeds every possible chain length.
-  auto walk = [&](MachineId start_next, const ProcessId& pid, bool& cycle) -> MachineId {
+  // `cycle` is set when the walk exceeds every possible chain length;
+  // `hit_dead` when the chain routes into a permanently dead machine (the
+  // chain is then broken by the crash, not by a protocol bug).
+  auto walk = [&](MachineId start_next, const ProcessId& pid, bool& cycle,
+                  bool& hit_dead) -> MachineId {
     cycle = false;
+    hit_dead = false;
     MachineId cur = start_next;
     for (int hops = 0; hops <= n; ++hops) {
       if (cur == kNoMachine || cur >= n) {
+        return kNoMachine;
+      }
+      if (MachineDead(cur)) {
+        hit_dead = true;
         return kNoMachine;
       }
       const ProcessTable::Entry* entry = cluster_.kernel(cur).process_table().FindEntry(pid);
@@ -342,17 +424,22 @@ void ClusterChecker::CheckForwardingChains() {
   };
 
   for (int m = 0; m < n; ++m) {
+    if (MachineDead(static_cast<MachineId>(m))) {
+      continue;
+    }
     for (const auto& [pid, entry] : cluster_.kernel(static_cast<MachineId>(m)).process_table().entries()) {
       if (!entry.IsForwarding()) {
         continue;
       }
       bool cycle = false;
-      const MachineId host = walk(entry.forward_to, pid, cycle);
+      bool hit_dead = false;
+      const MachineId host = walk(entry.forward_to, pid, cycle, hit_dead);
       if (cycle) {
         AddViolation("forwarding-chain", "forwarding chain for " + pid.ToString() + " from m" +
                                              std::to_string(m) + " cycles");
         SuspectProcess(pid);
-      } else if (host == kNoMachine && !expiry_legal) {
+      } else if (host == kNoMachine && !expiry_legal && !hit_dead &&
+                 dead_pids_.count(pid) == 0) {
         AddViolation("forwarding-chain", "forwarding chain for " + pid.ToString() + " from m" +
                                              std::to_string(m) +
                                              " dead-ends without reaching a live record");
@@ -371,13 +458,30 @@ void ClusterChecker::CheckForwardingChains() {
         continue;  // reported by CheckOwnership
       }
       const MachineId host = cluster_.HostOf(pid);
+      if (host != kNoMachine && MachineDead(host)) {
+        continue;  // the live record is a corpse's; completeness is moot
+      }
+      // Crash-touched history is exempt: a past host that died takes its
+      // forwarding address to the grave, and every hop beyond it is
+      // unreachable anyway.
+      bool history_touches_dead = false;
+      for (const MachineId past : record->migration_history) {
+        if (past < n && MachineDead(past)) {
+          history_touches_dead = true;
+          break;
+        }
+      }
+      if (history_touches_dead) {
+        continue;
+      }
       for (const MachineId past : record->migration_history) {
         if (past == host || past >= n) {
           continue;
         }
         bool cycle = false;
-        const MachineId reached = walk(past, pid, cycle);
-        if (reached != host) {
+        bool hit_dead = false;
+        const MachineId reached = walk(past, pid, cycle, hit_dead);
+        if (reached != host && !hit_dead) {
           AddViolation("forwarding-chain",
                        "past host m" + std::to_string(past) + " of " + pid.ToString() +
                            (cycle ? " cycles" : " no longer chains to the live record on m" +
@@ -391,6 +495,9 @@ void ClusterChecker::CheckForwardingChains() {
 
 void ClusterChecker::CheckMemoryAccounting() {
   for (int m = 0; m < cluster_.size(); ++m) {
+    if (MachineDead(static_cast<MachineId>(m))) {
+      continue;  // crashed mid-operation; its counter is whatever it was
+    }
     Kernel& kernel = cluster_.kernel(static_cast<MachineId>(m));
     std::uint64_t live_bytes = 0;
     for (const auto& [pid, entry] : kernel.process_table().entries()) {
@@ -409,11 +516,15 @@ void ClusterChecker::CheckMemoryAccounting() {
 std::vector<Violation> ClusterChecker::CheckAtQuiescence() {
   if (!audited_) {
     audited_ = true;
+    CollectDeadPids();
     if (config_.check_exactly_once) {
       CheckExactlyOnce();
     }
     if (config_.check_single_owner) {
       CheckOwnership();
+    }
+    if (config_.check_liveness) {
+      CheckLiveness();
     }
     if (config_.check_forwarding_chains) {
       CheckForwardingChains();

@@ -30,6 +30,20 @@
 //                     memory image re-serializes to the frozen image.
 //   I7 accounting     each kernel's memory_used() equals the sum of its live
 //                     processes' memory.
+//   I8 liveness       no live kernel holds migration state -- a half-open
+//                     source/dest entry or a kInMigration record -- once the
+//                     cluster quiesces.  With per-phase migration deadlines
+//                     armed, every partner failure must resolve to rollback,
+//                     reap, or adopt; a process frozen forever is a liveness
+//                     bug even though no message was lost.
+//
+// Machines that crash permanently and never revive are declared with
+// MarkMachineDead() before the audit.  Dead machines are exempt from the
+// state-based checks (their tables are corpses), processes whose only live
+// record sat on a dead machine are legitimately gone, and messages whose
+// origin, last known destination machine, or receiver died with a machine
+// are exempt from the loss half of exactly-once.  Duplication is never
+// excused by a crash.
 //
 // Link convergence (steady-state forward count returning to 0) needs active
 // probing and is asserted by the chaos harness (chaos.h), not here.
@@ -40,6 +54,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/kernel/cluster.h"
@@ -62,6 +77,7 @@ struct CheckerConfig {
   bool check_forwarding_chains = true;
   bool check_section_integrity = true;
   bool check_memory_accounting = true;
+  bool check_liveness = true;
 };
 
 // FNV-1a, the hash used for section fingerprints and path signatures.
@@ -74,6 +90,10 @@ class ClusterChecker : public KernelObserver {
   // Declare a process that must be alive (exactly one live record) at
   // quiescence.  The chaos harness registers every spawn.
   void ExpectLive(const ProcessId& pid);
+
+  // Declare a machine permanently dead (crashed, never revived).  Call before
+  // CheckAtQuiescence; see the header comment for which exemptions apply.
+  void MarkMachineDead(MachineId machine);
 
   // KernelObserver:
   void OnMessageSend(MachineId machine, const Message& msg) override;
@@ -111,6 +131,8 @@ class ClusterChecker : public KernelObserver {
     std::uint64_t path_hash = 0;  // machines visited, in order
     std::uint32_t delivers = 0;
     std::uint32_t bounces = 0;
+    MachineId origin = kNoMachine;     // machine the send happened on
+    MachineId last_dest = kNoMachine;  // last machine the message headed for
   };
 
   struct PairKey {
@@ -146,8 +168,13 @@ class ClusterChecker : public KernelObserver {
   bool Tracked(const Message& msg) const;
   void ExtendPath(std::uint64_t trace_id, MachineId machine);
 
+  bool MachineDead(MachineId machine) const { return dead_machines_.count(machine) != 0; }
+  // Processes whose only live record is on a dead machine: they died with it.
+  void CollectDeadPids();
+
   void CheckExactlyOnce();
   void CheckOwnership();
+  void CheckLiveness();
   void CheckForwardingChains();
   void CheckMemoryAccounting();
 
@@ -161,6 +188,8 @@ class ClusterChecker : public KernelObserver {
   std::vector<HeldSet> held_sets_;
   std::unordered_map<ProcessId, ActiveMigration, ProcessIdHash> active_migrations_;
   std::vector<ProcessId> expected_live_;
+  std::unordered_set<MachineId> dead_machines_;
+  std::unordered_set<ProcessId, ProcessIdHash> dead_pids_;  // filled at audit
   std::uint64_t consumed_ = 0;
 
   std::vector<Violation> violations_;

@@ -59,6 +59,16 @@ class Cluster {
         kernels_.back()->tracer().Enable();
       }
     }
+    if (reliable_) {
+      // Give-ups are the transport's dead-peer verdict; feed each one into
+      // the sending kernel's suspect list so policy stops re-offering
+      // migrations to the silent machine.
+      reliable_->set_on_give_up([this](MachineId src, MachineId dst, std::uint64_t) {
+        if (static_cast<std::size_t>(src) < kernels_.size()) {
+          kernels_[src]->OnPeerGiveUp(dst);
+        }
+      });
+    }
   }
 
   EventQueue& queue() { return queue_; }

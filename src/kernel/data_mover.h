@@ -230,6 +230,10 @@ struct OutgoingTransfer {
   // For kAreaWrite: who gets the kDataMoveDone.
   ProcessAddress instigator;
   std::uint64_t cookie = 0;
+  // Migration section streams: each arriving ack counts as transfer progress
+  // for the source-side migration watchdog of `migration_pid`.
+  bool for_migration = false;
+  ProcessId migration_pid;
 };
 
 // Receiver-side record of a PULL stream this kernel requested.

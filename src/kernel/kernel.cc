@@ -194,6 +194,11 @@ void Kernel::OnWireDelivery(MachineId wire_src, PayloadRef wire) {
   if (halted_) {
     return;  // crashed: the wire falls on deaf ears
   }
+  // Hearing from a peer proves it alive: drop any suspicion immediately
+  // rather than waiting for the backoff to expire.
+  if (!suspects_.empty()) {
+    suspects_.erase(wire_src);
+  }
   Result<Message> msg = Message::Deserialize(std::move(wire));
   if (!msg.ok()) {
     DEMOS_LOG(kError, "kernel") << "m" << machine_ << ": malformed wire message from m"
@@ -299,6 +304,9 @@ void Kernel::HandleKernelMessage(Message msg, MachineId wire_src) {
       return;
     case MsgType::kCleanupDone:
       HandleCleanupDone(msg);
+      return;
+    case MsgType::kMigrateCancel:
+      HandleMigrateCancel(msg);
       return;
     case MsgType::kMoveDataPacket:
       HandleDataPacket(std::move(msg));
@@ -598,6 +606,13 @@ void Kernel::HandleDataPacket(Message msg) {
     return;
   }
   IncomingPull& pull = it->second;
+  if (pull.purpose == IncomingPull::Purpose::kMigrationSection) {
+    // Each arriving section packet is watchdog progress for the migration.
+    auto mit = migration_dests_.find(pull.migrating_pid);
+    if (mit != migration_dests_.end()) {
+      mit->second.last_progress = queue_.Now();
+    }
+  }
   if (!pull.sized) {
     pull.buffer.resize(packet.total);
     pull.sized = true;
@@ -730,6 +745,13 @@ void Kernel::HandleDataAck(const Message& msg) {
   OutgoingTransfer& out = it->second;
   out.acked_packets += ack.packets;
   out.acked_bytes += ack.covered_bytes;
+  if (out.for_migration) {
+    // The destination is draining the section stream: watchdog progress.
+    auto mit = migration_sources_.find(out.migration_pid);
+    if (mit != migration_sources_.end()) {
+      mit->second.last_progress = queue_.Now();
+    }
+  }
   if (ack.status != StatusCode::kOk && out.first_error == StatusCode::kOk) {
     out.first_error = ack.status;
   }
@@ -812,6 +834,7 @@ void Kernel::KickAllProcesses() {
     }
     MaybeScheduleDispatch(record);
   }
+  RearmMigrationWatchdogs();
 }
 
 Result<Kernel::ProcessCheckpoint> Kernel::CheckpointProcess(const ProcessId& pid) {

@@ -99,6 +99,24 @@ struct KernelConfig {
   // one.  Null (the default) in all production configurations.
   std::function<void(Message&)> forward_fault;
 
+  // Per-phase migration deadlines (the watchdog of docs/PROTOCOL.md "Failure
+  // model & rollback").  0 disables a phase's deadline -- the default, and
+  // required under the parallel engine, whose shards run unsynchronized
+  // clocks that would fire any wall-clock deadline spuriously.  A deadline
+  // measures *progress*, not total elapsed time: each protocol step or data
+  // ack observed for the migration resets the phase clock.
+  struct MigrationDeadlines {
+    SimDuration offer_accept_us = 0;       // source: offer sent -> accept/reject
+    SimDuration transfer_progress_us = 0;  // both ends: gap between transfer events
+    SimDuration handoff_us = 0;            // dest: transfer-complete -> cleanup-done
+  };
+  MigrationDeadlines migration_deadlines;
+
+  // Base backoff applied to a peer after a reliable-channel give-up or a
+  // migration watchdog timeout; doubles per consecutive strike.  While a peer
+  // is suspect, StartMigration toward it is refused without freezing.
+  SimDuration suspect_backoff_us = 500'000;
+
   std::uint64_t seed = 1;
 };
 
@@ -198,6 +216,14 @@ class Kernel {
     processes_.InstallForwardingAddress(pid, machine);
   }
 
+  // Dead-peer suspicion (fed by ReliableTransport give-ups and migration
+  // watchdog timeouts; cleared by any later delivery from the peer).
+  void OnPeerGiveUp(MachineId peer);
+  bool IsPeerSuspect(MachineId peer) const {
+    auto it = suspects_.find(peer);
+    return it != suspects_.end() && queue_.Now() < it->second.until;
+  }
+
   // kMigrateDone notifications addressed to this kernel's pseudo-process
   // (harnesses pass the kernel address as the migration requester).
   struct MigrateDoneInfo {
@@ -270,6 +296,10 @@ class Kernel {
     PayloadRef swappable;
     PayloadRef image;
     bool accepted = false;
+    // Watchdog bookkeeping: the attempt epoch stamped into this migration's
+    // admin messages and the time of the last observed protocol progress.
+    std::uint32_t attempt = 0;
+    SimTime last_progress = 0;
   };
 
   struct MigrationDest {
@@ -278,6 +308,9 @@ class Kernel {
     Bytes sections[kNumMigrationSections];
     int sections_remaining = kNumMigrationSections;
     ExecState restored_state = ExecState::kWaiting;
+    std::uint32_t attempt = 0;
+    SimTime last_progress = 0;
+    bool assembled = false;  // TransferComplete sent; awaiting CleanupDone
   };
 
   void HandleMigrateRequest(ProcessRecord& record, const Message& msg);
@@ -287,8 +320,19 @@ class Kernel {
   void HandleMoveDataReq(const Message& msg);
   void HandleTransferComplete(const Message& msg);
   void HandleCleanupDone(const Message& msg);
+  void HandleMigrateCancel(const Message& msg);
   void OnMigrationSectionReceived(const ProcessId& pid, MigrationSection section, Bytes bytes);
   void AbortMigrationAtSource(const ProcessId& pid, Status why);
+  // Watchdog machinery (migration.cc): self-checking deadline events armed
+  // per migration attempt; stale events (attempt mismatch) are no-ops.
+  void ArmSourceWatchdog(const ProcessId& pid, std::uint32_t attempt, SimDuration delay);
+  void ArmDestWatchdog(const ProcessId& pid, std::uint32_t attempt, SimDuration delay);
+  void TimeoutMigrationAtSource(const ProcessId& pid);
+  // Discard a partially assembled (or orphaned-but-assembled) image at the
+  // destination; held messages are re-routed back toward the source.
+  void ReapMigrationDest(const ProcessId& pid, const char* why);
+  void RearmMigrationWatchdogs();
+  void SuspectPeer(MachineId peer);
   void FinishMigrationAtSource(const ProcessId& pid);
   void RestartMigratedProcess(const ProcessId& pid);
   void SendMigrateDone(const ProcessAddress& requester, const ProcessId& pid, MachineId final_home,
@@ -355,6 +399,17 @@ class Kernel {
   // Migration state machines.
   std::unordered_map<ProcessId, MigrationSource, ProcessIdHash> migration_sources_;
   std::unordered_map<ProcessId, MigrationDest, ProcessIdHash> migration_dests_;
+  // Attempt epoch stamped into migration admin payloads so replies from an
+  // aborted attempt (e.g. a retransmitted reject after rollback) cannot act
+  // on a newer one.
+  std::uint32_t next_migration_attempt_ = 1;
+
+  // Dead-peer suspect list (exponential backoff per consecutive strike).
+  struct PeerSuspicion {
+    SimTime until = 0;
+    std::uint32_t strikes = 0;
+  };
+  std::unordered_map<MachineId, PeerSuspicion> suspects_;
 
   // Return-to-sender mode: home-machine location registry and messages parked
   // awaiting a kLocateResp.  Entries are versioned by migration count:

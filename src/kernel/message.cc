@@ -22,6 +22,8 @@ const char* MsgTypeName(MsgType t) {
       return "CLEANUP_DONE";
     case MsgType::kMigrateDone:
       return "MIGRATE_DONE";
+    case MsgType::kMigrateCancel:
+      return "MIGRATE_CANCEL";
     case MsgType::kMoveDataPacket:
       return "MOVE_DATA_PACKET";
     case MsgType::kMoveDataAck:

@@ -38,6 +38,8 @@ enum class MsgType : std::uint16_t {
   kTransferComplete = 6,  // destination -> source: all sections received
   kCleanupDone = 7,       // source -> destination: pending queue forwarded, fwd addr installed
   kMigrateDone = 8,       // source -> requester: migration finished (status in payload)
+  kMigrateCancel = 9,     // source -> destination: watchdog abort, discard the partial image
+                          // (failure path only; a successful migration stays at 9 messages)
 
   // ---- Bulk data movement (Sec. 2.2 / 6). ----
   kMoveDataPacket = 16,  // one chunk of a streamed transfer
@@ -79,6 +81,7 @@ inline bool IsMigrationAdminType(MsgType t) {
     case MsgType::kTransferComplete:
     case MsgType::kCleanupDone:
     case MsgType::kMigrateDone:
+    case MsgType::kMigrateCancel:
       return true;
     default:
       return false;

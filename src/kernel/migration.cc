@@ -75,6 +75,15 @@ void Kernel::HandleMigrateRequest(ProcessRecord& record, const Message& msg) {
     SendMigrateDone(requester, pid, machine_, StatusCode::kOk);
     return;
   }
+  if (IsPeerSuspect(destination)) {
+    // The destination recently went silent (reliable-channel give-up or a
+    // watchdog timeout).  Refuse without freezing rather than strand the
+    // process waiting on a dead machine; the backoff expires on its own and
+    // any delivery from the peer clears it early.
+    stats_.Add(stat::kMigrationsRefusedSuspect);
+    SendMigrateDone(requester, pid, machine_, StatusCode::kUnavailable);
+    return;
+  }
 
   // Step 1: remove the process from execution.  Its recorded state (ready,
   // waiting, suspended) is preserved so it resumes identically (Sec. 3.1).
@@ -86,6 +95,8 @@ void Kernel::HandleMigrateRequest(ProcessRecord& record, const Message& msg) {
   source.requester = requester;
   source.destination = destination;
   source.prior_state = record.state;
+  source.attempt = next_migration_attempt_++;
+  source.last_progress = queue_.Now();
   record.state = ExecState::kInMigration;
 
   // Snapshot the three movable sections.  Pending local timer events are
@@ -114,11 +125,16 @@ void Kernel::HandleMigrateRequest(ProcessRecord& record, const Message& msg) {
   offer.U32(static_cast<std::uint32_t>(source.resident.size()));
   offer.U32(static_cast<std::uint32_t>(source.swappable.size()));
   offer.U32(static_cast<std::uint32_t>(source.image.size()));
+  offer.U32(source.attempt);
   TraceMigration(trace::kOfferSent, pid, destination,
                  source.resident.size() + source.swappable.size() + source.image.size());
   SendAdmin(KernelAddress(destination), MsgType::kMigrateOffer, offer.Take());
 
+  const std::uint32_t attempt = source.attempt;
   migration_sources_.emplace(pid, std::move(source));
+  const KernelConfig::MigrationDeadlines& dl = config_.migration_deadlines;
+  ArmSourceWatchdog(pid, attempt,
+                    dl.offer_accept_us != 0 ? dl.offer_accept_us : dl.transfer_progress_us);
   DEMOS_LOG(kInfo, "migrate") << "m" << machine_ << ": offering " << pid.ToString() << " to m"
                               << destination;
 }
@@ -135,9 +151,23 @@ void Kernel::HandleMigrateOffer(const Message& msg) {
   offer.resident_bytes = r.U32();
   offer.swappable_bytes = r.U32();
   offer.memory_bytes = r.U32();
+  const std::uint32_t attempt = r.U32();
   TraceMigration(trace::kOfferReceived, offer.pid, offer.source,
                  std::uint64_t{offer.resident_bytes} + offer.swappable_bytes +
                      offer.memory_bytes);
+
+  auto dit = migration_dests_.find(offer.pid);
+  if (dit != migration_dests_.end()) {
+    if (dit->second.source == offer.source && dit->second.attempt == attempt) {
+      // Duplicate of the offer this kernel is already assembling; the pulls
+      // are in flight, nothing to redo.
+      stats_.Add(stat::kStaleMigrationMsgs);
+      return;
+    }
+    // A fresh attempt after the source rolled back: the stale partial image
+    // is garbage -- discard it and treat the new offer on its merits.
+    ReapMigrationDest(offer.pid, "superseded by a newer offer");
+  }
 
   ByteWriter reject;
   reject.Pid(offer.pid);
@@ -155,6 +185,7 @@ void Kernel::HandleMigrateOffer(const Message& msg) {
     // migrated."
     const StatusCode code = out_of_memory ? StatusCode::kExhausted : StatusCode::kRefused;
     reject.U8(static_cast<std::uint8_t>(code));
+    reject.U32(attempt);
     TraceMigration(trace::kRejectSent, offer.pid, static_cast<std::uint64_t>(code));
     SendAdmin(KernelAddress(offer.source), MsgType::kMigrateReject, reject.Take());
     return;
@@ -176,10 +207,16 @@ void Kernel::HandleMigrateOffer(const Message& msg) {
   MigrationDest dest;
   dest.source = offer.source;
   dest.offer = offer;
+  dest.attempt = attempt;
+  dest.last_progress = queue_.Now();
   migration_dests_.emplace(offer.pid, dest);
+  ArmDestWatchdog(offer.pid, attempt, config_.migration_deadlines.transfer_progress_us != 0
+                                          ? config_.migration_deadlines.transfer_progress_us
+                                          : config_.migration_deadlines.handoff_us);
 
   ByteWriter accept;
   accept.Pid(offer.pid);
+  accept.U32(attempt);
   TraceMigration(trace::kAcceptSent, offer.pid);
   SendAdmin(KernelAddress(offer.source), MsgType::kMigrateAccept, accept.Take());
 
@@ -199,6 +236,7 @@ void Kernel::HandleMigrateOffer(const Message& msg) {
     req.Pid(offer.pid);
     req.U8(static_cast<std::uint8_t>(section));
     req.U32(transfer_id);
+    req.U32(attempt);
     TraceMigration(trace::kPullRequested, offer.pid, static_cast<std::uint64_t>(section));
     SendAdmin(KernelAddress(offer.source), MsgType::kMoveDataReq, req.Take());
   }
@@ -207,10 +245,18 @@ void Kernel::HandleMigrateOffer(const Message& msg) {
 void Kernel::HandleMigrateAccept(const Message& msg) {
   ByteReader r(msg.payload);
   const ProcessId pid = r.Pid();
+  const std::uint32_t attempt = r.U32();
   auto it = migration_sources_.find(pid);
-  if (it != migration_sources_.end()) {
-    it->second.accepted = true;
-    TraceMigration(trace::kAcceptReceived, pid);
+  if (it == migration_sources_.end() || it->second.attempt != attempt) {
+    stats_.Add(stat::kStaleMigrationMsgs);
+    return;
+  }
+  it->second.accepted = true;
+  it->second.last_progress = queue_.Now();
+  TraceMigration(trace::kAcceptReceived, pid);
+  if (config_.migration_deadlines.offer_accept_us == 0) {
+    // No offer-phase chain is running; start the transfer-phase one.
+    ArmSourceWatchdog(pid, attempt, config_.migration_deadlines.transfer_progress_us);
   }
 }
 
@@ -218,6 +264,15 @@ void Kernel::HandleMigrateReject(const Message& msg) {
   ByteReader r(msg.payload);
   const ProcessId pid = r.Pid();
   const auto code = static_cast<StatusCode>(r.U8());
+  const std::uint32_t attempt = r.U32();
+  auto it = migration_sources_.find(pid);
+  if (it == migration_sources_.end() || it->second.attempt != attempt) {
+    // A refusal for an attempt this kernel already rolled back (duplicate
+    // delivery, or the reply raced a watchdog abort).  Acting on it would
+    // abort a *newer* attempt of the same process; drop it instead.
+    stats_.Add(stat::kStaleMigrationMsgs);
+    return;
+  }
   AbortMigrationAtSource(pid, Status(code, "destination refused migration"));
 }
 
@@ -259,6 +314,7 @@ void Kernel::HandleMoveDataReq(const Message& msg) {
   const ProcessId pid = r.Pid();
   const auto section = static_cast<MigrationSection>(r.U8());
   const std::uint32_t transfer_id = r.U32();
+  const std::uint32_t attempt = r.U32();
 
   auto it = migration_sources_.find(pid);
   if (it == migration_sources_.end()) {
@@ -266,6 +322,11 @@ void Kernel::HandleMoveDataReq(const Message& msg) {
                                 << pid.ToString();
     return;
   }
+  if (it->second.attempt != attempt) {
+    stats_.Add(stat::kStaleMigrationMsgs);
+    return;
+  }
+  it->second.last_progress = queue_.Now();
   const MigrationSource& source = it->second;
   const PayloadRef* bytes = nullptr;
   switch (section) {
@@ -288,6 +349,12 @@ void Kernel::HandleMoveDataReq(const Message& msg) {
   prototype.mode = StreamMode::kPull;
   prototype.transfer_id = transfer_id;
   StreamBytes(*bytes, prototype, KernelAddress(source.destination), kLinkNone);
+  // Tag the stream so its acks count as watchdog progress for this migration.
+  auto oit = outgoing_transfers_.find(transfer_id);
+  if (oit != outgoing_transfers_.end()) {
+    oit->second.for_migration = true;
+    oit->second.migration_pid = pid;
+  }
 }
 
 void Kernel::OnMigrationSectionReceived(const ProcessId& pid, MigrationSection section,
@@ -297,6 +364,7 @@ void Kernel::OnMigrationSectionReceived(const ProcessId& pid, MigrationSection s
     return;
   }
   MigrationDest& dest = it->second;
+  dest.last_progress = queue_.Now();
   TraceMigration(trace::kSectionReceived, pid, static_cast<std::uint64_t>(section),
                  bytes.size());
   if (observer_ != nullptr) {
@@ -333,11 +401,13 @@ void Kernel::OnMigrationSectionReceived(const ProcessId& pid, MigrationSection s
                                  << pid.ToString();
     memory_used_ -= std::min<std::uint64_t>(memory_used_, dest.offer.memory_bytes);
     const MachineId source_machine = dest.source;
+    const std::uint32_t stale_attempt = dest.attempt;
     processes_.Erase(pid);
     migration_dests_.erase(it);
     ByteWriter w;
     w.Pid(pid);
     w.U8(static_cast<std::uint8_t>(StatusCode::kRefused));
+    w.U32(stale_attempt);
     SendAdmin(KernelAddress(source_machine), MsgType::kMigrateReject, w.Take());
     return;
   }
@@ -359,9 +429,17 @@ void Kernel::OnMigrationSectionReceived(const ProcessId& pid, MigrationSection s
                                  << pid.ToString() << ": " << swappable_ok.ToString();
   }
 
-  // Step 5 end: control returns to the source kernel.
+  // Step 5 end: control returns to the source kernel.  From here the
+  // destination holds a complete image and waits only for kCleanupDone.
+  dest.assembled = true;
+  dest.last_progress = queue_.Now();
+  if (config_.migration_deadlines.transfer_progress_us == 0) {
+    // No transfer-phase chain is running; start the handoff-phase one.
+    ArmDestWatchdog(pid, dest.attempt, config_.migration_deadlines.handoff_us);
+  }
   ByteWriter w;
   w.Pid(pid);
+  w.U32(dest.attempt);
   TraceMigration(trace::kTransferDoneSent, pid);
   SendAdmin(KernelAddress(dest.source), MsgType::kTransferComplete, w.Take());
 }
@@ -373,7 +451,16 @@ void Kernel::OnMigrationSectionReceived(const ProcessId& pid, MigrationSection s
 
 void Kernel::HandleTransferComplete(const Message& msg) {
   ByteReader r(msg.payload);
-  FinishMigrationAtSource(r.Pid());
+  const ProcessId pid = r.Pid();
+  const std::uint32_t attempt = r.U32();
+  auto it = migration_sources_.find(pid);
+  if (it == migration_sources_.end() || it->second.attempt != attempt) {
+    // Completion of an attempt already rolled back by the watchdog; the
+    // destination's copy will be cancelled (or reaped by its own deadline).
+    stats_.Add(stat::kStaleMigrationMsgs);
+    return;
+  }
+  FinishMigrationAtSource(pid);
 }
 
 void Kernel::FinishMigrationAtSource(const ProcessId& pid) {
@@ -428,6 +515,7 @@ void Kernel::FinishMigrationAtSource(const ProcessId& pid) {
 
   ByteWriter done;
   done.Pid(pid);
+  done.U32(source.attempt);
   TraceMigration(trace::kCleanupSent, pid);
   SendAdmin(KernelAddress(source.destination), MsgType::kCleanupDone, done.Take());
   SendMigrateDone(source.requester, pid, source.destination, StatusCode::kOk);
@@ -458,7 +546,14 @@ void Kernel::SendMigrateDone(const ProcessAddress& requester, const ProcessId& p
 
 void Kernel::HandleCleanupDone(const Message& msg) {
   ByteReader r(msg.payload);
-  RestartMigratedProcess(r.Pid());
+  const ProcessId pid = r.Pid();
+  const std::uint32_t attempt = r.U32();
+  auto it = migration_dests_.find(pid);
+  if (it == migration_dests_.end() || it->second.attempt != attempt) {
+    stats_.Add(stat::kStaleMigrationMsgs);
+    return;
+  }
+  RestartMigratedProcess(pid);
 }
 
 void Kernel::RestartMigratedProcess(const ProcessId& pid) {
@@ -502,6 +597,212 @@ void Kernel::RestartMigratedProcess(const ProcessId& pid) {
   }
   DEMOS_LOG(kInfo, "migrate") << "m" << machine_ << ": restarted " << pid.ToString()
                               << " in state " << ExecStateName(record->state);
+}
+
+// ---------------------------------------------------------------------------
+// Failure model: per-phase watchdogs, rollback, and dead-peer suspicion
+// (docs/PROTOCOL.md "Failure model & rollback").
+//
+// Watchdog events are self-checking: each fires, verifies the migration entry
+// still exists with the same attempt epoch, recomputes the due time from the
+// last observed progress, and either re-arms for the remainder or declares
+// the peer dead.  Protocol steps and data acks bump last_progress, so a slow
+// but live transfer never times out.
+// ---------------------------------------------------------------------------
+
+void Kernel::ArmSourceWatchdog(const ProcessId& pid, std::uint32_t attempt, SimDuration delay) {
+  if (delay == 0) {
+    return;
+  }
+  queue_.After(delay, [this, pid, attempt] {
+    auto it = migration_sources_.find(pid);
+    if (it == migration_sources_.end() || it->second.attempt != attempt) {
+      return;  // migration finished, aborted, or restarted under a new epoch
+    }
+    if (halted_) {
+      return;  // crashed mid-wait; KickAllProcesses re-arms on revive
+    }
+    const MigrationSource& source = it->second;
+    const SimDuration deadline = source.accepted
+                                     ? config_.migration_deadlines.transfer_progress_us
+                                     : config_.migration_deadlines.offer_accept_us;
+    if (deadline == 0) {
+      return;
+    }
+    const SimTime due = source.last_progress + deadline;
+    if (queue_.Now() < due) {
+      ArmSourceWatchdog(pid, attempt, due - queue_.Now());
+      return;
+    }
+    TimeoutMigrationAtSource(pid);
+  });
+}
+
+void Kernel::ArmDestWatchdog(const ProcessId& pid, std::uint32_t attempt, SimDuration delay) {
+  if (delay == 0) {
+    return;
+  }
+  queue_.After(delay, [this, pid, attempt] {
+    auto it = migration_dests_.find(pid);
+    if (it == migration_dests_.end() || it->second.attempt != attempt) {
+      return;
+    }
+    if (halted_) {
+      return;
+    }
+    const MigrationDest& dest = it->second;
+    const SimDuration deadline = dest.assembled
+                                     ? config_.migration_deadlines.handoff_us
+                                     : config_.migration_deadlines.transfer_progress_us;
+    if (deadline == 0) {
+      return;
+    }
+    const SimTime due = dest.last_progress + deadline;
+    if (queue_.Now() < due) {
+      ArmDestWatchdog(pid, attempt, due - queue_.Now());
+      return;
+    }
+    const MachineId source_machine = dest.source;
+    const bool assembled = dest.assembled;
+    TraceMigration(trace::kWatchdogTimeout, pid, deadline);
+    SuspectPeer(source_machine);
+    if (assembled) {
+      // Handoff silence after a complete transfer: a live source -- even one
+      // that rolled the process back -- always delivers kCleanupDone or
+      // kMigrateCancel within a round trip, so the source is dead and this
+      // kernel holds the only complete copy.  Adopt it: restart locally.
+      // (Sec. 1's crash-migration scenario, driven by the watchdog.)
+      stats_.Add(stat::kMigrationsAdopted);
+      TraceMigration(trace::kDestAdopted, pid, source_machine);
+      DEMOS_LOG(kWarn, "migrate") << "m" << machine_ << ": adopting " << pid.ToString()
+                                  << " -- source m" << source_machine
+                                  << " silent past the handoff deadline";
+      RestartMigratedProcess(pid);
+    } else {
+      ReapMigrationDest(pid, "source silent past the transfer deadline");
+    }
+  });
+}
+
+void Kernel::TimeoutMigrationAtSource(const ProcessId& pid) {
+  auto it = migration_sources_.find(pid);
+  if (it == migration_sources_.end()) {
+    return;
+  }
+  const MachineId destination = it->second.destination;
+  const std::uint32_t attempt = it->second.attempt;
+  stats_.Add(stat::kMigrationsTimedOut);
+  TraceMigration(trace::kWatchdogTimeout, pid, destination);
+  SuspectPeer(destination);
+  // Tell the destination -- if it ever comes back -- to discard the partial
+  // image; the attempt epoch makes a late or duplicate cancel a no-op.
+  ByteWriter w;
+  w.Pid(pid);
+  w.U32(attempt);
+  TraceMigration(trace::kCancelSent, pid, destination);
+  SendAdmin(KernelAddress(destination), MsgType::kMigrateCancel, w.Take());
+  AbortMigrationAtSource(pid,
+                         Status(StatusCode::kPeerTimeout, "destination silent past deadline"));
+}
+
+void Kernel::HandleMigrateCancel(const Message& msg) {
+  ByteReader r(msg.payload);
+  const ProcessId pid = r.Pid();
+  const std::uint32_t attempt = r.U32();
+  auto it = migration_dests_.find(pid);
+  if (it == migration_dests_.end() || it->second.attempt != attempt) {
+    stats_.Add(stat::kStaleMigrationMsgs);
+    return;
+  }
+  TraceMigration(trace::kCancelReceived, pid, it->second.source);
+  ReapMigrationDest(pid, "cancelled by the source");
+}
+
+void Kernel::ReapMigrationDest(const ProcessId& pid, const char* why) {
+  auto it = migration_dests_.find(pid);
+  if (it == migration_dests_.end()) {
+    return;
+  }
+  MigrationDest dest = std::move(it->second);
+  migration_dests_.erase(it);
+
+  // Cancel the outstanding section pulls so stray late packets are dropped.
+  for (auto pit = incoming_pulls_.begin(); pit != incoming_pulls_.end();) {
+    if (pit->second.purpose == IncomingPull::Purpose::kMigrationSection &&
+        pit->second.migrating_pid == pid) {
+      pit = incoming_pulls_.erase(pit);
+    } else {
+      ++pit;
+    }
+  }
+
+  ProcessRecord* record = processes_.Find(pid);
+  if (record != nullptr) {
+    // Messages held for the arriving process go back toward the source: its
+    // kernel either still holds the authoritative copy (rollback in
+    // progress) or left a forwarding address behind, and the normal
+    // machinery takes over from there.
+    while (!record->queue.empty()) {
+      Message pending = std::move(record->queue.front());
+      record->queue.pop_front();
+      pending.receiver.last_known_machine = dest.source;
+      stats_.Add(stat::kPendingForwarded);
+      if (observer_ != nullptr && pending.trace_id != 0) {
+        observer_->OnPendingResend(machine_, pending);
+      }
+      Transmit(std::move(pending));
+    }
+    const std::uint64_t footprint =
+        dest.assembled ? record->memory.TotalSize() : dest.offer.memory_bytes;
+    memory_used_ -= std::min<std::uint64_t>(memory_used_, footprint);
+    processes_.Erase(pid);
+  }
+  stats_.Add(stat::kMigrationsReaped);
+  TraceMigration(trace::kDestReaped, pid, dest.source);
+  if (observer_ != nullptr) {
+    observer_->OnMigrationAborted(machine_, pid);
+  }
+  DEMOS_LOG(kInfo, "migrate") << "m" << machine_ << ": reaped partial image of "
+                              << pid.ToString() << " (" << why << ")";
+}
+
+void Kernel::RearmMigrationWatchdogs() {
+  // After a revive the pre-crash watchdog events were consumed against a
+  // halted kernel; restart the clocks so survivors get a full deadline.
+  for (auto& [pid, source] : migration_sources_) {
+    source.last_progress = queue_.Now();
+    const SimDuration deadline = source.accepted
+                                     ? config_.migration_deadlines.transfer_progress_us
+                                     : config_.migration_deadlines.offer_accept_us;
+    ArmSourceWatchdog(pid, source.attempt, deadline);
+  }
+  for (auto& [pid, dest] : migration_dests_) {
+    dest.last_progress = queue_.Now();
+    const SimDuration deadline = dest.assembled
+                                     ? config_.migration_deadlines.handoff_us
+                                     : config_.migration_deadlines.transfer_progress_us;
+    ArmDestWatchdog(pid, dest.attempt, deadline);
+  }
+}
+
+void Kernel::OnPeerGiveUp(MachineId peer) { SuspectPeer(peer); }
+
+void Kernel::SuspectPeer(MachineId peer) {
+  if (config_.suspect_backoff_us == 0) {
+    return;
+  }
+  PeerSuspicion& suspicion = suspects_[peer];
+  suspicion.strikes++;
+  const std::uint32_t shift = std::min<std::uint32_t>(suspicion.strikes - 1, 6);
+  const SimTime until = queue_.Now() + (config_.suspect_backoff_us << shift);
+  suspicion.until = std::max(suspicion.until, until);
+  stats_.Add(stat::kPeersSuspected);
+  if (tracer_.enabled()) {
+    tracer_.Instant(queue_.Now(), trace::kMigration, trace::kPeerSuspected, peer, ProcessId{},
+                    peer, suspicion.until);
+  }
+  DEMOS_LOG(kInfo, "migrate") << "m" << machine_ << ": suspecting m" << peer
+                              << " (strike " << suspicion.strikes << ")";
 }
 
 // ---------------------------------------------------------------------------

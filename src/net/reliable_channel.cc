@@ -55,8 +55,12 @@ void ReliableTransport::ScheduleRetransmit(MachineId src, MachineId dst, std::ui
     if (config_.max_retries != 0 && attempt > config_.max_retries) {
       DEMOS_LOG(kWarn, "rel") << "giving up on frame m" << src << "->m" << dst << " seq " << seq;
       stats_.Add(stat::kRelGiveUps);
+      stats_.Add("rel_give_ups_m" + std::to_string(src) + "_to_m" + std::to_string(dst));
       TraceFrame(trace::kGiveUp, src, seq, attempt);
       sit->second.unacked.erase(uit);
+      if (on_give_up_) {
+        on_give_up_(src, dst, seq);
+      }
       return;
     }
     stats_.Add(stat::kRelRetransmits);

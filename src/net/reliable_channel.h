@@ -11,6 +11,7 @@
 #define DEMOS_NET_RELIABLE_CHANNEL_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <unordered_map>
 
@@ -45,6 +46,11 @@ class ReliableTransport final : public Transport {
   StatsRegistry& stats() { return stats_; }
   Tracer& tracer() { return tracer_; }
   const Tracer& tracer() const { return tracer_; }
+
+  // Invoked when a frame from `src` to `dst` exhausts max_retries and is
+  // dropped.  The kernel layer uses this as its dead-peer signal.
+  using GiveUpHandler = std::function<void(MachineId src, MachineId dst, std::uint64_t seq)>;
+  void set_on_give_up(GiveUpHandler handler) { on_give_up_ = std::move(handler); }
 
  private:
   struct PairKey {
@@ -97,6 +103,7 @@ class ReliableTransport final : public Transport {
   std::unordered_map<PairKey, ReceiverState, PairKeyHash> receivers_;
   StatsRegistry stats_;
   Tracer tracer_;
+  GiveUpHandler on_give_up_;
 };
 
 namespace stat {

@@ -80,6 +80,14 @@ inline constexpr const char* kCleanupSent = "cleanup_done_sent";
 inline constexpr const char* kRestarted = "restarted";  // step 8; arg0 = ExecState
 inline constexpr const char* kMigrationAborted = "migration_aborted";  // arg0 = StatusCode
 
+// Failure-path instants (watchdog deadlines, dead-peer recovery).
+inline constexpr const char* kWatchdogTimeout = "watchdog_timeout";  // arg0 = phase deadline (us)
+inline constexpr const char* kDestReaped = "dest_reaped";            // arg0 = source machine
+inline constexpr const char* kDestAdopted = "dest_adopted";          // arg0 = source machine
+inline constexpr const char* kPeerSuspected = "peer_suspected";  // arg0 = peer, arg1 = until (us)
+inline constexpr const char* kCancelSent = "cancel_sent";        // arg0 = dest machine
+inline constexpr const char* kCancelReceived = "cancel_received";  // arg0 = source machine
+
 // Message lifecycle instants, correlated by Message::trace_id.
 inline constexpr const char* kMsgSend = "send";        // arg0 = MsgType, arg1 = wire bytes
 inline constexpr const char* kMsgForward = "forward";  // arg0 = hop count, arg1 = next machine

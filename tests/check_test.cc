@@ -166,6 +166,62 @@ TEST(ClusterCheckerTest, CleanMigrationPassesAllInvariants) {
   EXPECT_EQ(checker.consumed_messages(), checker.tracked_messages());
 }
 
+TEST(ChaosScenarioTest, PermanentDeathScenarioIsDeterministicAndArmed) {
+  const ChaosScenario a = PermanentDeathScenarioFromSeed(42);
+  const ChaosScenario b = PermanentDeathScenarioFromSeed(42);
+  EXPECT_EQ(a.Describe(), b.Describe());
+  ASSERT_EQ(a.deaths.size(), 1u);
+  EXPECT_EQ(a.deaths[0].at, b.deaths[0].at);
+  EXPECT_EQ(a.deaths[0].machine, b.deaths[0].machine);
+  // The variant must arm the failure machinery the deaths exercise: finite
+  // retransmission, per-phase deadlines, and no revival crash windows.
+  EXPECT_TRUE(a.crashes.empty());
+  EXPECT_TRUE(a.reliable);
+  EXPECT_GT(a.max_retries, 0u);
+  EXPECT_GT(a.migration_deadline_us, 0);
+  EXPECT_GE(a.machines, 3);
+}
+
+TEST(ChaosHarnessTest, PermanentDeathSeedsPass) {
+  ChaosOptions quiet;
+  quiet.collect_trace = false;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const ChaosResult result = RunScenario(PermanentDeathScenarioFromSeed(seed), quiet);
+    EXPECT_TRUE(result.ok()) << "permadeath seed " << seed << ": "
+                             << (result.violations.empty()
+                                     ? std::string("no detail")
+                                     : result.violations.front().ToString());
+    EXPECT_TRUE(result.quiescent) << "permadeath seed " << seed;
+  }
+}
+
+TEST(ClusterCheckerTest, FrozenMigrationFlaggedAsLivenessViolation) {
+  // I8: migrate toward a silently dead destination with the watchdogs
+  // DISABLED (deadlines 0).  The source freezes the process, the offer goes
+  // into the void, and nothing ever resolves it -- exactly the stuck state
+  // the liveness audit exists to catch.
+  testutil::RegisterPrograms();
+  ClusterConfig config;
+  config.machines = 2;
+  config.trace_enabled = true;
+  Cluster cluster(config);
+  ClusterChecker checker(&cluster);
+  cluster.SetObserver(&checker);
+
+  auto counter = cluster.kernel(0).SpawnProcess("counter");
+  ASSERT_TRUE(counter.ok());
+  cluster.RunUntilIdle();
+  checker.ExpectLive(counter->pid);
+
+  cluster.kernel(1).SetHalted(true);  // dies without the checker being told
+  (void)cluster.kernel(0).StartMigration(counter->pid, 1,
+                                         cluster.kernel(0).kernel_address());
+  cluster.RunUntilIdle();
+  cluster.SetObserver(nullptr);
+
+  EXPECT_TRUE(HasInvariant(checker.CheckAtQuiescence(), "liveness"));
+}
+
 TEST(ClusterCheckerTest, DualOwnerFlagged) {
   // Force the bug I4 exists to catch: the same process live on two kernels at
   // once (a botched recovery that restores without reclaiming the original).

@@ -3,13 +3,27 @@
 
 #include <gtest/gtest.h>
 
+#include <string_view>
+
+#include "src/base/stats.h"
 #include "src/check/invariants.h"
 #include "src/fault/crash.h"
 #include "src/fault/recovery.h"
+#include "src/obs/trace.h"
 #include "tests/sys_test_util.h"
 
 namespace demos {
 namespace {
+
+int TraceCount(const Kernel& kernel, const char* name) {
+  int count = 0;
+  for (const TraceEvent& ev : kernel.tracer().events()) {
+    if (std::string_view(ev.name) == name) {
+      ++count;
+    }
+  }
+  return count;
+}
 
 class FaultTest : public ::testing::Test {
  protected:
@@ -326,6 +340,395 @@ TEST_F(FaultTest, DestinationCrashBeforeRestartStillDeliversExactlyOnce) {
   const std::vector<Violation> violations = checker.CheckAtQuiescence();
   EXPECT_TRUE(violations.empty())
       << (violations.empty() ? std::string() : violations.front().ToString());
+}
+
+// MidTransferConfig plus the watchdog machinery this PR adds: finite
+// retransmission (so the reliable layer reaches a give-up verdict against a
+// corpse) and all three per-phase migration deadlines armed.
+ClusterConfig WatchdogConfig() {
+  ClusterConfig config = MidTransferConfig();
+  config.reliable.max_retries = 6;
+  config.kernel.migration_deadlines.offer_accept_us = 30'000;
+  config.kernel.migration_deadlines.transfer_progress_us = 30'000;
+  config.kernel.migration_deadlines.handoff_us = 30'000;
+  return config;
+}
+
+TEST_F(FaultTest, DestinationDiesPermanentlyMidTransferSourceRollsBack) {
+  // The destination dies mid-MOVE_DATA and never comes back.  Without a
+  // reboot to resume the transfer, the source's progress watchdog must fire:
+  // rollback unfreezes the process in place, pending messages drain exactly
+  // once, the peer lands on the suspect list, and re-offering toward the
+  // corpse is refused without freezing anything.
+  Cluster cluster(WatchdogConfig());
+  ClusterChecker checker(&cluster);
+  cluster.SetObserver(&checker);
+
+  auto counter = cluster.kernel(0).SpawnProcess("counter", 4096, 32768, 2048);
+  ASSERT_TRUE(counter.ok());
+  checker.ExpectLive(counter->pid);
+  for (int i = 0; i < 3; ++i) {
+    cluster.kernel(0).SendFromKernel(*counter, kIncrement, {});
+  }
+  cluster.RunUntilIdle();
+
+  (void)cluster.kernel(0).StartMigration(counter->pid, 1,
+                                         cluster.kernel(0).kernel_address());
+  cluster.RunFor(2'000);  // mid-transfer
+  CrashController crash(&cluster);
+  crash.Crash(1);  // permanent: no Revive ever follows
+  // Work keeps arriving for the frozen process during the outage; rollback
+  // must deliver it to the resumed local copy, exactly once.
+  cluster.kernel(0).SendFromKernel(*counter, kIncrement, {});
+  cluster.kernel(0).SendFromKernel(*counter, kIncrement, {});
+  cluster.RunUntilIdle();
+
+  // The process resumed locally with every message applied exactly once.
+  ProcessRecord* record = cluster.kernel(0).FindProcess(counter->pid);
+  ASSERT_NE(record, nullptr);
+  EXPECT_NE(record->state, ExecState::kInMigration);
+  ByteReader r(record->memory.ReadData(0, 8));
+  EXPECT_EQ(r.U64(), 5u);
+  EXPECT_FALSE(cluster.kernel(0).HasMigrationInProgress());
+
+  // The requester was told why.
+  ASSERT_EQ(cluster.kernel(0).migrate_done_log().size(), 1u);
+  EXPECT_EQ(cluster.kernel(0).migrate_done_log()[0].status, StatusCode::kPeerTimeout);
+  EXPECT_EQ(cluster.kernel(0).migrate_done_log()[0].final_home, 0);
+  EXPECT_EQ(cluster.kernel(0).stats().Get(stat::kMigrationsTimedOut), 1);
+  EXPECT_GE(TraceCount(cluster.kernel(0), trace::kWatchdogTimeout), 1);
+  EXPECT_GE(TraceCount(cluster.kernel(0), trace::kCancelSent), 1);
+
+  // The reliable channel gave up on the corpse and fed the suspect list.
+  EXPECT_GE(cluster.reliable()->stats().Get("rel_give_ups_m0_to_m1"), 1);
+  EXPECT_TRUE(cluster.kernel(0).IsPeerSuspect(1));
+
+  // Policy refuses to re-offer toward a suspect peer -- no freeze, just a
+  // kUnavailable verdict back to the requester.
+  (void)cluster.kernel(0).StartMigration(counter->pid, 1,
+                                         cluster.kernel(0).kernel_address());
+  cluster.RunUntilIdle();
+  EXPECT_EQ(cluster.kernel(0).stats().Get(stat::kMigrationsRefusedSuspect), 1);
+  ASSERT_EQ(cluster.kernel(0).migrate_done_log().size(), 2u);
+  EXPECT_EQ(cluster.kernel(0).migrate_done_log()[1].status, StatusCode::kUnavailable);
+  EXPECT_EQ(cluster.HostOf(counter->pid), 0);
+
+  cluster.SetObserver(nullptr);
+  checker.MarkMachineDead(1);
+  const std::vector<Violation> violations = checker.CheckAtQuiescence();
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? std::string() : violations.front().ToString());
+}
+
+TEST_F(FaultTest, SourceDiesPermanentlyMidTransferDestinationReaps) {
+  // The source dies before the image is fully assembled.  The destination's
+  // progress watchdog must garbage-collect the partial image (never restart
+  // it -- the authoritative copy died with the source) and suspect the peer.
+  Cluster cluster(WatchdogConfig());
+  ClusterChecker checker(&cluster);
+  cluster.SetObserver(&checker);
+
+  auto counter = cluster.kernel(0).SpawnProcess("counter", 4096, 32768, 2048);
+  ASSERT_TRUE(counter.ok());
+  checker.ExpectLive(counter->pid);
+  for (int i = 0; i < 3; ++i) {
+    cluster.kernel(0).SendFromKernel(*counter, kIncrement, {});
+  }
+  cluster.RunUntilIdle();
+
+  (void)cluster.kernel(0).StartMigration(counter->pid, 1,
+                                         cluster.kernel(0).kernel_address());
+  cluster.RunFor(3'000);  // sections still streaming, image not assembled
+  CrashController crash(&cluster);
+  crash.Crash(0);  // permanent
+  cluster.RunUntilIdle();
+
+  // No half-built ghost left behind, and no restarted duplicate.
+  EXPECT_EQ(cluster.kernel(1).FindProcess(counter->pid), nullptr);
+  EXPECT_FALSE(cluster.kernel(1).HasMigrationInProgress());
+  EXPECT_EQ(cluster.kernel(1).stats().Get(stat::kMigrationsReaped), 1);
+  EXPECT_EQ(cluster.kernel(1).stats().Get(stat::kMigrationsAdopted), 0);
+  EXPECT_EQ(TraceCount(cluster.kernel(1), trace::kDestReaped), 1);
+  EXPECT_TRUE(cluster.kernel(1).IsPeerSuspect(0));
+
+  cluster.SetObserver(nullptr);
+  checker.MarkMachineDead(0);  // the process legitimately died with machine 0
+  const std::vector<Violation> violations = checker.CheckAtQuiescence();
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? std::string() : violations.front().ToString());
+}
+
+TEST_F(FaultTest, SourceDiesPermanentlyAfterTransferDestinationAdopts) {
+  // 2PC refinement: once the destination holds the complete image (it sent
+  // kMigrateDataDone), a silent source means only the cleanup handshake was
+  // lost.  Discarding now would lose the sole surviving copy, so the handoff
+  // watchdog must ADOPT: restart the process from the assembled image.
+  Cluster cluster(WatchdogConfig());
+  ClusterChecker checker(&cluster);
+  cluster.SetObserver(&checker);
+
+  auto counter = cluster.kernel(0).SpawnProcess("counter", 4096, 32768, 2048);
+  ASSERT_TRUE(counter.ok());
+  checker.ExpectLive(counter->pid);
+  for (int i = 0; i < 3; ++i) {
+    cluster.kernel(0).SendFromKernel(*counter, kIncrement, {});
+  }
+  cluster.RunUntilIdle();
+
+  (void)cluster.kernel(0).StartMigration(counter->pid, 1,
+                                         cluster.kernel(0).kernel_address());
+  // Run in fine steps until the destination announces transfer-complete,
+  // then kill the source before the cleanup handshake can land.
+  ASSERT_TRUE(testutil::RunUntil(
+      cluster,
+      [&] { return TraceCount(cluster.kernel(1), trace::kTransferDoneSent) > 0; },
+      2'000'000, /*step_us=*/50));
+  CrashController crash(&cluster);
+  crash.Crash(0);  // permanent
+  cluster.RunUntilIdle();
+
+  // The destination restarted the process itself; state arrived intact.
+  // (The corpse still holds its pre-crash record -- retained stable storage
+  // on a machine that will never run again -- so ask the live kernel.)
+  EXPECT_EQ(cluster.kernel(1).stats().Get(stat::kMigrationsAdopted), 1);
+  EXPECT_EQ(cluster.kernel(1).stats().Get(stat::kMigrationsReaped), 0);
+  EXPECT_EQ(TraceCount(cluster.kernel(1), trace::kDestAdopted), 1);
+  ProcessRecord* record = cluster.kernel(1).FindProcess(counter->pid);
+  ASSERT_NE(record, nullptr);
+  ByteReader r(record->memory.ReadData(0, 8));
+  EXPECT_EQ(r.U64(), 3u);
+
+  // And it keeps doing work at the new home.
+  cluster.kernel(1).SendFromKernel(ProcessAddress{1, counter->pid}, kIncrement, {});
+  cluster.RunUntilIdle();
+  ByteReader r2(record->memory.ReadData(0, 8));
+  EXPECT_EQ(r2.U64(), 4u);
+
+  cluster.SetObserver(nullptr);
+  checker.MarkMachineDead(0);
+  const std::vector<Violation> violations = checker.CheckAtQuiescence();
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? std::string() : violations.front().ToString());
+}
+
+TEST_F(FaultTest, DuplicateRejectDoesNotDoubleAbort) {
+  // A destination's refusal can be retransmitted and arrive again after the
+  // source already rolled the attempt back and begun a NEW attempt elsewhere.
+  // The attempt epoch must make the duplicate a stale no-op -- acting on it
+  // would abort the newer, healthy migration.
+  ClusterConfig config;
+  config.machines = 3;
+  config.trace_enabled = true;
+  Cluster cluster(config);
+  cluster.kernel(1).SetAcceptMigration([](const MigrateOffer&) { return false; });
+
+  auto counter = cluster.kernel(0).SpawnProcess("counter");
+  ASSERT_TRUE(counter.ok());
+  cluster.RunUntilIdle();
+  for (int i = 0; i < 3; ++i) {
+    cluster.kernel(0).SendFromKernel(*counter, kIncrement, {});
+  }
+  cluster.RunUntilIdle();
+
+  // Attempt 1: machine 1 refuses; the source rolls back.
+  (void)cluster.kernel(0).StartMigration(counter->pid, 1,
+                                         cluster.kernel(0).kernel_address());
+  cluster.RunUntilIdle();
+  ASSERT_EQ(cluster.kernel(0).migrate_done_log().size(), 1u);
+  EXPECT_EQ(cluster.kernel(0).migrate_done_log()[0].status, StatusCode::kRefused);
+  ASSERT_EQ(cluster.HostOf(counter->pid), 0);
+
+  // Attempt 2 toward machine 2; while it is in flight, replay attempt 1's
+  // negative reply (a duplicate delivery from the network's point of view).
+  (void)cluster.kernel(0).StartMigration(counter->pid, 2,
+                                         cluster.kernel(0).kernel_address());
+  cluster.RunFor(300);
+  ByteWriter stale;
+  stale.Pid(counter->pid);
+  stale.U8(static_cast<std::uint8_t>(StatusCode::kRefused));
+  stale.U32(1);  // attempt 1's epoch, long since rolled back
+  cluster.kernel(1).SendFromKernel(KernelAddress(0), MsgType::kMigrateReject, stale.Take());
+  cluster.RunUntilIdle();
+
+  // The duplicate was dropped as stale and attempt 2 completed normally.
+  EXPECT_GE(cluster.kernel(0).stats().Get(stat::kStaleMigrationMsgs), 1);
+  EXPECT_EQ(cluster.HostOf(counter->pid), 2);
+  ASSERT_EQ(cluster.kernel(0).migrate_done_log().size(), 2u);
+  EXPECT_EQ(cluster.kernel(0).migrate_done_log()[1].status, StatusCode::kOk);
+  EXPECT_EQ(cluster.kernel(0).migrate_done_log()[1].final_home, 2);
+
+  cluster.kernel(0).SendFromKernel(ProcessAddress{2, counter->pid}, kIncrement, {});
+  cluster.RunUntilIdle();
+  ByteReader r(cluster.FindProcessAnywhere(counter->pid)->memory.ReadData(0, 8));
+  EXPECT_EQ(r.U64(), 4u);
+}
+
+TEST_F(FaultTest, EvacuationWinsGraceRace) {
+  // DegradeThenCrash with a generous grace window: the evacuation finishes
+  // first, and the armed watchdogs never misfire on healthy migrations.
+  ClusterConfig config;
+  config.machines = 3;
+  config.kernel.migration_deadlines.offer_accept_us = 40'000;
+  config.kernel.migration_deadlines.transfer_progress_us = 40'000;
+  config.kernel.migration_deadlines.handoff_us = 40'000;
+  Cluster cluster(config);
+  SystemLayout layout = BootSystem(cluster);
+  auto sink = cluster.kernel(0).SpawnProcess("sink");
+  ASSERT_TRUE(sink.ok());
+  cluster.RunFor(1000);
+  testutil::TagProcess(cluster, *sink, 1);
+
+  std::vector<ProcessId> workers;
+  for (int i = 0; i < 3; ++i) {
+    ByteWriter w;
+    w.U64(static_cast<std::uint64_t>(i));
+    w.Str("counter");
+    w.U16(2);
+    w.U32(1024);
+    w.U32(512);
+    w.U32(256);
+    cluster.kernel(0).SendFromKernel(layout.process_manager, kPmCreate, w.Take(),
+                                     {Link{*sink, kLinkReply, 0, 0}});
+  }
+  ASSERT_TRUE(
+      testutil::RunUntil(cluster, [&] { return testutil::CapturedFor(1).size() >= 3; }));
+  for (const auto& captured : testutil::CapturedFor(1)) {
+    ByteReader r(captured.payload);
+    (void)r.U64();
+    (void)r.U8();
+    workers.push_back(r.Address().pid);
+  }
+
+  CrashController crash(&cluster);
+  crash.DegradeThenCrash(2, /*grace_us=*/400'000);
+  ByteWriter w;
+  w.U16(2);
+  cluster.kernel(0).SendFromKernel(layout.process_manager, kPmEvacuate, w.Take());
+
+  ASSERT_TRUE(testutil::RunUntil(
+      cluster,
+      [&] {
+        for (const ProcessId& pid : workers) {
+          const MachineId at = cluster.HostOf(pid);
+          if (at == 2 || at == kNoMachine) {
+            return false;
+          }
+        }
+        return true;
+      },
+      350'000));
+  cluster.RunFor(600'000);
+  EXPECT_TRUE(crash.IsCrashed(2));
+
+  // Every worker escaped and still responds.
+  for (const ProcessId& pid : workers) {
+    const MachineId at = cluster.HostOf(pid);
+    ASSERT_NE(at, 2);
+    ASSERT_NE(at, kNoMachine);
+    cluster.kernel(0).SendFromKernel(ProcessAddress{at, pid}, kIncrement, {});
+  }
+  cluster.RunFor(50'000);
+  for (const ProcessId& pid : workers) {
+    ProcessRecord* record = cluster.FindProcessAnywhere(pid);
+    ASSERT_NE(record, nullptr);
+    ByteReader r(record->memory.ReadData(0, 8));
+    EXPECT_EQ(r.U64(), 1u);
+  }
+  // The deadlines were armed the whole time yet no failure path fired: the
+  // watchdogs measure progress, not elapsed time.
+  for (int m = 0; m < 2; ++m) {
+    EXPECT_EQ(cluster.kernel(m).stats().Get(stat::kMigrationsTimedOut), 0) << "m" << m;
+    EXPECT_EQ(cluster.kernel(m).stats().Get(stat::kMigrationsReaped), 0) << "m" << m;
+    EXPECT_EQ(cluster.kernel(m).stats().Get(stat::kMigrationsAdopted), 0) << "m" << m;
+  }
+}
+
+TEST_F(FaultTest, EvacuationLosesGraceRaceLeavesNoFrozenState) {
+  // DegradeThenCrash with a grace window too small for the evacuation of
+  // large workers: the machine dies mid-exodus.  I8 is the property under
+  // test -- after every deadline elapses, no surviving kernel may hold
+  // migration state or a frozen process.  Workers either escaped whole or
+  // died with the ship; none are stuck in between.
+  ClusterConfig config;
+  config.machines = 3;
+  config.kernel.migration_deadlines.offer_accept_us = 40'000;
+  config.kernel.migration_deadlines.transfer_progress_us = 40'000;
+  config.kernel.migration_deadlines.handoff_us = 40'000;
+  Cluster cluster(config);
+  SystemLayout layout = BootSystem(cluster);
+  auto sink = cluster.kernel(0).SpawnProcess("sink");
+  ASSERT_TRUE(sink.ok());
+  cluster.RunFor(1000);
+  testutil::TagProcess(cluster, *sink, 1);
+
+  // Big data segments so each transfer takes tens of milliseconds -- the
+  // 30 ms grace window cannot cover all three.
+  std::vector<ProcessId> workers;
+  for (int i = 0; i < 3; ++i) {
+    ByteWriter w;
+    w.U64(static_cast<std::uint64_t>(i));
+    w.Str("counter");
+    w.U16(2);
+    w.U32(1024);
+    w.U32(262144);
+    w.U32(256);
+    cluster.kernel(0).SendFromKernel(layout.process_manager, kPmCreate, w.Take(),
+                                     {Link{*sink, kLinkReply, 0, 0}});
+  }
+  ASSERT_TRUE(
+      testutil::RunUntil(cluster, [&] { return testutil::CapturedFor(1).size() >= 3; }));
+  for (const auto& captured : testutil::CapturedFor(1)) {
+    ByteReader r(captured.payload);
+    (void)r.U64();
+    (void)r.U8();
+    workers.push_back(r.Address().pid);
+  }
+
+  CrashController crash(&cluster);
+  crash.DegradeThenCrash(2, /*grace_us=*/30'000);
+  ByteWriter w;
+  w.U16(2);
+  cluster.kernel(0).SendFromKernel(layout.process_manager, kPmEvacuate, w.Take());
+
+  ASSERT_TRUE(
+      testutil::RunUntil(cluster, [&] { return crash.IsCrashed(2); }, 100'000));
+  // Let every per-phase deadline on the survivors elapse and resolve.
+  cluster.RunFor(300'000);
+
+  // I8 on the survivors: all failure paths fired, nothing is frozen.
+  for (int m = 0; m < 2; ++m) {
+    EXPECT_FALSE(cluster.kernel(m).HasMigrationInProgress()) << "m" << m;
+    for (const auto& [pid, entry] : cluster.kernel(m).process_table().entries()) {
+      if (!entry.IsForwarding()) {
+        EXPECT_NE(entry.process->state, ExecState::kInMigration)
+            << pid.ToString() << " frozen on m" << m;
+      }
+    }
+  }
+
+  // Dichotomy: a worker either escaped to a live machine (and still counts)
+  // or its only copy is on the corpse.  Nothing may be duplicated or stuck.
+  int escaped = 0;
+  for (const ProcessId& pid : workers) {
+    const MachineId at = cluster.HostOf(pid);
+    if (at == 0 || at == 1) {
+      ++escaped;
+      cluster.kernel(0).SendFromKernel(ProcessAddress{at, pid}, kIncrement, {});
+    } else {
+      EXPECT_TRUE(at == 2 || at == kNoMachine) << pid.ToString();
+    }
+  }
+  cluster.RunFor(50'000);
+  for (const ProcessId& pid : workers) {
+    const MachineId at = cluster.HostOf(pid);
+    if (at == 0 || at == 1) {
+      ProcessRecord* record = cluster.kernel(at).FindProcess(pid);
+      ASSERT_NE(record, nullptr);
+      ByteReader r(record->memory.ReadData(0, 8));
+      EXPECT_EQ(r.U64(), 1u) << pid.ToString();
+    }
+  }
+  (void)escaped;  // any split is legal; the invariant is no-one-in-between
 }
 
 TEST_F(FaultTest, CheckpointOfMissingProcessFails) {

@@ -11,6 +11,8 @@
 //   chaos_fuzz --seed=42 --trace-out=t.json   write the trimmed Chrome trace
 //   chaos_fuzz --artifacts-dir=out     failing seeds + traces for CI upload
 //   chaos_fuzz --disable=crashes,drop  mask feature axes (replay aid)
+//   chaos_fuzz --seeds=50 --permadeath permanent machine-death scenarios
+//                                      (migration watchdogs armed, I8 audit)
 //
 // Exit status: 0 if every seed passed, 1 otherwise.
 
@@ -35,6 +37,7 @@ struct Options {
   std::uint64_t start = 1;
   bool minimize = false;
   bool verbose = false;
+  bool permadeath = false;
   std::string trace_out;
   std::string artifacts_dir;
   std::vector<demos::ChaosFeature> disabled;
@@ -94,6 +97,8 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
         }
         pos = comma + 1;
       }
+    } else if (arg == "--permadeath") {
+      opts->permadeath = true;
     } else if (arg == "--minimize") {
       opts->minimize = true;
     } else if (arg == "--verbose" || arg == "-v") {
@@ -111,12 +116,14 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
 void PrintUsage() {
   std::fprintf(stderr,
                "usage: chaos_fuzz (--seed=N | --seeds=K [--start=S])\n"
-               "                  [--minimize] [--verbose] [--trace-out=PATH]\n"
-               "                  [--artifacts-dir=DIR] [--disable=f1,f2,...]\n"
+               "                  [--permadeath] [--minimize] [--verbose]\n"
+               "                  [--trace-out=PATH] [--artifacts-dir=DIR]\n"
+               "                  [--disable=f1,f2,...]\n"
                "features: crashes drop dup jitter notes cpu rpc halve-migrations\n");
 }
 
-void PrintFailure(const demos::ChaosScenario& scenario, const demos::ChaosResult& result) {
+void PrintFailure(const Options& opts, const demos::ChaosScenario& scenario,
+                  const demos::ChaosResult& result) {
   std::printf("FAIL seed=%llu (%zu violation%s)\n",
               static_cast<unsigned long long>(scenario.seed), result.violations.size(),
               result.violations.size() == 1 ? "" : "s");
@@ -128,7 +135,9 @@ void PrintFailure(const demos::ChaosScenario& scenario, const demos::ChaosResult
   if (result.violations.size() > kMaxPrinted) {
     std::printf("  ... and %zu more\n", result.violations.size() - kMaxPrinted);
   }
-  std::printf("repro: chaos_fuzz --seed=%llu\n", static_cast<unsigned long long>(scenario.seed));
+  std::printf("repro: chaos_fuzz --seed=%llu%s\n",
+              static_cast<unsigned long long>(scenario.seed),
+              opts.permadeath ? " --permadeath" : "");
 }
 
 // Trim the cluster timeline to the violation's cast of characters and write a
@@ -159,7 +168,9 @@ void RecordArtifacts(const Options& opts, const demos::ChaosScenario& scenario,
 
 // Runs one seed; returns true iff it passed.
 bool RunSeed(const Options& opts, std::uint64_t seed) {
-  demos::ChaosScenario scenario = demos::ScenarioFromSeed(seed);
+  demos::ChaosScenario scenario = opts.permadeath
+                                      ? demos::PermanentDeathScenarioFromSeed(seed)
+                                      : demos::ScenarioFromSeed(seed);
   for (const demos::ChaosFeature f : opts.disabled) {
     (void)demos::DisableFeature(&scenario, f);
   }
@@ -175,7 +186,7 @@ bool RunSeed(const Options& opts, std::uint64_t seed) {
     return true;
   }
 
-  PrintFailure(scenario, result);
+  PrintFailure(opts, scenario, result);
   if (!opts.trace_out.empty()) {
     WriteTrimmedTrace(result, opts.trace_out);
   }
