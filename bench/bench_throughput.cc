@@ -27,11 +27,22 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/obs/metrics.h"
 #include "src/run/parallel_cluster.h"
 #include "src/workload/token_ring_harness.h"
 
 namespace demos {
 namespace {
+
+// Per-shard runtime counters pulled from the metrics engine after a parallel
+// phase (empty for sequential phases and for --metrics=off runs).
+struct ShardBreakdown {
+  int shard = 0;
+  std::uint64_t msgs_drained = 0;
+  std::uint64_t spill_rescued = 0;
+  std::uint64_t parks = 0;
+  std::uint64_t notifies = 0;
+};
 
 struct PhaseResult {
   std::string engine;  // "sequential" | "parallel"
@@ -42,6 +53,7 @@ struct PhaseResult {
   std::int64_t migrations = 0;  // completed chained migrations
   double messages_per_sec = 0;
   double migrations_per_sec = 0;
+  std::vector<ShardBreakdown> per_shard;
 };
 
 struct RingTotals {
@@ -116,12 +128,23 @@ bool RunSequentialPhase(int machines, const TokenRingSpec& spec, const std::stri
 }
 
 // One phase on the parallel engine: M shards, one worker thread each.
+// `series_out` non-null attaches the periodic sampler and hands back the
+// demos-metrics-v1 time series for this phase.
 bool RunParallelPhase(int machines, const TokenRingSpec& spec, const std::string& phase,
-                      PhaseResult& out) {
-  ParallelCluster cluster(ParallelClusterConfig{.machines = machines});
+                      bool metrics_on, MetricsTimeSeries* series_out, PhaseResult& out) {
+  ParallelClusterConfig pc;
+  pc.machines = machines;
+  pc.metrics_enabled = metrics_on;
+  pc.flight_recorder_enabled = metrics_on;
+  ParallelCluster cluster(pc);
   std::vector<TokenRing> rings = BuildTokenRings(cluster, spec);
   if (rings.empty()) {
     return false;
+  }
+  MetricsSampler sampler(cluster.metrics(), std::chrono::milliseconds(10));
+  if (series_out != nullptr && cluster.metrics() != nullptr) {
+    sampler.SetCollector([&cluster] { cluster.RefreshDepthGauges(); });
+    sampler.Start();
   }
   const auto start = std::chrono::steady_clock::now();
   KickTokenRings(cluster, rings, spec.tokens_per_node, spec.hops_per_token);
@@ -130,8 +153,24 @@ bool RunParallelPhase(int machines, const TokenRingSpec& spec, const std::string
     return false;
   }
   const auto end = std::chrono::steady_clock::now();
+  if (series_out != nullptr && cluster.metrics() != nullptr) {
+    sampler.Stop();
+    *series_out = sampler.TakeSeries(cluster.KernelStats());
+  }
 
   const RingTotals totals = SumProgramCounters(cluster, rings);
+  if (const MetricsEngine* metrics = cluster.metrics()) {
+    for (int i = 0; i < machines; ++i) {
+      const MetricShard& slab = metrics->shard(i);
+      ShardBreakdown b;
+      b.shard = i;
+      b.msgs_drained = slab.Counter(CounterId::kMsgsDrained);
+      b.spill_rescued = slab.Counter(CounterId::kSpillRescued);
+      b.parks = slab.Counter(CounterId::kCondvarParks);
+      b.notifies = slab.Counter(CounterId::kCondvarNotifies);
+      out.per_shard.push_back(b);
+    }
+  }
   cluster.Stop();
   const std::int64_t nodes = static_cast<std::int64_t>(spec.rings) * spec.nodes_per_ring;
   const std::int64_t want_migrations = machines >= 2 ? nodes * spec.migrate_count : 0;
@@ -189,8 +228,21 @@ bool WriteJson(const std::string& path, const std::vector<PhaseResult>& results,
     std::snprintf(buf, sizeof(buf), "%.1f", r.messages_per_sec);
     out << ", \"messages_per_sec\": " << buf;
     std::snprintf(buf, sizeof(buf), "%.1f", r.migrations_per_sec);
-    out << ", \"migrations_per_sec\": " << buf << "}";
-    out << (i + 1 < results.size() ? ",\n" : "\n");
+    out << ", \"migrations_per_sec\": " << buf;
+    // Additive per-shard breakdown (parallel phases with metrics on only);
+    // readers of demos-bench-throughput-v1 that predate it ignore the key.
+    if (!r.per_shard.empty()) {
+      out << ", \"per_shard\": [";
+      for (std::size_t j = 0; j < r.per_shard.size(); ++j) {
+        const ShardBreakdown& b = r.per_shard[j];
+        out << (j == 0 ? "" : ", ") << "{\"shard\": " << b.shard
+            << ", \"msgs_drained\": " << b.msgs_drained
+            << ", \"spill_rescued\": " << b.spill_rescued << ", \"parks\": " << b.parks
+            << ", \"notifies\": " << b.notifies << "}";
+      }
+      out << "]";
+    }
+    out << "}" << (i + 1 < results.size() ? ",\n" : "\n");
   }
   out << "  ]\n";
   out << "}\n";
@@ -199,12 +251,20 @@ bool WriteJson(const std::string& path, const std::vector<PhaseResult>& results,
 
 int Main(int argc, char** argv) {
   std::string json_path;
+  std::string metrics_path;  // demos-metrics-v1 series from the 4-shard run
+  bool metrics_on = true;    // --metrics=off measures the instrumentation cost
   // Work scale knob so CI can trade precision for runtime.
   double scale = 1.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_path = arg.substr(14);
+    } else if (arg == "--metrics=off") {
+      metrics_on = false;
+    } else if (arg == "--metrics=on") {
+      metrics_on = true;
     } else if (arg.rfind("--scale=", 0) == 0) {
       scale = std::stod(arg.substr(8));
     }
@@ -233,16 +293,27 @@ int Main(int argc, char** argv) {
   migrations_spec.migrate_after_tokens = 1;
 
   std::vector<PhaseResult> results;
+  MetricsTimeSeries metrics_series;
+  bool have_metrics_series = false;
   for (const int shards : {1, 2, 4, 8}) {
     for (const char* engine : {"sequential", "parallel"}) {
       PhaseResult messages;
       PhaseResult migrations;
       const bool seq = std::strcmp(engine, "sequential") == 0;
+      // The 4-shard messages phase is the canonical metrics capture: enough
+      // cross-shard traffic to populate every mailbox/park/spill series.
+      MetricsTimeSeries* capture =
+          (!seq && shards == 4 && !metrics_path.empty()) ? &metrics_series : nullptr;
       const bool ok =
           seq ? RunSequentialPhase(shards, messages_spec, "messages", messages) &&
                     RunSequentialPhase(shards, migrations_spec, "migrations", migrations)
-              : RunParallelPhase(shards, messages_spec, "messages", messages) &&
-                    RunParallelPhase(shards, migrations_spec, "migrations", migrations);
+              : RunParallelPhase(shards, messages_spec, "messages", metrics_on, capture,
+                                 messages) &&
+                    RunParallelPhase(shards, migrations_spec, "migrations", metrics_on, nullptr,
+                                     migrations);
+      if (capture != nullptr) {
+        have_metrics_series = metrics_on;
+      }
       if (!ok) {
         return 1;
       }
@@ -266,6 +337,19 @@ int Main(int argc, char** argv) {
   std::printf("\nparallel msgs/sec scaling, 4 shards vs 1 shard: %.2fx\n", scaling);
   if (std::thread::hardware_concurrency() < 4) {
     std::printf("(host has < 4 cores: aggregate scaling is not measurable here)\n");
+  }
+
+  if (!metrics_path.empty()) {
+    if (!have_metrics_series) {
+      std::fprintf(stderr, "--metrics-out requires --metrics=on\n");
+      return 1;
+    }
+    if (!WriteMetricsJsonFile(metrics_series, metrics_path)) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+    std::printf("metrics: %s (%zu samples, 4-shard messages phase)\n", metrics_path.c_str(),
+                metrics_series.samples.size());
   }
 
   if (!json_path.empty() && !WriteJson(json_path, results, scaling)) {

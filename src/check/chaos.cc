@@ -341,6 +341,25 @@ ChaosResult RunScenario(const ChaosScenario& s, const ChaosOptions& options) {
   cluster.SetObserver(&checker);
   CrashController faults(&cluster);
 
+  // Flight recorders: one per kernel plus a harness slot (index s.machines)
+  // for the reliable channel and the checker verdict.  Stamped with the
+  // virtual clock so a replayed seed produces a byte-identical dump.
+  std::unique_ptr<FlightRecorderHub> flight;
+  if (options.collect_flight) {
+    flight = std::make_unique<FlightRecorderHub>(s.machines + 1, /*capacity_per_shard=*/4096);
+    flight->SetClockAll(
+        +[](void* ctx) -> std::uint64_t {
+          return static_cast<std::uint64_t>(static_cast<EventQueue*>(ctx)->Now()) * 1000;
+        },
+        &cluster.queue());
+    for (int i = 0; i < s.machines; ++i) {
+      cluster.kernel(static_cast<MachineId>(i)).SetFlightRecorder(&flight->recorder(i));
+    }
+    if (cluster.reliable() != nullptr) {
+      cluster.reliable()->SetObservability(nullptr, &flight->recorder(s.machines));
+    }
+  }
+
   // ---- Roster (slot order documented in ChaosScenario). ----
   std::vector<ProcessAddress> roster;
   std::vector<ProcessAddress> pinger_addrs;
@@ -492,6 +511,23 @@ ChaosResult RunScenario(const ChaosScenario& s, const ChaosOptions& options) {
   if (options.collect_trace) {
     result.trace = cluster.TotalTrace().events();
   }
+  if (flight) {
+    if (!result.violations.empty()) {
+      // Mark the verdict in the harness slot, then latch; if a watchdog
+      // already latched adopt/cancel/reap mid-run, that earlier reason wins.
+      flight->recorder(s.machines)
+          .Record(FrEvent::kInvariantFail, result.violations.size());
+      flight->Trigger("invariant failure");
+    }
+    result.flight = flight->Merged();
+    result.flight_trigger = flight->reason();
+    for (int i = 0; i < s.machines; ++i) {
+      cluster.kernel(static_cast<MachineId>(i)).SetFlightRecorder(nullptr);
+    }
+    if (cluster.reliable() != nullptr) {
+      cluster.reliable()->SetObservability(nullptr, nullptr);
+    }
+  }
   cluster.SetObserver(nullptr);
   return result;
 }
@@ -506,6 +542,7 @@ MinimizeResult MinimizeScenario(const ChaosScenario& failing, const ChaosOptions
 
   ChaosOptions quiet = options;
   quiet.collect_trace = false;
+  quiet.collect_flight = false;
   auto still_fails = [&](const ChaosScenario& candidate) {
     ++result.runs;
     return !RunScenario(candidate, quiet).ok();

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/check/invariants.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/trace.h"
 #include "src/sim/event_queue.h"
 
@@ -140,6 +141,9 @@ bool DisableFeature(ChaosScenario* scenario, ChaosFeature feature);
 
 struct ChaosOptions {
   bool collect_trace = true;
+  // Run every kernel with an attached flight recorder (virtual-clock stamped,
+  // so dumps are deterministic) and carry the merged window in the result.
+  bool collect_flight = true;
   // Fault injection threaded into every kernel (KernelConfig::forward_fault).
   std::function<void(Message&)> forward_fault;
 };
@@ -152,6 +156,11 @@ struct ChaosResult {
   std::size_t events_executed = 0;
   std::uint64_t messages_tracked = 0;
   std::vector<TraceEvent> trace;  // full cluster timeline (collect_trace)
+  // Merged flight-recorder window (collect_flight) and the latched dump
+  // reason: the first of watchdog adopt/cancel/reap or "invariant failure".
+  // Null trigger = nothing went wrong.
+  std::vector<FlightRecord> flight;
+  const char* flight_trigger = nullptr;
   std::vector<std::uint64_t> suspect_trace_ids;
   std::vector<ProcessId> suspect_pids;
 

@@ -31,6 +31,7 @@
 #include "src/kernel/observer.h"
 #include "src/kernel/process.h"
 #include "src/net/transport.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/trace.h"
 #include "src/proc/program.h"
 #include "src/sim/event_queue.h"
@@ -133,6 +134,11 @@ class Kernel {
 
   // Attach a passive monitor (invariant checker).  Not owned; null detaches.
   void SetObserver(KernelObserver* observer) { observer_ = observer; }
+  // Attach this kernel's shard-local flight recorder (src/obs).  Not owned;
+  // null detaches.  Migration state-machine edges, watchdog verdicts, and
+  // suspect-list updates land in it; everything is recorded from this
+  // kernel's own thread, preserving the recorder's single-writer contract.
+  void SetFlightRecorder(FlightRecorder* flight) { flight_ = flight; }
   EventQueue& queue() { return queue_; }
   Rng& rng() { return rng_; }
   const KernelConfig& config() const { return config_; }
@@ -371,6 +377,17 @@ class Kernel {
     }
   }
 
+  // ---- Flight-recorder points (src/obs; no-ops when detached). ----
+  void FlightRecord(FrEvent type, std::uint64_t a = 0, std::uint64_t b = 0) {
+    if (flight_ != nullptr) {
+      flight_->Record(type, a, b);
+    }
+  }
+  void FlightMigration(FrMigrationEdge edge, const ProcessId& pid) {
+    FlightRecord(FrEvent::kMigrationPhase, static_cast<std::uint64_t>(edge),
+                 MigrationSpanId(pid));
+  }
+
   MachineId machine_;
   EventQueue& queue_;
   Transport* transport_;
@@ -434,6 +451,7 @@ class Kernel {
   bool halted_ = false;
   std::uint32_t routes_since_sweep_ = 0;
   KernelObserver* observer_ = nullptr;
+  FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace demos

@@ -91,6 +91,7 @@ void Kernel::HandleMigrateRequest(ProcessRecord& record, const Message& msg) {
   // the instigator's byte accounting stays exact across the snapshot.
   FlushPushAcksFor(pid);
   TraceMigration(trace::kMigrationBegin, pid, destination);
+  FlightMigration(FrMigrationEdge::kStart, pid);
   MigrationSource source;
   source.requester = requester;
   source.destination = destination;
@@ -155,6 +156,7 @@ void Kernel::HandleMigrateOffer(const Message& msg) {
   TraceMigration(trace::kOfferReceived, offer.pid, offer.source,
                  std::uint64_t{offer.resident_bytes} + offer.swappable_bytes +
                      offer.memory_bytes);
+  FlightMigration(FrMigrationEdge::kOfferRecv, offer.pid);
 
   auto dit = migration_dests_.find(offer.pid);
   if (dit != migration_dests_.end()) {
@@ -254,6 +256,7 @@ void Kernel::HandleMigrateAccept(const Message& msg) {
   it->second.accepted = true;
   it->second.last_progress = queue_.Now();
   TraceMigration(trace::kAcceptReceived, pid);
+  FlightMigration(FrMigrationEdge::kAccepted, pid);
   if (config_.migration_deadlines.offer_accept_us == 0) {
     // No offer-phase chain is running; start the transfer-phase one.
     ArmSourceWatchdog(pid, attempt, config_.migration_deadlines.transfer_progress_us);
@@ -297,6 +300,7 @@ void Kernel::AbortMigrationAtSource(const ProcessId& pid, Status why) {
   }
   stats_.Add(stat::kMigrationsRefused);
   TraceMigration(trace::kMigrationAborted, pid, static_cast<std::uint64_t>(why.code()));
+  FlightMigration(FrMigrationEdge::kAborted, pid);
   if (observer_ != nullptr) {
     observer_->OnMigrationAborted(machine_, pid);
   }
@@ -476,6 +480,7 @@ void Kernel::FinishMigrationAtSource(const ProcessId& pid) {
     return;
   }
   TraceMigration(trace::kTransferDoneReceived, pid);
+  FlightMigration(FrMigrationEdge::kTransferDone, pid);
 
   // Step 6: re-send every message that was queued when the migration started
   // or arrived since, with the location part of the address updated.
@@ -553,6 +558,7 @@ void Kernel::HandleCleanupDone(const Message& msg) {
     stats_.Add(stat::kStaleMigrationMsgs);
     return;
   }
+  FlightMigration(FrMigrationEdge::kCleanupDone, pid);
   RestartMigratedProcess(pid);
 }
 
@@ -592,6 +598,7 @@ void Kernel::RestartMigratedProcess(const ProcessId& pid) {
   }
   stats_.Add(stat::kMigrations);
   TraceMigration(trace::kRestarted, pid, static_cast<std::uint64_t>(record->state));
+  FlightMigration(FrMigrationEdge::kRestarted, pid);
   if (observer_ != nullptr) {
     observer_->OnMigrationRestart(machine_, pid, *record);
   }
@@ -665,6 +672,7 @@ void Kernel::ArmDestWatchdog(const ProcessId& pid, std::uint32_t attempt, SimDur
     const MachineId source_machine = dest.source;
     const bool assembled = dest.assembled;
     TraceMigration(trace::kWatchdogTimeout, pid, deadline);
+    FlightRecord(FrEvent::kWatchdogFired, deadline, MigrationSpanId(pid));
     SuspectPeer(source_machine);
     if (assembled) {
       // Handoff silence after a complete transfer: a live source -- even one
@@ -674,6 +682,10 @@ void Kernel::ArmDestWatchdog(const ProcessId& pid, std::uint32_t attempt, SimDur
       // (Sec. 1's crash-migration scenario, driven by the watchdog.)
       stats_.Add(stat::kMigrationsAdopted);
       TraceMigration(trace::kDestAdopted, pid, source_machine);
+      FlightRecord(FrEvent::kAdopt, source_machine, MigrationSpanId(pid));
+      if (flight_ != nullptr) {
+        flight_->Trigger("watchdog adopt");
+      }
       DEMOS_LOG(kWarn, "migrate") << "m" << machine_ << ": adopting " << pid.ToString()
                                   << " -- source m" << source_machine
                                   << " silent past the handoff deadline";
@@ -693,6 +705,7 @@ void Kernel::TimeoutMigrationAtSource(const ProcessId& pid) {
   const std::uint32_t attempt = it->second.attempt;
   stats_.Add(stat::kMigrationsTimedOut);
   TraceMigration(trace::kWatchdogTimeout, pid, destination);
+  FlightRecord(FrEvent::kWatchdogFired, 0, MigrationSpanId(pid));
   SuspectPeer(destination);
   // Tell the destination -- if it ever comes back -- to discard the partial
   // image; the attempt epoch makes a late or duplicate cancel a no-op.
@@ -700,6 +713,10 @@ void Kernel::TimeoutMigrationAtSource(const ProcessId& pid) {
   w.Pid(pid);
   w.U32(attempt);
   TraceMigration(trace::kCancelSent, pid, destination);
+  FlightRecord(FrEvent::kCancel, destination, MigrationSpanId(pid));
+  if (flight_ != nullptr) {
+    flight_->Trigger("watchdog cancel");
+  }
   SendAdmin(KernelAddress(destination), MsgType::kMigrateCancel, w.Take());
   AbortMigrationAtSource(pid,
                          Status(StatusCode::kPeerTimeout, "destination silent past deadline"));
@@ -715,6 +732,7 @@ void Kernel::HandleMigrateCancel(const Message& msg) {
     return;
   }
   TraceMigration(trace::kCancelReceived, pid, it->second.source);
+  FlightMigration(FrMigrationEdge::kCancelRecv, pid);
   ReapMigrationDest(pid, "cancelled by the source");
 }
 
@@ -759,6 +777,10 @@ void Kernel::ReapMigrationDest(const ProcessId& pid, const char* why) {
   }
   stats_.Add(stat::kMigrationsReaped);
   TraceMigration(trace::kDestReaped, pid, dest.source);
+  FlightRecord(FrEvent::kReap, dest.source, MigrationSpanId(pid));
+  if (flight_ != nullptr) {
+    flight_->Trigger("migration reap");
+  }
   if (observer_ != nullptr) {
     observer_->OnMigrationAborted(machine_, pid);
   }
@@ -797,6 +819,7 @@ void Kernel::SuspectPeer(MachineId peer) {
   const SimTime until = queue_.Now() + (config_.suspect_backoff_us << shift);
   suspicion.until = std::max(suspicion.until, until);
   stats_.Add(stat::kPeersSuspected);
+  FlightRecord(FrEvent::kSuspect, peer, suspicion.strikes);
   if (tracer_.enabled()) {
     tracer_.Instant(queue_.Now(), trace::kMigration, trace::kPeerSuspected, peer, ProcessId{},
                     peer, suspicion.until);

@@ -57,6 +57,12 @@ void ReliableTransport::ScheduleRetransmit(MachineId src, MachineId dst, std::ui
       stats_.Add(stat::kRelGiveUps);
       stats_.Add("rel_give_ups_m" + std::to_string(src) + "_to_m" + std::to_string(dst));
       TraceFrame(trace::kGiveUp, src, seq, attempt);
+      if (metrics_ != nullptr) {
+        metrics_->Inc(CounterId::kRelGiveUps);
+      }
+      if (flight_ != nullptr) {
+        flight_->Record(FrEvent::kGiveUp, dst, seq);
+      }
       sit->second.unacked.erase(uit);
       if (on_give_up_) {
         on_give_up_(src, dst, seq);
@@ -65,6 +71,12 @@ void ReliableTransport::ScheduleRetransmit(MachineId src, MachineId dst, std::ui
     }
     stats_.Add(stat::kRelRetransmits);
     TraceFrame(trace::kRetransmit, src, seq, attempt);
+    if (metrics_ != nullptr) {
+      metrics_->Inc(CounterId::kRelRetransmits);
+    }
+    if (flight_ != nullptr) {
+      flight_->Record(FrEvent::kRetransmit, dst, seq);
+    }
     lower_.Send(src, dst, uit->second);
     SimDuration next = timeout * config_.backoff_permille / 1000;
     ScheduleRetransmit(src, dst, seq, attempt + 1, next);
@@ -93,6 +105,9 @@ void ReliableTransport::OnLowerDelivery(MachineId dst, MachineId src, PayloadRef
   ReceiverState& recv = receivers_[PairKey{src, dst}];
   if (seq < recv.next_expected) {
     stats_.Add(stat::kRelDuplicatesDropped);
+    if (metrics_ != nullptr) {
+      metrics_->Inc(CounterId::kRelDuplicatesDropped);
+    }
   } else if (seq == recv.next_expected) {
     recv.next_expected++;
     auto hit = handlers_.find(dst);
@@ -112,10 +127,16 @@ void ReliableTransport::OnLowerDelivery(MachineId dst, MachineId src, PayloadRef
     // Out of order: buffer unless duplicate.
     if (!recv.out_of_order.emplace(seq, std::move(payload)).second) {
       stats_.Add(stat::kRelDuplicatesDropped);
+      if (metrics_ != nullptr) {
+        metrics_->Inc(CounterId::kRelDuplicatesDropped);
+      }
     }
   }
 
   stats_.Add(stat::kRelAcksSent);
+  if (metrics_ != nullptr) {
+    metrics_->Inc(CounterId::kRelAcksSent);
+  }
   lower_.Send(dst, src, EncodeAck(recv.next_expected));
 }
 

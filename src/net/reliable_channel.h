@@ -19,6 +19,8 @@
 #include "src/base/ids.h"
 #include "src/base/stats.h"
 #include "src/net/transport.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/sim/event_queue.h"
 
@@ -51,6 +53,14 @@ class ReliableTransport final : public Transport {
   // dropped.  The kernel layer uses this as its dead-peer signal.
   using GiveUpHandler = std::function<void(MachineId src, MachineId dst, std::uint64_t seq)>;
   void set_on_give_up(GiveUpHandler handler) { on_give_up_ = std::move(handler); }
+
+  // Optional observability sinks (src/obs).  The channel runs single-threaded
+  // on one EventQueue, so one slab/recorder covers every machine pair; the
+  // chaos harness hands it the hub's harness slot.  Null detaches (default).
+  void SetObservability(MetricShard* metrics, FlightRecorder* flight) {
+    metrics_ = metrics;
+    flight_ = flight;
+  }
 
  private:
   struct PairKey {
@@ -104,6 +114,8 @@ class ReliableTransport final : public Transport {
   StatsRegistry stats_;
   Tracer tracer_;
   GiveUpHandler on_give_up_;
+  MetricShard* metrics_ = nullptr;
+  FlightRecorder* flight_ = nullptr;
 };
 
 namespace stat {

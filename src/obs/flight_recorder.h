@@ -1,0 +1,210 @@
+// Always-on flight recorder: a bounded per-shard ring buffer of the last N
+// runtime events, cheap enough to leave enabled in every run, dumped only
+// when something goes wrong.
+//
+// Tracing (src/obs/trace.h) answers "what did the whole run look like" and
+// costs an unbounded vector append per event, so it is off by default.  The
+// flight recorder answers the post-mortem question -- "what were the last few
+// thousand things each shard did before the invariant tripped" -- with a
+// fixed-size ring that overwrites itself forever.  Chaos/fuzz failures,
+// ClusterChecker violations, and watchdog reap/adopt/cancel decisions trigger
+// a merged dump (human-readable text + Chrome trace), turning every red seed
+// into an artifact.
+//
+// Concurrency contract (mirrors MetricShard): each FlightRecorder has exactly
+// one writer, its owning shard thread, and Record() is plain stores into
+// pre-allocated memory -- no atomics, no branches beyond the ring wrap.
+// Snapshots and dumps read the ring without synchronization, so they are only
+// valid from the owner thread or when the writers are quiescent (which every
+// trigger point guarantees: invariant checks, watchdog verdicts, and chaos
+// verdicts all run at quiescence or on the owner thread).  The *trigger
+// latch* on the hub is the one cross-thread piece and is an atomic.
+//
+// Timestamps come from an injectable clock so deterministic harnesses get
+// deterministic dumps: the chaos runner feeds the virtual EventQueue clock,
+// the parallel runtime feeds steady_clock.
+
+#ifndef DEMOS_OBS_FLIGHT_RECORDER_H_
+#define DEMOS_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace demos {
+
+// Event catalog.  Append-only; FrEventName and docs/OBSERVABILITY.md key off
+// it.
+enum class FrEvent : std::uint16_t {
+  kNone = 0,
+  // Mailbox / router (a, b per event; see docs/OBSERVABILITY.md).
+  kMailboxPush,      // a = destination shard
+  kDrainBatch,       // a = messages handled this batch
+  kSpillEnter,       // a = messages rescued into the spill queue
+  kSpillExit,        // a = messages consumed out of the spill queue
+  kBackpressure,     // a = destination shard, b = spin laps before success
+  kParkBegin,        //
+  kParkEnd,          // a = 1 if woken with work pending, 0 if timeout
+  // Scheduling / quiescence.
+  kPostedTask,       // a = tasks executed
+  kQuiescenceVote,   // a = 1 quiet / 0 busy, b = in-flight (sent - consumed)
+  // Kernel migration state machine (a = FrMigrationEdge, b = pid serial).
+  kMigrationPhase,
+  kWatchdogFired,    // a = armed deadline (us), b = pid serial
+  kReap,             // a = source machine, b = pid serial
+  kAdopt,            // a = source machine, b = pid serial
+  kCancel,           // a = destination machine, b = pid serial
+  kSuspect,          // a = suspected machine, b = strike count
+  // Reliable channel.
+  kRetransmit,       // a = destination machine, b = seq
+  kGiveUp,           // a = destination machine
+  // Harness markers.
+  kInvariantFail,    // a = violation count
+};
+
+// Sub-codes for kMigrationPhase/kWatchdogFired `a` operands: which edge of
+// the Sec. 3.1 protocol the state machine just crossed.
+enum class FrMigrationEdge : std::uint64_t {
+  kStart = 0,       // source entered kOfferSent
+  kOfferRecv,       // dest received MIGRATE_OFFER
+  kAccepted,        // source saw MIGRATE_ACCEPT
+  kRejected,        // source saw MIGRATE_REJECT
+  kTransferDone,    // source saw TRANSFER_COMPLETE
+  kCleanupDone,     // dest saw CLEANUP_DONE
+  kRestarted,       // dest restarted the process
+  kAborted,         // source rolled back
+  kCancelRecv,      // dest received MIGRATE_CANCEL
+};
+
+const char* FrEventName(FrEvent e);
+const char* FrMigrationEdgeName(FrMigrationEdge e);
+
+struct FlightRecord {
+  std::uint64_t t_ns = 0;  // injectable clock; ns by convention
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint32_t seq = 0;   // per-recorder monotonic; total order within a shard
+  FrEvent type = FrEvent::kNone;
+  std::uint16_t shard = 0;
+};
+
+// Nanosecond clock used to stamp records.  Plain function pointer (not
+// std::function) so Record() stays branch-predictable and allocation-free.
+using FrClockFn = std::uint64_t (*)(void* ctx);
+
+class FlightRecorderHub;
+
+// One bounded ring.  Single writer; see the file comment for the read
+// contract.
+class FlightRecorder {
+ public:
+  // Capacity is rounded up to a power of two so the wrap is a mask.
+  FlightRecorder(std::uint16_t shard, std::size_t capacity);
+
+  void SetClock(FrClockFn fn, void* ctx) {
+    clock_ = fn;
+    clock_ctx_ = ctx;
+  }
+
+  void Record(FrEvent type, std::uint64_t a = 0, std::uint64_t b = 0) {
+    FlightRecord& r = ring_[static_cast<std::size_t>(total_) & mask_];
+    r.t_ns = clock_(clock_ctx_);
+    r.a = a;
+    r.b = b;
+    r.seq = static_cast<std::uint32_t>(total_);
+    r.type = type;
+    r.shard = shard_;
+    ++total_;
+  }
+
+  std::uint16_t shard() const { return shard_; }
+  std::size_t capacity() const { return ring_.size(); }
+  // Events recorded over the recorder's lifetime (>= retained count).
+  std::uint64_t total() const { return total_; }
+  std::uint64_t dropped() const {
+    return total_ > ring_.size() ? total_ - ring_.size() : 0;
+  }
+
+  // The retained window, oldest first.  Owner thread or quiescence only.
+  std::vector<FlightRecord> SnapshotRecords() const;
+
+  void Clear() { total_ = 0; }
+
+  // Latch a dump reason on the owning hub (see FlightRecorderHub::Trigger)
+  // so writers that only hold their own recorder -- the kernels -- can flag
+  // a failure.  Returns false for a standalone recorder.
+  bool Trigger(const char* reason);
+
+ private:
+  friend class FlightRecorderHub;
+
+  std::vector<FlightRecord> ring_;
+  std::size_t mask_;
+  std::uint64_t total_ = 0;
+  FrClockFn clock_;
+  void* clock_ctx_ = nullptr;
+  FlightRecorderHub* hub_ = nullptr;
+  std::uint16_t shard_;
+};
+
+// One recorder per shard plus the cross-thread trigger latch.  The first
+// trigger reason wins (a latch, not a log): concurrent failure paths race to
+// set it, and dump sites check it at their next safe point instead of dumping
+// from a foreign thread mid-run.
+class FlightRecorderHub {
+ public:
+  explicit FlightRecorderHub(int shards, std::size_t capacity_per_shard = 8192);
+
+  FlightRecorder& recorder(int shard) { return *recorders_[static_cast<std::size_t>(shard)]; }
+  int shards() const { return static_cast<int>(recorders_.size()); }
+
+  void SetClockAll(FrClockFn fn, void* ctx);
+
+  // Latch a dump reason; returns true iff this call was the first.  `reason`
+  // must have static storage duration.
+  bool Trigger(const char* reason) {
+    const char* expected = nullptr;
+    return trigger_.compare_exchange_strong(expected, reason, std::memory_order_acq_rel);
+  }
+  bool triggered() const { return trigger_.load(std::memory_order_acquire) != nullptr; }
+  const char* reason() const { return trigger_.load(std::memory_order_acquire); }
+  void ResetTrigger() { trigger_.store(nullptr, std::memory_order_release); }
+
+  // Merge every shard's retained window into one timeline ordered by
+  // (t_ns, shard, seq).  Writers must be quiescent.
+  std::vector<FlightRecord> Merged() const;
+
+  std::uint64_t TotalDropped() const;
+
+ private:
+  std::vector<std::unique_ptr<FlightRecorder>> recorders_;
+  std::atomic<const char*> trigger_{nullptr};
+};
+
+// ---------------------------------------------------------------------------
+// Dump writers.  Free functions over a merged record vector so the chaos
+// result path (which outlives the hub) can reuse them.
+// ---------------------------------------------------------------------------
+
+// Human-readable post-mortem: header (reason, per-shard totals/drops), then
+// one line per record with decoded operands.
+void WriteFlightText(const std::vector<FlightRecord>& records, const char* reason,
+                     std::ostream& os);
+bool WriteFlightTextFile(const std::vector<FlightRecord>& records, const char* reason,
+                         const std::string& path);
+
+// Chrome trace_event JSON (chrome://tracing, perfetto.dev): instant events,
+// pid = shard, ts in microseconds.
+void WriteFlightChromeTrace(const std::vector<FlightRecord>& records, std::ostream& os);
+bool WriteFlightChromeTraceFile(const std::vector<FlightRecord>& records,
+                                const std::string& path);
+
+// Default real-time clock: steady_clock nanoseconds (ctx ignored).
+std::uint64_t FrSteadyClock(void* ctx);
+
+}  // namespace demos
+
+#endif  // DEMOS_OBS_FLIGHT_RECORDER_H_

@@ -104,6 +104,20 @@ inline constexpr const char* kGiveUp = "give_up";                      // arg0 =
 
 }  // namespace trace
 
+// One (virtual, real) clock correspondence observed on a shard.  In the
+// parallel engine each shard's tracer stamps events with the shard's private
+// virtual clock, which advances at a workload-dependent rate -- two shards'
+// timestamps are not comparable, so a merged Chrome trace interleaves
+// nonsense.  Shards record sync points (thread start, then every park, when
+// the virtual clock is momentarily frozen) and the exporter
+// (NormalizeShardClocks in trace_export.h) rebuilds a shared real-time axis
+// by piecewise-linear interpolation between them.
+struct ClockSyncPoint {
+  MachineId machine = kNoMachine;
+  SimTime virt_us = 0;
+  std::uint64_t real_ns = 0;
+};
+
 // Correlation id of every migration span of `pid`.  Migrations of one process
 // are strictly sequential, so the id is reused across them; the exporter
 // splits instances at each kMigrationBegin.
@@ -149,6 +163,15 @@ class Tracer {
     }
   }
 
+  // Parallel-mode clock correspondence (see ClockSyncPoint).  Recorded by the
+  // owning shard thread; like events, only merged/read at quiescence.
+  void RecordClockSync(SimTime virt_us, std::uint64_t real_ns) {
+    if (enabled_) {
+      syncs_.push_back(ClockSyncPoint{machine_, virt_us, real_ns});
+    }
+  }
+  const std::vector<ClockSyncPoint>& sync_points() const { return syncs_; }
+
   const std::vector<TraceEvent>& events() const { return events_; }
   std::size_t size() const { return events_.size(); }
   bool empty() const { return events_.empty(); }
@@ -159,6 +182,7 @@ class Tracer {
   // interleave out of order; SortByTime() restores a global timeline.
   void Merge(const Tracer& other) {
     events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+    syncs_.insert(syncs_.end(), other.syncs_.begin(), other.syncs_.end());
   }
 
   void SortByTime();
@@ -168,6 +192,7 @@ class Tracer {
   MachineId machine_ = kNoMachine;
   std::uint64_t next_message_id_ = 1;
   std::vector<TraceEvent> events_;
+  std::vector<ClockSyncPoint> syncs_;
 };
 
 }  // namespace demos

@@ -476,6 +476,66 @@ void WriteTraceSummary(const std::vector<TraceEvent>& events, std::ostream& os) 
   }
 }
 
+std::vector<TraceEvent> NormalizeShardClocks(const std::vector<TraceEvent>& events,
+                                             const std::vector<ClockSyncPoint>& syncs) {
+  // Per-machine sync polylines, sorted along the virtual axis.
+  std::map<MachineId, std::vector<ClockSyncPoint>> lines;
+  for (const ClockSyncPoint& s : syncs) {
+    lines[s.machine].push_back(s);
+  }
+  std::uint64_t epoch_ns = 0;
+  bool have_epoch = false;
+  for (auto& [machine, line] : lines) {
+    std::sort(line.begin(), line.end(), [](const ClockSyncPoint& a, const ClockSyncPoint& b) {
+      return a.virt_us != b.virt_us ? a.virt_us < b.virt_us : a.real_ns < b.real_ns;
+    });
+    if (!have_epoch || line.front().real_ns < epoch_ns) {
+      epoch_ns = line.front().real_ns;
+      have_epoch = true;
+    }
+  }
+
+  // Virtual us -> real ns along one machine's polyline; 1 us virtual = 1 us
+  // real beyond the observed ends (the least-surprising extrapolation).
+  const auto to_real_ns = [](const std::vector<ClockSyncPoint>& line, SimTime virt) -> double {
+    const auto v = static_cast<double>(virt);
+    if (virt <= line.front().virt_us) {
+      return static_cast<double>(line.front().real_ns) -
+             (static_cast<double>(line.front().virt_us) - v) * 1000.0;
+    }
+    if (virt >= line.back().virt_us) {
+      return static_cast<double>(line.back().real_ns) +
+             (v - static_cast<double>(line.back().virt_us)) * 1000.0;
+    }
+    for (std::size_t i = 1; i < line.size(); ++i) {
+      if (virt <= line[i].virt_us) {
+        const auto v0 = static_cast<double>(line[i - 1].virt_us);
+        const auto v1 = static_cast<double>(line[i].virt_us);
+        const auto r0 = static_cast<double>(line[i - 1].real_ns);
+        const auto r1 = static_cast<double>(line[i].real_ns);
+        const double frac = v1 > v0 ? (v - v0) / (v1 - v0) : 1.0;
+        return r0 + frac * (r1 - r0);
+      }
+    }
+    return static_cast<double>(line.back().real_ns);
+  };
+
+  std::vector<TraceEvent> out;
+  out.reserve(events.size());
+  for (TraceEvent ev : events) {
+    auto it = lines.find(ev.machine);
+    if (it != lines.end()) {
+      const double real_ns = to_real_ns(it->second, ev.ts);
+      const double rebased_us = (real_ns - static_cast<double>(epoch_ns)) / 1000.0;
+      ev.ts = rebased_us > 0 ? static_cast<SimTime>(rebased_us) : 0;
+    }
+    out.push_back(ev);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.ts < b.ts; });
+  return out;
+}
+
 std::vector<TraceEvent> FilterTrace(const std::vector<TraceEvent>& events,
                                     const std::vector<std::uint64_t>& ids,
                                     const std::vector<ProcessId>& pids) {

@@ -102,6 +102,18 @@ void WriteTraceSummary(const std::vector<TraceEvent>& events, std::ostream& os);
 // Convenience: WriteChromeTrace to a file path.  Returns false on I/O error.
 bool WriteChromeTraceFile(const std::vector<TraceEvent>& events, const std::string& path);
 
+// Rebuild a shared time axis for a parallel-engine trace.  Each event's ts is
+// its shard's private virtual clock; `syncs` carries the per-shard
+// (virtual, real) correspondence points the shards recorded (thread start and
+// every park).  Each event timestamp is mapped to real time by
+// piecewise-linear interpolation between its machine's surrounding sync
+// points (extrapolated 1:1 in virtual us beyond the ends), then rebased so
+// the earliest sync is t=0.  Events of machines with no sync points keep
+// their timestamps (a sequential trace passes through unchanged).  Output is
+// sorted by the normalized time.
+std::vector<TraceEvent> NormalizeShardClocks(const std::vector<TraceEvent>& events,
+                                             const std::vector<ClockSyncPoint>& syncs);
+
 // Trim a cluster timeline to the events relevant to a failure: keeps events
 // whose correlation id is one of `ids` (message lifecycles), whose pid is one
 // of `pids` (their migration spans included), and -- so the repro has

@@ -76,23 +76,35 @@ class BoundedMpscQueue {
 
   // Consumer thread only.
   bool TryPop(T& out) {
-    Cell& cell = cells_[head_ & mask_];
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    Cell& cell = cells_[head & mask_];
     const std::size_t seq = cell.seq.load(std::memory_order_acquire);
-    if (static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(head_ + 1) < 0) {
+    if (static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(head + 1) < 0) {
       return false;  // next cell not published yet: empty
     }
     out = std::move(cell.value);
     cell.value = T{};  // drop payload refs eagerly, not one lap later
-    cell.seq.store(head_ + mask_ + 1, std::memory_order_release);
-    ++head_;
+    cell.seq.store(head + mask_ + 1, std::memory_order_release);
+    head_.store(head + 1, std::memory_order_relaxed);
     return true;
   }
 
-  // Consumer thread only (reads the unsynchronized head index).
+  // Consumer thread only (the head index is relaxed; only the consumer
+  // advances it, so its own loads are exact).
   bool Empty() const {
-    const Cell& cell = cells_[head_ & mask_];
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const Cell& cell = cells_[head & mask_];
     const std::size_t seq = cell.seq.load(std::memory_order_acquire);
-    return static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(head_ + 1) < 0;
+    return static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(head + 1) < 0;
+  }
+
+  // Any thread: item count from racy snapshots of head and tail.  Exact when
+  // the queue is quiescent, off by in-flight pushes/pops otherwise -- good
+  // enough for a depth gauge, never for control flow.
+  std::size_t ApproxSize() const {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    return tail > head ? tail - head : 0;
   }
 
  private:
@@ -104,7 +116,9 @@ class BoundedMpscQueue {
   std::vector<Cell> cells_;
   std::size_t mask_ = 0;
   alignas(kCacheLineBytes) std::atomic<std::size_t> tail_{0};  // producers
-  alignas(kCacheLineBytes) std::size_t head_ = 0;              // single consumer
+  // Single consumer writes it; atomic (relaxed) only so the metrics sampler
+  // can read a depth estimate from another thread without a data race.
+  alignas(kCacheLineBytes) std::atomic<std::size_t> head_{0};
 };
 
 }  // namespace demos

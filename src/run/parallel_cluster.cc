@@ -2,10 +2,21 @@
 
 #include <utility>
 
+#include "src/obs/trace_export.h"
+
 namespace demos {
 
 ParallelCluster::ParallelCluster(ParallelClusterConfig config) : config_(config) {
   router_ = std::make_unique<ShardRouter>(config.machines, config.router);
+  // machines+1 observability slots: one per shard plus the coordinator slot
+  // for the quiescence poller (RunUntilQuiescent runs on the caller thread).
+  if (config.metrics_enabled) {
+    metrics_ = std::make_unique<MetricsEngine>(config.machines + 1);
+  }
+  if (config.flight_recorder_enabled) {
+    flight_ = std::make_unique<FlightRecorderHub>(config.machines + 1, config.flight_capacity);
+  }
+  router_->SetObservability(metrics_.get(), flight_.get());
   shards_.reserve(static_cast<std::size_t>(config.machines));
   for (int i = 0; i < config.machines; ++i) {
     auto shard = std::make_unique<Shard>();
@@ -17,6 +28,12 @@ ParallelCluster::ParallelCluster(ParallelClusterConfig config) : config_(config)
     shard->kernel = std::make_unique<Kernel>(shard->machine, &shard->queue, router_.get(), kc);
     if (config.trace_enabled) {
       shard->kernel->tracer().Enable();
+    }
+    if (metrics_) {
+      shard->queue.SetMetrics(&metrics_->shard(i));
+    }
+    if (flight_) {
+      shard->kernel->SetFlightRecorder(&flight_->recorder(i));
     }
     shards_.push_back(std::move(shard));
   }
@@ -83,20 +100,45 @@ std::size_t ParallelCluster::DrainPosted(Shard& shard) {
 }
 
 void ParallelCluster::ShardMain(Shard& shard) {
+  MetricShard* metrics = metrics_ ? &metrics_->shard(shard.machine) : nullptr;
+  Tracer& tracer = shard.kernel->tracer();
+  // First clock-sync point: the exporter needs at least one (virtual, real)
+  // correspondence per shard to place this shard's events on the shared axis.
+  tracer.RecordClockSync(shard.queue.Now(), FrSteadyClock(nullptr));
   while (!stop_.load(std::memory_order_acquire)) {
     std::size_t did = 0;
     did += router_->Drain(shard.machine, config_.drain_batch);
-    did += DrainPosted(shard);
+    const std::size_t posted = DrainPosted(shard);
+    did += posted;
     std::size_t steps = 0;
     while (steps < config_.event_batch && shard.queue.Step()) {
       ++steps;
     }
     did += steps;
     if (did != 0) {
+      if (metrics != nullptr) {
+        metrics->Inc(CounterId::kSchedulerRounds);
+        if (posted != 0) {
+          metrics->Inc(CounterId::kPostedTasks, posted);
+        }
+        if (steps != 0) {
+          metrics->Observe(HistogramId::kEventsPerRound, steps);
+        }
+      }
+      if (posted != 0 && flight_) {
+        flight_->recorder(shard.machine).Record(FrEvent::kPostedTask, posted);
+      }
       continue;
     }
     // Nothing anywhere this round (so the event queue is empty; it can only
     // refill through mail or posted work, which the quiescence counters see).
+    // The virtual clock is frozen while parked, which makes this a clean
+    // clock-sync point for trace normalization.
+    if (metrics != nullptr) {
+      metrics->Set(GaugeId::kEventQueueDepth,
+                   static_cast<std::int64_t>(shard.queue.PendingEvents()));
+    }
+    tracer.RecordClockSync(shard.queue.Now(), FrSteadyClock(nullptr));
     shard.idle.store(true, std::memory_order_seq_cst);
     router_->Park(shard.machine, config_.idle_park, [this, &shard] {
       return HasLocalWork(shard) || stop_.load(std::memory_order_relaxed);
@@ -120,11 +162,25 @@ ParallelCluster::Snapshot ParallelCluster::TakeSnapshot() const {
 
 bool ParallelCluster::RunUntilQuiescent(std::chrono::milliseconds timeout) {
   Start();
+  // Coordinator-slot observability: quiescence polling happens on the caller
+  // thread, so it gets its own slab/recorder rather than racing a shard's.
+  MetricShard* coord = metrics_ ? &metrics_->shard(coordinator_slot()) : nullptr;
+  FlightRecorder* coord_flight = flight_ ? &flight_->recorder(coordinator_slot()) : nullptr;
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   Snapshot prev;
   bool have_prev = false;
   while (std::chrono::steady_clock::now() < deadline) {
     Snapshot snap = TakeSnapshot();
+    if (coord != nullptr) {
+      coord->Inc(CounterId::kQuiescencePolls);
+      if (snap.Quiet()) {
+        coord->Inc(CounterId::kQuiescenceVotes);
+      }
+    }
+    if (coord_flight != nullptr) {
+      coord_flight->Record(FrEvent::kQuiescenceVote, snap.Quiet() ? 1 : 0,
+                           snap.sent - snap.consumed);
+    }
     if (snap.Quiet()) {
       // One quiet snapshot can race a message between the counter reads; two
       // quiet snapshots with *unchanged* monotonic counters cannot -- any
@@ -141,6 +197,28 @@ bool ParallelCluster::RunUntilQuiescent(std::chrono::milliseconds timeout) {
     }
   }
   return false;
+}
+
+void ParallelCluster::RefreshDepthGauges() {
+  if (!metrics_) {
+    return;
+  }
+  for (const auto& shard : shards_) {
+    MetricShard& slab = metrics_->shard(shard->machine);
+    slab.Set(GaugeId::kMailboxDepth,
+             static_cast<std::int64_t>(router_->MailboxDepth(shard->machine)));
+    slab.Set(GaugeId::kSpillDepth,
+             static_cast<std::int64_t>(router_->SpillDepth(shard->machine)));
+  }
+}
+
+std::vector<const StatsRegistry*> ParallelCluster::KernelStats() const {
+  std::vector<const StatsRegistry*> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    out.push_back(&shard->kernel->stats());
+  }
+  return out;
 }
 
 StatsRegistry ParallelCluster::TotalStats() const {
@@ -166,6 +244,16 @@ Tracer ParallelCluster::TotalTrace() const {
   }
   total.SortByTime();
   return total;
+}
+
+Tracer ParallelCluster::TotalTraceNormalized() const {
+  Tracer merged = TotalTrace();
+  Tracer normalized;
+  normalized.Enable();
+  for (const TraceEvent& ev : NormalizeShardClocks(merged.events(), merged.sync_points())) {
+    normalized.RecordEvent(ev);
+  }
+  return normalized;
 }
 
 ProcessRecord* ParallelCluster::FindProcessAnywhere(const ProcessId& pid) {

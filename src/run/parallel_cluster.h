@@ -43,6 +43,8 @@
 
 #include "src/base/stats.h"
 #include "src/kernel/kernel.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/metrics.h"
 #include "src/run/shard_router.h"
 #include "src/sim/event_queue.h"
 
@@ -62,6 +64,13 @@ struct ParallelClusterConfig {
   std::chrono::microseconds idle_park{200};
   // Per-kernel tracers (each written only by its shard thread).
   bool trace_enabled = false;
+  // Shard-local metrics slabs + always-on flight recorder (src/obs).  Both
+  // default on: the hot-path cost is relaxed adds and ring stores, and the
+  // <5% throughput budget is enforced by bench_throughput --metrics=off.
+  bool metrics_enabled = true;
+  bool flight_recorder_enabled = true;
+  // Flight-recorder ring capacity per shard (rounded up to a power of two).
+  std::size_t flight_capacity = 4096;
   void EnableTracing() { trace_enabled = true; }
 };
 
@@ -93,10 +102,30 @@ class ParallelCluster {
   // while the cluster is running).  Counted by the quiescence detector.
   void Post(MachineId m, std::function<void()> fn);
 
+  // ---- Observability. ----
+  // Null when disabled by config.  The engine/hub have machines+1 slots: slot
+  // i belongs to shard i, the last slot to the coordinator thread
+  // (quiescence polling, RunUntilQuiescent caller).
+  MetricsEngine* metrics() { return metrics_.get(); }
+  const MetricsEngine* metrics() const { return metrics_.get(); }
+  FlightRecorderHub* flight_recorder() { return flight_.get(); }
+  int coordinator_slot() const { return static_cast<int>(shards_.size()); }
+  // Refresh the mailbox/spill depth gauges from queue state; safe from any
+  // thread (sampler collector), no-op when metrics are disabled.
+  void RefreshDepthGauges();
+  // Per-shard kernel StatsRegistry pointers, in shard order (feeds
+  // BuildSnapshot / MetricsSampler::TakeSeries).
+  std::vector<const StatsRegistry*> KernelStats() const;
+
   // ---- Aggregate reads; require pre-Start or quiescence. ----
   StatsRegistry TotalStats() const;
   std::int64_t TotalStat(const char* name) const;
   Tracer TotalTrace() const;
+  // TotalTrace with every shard's virtual timestamps normalized onto one
+  // real-time axis via the recorded clock-sync points (see
+  // NormalizeShardClocks in src/obs/trace_export.h); this is the variant to
+  // export as a Chrome trace.
+  Tracer TotalTraceNormalized() const;
   ProcessRecord* FindProcessAnywhere(const ProcessId& pid);
   MachineId HostOf(const ProcessId& pid);
 
@@ -134,6 +163,8 @@ class ParallelCluster {
 
   ParallelClusterConfig config_;
   std::unique_ptr<ShardRouter> router_;
+  std::unique_ptr<MetricsEngine> metrics_;
+  std::unique_ptr<FlightRecorderHub> flight_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> posted_{0};

@@ -4,8 +4,26 @@
 #include <thread>
 
 #include "src/base/log.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/metrics.h"
 
 namespace demos {
+
+namespace {
+
+// Both observability sinks are optional and sized by their owner; out-of-range
+// machines (unit tests drive the router standalone) just go unobserved.
+MetricShard* MetricsFor(MetricsEngine* engine, MachineId m) {
+  return (engine != nullptr && m < static_cast<MachineId>(engine->shards())) ? &engine->shard(m)
+                                                                             : nullptr;
+}
+
+FlightRecorder* FlightFor(FlightRecorderHub* hub, MachineId m) {
+  return (hub != nullptr && m < static_cast<MachineId>(hub->shards())) ? &hub->recorder(m)
+                                                                       : nullptr;
+}
+
+}  // namespace
 
 ShardRouter::ShardRouter(int machines, ShardRouterConfig config) : config_(config) {
   inboxes_.reserve(static_cast<std::size_t>(machines));
@@ -19,10 +37,34 @@ void ShardRouter::Attach(MachineId node, DeliveryHandler handler) {
   inboxes_[node]->handler = std::move(handler);
 }
 
+void ShardRouter::SetObservability(MetricsEngine* metrics, FlightRecorderHub* flight) {
+  metrics_ = metrics;
+  flight_ = flight;
+}
+
+std::size_t ShardRouter::MailboxDepth(MachineId node) const {
+  return inboxes_[node]->queue.ApproxSize();
+}
+
+std::size_t ShardRouter::SpillDepth(MachineId node) const {
+  return inboxes_[node]->spill_depth.load(std::memory_order_relaxed);
+}
+
 void ShardRouter::Send(MachineId src, MachineId dst, PayloadRef payload) {
   assert(dst < inboxes_.size());
   Inbox& inbox = *inboxes_[dst];
   MailItem item{src, std::move(payload)};
+
+  // Observability is attributed to the *sending* shard: its slab and its
+  // flight recorder are single-writer from this thread by the Send contract.
+  MetricShard* metrics = MetricsFor(metrics_, src);
+  FlightRecorder* flight = FlightFor(flight_, src);
+  if (metrics != nullptr) {
+    metrics->Inc(CounterId::kMailboxPushes);
+  }
+  if (flight != nullptr) {
+    flight->Record(FrEvent::kMailboxPush, dst);
+  }
 
   // Count the send before the push so the quiescence detector sees the
   // message as in-flight for the whole push+pop+handle window.
@@ -30,6 +72,9 @@ void ShardRouter::Send(MachineId src, MachineId dst, PayloadRef payload) {
 
   if (!inbox.queue.TryPush(item)) {
     backpressure_hits_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics != nullptr) {
+      metrics->Inc(CounterId::kBackpressureStalls);
+    }
     std::size_t spins = 0;
     const auto blocked_since = std::chrono::steady_clock::now();
     bool warned = false;
@@ -56,6 +101,12 @@ void ShardRouter::Send(MachineId src, MachineId dst, PayloadRef payload) {
         }
       }
     } while (!inbox.queue.TryPush(item));
+    if (metrics != nullptr) {
+      metrics->Observe(HistogramId::kPushStallSpins, spins);
+    }
+    if (flight != nullptr) {
+      flight->Record(FrEvent::kBackpressure, dst, spins);
+    }
   }
 
   // Producer/consumer handshake against a lost wakeup: the push above
@@ -80,6 +131,13 @@ std::size_t ShardRouter::RescueOwnInbox(MachineId src) {
   }
   if (rescued != 0) {
     spill_rescues_.fetch_add(rescued, std::memory_order_relaxed);
+    inbox.spill_depth.store(inbox.spill.size(), std::memory_order_relaxed);
+    if (MetricShard* metrics = MetricsFor(metrics_, src)) {
+      metrics->Inc(CounterId::kSpillRescued, rescued);
+    }
+    if (FlightRecorder* flight = FlightFor(flight_, src)) {
+      flight->Record(FrEvent::kSpillEnter, rescued);
+    }
   }
   return rescued;
 }
@@ -87,12 +145,14 @@ std::size_t ShardRouter::RescueOwnInbox(MachineId src) {
 std::size_t ShardRouter::Drain(MachineId node, std::size_t max_items) {
   Inbox& inbox = *inboxes_[node];
   std::size_t drained = 0;
+  std::size_t from_spill = 0;
   MailItem item;
   while (drained < max_items) {
     // Spill first: everything there predates everything still in the ring.
     if (!inbox.spill.empty()) {
       item = std::move(inbox.spill.front());
       inbox.spill.pop_front();
+      ++from_spill;
     } else if (!inbox.queue.TryPop(item)) {
       break;
     }
@@ -102,6 +162,27 @@ std::size_t ShardRouter::Drain(MachineId node, std::size_t max_items) {
     // sent_) is visible.
     consumed_.fetch_add(1, std::memory_order_seq_cst);
     ++drained;
+  }
+  if (drained != 0) {
+    MetricShard* metrics = MetricsFor(metrics_, node);
+    FlightRecorder* flight = FlightFor(flight_, node);
+    if (from_spill != 0) {
+      inbox.spill_depth.store(inbox.spill.size(), std::memory_order_relaxed);
+      if (metrics != nullptr) {
+        metrics->Inc(CounterId::kSpillDrained, from_spill);
+      }
+      if (flight != nullptr) {
+        flight->Record(FrEvent::kSpillExit, from_spill);
+      }
+    }
+    if (metrics != nullptr) {
+      metrics->Inc(CounterId::kMsgsDrained, drained);
+      metrics->Inc(CounterId::kDrainBatches);
+      metrics->Observe(HistogramId::kDrainBatchSize, drained);
+    }
+    if (flight != nullptr) {
+      flight->Record(FrEvent::kDrainBatch, drained);
+    }
   }
   return drained;
 }
@@ -121,7 +202,29 @@ void ShardRouter::Park(MachineId node, std::chrono::microseconds timeout,
   // before seeing sleeping==true is caught here, any producer that pushes
   // after will see the flag and notify.
   if (!has_work()) {
+    MetricShard* metrics = MetricsFor(metrics_, node);
+    FlightRecorder* flight = FlightFor(flight_, node);
+    if (metrics != nullptr) {
+      metrics->Inc(CounterId::kCondvarParks);
+    }
+    if (flight != nullptr) {
+      flight->Record(FrEvent::kParkBegin);
+    }
+    const auto parked_at = std::chrono::steady_clock::now();
     inbox.cv.wait_for(lock, timeout);
+    if (metrics != nullptr) {
+      metrics->Observe(HistogramId::kParkWaitUs,
+                       static_cast<std::uint64_t>(
+                           std::chrono::duration_cast<std::chrono::microseconds>(
+                               std::chrono::steady_clock::now() - parked_at)
+                               .count()));
+    }
+    if (flight != nullptr) {
+      // Wake() runs on foreign threads and must not touch this shard's
+      // recorder; the park-end record (with "woke to work" evidence) is the
+      // owner-thread footprint of a wakeup.
+      flight->Record(FrEvent::kParkEnd, has_work() ? 1 : 0);
+    }
   }
   inbox.sleeping.store(false, std::memory_order_relaxed);
 }
@@ -134,6 +237,12 @@ void ShardRouter::Wake(MachineId node) {
     std::lock_guard<std::mutex> lock(inbox.mu);
   }
   inbox.cv.notify_one();
+  // Foreign-thread write into the target shard's slab: exceptional but safe
+  // (counters are atomics; single-writer is a cache-locality rule, not a
+  // correctness one) and cold -- we just paid for a mutex and a notify.
+  if (MetricShard* metrics = MetricsFor(metrics_, node)) {
+    metrics->Inc(CounterId::kCondvarNotifies);
+  }
 }
 
 void ShardRouter::WakeAll() {

@@ -45,6 +45,9 @@
 
 namespace demos {
 
+class MetricsEngine;
+class FlightRecorderHub;
+
 struct ShardRouterConfig {
   // Mailbox ring capacity per shard (rounded up to a power of two).
   std::size_t mailbox_capacity = 1 << 14;
@@ -80,6 +83,16 @@ class ShardRouter final : public Transport {
   void Wake(MachineId node);
   void WakeAll();
 
+  // Optional per-shard observability (src/obs/metrics.h, flight_recorder.h).
+  // Both may be null; set before Start, never while shard threads run.  The
+  // router attributes hot-path events to the *calling* shard's slab/recorder,
+  // preserving the single-writer rule those structures rely on.
+  void SetObservability(MetricsEngine* metrics, FlightRecorderHub* flight);
+
+  // Any thread: approximate queue depths for the metrics sampler.
+  std::size_t MailboxDepth(MachineId node) const;
+  std::size_t SpillDepth(MachineId node) const;
+
   int machines() const { return static_cast<int>(inboxes_.size()); }
   std::uint64_t sent() const { return sent_.load(std::memory_order_seq_cst); }
   std::uint64_t consumed() const { return consumed_.load(std::memory_order_seq_cst); }
@@ -110,6 +123,9 @@ class ShardRouter final : public Transport {
     // Advertised by the consumer before it blocks on cv; producers skip the
     // notify syscall entirely while this is false.
     std::atomic<bool> sleeping{false};
+    // Owner-thread-written mirror of spill.size(); relaxed atomic only so the
+    // metrics sampler can read it cross-thread.
+    std::atomic<std::size_t> spill_depth{0};
   };
 
   // Move everything poppable in `src`'s own ring into its spill queue.
@@ -117,6 +133,8 @@ class ShardRouter final : public Transport {
 
   ShardRouterConfig config_;
   std::vector<std::unique_ptr<Inbox>> inboxes_;
+  MetricsEngine* metrics_ = nullptr;
+  FlightRecorderHub* flight_ = nullptr;
   std::atomic<std::uint64_t> sent_{0};
   std::atomic<std::uint64_t> consumed_{0};
   std::atomic<std::uint64_t> backpressure_hits_{0};

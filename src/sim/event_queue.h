@@ -20,6 +20,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/metrics.h"
+
 namespace demos {
 
 using SimTime = std::uint64_t;      // virtual microseconds since simulation start
@@ -30,6 +32,10 @@ class EventQueue {
   using Callback = std::function<void()>;
 
   SimTime Now() const { return now_; }
+
+  // Optional per-shard metrics slab (src/obs/metrics.h); Step() bumps
+  // kEventsExecuted on it.  Owned elsewhere; may be null (the default).
+  void SetMetrics(MetricShard* metrics) { metrics_ = metrics; }
 
   // Schedule `fn` to run at absolute virtual time `when` (clamped to Now()).
   void At(SimTime when, Callback fn) {
@@ -59,6 +65,9 @@ class EventQueue {
     Event ev = std::move(heap_.back());
     heap_.pop_back();
     now_ = ev.when;
+    if (metrics_ != nullptr) {
+      metrics_->Inc(CounterId::kEventsExecuted);
+    }
     ev.fn();
     return true;
   }
@@ -119,6 +128,7 @@ class EventQueue {
   std::vector<Event> heap_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
+  MetricShard* metrics_ = nullptr;
 };
 
 }  // namespace demos

@@ -153,6 +153,24 @@ void WriteTrimmedTrace(const demos::ChaosResult& result, const std::string& path
   }
 }
 
+// Flight-recorder post-mortem: the merged last-N-events window every kernel
+// kept while the scenario ran, as text and as a Chrome trace.
+void WriteFlightDumps(const demos::ChaosResult& result, const std::string& stem) {
+  if (result.flight.empty()) {
+    return;
+  }
+  const char* reason = result.flight_trigger != nullptr ? result.flight_trigger : "failure";
+  if (demos::WriteFlightTextFile(result.flight, reason, stem + ".flightrec.txt")) {
+    std::printf("flight recorder: %s.flightrec.txt (%zu records, trigger: %s)\n", stem.c_str(),
+                result.flight.size(), reason);
+  } else {
+    std::fprintf(stderr, "failed to write flight dump to %s.flightrec.txt\n", stem.c_str());
+  }
+  if (!demos::WriteFlightChromeTraceFile(result.flight, stem + ".flightrec.trace.json")) {
+    std::fprintf(stderr, "failed to write flight trace to %s.flightrec.trace.json\n", stem.c_str());
+  }
+}
+
 void RecordArtifacts(const Options& opts, const demos::ChaosScenario& scenario,
                      const demos::ChaosResult& result) {
   if (opts.artifacts_dir.empty()) {
@@ -163,7 +181,9 @@ void RecordArtifacts(const Options& opts, const demos::ChaosScenario& scenario,
   const std::string dir = opts.artifacts_dir + "/";
   std::ofstream seeds(dir + "failing_seeds.txt", std::ios::app);
   seeds << scenario.seed << "\n";
-  WriteTrimmedTrace(result, dir + "seed_" + std::to_string(scenario.seed) + ".trace.json");
+  const std::string stem = dir + "seed_" + std::to_string(scenario.seed);
+  WriteTrimmedTrace(result, stem + ".trace.json");
+  WriteFlightDumps(result, stem);
 }
 
 // Runs one seed; returns true iff it passed.
