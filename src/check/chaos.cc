@@ -1,11 +1,15 @@
 #include "src/check/chaos.h"
 
 #include <algorithm>
+#include <chrono>
+#include <memory>
 #include <sstream>
+#include <utility>
 
 #include "src/base/rng.h"
 #include "src/fault/crash.h"
 #include "src/kernel/cluster.h"
+#include "src/run/parallel_cluster.h"
 #include "src/workload/programs.h"
 
 namespace demos {
@@ -15,14 +19,16 @@ namespace {
 // address, so late notes ride the whole forwarding chain).
 constexpr MsgType kChaosNote = static_cast<MsgType>(1205);
 
-// Runaway backstop far above what any generated scenario executes.
+// Runaway backstop far above what any generated scenario executes (the
+// sequential engine's event cap; the parallel engine bounds runs by wall
+// clock instead, via ParallelClusterConfig::settle_timeout).
 constexpr std::size_t kEventCap = 5'000'000;
 
-void WriteConfig(Cluster& cluster, const ProcessAddress& addr, const Bytes& config) {
+void WriteConfig(Engine& engine, const ProcessAddress& addr, const Bytes& config) {
   if (!addr.valid()) {
     return;
   }
-  ProcessRecord* record = cluster.kernel(addr.last_known_machine).FindProcess(addr.pid);
+  ProcessRecord* record = engine.kernel(addr.last_known_machine).FindProcess(addr.pid);
   if (record != nullptr) {
     (void)record->memory.WriteData(0, config);
   }
@@ -300,9 +306,96 @@ bool DisableFeature(ChaosScenario* scenario, ChaosFeature feature) {
 // Execution.
 // ---------------------------------------------------------------------------
 
-ChaosResult RunScenario(const ChaosScenario& s, const ChaosOptions& options) {
-  RegisterWorkloadPrograms();
+namespace {
 
+// The kernel half of the scenario, shared verbatim by both engines except
+// that parallel kernels park wire frames while halted: the ShardRouter is a
+// lossless in-memory fabric with no retransmission, so a crashed kernel must
+// hold incoming frames for replay at revival instead of counting on a
+// reliable layer to resend them.
+KernelConfig ScenarioKernelConfig(const ChaosScenario& s, const ChaosOptions& options) {
+  KernelConfig kc;
+  kc.seed = s.seed;
+  if (s.migration_deadline_us > 0) {
+    kc.migration_deadlines.offer_accept_us = s.migration_deadline_us;
+    kc.migration_deadlines.transfer_progress_us = s.migration_deadline_us;
+    kc.migration_deadlines.handoff_us = s.migration_deadline_us;
+  }
+  kc.delivery_mode = s.forwarding_mode ? KernelConfig::DeliveryMode::kForwarding
+                                       : KernelConfig::DeliveryMode::kReturnToSender;
+  kc.forwarding_gc = s.gc_mode == 1   ? KernelConfig::ForwardingGc::kOnProcessDeath
+                     : s.gc_mode == 2 ? KernelConfig::ForwardingGc::kExpireAfterTtl
+                                      : KernelConfig::ForwardingGc::kKeepForever;
+  // Far beyond any chaos window, so under TTL mode chains never expire
+  // mid-run (an expired chain is legal but would defeat the convergence and
+  // chain-completeness assertions).
+  kc.forwarding_ttl_us = 60'000'000;
+  kc.data_packet_bytes = s.data_packet_bytes;
+  kc.data_window_packets = s.data_window_packets;
+  kc.forward_fault = options.forward_fault;
+  kc.park_wire_when_halted = options.engine == ChaosEngineKind::kParallel;
+  return kc;
+}
+
+// One scenario's engine plus its crash seam.  Everything downstream programs
+// against Engine&; what genuinely differs per engine is how a machine dies.
+// The sequential engine has a network to partition (CrashController downs the
+// SimNetwork node; the reliable layer retransmits around the outage), while
+// the parallel fabric is lossless, so crashing is exactly SetHalted and the
+// frames parked during the outage replay at revival.
+struct ChaosEngine {
+  std::unique_ptr<Cluster> sequential;
+  std::unique_ptr<ParallelCluster> parallel;
+  std::unique_ptr<CrashController> faults;  // sequential only
+  Engine* engine = nullptr;
+
+  // Crash `machine` at `at`; revive after `outage_us` (0 = never).
+  void ScheduleCrash(MachineId machine, SimTime at, SimDuration outage_us) {
+    if (faults) {
+      CrashController* f = faults.get();
+      if (outage_us > 0) {
+        engine->ScheduleOn(machine, at,
+                           [f, machine, outage_us] { f->CrashFor(machine, outage_us); });
+      } else {
+        engine->ScheduleOn(machine, at, [f, machine] { f->Crash(machine); });
+      }
+      return;
+    }
+    Engine* e = engine;
+    e->ScheduleOn(machine, at, [e, machine] { e->kernel(machine).SetHalted(true); });
+    if (outage_us > 0) {
+      e->ScheduleOn(machine, at + outage_us, [e, machine] {
+        Kernel& k = e->kernel(machine);
+        k.SetHalted(false);
+        k.KickAllProcesses();
+      });
+    }
+  }
+};
+
+ChaosEngine MakeChaosEngine(const ChaosScenario& s, const ChaosOptions& options) {
+  ChaosEngine out;
+  if (options.engine == ChaosEngineKind::kParallel) {
+    ParallelClusterConfig pc;
+    pc.machines = s.machines;
+    pc.kernel = ScenarioKernelConfig(s, options);
+    pc.trace_enabled = true;  // trace ids are the checker's message identity
+    pc.metrics_enabled = true;
+    pc.flight_recorder_enabled = options.collect_flight;
+    // Conservative sync always on: the checker's ordering invariants and the
+    // migration watchdogs only mean anything when no shard can receive a
+    // frame in its virtual past.  The scenario's propagation delay doubles as
+    // the cluster lookahead, so cross-shard frames arrive at send +
+    // propagation on the receiver's clock, as the SimNetwork would deliver
+    // them.  The drop/dup/jitter knobs and the reliable layer do not apply.
+    pc.sync.enabled = true;
+    pc.sync.min_link_latency_us = s.propagation_us == 0 ? 1 : s.propagation_us;
+    // Wall-clock runaway bound, the parallel analog of kEventCap.
+    pc.settle_timeout = std::chrono::milliseconds(60'000);
+    out.parallel = std::make_unique<ParallelCluster>(pc);
+    out.engine = out.parallel.get();
+    return out;
+  }
   ClusterConfig cc;
   cc.machines = s.machines;
   cc.network.propagation_us = s.propagation_us;
@@ -316,56 +409,71 @@ ChaosResult RunScenario(const ChaosScenario& s, const ChaosOptions& options) {
   // 0 = never give up: a revival crash window stalls delivery, never kills
   // it.  Permanent-death scenarios set a finite budget instead.
   cc.reliable.max_retries = s.max_retries;
-  cc.kernel.seed = s.seed;
-  if (s.migration_deadline_us > 0) {
-    cc.kernel.migration_deadlines.offer_accept_us = s.migration_deadline_us;
-    cc.kernel.migration_deadlines.transfer_progress_us = s.migration_deadline_us;
-    cc.kernel.migration_deadlines.handoff_us = s.migration_deadline_us;
-  }
-  cc.kernel.delivery_mode = s.forwarding_mode ? KernelConfig::DeliveryMode::kForwarding
-                                              : KernelConfig::DeliveryMode::kReturnToSender;
-  cc.kernel.forwarding_gc = s.gc_mode == 1 ? KernelConfig::ForwardingGc::kOnProcessDeath
-                            : s.gc_mode == 2 ? KernelConfig::ForwardingGc::kExpireAfterTtl
-                                             : KernelConfig::ForwardingGc::kKeepForever;
-  // Far beyond any chaos window, so under TTL mode chains never expire
-  // mid-run (an expired chain is legal but would defeat the convergence and
-  // chain-completeness assertions).
-  cc.kernel.forwarding_ttl_us = 60'000'000;
-  cc.kernel.data_packet_bytes = s.data_packet_bytes;
-  cc.kernel.data_window_packets = s.data_window_packets;
-  cc.kernel.forward_fault = options.forward_fault;
+  cc.kernel = ScenarioKernelConfig(s, options);
   cc.trace_enabled = true;  // trace ids are the checker's message identity
+  // Flight recorders: one per kernel plus the harness slot (index
+  // s.machines) for the reliable channel and the checker verdict, stamped
+  // with the virtual clock so a replayed seed produces a byte-identical dump.
+  cc.flight_recorder_enabled = options.collect_flight;
+  out.sequential = std::make_unique<Cluster>(cc);
+  out.faults = std::make_unique<CrashController>(out.sequential.get());
+  out.engine = out.sequential.get();
+  return out;
+}
 
-  Cluster cluster(cc);
-  ClusterChecker checker(&cluster);
-  cluster.SetObserver(&checker);
-  CrashController faults(&cluster);
+// Migration-request chase.  The harness used to look up HostOf(victim)
+// inside the event and start the migration from wherever the victim happened
+// to be -- an instantaneous cluster-wide scan, only legal when the whole
+// cluster shares one thread.  The request now behaves like the
+// kernel-addressed control message it models: it lands on the victim's
+// creating machine and chases the victim one hop at a time -- forwarding
+// address first, the hop machine's location registry as the return-to-sender
+// fallback -- paying one propagation delay per hop.  Identical logic on both
+// engines; under the parallel engine every step runs on the owning shard's
+// thread.
+constexpr int kChaseTtl = 16;
 
-  // Flight recorders: one per kernel plus a harness slot (index s.machines)
-  // for the reliable channel and the checker verdict.  Stamped with the
-  // virtual clock so a replayed seed produces a byte-identical dump.
-  std::unique_ptr<FlightRecorderHub> flight;
-  if (options.collect_flight) {
-    flight = std::make_unique<FlightRecorderHub>(s.machines + 1, /*capacity_per_shard=*/4096);
-    flight->SetClockAll(
-        +[](void* ctx) -> std::uint64_t {
-          return static_cast<std::uint64_t>(static_cast<EventQueue*>(ctx)->Now()) * 1000;
-        },
-        &cluster.queue());
-    for (int i = 0; i < s.machines; ++i) {
-      cluster.kernel(static_cast<MachineId>(i)).SetFlightRecorder(&flight->recorder(i));
+void ScheduleMigrationChase(Engine* engine, MachineId at_machine, SimTime at, ProcessId pid,
+                            MachineId dest, SimDuration hop_us, int ttl) {
+  engine->ScheduleOn(at_machine, at, [engine, at_machine, pid, dest, hop_us, ttl] {
+    Kernel& k = engine->kernel(at_machine);
+    if (k.halted() || ttl <= 0) {
+      return;  // the request died with its host, or wandered past its budget
     }
-    if (cluster.reliable() != nullptr) {
-      cluster.reliable()->SetObservability(nullptr, &flight->recorder(s.machines));
+    if (k.FindProcess(pid) != nullptr) {
+      (void)k.StartMigration(pid, dest, k.kernel_address());
+      return;
     }
-  }
+    MachineId next = kNoMachine;
+    const ProcessTable::Entry* entry = k.process_table().FindEntry(pid);
+    if (entry != nullptr && entry->IsForwarding()) {
+      next = entry->forward_to;
+    } else {
+      next = k.LocationHint(pid);  // return-to-sender mode erases the entry
+    }
+    if (next == kNoMachine || next == at_machine) {
+      return;  // gone for good (e.g. died with its machine)
+    }
+    ScheduleMigrationChase(engine, next, k.queue().Now() + hop_us, pid, dest, hop_us, ttl - 1);
+  });
+}
+
+}  // namespace
+
+ChaosResult RunScenario(const ChaosScenario& s, const ChaosOptions& options) {
+  RegisterWorkloadPrograms();
+
+  ChaosEngine harness = MakeChaosEngine(s, options);
+  Engine& engine = *harness.engine;
+  ClusterChecker checker(&engine);
+  engine.SetObserver(&checker);
 
   // ---- Roster (slot order documented in ChaosScenario). ----
   std::vector<ProcessAddress> roster;
   std::vector<ProcessAddress> pinger_addrs;
   std::vector<ProcessAddress> server_addrs;
   auto spawn = [&](int machine, const char* program) {
-    auto addr = cluster.kernel(static_cast<MachineId>(machine % s.machines)).SpawnProcess(program);
+    auto addr = engine.kernel(static_cast<MachineId>(machine % s.machines)).SpawnProcess(program);
     if (!addr.ok()) {
       // Keep the roster slot (victim indices must stay stable); an invalid
       // address makes every event targeting this slot a deterministic no-op.
@@ -381,7 +489,7 @@ ChaosResult RunScenario(const ChaosScenario& s, const ChaosOptions& options) {
     ChaosPingerConfig cfg;
     cfg.ticks = s.pinger_ticks;
     cfg.period_us = s.pinger_period_us;
-    WriteConfig(cluster, addr, cfg.Encode());
+    WriteConfig(engine, addr, cfg.Encode());
     pinger_addrs.push_back(addr);
   }
   for (int i = 0; i < s.servers; ++i) {
@@ -395,7 +503,7 @@ ChaosResult RunScenario(const ChaosScenario& s, const ChaosOptions& options) {
     if (s.cpu_enabled) {
       CpuBoundConfig cfg;
       cfg.total_us = job.total_us;
-      WriteConfig(cluster, addr, cfg.Encode());
+      WriteConfig(engine, addr, cfg.Encode());
     }
   }
   for (const ChaosScenario::RpcPair& pair : s.rpc_pairs) {
@@ -406,10 +514,10 @@ ChaosResult RunScenario(const ChaosScenario& s, const ChaosOptions& options) {
       cfg.count = pair.count;
       cfg.period_us = pair.period_us;
       cfg.payload_bytes = 64;
-      WriteConfig(cluster, client, cfg.Encode());
+      WriteConfig(engine, client, cfg.Encode());
       Link to_server;
       to_server.address = server;
-      cluster.kernel(client.last_known_machine)
+      engine.kernel(client.last_known_machine)
           .SendFromKernel(client, kAttachTarget, {}, {to_server});
     }
   }
@@ -420,31 +528,26 @@ ChaosResult RunScenario(const ChaosScenario& s, const ChaosOptions& options) {
       }
       Link to_server;
       to_server.address = server;
-      cluster.kernel(pinger.last_known_machine)
+      engine.kernel(pinger.last_known_machine)
           .SendFromKernel(pinger, kAttachTarget, {}, {to_server});
     }
   }
 
-  // ---- Chaos schedule. ----
+  // ---- Chaos schedule (everything staged pre-run via ScheduleOn). ----
+  const SimDuration hop_us = s.propagation_us == 0 ? 1 : s.propagation_us;
   for (const ChaosScenario::MigrationEvent& ev : s.migrations) {
-    const ProcessId pid = roster[static_cast<std::size_t>(ev.victim)].pid;
-    const auto dest = static_cast<MachineId>(ev.dest_machine);
-    cluster.queue().At(ev.at, [&cluster, pid, dest] {
-      const MachineId host = cluster.HostOf(pid);
-      if (host == kNoMachine) {
-        return;
-      }
-      (void)cluster.kernel(host).StartMigration(pid, dest, cluster.kernel(host).kernel_address());
-    });
+    const ProcessAddress victim = roster[static_cast<std::size_t>(ev.victim)];
+    if (!victim.valid()) {
+      continue;
+    }
+    ScheduleMigrationChase(&engine, victim.pid.creating_machine, ev.at, victim.pid,
+                           static_cast<MachineId>(ev.dest_machine), hop_us, kChaseTtl);
   }
   for (const ChaosScenario::CrashEvent& ev : s.crashes) {
-    const auto machine = static_cast<MachineId>(ev.machine);
-    const SimDuration outage = ev.outage_us;
-    cluster.queue().At(ev.at, [&faults, machine, outage] { faults.CrashFor(machine, outage); });
+    harness.ScheduleCrash(static_cast<MachineId>(ev.machine), ev.at, ev.outage_us);
   }
   for (const ChaosScenario::DeathEvent& ev : s.deaths) {
-    const auto machine = static_cast<MachineId>(ev.machine);
-    cluster.queue().At(ev.at, [&faults, machine] { faults.Crash(machine); });
+    harness.ScheduleCrash(static_cast<MachineId>(ev.machine), ev.at, 0);
   }
   for (const ChaosScenario::NoteEvent& ev : s.notes) {
     const ProcessAddress target = roster[static_cast<std::size_t>(ev.victim)];
@@ -452,18 +555,19 @@ ChaosResult RunScenario(const ChaosScenario& s, const ChaosOptions& options) {
       continue;
     }
     const auto from = static_cast<MachineId>(ev.from_machine);
-    cluster.queue().At(ev.at, [&cluster, from, target] {
-      cluster.kernel(from).SendFromKernel(target, kChaosNote, {});
-    });
+    Engine* e = &engine;
+    engine.ScheduleOn(from, ev.at,
+                      [e, from, target] { e->kernel(from).SendFromKernel(target, kChaosNote, {}); });
   }
 
   // ---- Drain. ----
   ChaosResult result;
-  result.events_executed = cluster.RunUntilIdle(kEventCap);
-  result.quiescent = cluster.queue().Empty();
+  const SettleResult settle = engine.RunUntilSettled(kEventCap);
+  result.events_executed = settle.events;
+  result.quiescent = settle.settled;
   if (!result.quiescent) {
     result.violations.push_back(
-        Violation{"quiescence", "event queue still live after " +
+        Violation{"quiescence", "cluster still live after " +
                                     std::to_string(result.events_executed) + " events"});
   }
 
@@ -476,18 +580,25 @@ ChaosResult RunScenario(const ChaosScenario& s, const ChaosOptions& options) {
     bool converged = false;
     for (int round = 0; round < max_rounds && !converged; ++round) {
       const std::int64_t before =
-          cluster.TotalStat(stat::kMsgsForwarded) + cluster.TotalStat(stat::kMsgsBounced);
+          engine.TotalStat(stat::kMsgsForwarded) + engine.TotalStat(stat::kMsgsBounced);
       for (const ProcessAddress& pinger : pinger_addrs) {
-        const MachineId host = cluster.HostOf(pinger.pid);
-        if (host == kNoMachine || cluster.kernel(host).halted()) {
+        const MachineId host = engine.HostOf(pinger.pid);
+        if (host == kNoMachine || engine.kernel(host).halted()) {
           continue;  // lost (ownership audit's problem) or died with its machine
         }
-        cluster.kernel(host).SendFromKernel(ProcessAddress{host, pinger.pid}, kChaosProbe, {});
+        Engine* e = &engine;
+        const ProcessId pid = pinger.pid;
+        engine.Execute(host, [e, host, pid] {
+          e->kernel(host).SendFromKernel(ProcessAddress{host, pid}, kChaosProbe, {});
+        });
       }
-      cluster.RunUntilIdle(kEventCap);
+      if (!engine.RunUntilSettled(kEventCap).settled) {
+        ++result.probe_rounds;
+        break;  // a live cluster would race the counter reads below
+      }
       ++result.probe_rounds;
       const std::int64_t after =
-          cluster.TotalStat(stat::kMsgsForwarded) + cluster.TotalStat(stat::kMsgsBounced);
+          engine.TotalStat(stat::kMsgsForwarded) + engine.TotalStat(stat::kMsgsBounced);
       converged = after == before;
     }
     result.converged = converged;
@@ -499,7 +610,7 @@ ChaosResult RunScenario(const ChaosScenario& s, const ChaosOptions& options) {
     }
   }
 
-  // ---- Audit. ----
+  // ---- Audit (the engine is settled; shard threads, if any, are parked). ----
   for (const ChaosScenario::DeathEvent& ev : s.deaths) {
     checker.MarkMachineDead(static_cast<MachineId>(ev.machine));
   }
@@ -509,26 +620,19 @@ ChaosResult RunScenario(const ChaosScenario& s, const ChaosOptions& options) {
   result.suspect_trace_ids = checker.suspect_trace_ids();
   result.suspect_pids = checker.suspect_pids();
   if (options.collect_trace) {
-    result.trace = cluster.TotalTrace().events();
+    result.trace = engine.TotalTrace().events();
   }
-  if (flight) {
+  if (FlightRecorderHub* flight = options.collect_flight ? engine.flight_recorder() : nullptr) {
     if (!result.violations.empty()) {
       // Mark the verdict in the harness slot, then latch; if a watchdog
       // already latched adopt/cancel/reap mid-run, that earlier reason wins.
-      flight->recorder(s.machines)
-          .Record(FrEvent::kInvariantFail, result.violations.size());
+      flight->recorder(s.machines).Record(FrEvent::kInvariantFail, result.violations.size());
       flight->Trigger("invariant failure");
     }
     result.flight = flight->Merged();
     result.flight_trigger = flight->reason();
-    for (int i = 0; i < s.machines; ++i) {
-      cluster.kernel(static_cast<MachineId>(i)).SetFlightRecorder(nullptr);
-    }
-    if (cluster.reliable() != nullptr) {
-      cluster.reliable()->SetObservability(nullptr, nullptr);
-    }
   }
-  cluster.SetObserver(nullptr);
+  engine.SetObserver(nullptr);
   return result;
 }
 

@@ -139,7 +139,25 @@ ChaosFeature ChaosFeatureFromName(const std::string& name);
 // (nothing to remove), leaving the scenario unchanged.
 bool DisableFeature(ChaosScenario* scenario, ChaosFeature feature);
 
+// Which execution engine runs the scenario.  Both run the identical Kernel
+// code and are held to the same invariants (I1-I8 plus link convergence);
+// what differs is the surrounding runtime:
+//   kSequential -- one virtual clock, SimNetwork pathology (drop/dup/jitter),
+//                  optional reliable transport.  Byte-exact replay per seed.
+//   kParallel   -- one thread per kernel under conservative virtual-time
+//                  sync.  The ShardRouter is a lossless in-memory fabric, so
+//                  the scenario's drop/dup/jitter knobs and the reliable
+//                  layer do not apply; crashed kernels park in-flight frames
+//                  (KernelConfig::park_wire_when_halted) instead of relying
+//                  on retransmission.  Timing is real-concurrency dependent,
+//                  so replay is invariant-exact, not byte-exact.
+enum class ChaosEngineKind {
+  kSequential,
+  kParallel,
+};
+
 struct ChaosOptions {
+  ChaosEngineKind engine = ChaosEngineKind::kSequential;
   bool collect_trace = true;
   // Run every kernel with an attached flight recorder (virtual-clock stamped,
   // so dumps are deterministic) and carry the merged window in the result.

@@ -33,12 +33,18 @@ std::uint64_t HashBytes(const std::uint8_t* data, std::size_t size) {
   return h;
 }
 
-ClusterChecker::ClusterChecker(Cluster* cluster, CheckerConfig config)
-    : cluster_(*cluster), config_(config) {}
+ClusterChecker::ClusterChecker(Engine* engine, CheckerConfig config)
+    : cluster_(*engine), config_(config) {}
 
-void ClusterChecker::ExpectLive(const ProcessId& pid) { expected_live_.push_back(pid); }
+void ClusterChecker::ExpectLive(const ProcessId& pid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  expected_live_.push_back(pid);
+}
 
-void ClusterChecker::MarkMachineDead(MachineId machine) { dead_machines_.insert(machine); }
+void ClusterChecker::MarkMachineDead(MachineId machine) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dead_machines_.insert(machine);
+}
 
 void ClusterChecker::AddViolation(const std::string& invariant, const std::string& detail) {
   violations_.push_back(Violation{invariant, detail});
@@ -69,6 +75,7 @@ void ClusterChecker::OnMessageSend(MachineId machine, const Message& msg) {
   if (!Tracked(msg)) {
     return;
   }
+  std::lock_guard<std::mutex> lock(mu_);
   MsgState st;
   st.sender = msg.sender.pid;
   st.receiver = msg.receiver.pid;
@@ -81,6 +88,7 @@ void ClusterChecker::OnMessageSend(MachineId machine, const Message& msg) {
 }
 
 void ClusterChecker::OnMessageDeliver(MachineId machine, const Message& msg) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++consumed_;
 
   // I3 held-order: if this message was frozen in a pending queue, its
@@ -138,6 +146,7 @@ void ClusterChecker::OnMessageDeliver(MachineId machine, const Message& msg) {
 }
 
 void ClusterChecker::OnMessageForward(MachineId machine, const Message& msg, MachineId next) {
+  std::lock_guard<std::mutex> lock(mu_);
   ExtendPath(msg.trace_id, machine);
   auto it = tracked_.find(msg.trace_id);
   if (it != tracked_.end()) {
@@ -146,6 +155,7 @@ void ClusterChecker::OnMessageForward(MachineId machine, const Message& msg, Mac
 }
 
 void ClusterChecker::OnMessageBounce(MachineId machine, const Message& msg) {
+  std::lock_guard<std::mutex> lock(mu_);
   ExtendPath(msg.trace_id, machine);
   auto it = tracked_.find(msg.trace_id);
   if (it != tracked_.end()) {
@@ -154,6 +164,7 @@ void ClusterChecker::OnMessageBounce(MachineId machine, const Message& msg) {
 }
 
 void ClusterChecker::OnPendingResend(MachineId machine, const Message& msg) {
+  std::lock_guard<std::mutex> lock(mu_);
   ExtendPath(msg.trace_id, machine);
   auto it = tracked_.find(msg.trace_id);
   if (it != tracked_.end()) {
@@ -164,6 +175,7 @@ void ClusterChecker::OnPendingResend(MachineId machine, const Message& msg) {
 void ClusterChecker::OnMigrationFrozen(MachineId source, MachineId dest,
                                        const ProcessRecord& record, const PayloadRef& resident,
                                        const PayloadRef& swappable, const PayloadRef& image) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (config_.check_section_integrity) {
     ActiveMigration active;
     active.source = source;
@@ -200,6 +212,7 @@ void ClusterChecker::OnMigrationSection(MachineId dest, const ProcessId& pid,
   if (!config_.check_section_integrity) {
     return;
   }
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = active_migrations_.find(pid);
   if (it == active_migrations_.end()) {
     return;
@@ -221,6 +234,7 @@ void ClusterChecker::OnMigrationSection(MachineId dest, const ProcessId& pid,
 void ClusterChecker::OnMigrationRestart(MachineId dest, const ProcessId& pid,
                                         const ProcessRecord& record) {
   (void)dest;
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = active_migrations_.find(pid);
   if (it == active_migrations_.end()) {
     return;
@@ -241,6 +255,7 @@ void ClusterChecker::OnMigrationRestart(MachineId dest, const ProcessId& pid,
 
 void ClusterChecker::OnMigrationAborted(MachineId source, const ProcessId& pid) {
   (void)source;
+  std::lock_guard<std::mutex> lock(mu_);
   active_migrations_.erase(pid);
 }
 
@@ -514,6 +529,7 @@ void ClusterChecker::CheckMemoryAccounting() {
 }
 
 std::vector<Violation> ClusterChecker::CheckAtQuiescence() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!audited_) {
     audited_ = true;
     CollectDeadPids();

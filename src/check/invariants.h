@@ -52,12 +52,13 @@
 #define DEMOS_CHECK_INVARIANTS_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
-#include "src/kernel/cluster.h"
+#include "src/kernel/engine.h"
 #include "src/kernel/observer.h"
 
 namespace demos {
@@ -83,9 +84,15 @@ struct CheckerConfig {
 // FNV-1a, the hash used for section fingerprints and path signatures.
 std::uint64_t HashBytes(const std::uint8_t* data, std::size_t size);
 
+// Attaches to any Engine (sequential Cluster or ParallelCluster).  Under the
+// parallel engine the observer callbacks arrive concurrently from every shard
+// thread, so all recording is serialized behind one internal mutex -- the
+// checker is an audit tool, not a hot path.  The quiescence audit itself must
+// still run at true quiescence (after Engine::RunUntilSettled returns
+// settled), when the kernel tables are safe to read.
 class ClusterChecker : public KernelObserver {
  public:
-  explicit ClusterChecker(Cluster* cluster, CheckerConfig config = {});
+  explicit ClusterChecker(Engine* engine, CheckerConfig config = {});
 
   // Declare a process that must be alive (exactly one live record) at
   // quiescence.  The chaos harness registers every spawn.
@@ -119,8 +126,14 @@ class ClusterChecker : public KernelObserver {
   const std::vector<std::uint64_t>& suspect_trace_ids() const { return suspect_ids_; }
   const std::vector<ProcessId>& suspect_pids() const { return suspect_pids_; }
 
-  std::uint64_t tracked_messages() const { return tracked_.size(); }
-  std::uint64_t consumed_messages() const { return consumed_; }
+  std::uint64_t tracked_messages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tracked_.size();
+  }
+  std::uint64_t consumed_messages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return consumed_;
+  }
 
  private:
   struct MsgState {
@@ -178,8 +191,10 @@ class ClusterChecker : public KernelObserver {
   void CheckForwardingChains();
   void CheckMemoryAccounting();
 
-  Cluster& cluster_;
+  Engine& cluster_;
   CheckerConfig config_;
+  // Serializes every callback and the audit; see the class comment.
+  mutable std::mutex mu_;
 
   std::unordered_map<std::uint64_t, MsgState> tracked_;  // by trace id
   std::unordered_map<PairKey, std::uint64_t, PairKeyHash> pair_next_seq_;

@@ -1,16 +1,22 @@
-// Cluster: convenience harness that wires up an EventQueue, a SimNetwork
-// (optionally wrapped in ReliableTransport), and one Kernel per machine.
-// Every test, bench, and example builds its DEMOS/MP "network of processors"
-// through this class.
+// Cluster: the deterministic sequential execution engine.
+//
+// Wires up one EventQueue, a SimNetwork (optionally wrapped in
+// ReliableTransport), and one Kernel per machine; every test, bench, and
+// example builds its DEMOS/MP "network of processors" through this class.
+// It implements the Engine interface (src/kernel/engine.h) shared with the
+// parallel ParallelCluster, so engine-agnostic harnesses (chaos, invariant
+// checker, equivalence tests) run on either.
 
 #ifndef DEMOS_KERNEL_CLUSTER_H_
 #define DEMOS_KERNEL_CLUSTER_H_
 
 #include <cassert>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/base/stats.h"
+#include "src/kernel/engine.h"
 #include "src/kernel/kernel.h"
 #include "src/net/reliable_channel.h"
 #include "src/net/sim_network.h"
@@ -31,12 +37,38 @@ struct ClusterConfig {
   // network, and the reliable channel if present) have no config flags of
   // their own; Cluster enables each one from this setting.
   bool trace_enabled = false;
+  // Metrics slabs + flight recorder (src/obs), per the engines' shared
+  // machines+1 slot convention (slot `machines` = harness: the shared event
+  // queue and the reliable channel).  Off by default here -- the sequential
+  // engine predates them and most deterministic tests never look -- but any
+  // Engine-generic harness can flip them on for either engine.
+  bool metrics_enabled = false;
+  bool flight_recorder_enabled = false;
+  std::size_t flight_capacity = 4096;
+
   void EnableTracing() { trace_enabled = true; }
+  EngineConfig EngineCore() const {
+    return EngineConfig{machines,        kernel,           trace_enabled,
+                        metrics_enabled, flight_recorder_enabled, flight_capacity};
+  }
 };
 
-class Cluster {
+class Cluster final : public Engine {
  public:
   explicit Cluster(ClusterConfig config) : config_(config) {
+    const EngineConfig core = config.EngineCore();
+    EngineObservability obs = MakeObservability(core);
+    metrics_ = std::move(obs.metrics);
+    flight_ = std::move(obs.flight);
+    if (flight_) {
+      // Deterministic runs get deterministic dumps: stamp records with the
+      // shared virtual clock (ns by convention).
+      flight_->SetClockAll(
+          [](void* ctx) { return static_cast<EventQueue*>(ctx)->Now() * 1000; }, &queue_);
+    }
+    if (metrics_) {
+      queue_.SetMetrics(&metrics_->shard(config.machines));
+    }
     network_ = std::make_unique<SimNetwork>(&queue_, config.network);
     Transport* transport = network_.get();
     if (config.trace_enabled) {
@@ -48,16 +80,15 @@ class Cluster {
       if (config.trace_enabled) {
         reliable_->tracer().Enable();
       }
+      reliable_->SetObservability(
+          metrics_ ? &metrics_->shard(config.machines) : nullptr,
+          flight_ ? &flight_->recorder(config.machines) : nullptr);
     }
     kernels_.reserve(static_cast<std::size_t>(config.machines));
     for (int i = 0; i < config.machines; ++i) {
-      KernelConfig kc = config.kernel;
-      kc.seed = config.kernel.seed + static_cast<std::uint64_t>(i);
-      kernels_.push_back(
-          std::make_unique<Kernel>(static_cast<MachineId>(i), &queue_, transport, kc));
-      if (config.trace_enabled) {
-        kernels_.back()->tracer().Enable();
-      }
+      kernels_.push_back(std::make_unique<Kernel>(static_cast<MachineId>(i), &queue_, transport,
+                                                  DeriveKernelConfig(core, i)));
+      WireKernelObservability(core, *kernels_.back(), flight_.get(), i);
     }
     if (reliable_) {
       // Give-ups are the transport's dead-peer verdict; feed each one into
@@ -75,51 +106,40 @@ class Cluster {
   SimNetwork& network() { return *network_; }
   ReliableTransport* reliable() { return reliable_.get(); }
 
-  Kernel& kernel(MachineId m) {
+  // ---- Engine interface. ----
+  Kernel& kernel(MachineId m) override {
     assert(m < kernels_.size());
     return *kernels_[m];
   }
+  using Engine::kernel;
 
-  int size() const { return static_cast<int>(kernels_.size()); }
+  int size() const override { return static_cast<int>(kernels_.size()); }
 
-  // Attach a passive monitor to every kernel (null detaches).  The observer
-  // must outlive the cluster or be detached before it is destroyed.
-  void SetObserver(KernelObserver* observer) {
-    for (auto& kernel : kernels_) {
-      kernel->SetObserver(observer);
-    }
+  SettleResult RunUntilSettled(std::size_t max_events = 2'000'000) override {
+    SettleResult out;
+    out.events = queue_.RunUntilIdle(max_events);
+    out.settled = queue_.Empty();
+    return out;
   }
+
+  // One shared clock: `m` only selects the execution context, which is the
+  // same (the caller's) for every machine here.
+  void ScheduleOn(MachineId /*m*/, SimTime at, std::function<void()> fn) override {
+    queue_.At(at, std::move(fn));
+  }
+  void Execute(MachineId /*m*/, std::function<void()> fn) override { fn(); }
+
+  MetricsEngine* metrics() const override { return metrics_.get(); }
+  FlightRecorderHub* flight_recorder() override { return flight_.get(); }
 
   std::size_t RunUntilIdle(std::size_t max_events = 2'000'000) {
     return queue_.RunUntilIdle(max_events);
   }
   std::size_t RunFor(SimDuration duration) { return queue_.RunFor(duration); }
 
-  // Aggregate kernel counters across the whole cluster (network stats are
-  // separate: network().stats()).
-  StatsRegistry TotalStats() const {
-    StatsRegistry total;
-    for (const auto& kernel : kernels_) {
-      total.Merge(kernel->stats());
-    }
-    return total;
-  }
-
-  std::int64_t TotalStat(const char* name) const {
-    std::int64_t sum = 0;
-    for (const auto& kernel : kernels_) {
-      sum += kernel->stats().Get(name);
-    }
-    return sum;
-  }
-
-  // Merge every layer's trace events into one time-sorted cluster timeline
-  // (mirrors TotalStats).  Empty when tracing is disabled.
-  Tracer TotalTrace() const {
-    Tracer total;
-    for (const auto& kernel : kernels_) {
-      total.Merge(kernel->tracer());
-    }
+  // Extends the kernel-tracer merge with the layers only this engine has.
+  Tracer TotalTrace() const override {
+    Tracer total = Engine::TotalTrace();
     total.Merge(network_->tracer());
     if (reliable_) {
       total.Merge(reliable_->tracer());
@@ -128,29 +148,11 @@ class Cluster {
     return total;
   }
 
-  // Locate a process record anywhere in the cluster (test helper).
-  ProcessRecord* FindProcessAnywhere(const ProcessId& pid) {
-    for (auto& kernel : kernels_) {
-      if (ProcessRecord* record = kernel->FindProcess(pid)) {
-        return record;
-      }
-    }
-    return nullptr;
-  }
-
-  // Machine currently hosting a live copy of `pid`, or kNoMachine.
-  MachineId HostOf(const ProcessId& pid) {
-    for (auto& kernel : kernels_) {
-      if (kernel->FindProcess(pid) != nullptr) {
-        return kernel->machine();
-      }
-    }
-    return kNoMachine;
-  }
-
  private:
   ClusterConfig config_;
   EventQueue queue_;
+  std::unique_ptr<MetricsEngine> metrics_;
+  std::unique_ptr<FlightRecorderHub> flight_;
   std::unique_ptr<SimNetwork> network_;
   std::unique_ptr<ReliableTransport> reliable_;
   std::vector<std::unique_ptr<Kernel>> kernels_;

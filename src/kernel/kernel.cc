@@ -190,9 +190,31 @@ void Kernel::SendAdmin(const ProcessAddress& to, MsgType type, Bytes payload) {
   Transmit(std::move(msg));
 }
 
+void Kernel::SetHalted(bool halted) {
+  halted_ = halted;
+  if (!halted && !parked_while_halted_.empty()) {
+    // Revive: replay what arrived during the outage, in arrival order.  The
+    // replay itself may re-park (a handler could halt us again), hence the
+    // swap rather than iterating the member.
+    std::vector<std::pair<MachineId, PayloadRef>> parked;
+    parked.swap(parked_while_halted_);
+    for (auto& [src, wire] : parked) {
+      OnWireDelivery(src, std::move(wire));
+    }
+  }
+}
+
 void Kernel::OnWireDelivery(MachineId wire_src, PayloadRef wire) {
   if (halted_) {
-    return;  // crashed: the wire falls on deaf ears
+    // Crashed: by default the wire falls on deaf ears (the reliable layer
+    // retransmits).  Transports with no retransmission -- the parallel
+    // engine's ShardRouter -- park the frames instead; SetHalted(false)
+    // replays them, modelling the published-communications guarantee that a
+    // message survives a receiver outage.
+    if (config_.park_wire_when_halted) {
+      parked_while_halted_.emplace_back(wire_src, std::move(wire));
+    }
+    return;
   }
   // Hearing from a peer proves it alive: drop any suspicion immediately
   // rather than waiting for the backoff to expire.

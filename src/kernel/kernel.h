@@ -100,10 +100,19 @@ struct KernelConfig {
   // one.  Null (the default) in all production configurations.
   std::function<void(Message&)> forward_fault;
 
+  // A halted kernel normally drops incoming wire frames (the crashed state;
+  // the sequential engine's reliable layer retransmits them until revival or
+  // give-up).  With this set, the frames are parked instead and replayed by
+  // SetHalted(false) -- the crash-window behavior for transports with no
+  // retransmission, i.e. the parallel engine's ShardRouter.
+  bool park_wire_when_halted = false;
+
   // Per-phase migration deadlines (the watchdog of docs/PROTOCOL.md "Failure
-  // model & rollback").  0 disables a phase's deadline -- the default, and
-  // required under the parallel engine, whose shards run unsynchronized
-  // clocks that would fire any wall-clock deadline spuriously.  A deadline
+  // model & rollback").  0 disables a phase's deadline -- the default.
+  // Deadlines are virtual-time policies: under the parallel engine, arming
+  // any phase auto-enables conservative virtual-time sync
+  // (ParallelClusterConfig::sync), which keeps the shard clocks mutually
+  // consistent so a deadline can only fire for a real stall.  A deadline
   // measures *progress*, not total elapsed time: each protocol step or data
   // ack observed for the migration resets the phase clock.
   struct MigrationDeadlines {
@@ -179,6 +188,14 @@ class Kernel {
   // ---- Introspection. ----
   ProcessRecord* FindProcess(const ProcessId& pid) { return processes_.Find(pid); }
   const ProcessTable& process_table() const { return processes_; }
+  // Best-effort location hint from this kernel's registry.  Creating machines
+  // track every process they spawned; past hosts keep the last version they
+  // saw.  kNoMachine when unknown (or tombstoned by process death).  Hints
+  // can be stale -- callers must chase, not trust.
+  MachineId LocationHint(const ProcessId& pid) const {
+    auto it = location_registry_.find(pid);
+    return it == location_registry_.end() ? kNoMachine : it->second.where;
+  }
   std::uint64_t memory_used() const { return memory_used_; }
   std::size_t ready_count() const;
   std::uint64_t cpu_busy_us() const { return cpu_busy_us_; }
@@ -198,7 +215,7 @@ class Kernel {
   // state.  Reviving restores processing of whatever state survived (this
   // models a warm reboot from stable storage, which is how the paper's
   // published-communications layer lets forwarding addresses survive a crash).
-  void SetHalted(bool halted) { halted_ = halted; }
+  void SetHalted(bool halted);
   bool halted() const { return halted_; }
   // Re-arm dispatching after a revive.
   void KickAllProcesses();
@@ -449,6 +466,9 @@ class Kernel {
 
   std::vector<MigrateDoneInfo> migrate_done_log_;
   bool halted_ = false;
+  // Wire frames that arrived while halted, kept only when
+  // config_.park_wire_when_halted; replayed by SetHalted(false).
+  std::vector<std::pair<MachineId, PayloadRef>> parked_while_halted_;
   std::uint32_t routes_since_sweep_ = 0;
   KernelObserver* observer_ = nullptr;
   FlightRecorder* flight_ = nullptr;

@@ -49,6 +49,8 @@ const char* FrEventName(FrEvent e) {
       return "give_up";
     case FrEvent::kInvariantFail:
       return "invariant_fail";
+    case FrEvent::kLbtsWindow:
+      return "lbts_window";
   }
   return "unknown";
 }

@@ -63,6 +63,8 @@ enum class FrEvent : std::uint16_t {
   kGiveUp,           // a = destination machine
   // Harness markers.
   kInvariantFail,    // a = violation count
+  // Conservative virtual-time sync (coordinator slot).
+  kLbtsWindow,       // a = epoch, b = new bound (virtual us)
 };
 
 // Sub-codes for kMigrationPhase/kWatchdogFired `a` operands: which edge of

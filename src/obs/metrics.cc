@@ -47,6 +47,10 @@ const char* CounterName(CounterId id) {
       return "rel_duplicates_dropped";
     case CounterId::kRelGiveUps:
       return "rel_give_ups";
+    case CounterId::kLbtsWindows:
+      return "lbts_windows";
+    case CounterId::kSyncFramesClamped:
+      return "sync_frames_clamped";
     case CounterId::kNumCounters:
       break;
   }
@@ -61,6 +65,8 @@ const char* GaugeName(GaugeId id) {
       return "spill_depth";
     case GaugeId::kEventQueueDepth:
       return "event_queue_depth";
+    case GaugeId::kLbtsBoundUs:
+      return "lbts_bound_us";
     case GaugeId::kNumGauges:
       break;
   }
@@ -77,6 +83,8 @@ const char* HistogramName(HistogramId id) {
       return "push_stall_spins";
     case HistogramId::kParkWaitUs:
       return "park_wait_us";
+    case HistogramId::kLbtsWindowSpanUs:
+      return "lbts_window_span_us";
     case HistogramId::kNumHistograms:
       break;
   }

@@ -73,6 +73,10 @@ enum class CounterId : int {
   kRelAcksSent,
   kRelDuplicatesDropped,
   kRelGiveUps,
+  // Conservative virtual-time sync (src/run/virtual_time.h).
+  kLbtsWindows,        // windows opened by the coordinator (coordinator slot)
+  kSyncFramesClamped,  // cross-shard frames whose arrival was clamped to the
+                       // receiver's clock (0 in a correctly bounded run)
   kNumCounters,
 };
 
@@ -80,6 +84,7 @@ enum class GaugeId : int {
   kMailboxDepth = 0,  // items sitting in this shard's mailbox ring
   kSpillDepth,        // items sitting in this shard's spill queue
   kEventQueueDepth,   // pending events on this shard's virtual clock
+  kLbtsBoundUs,       // current window bound in virtual us (coordinator slot)
   kNumGauges,
 };
 
@@ -88,6 +93,7 @@ enum class HistogramId : int {
   kEventsPerRound,      // event-queue steps per scheduling round
   kPushStallSpins,      // producer spin laps per backpressured push
   kParkWaitUs,          // real microseconds spent parked per park
+  kLbtsWindowSpanUs,    // virtual us a sync window advanced the bound by
   kNumHistograms,
 };
 

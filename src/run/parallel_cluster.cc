@@ -6,35 +6,52 @@
 
 namespace demos {
 
+namespace {
+
+bool DeadlinesArmed(const KernelConfig& kc) {
+  return kc.migration_deadlines.offer_accept_us != 0 ||
+         kc.migration_deadlines.transfer_progress_us != 0 ||
+         kc.migration_deadlines.handoff_us != 0;
+}
+
+}  // namespace
+
 ParallelCluster::ParallelCluster(ParallelClusterConfig config) : config_(config) {
+  const EngineConfig core = config.EngineCore();
   router_ = std::make_unique<ShardRouter>(config.machines, config.router);
   // machines+1 observability slots: one per shard plus the coordinator slot
   // for the quiescence poller (RunUntilQuiescent runs on the caller thread).
-  if (config.metrics_enabled) {
-    metrics_ = std::make_unique<MetricsEngine>(config.machines + 1);
-  }
-  if (config.flight_recorder_enabled) {
-    flight_ = std::make_unique<FlightRecorderHub>(config.machines + 1, config.flight_capacity);
-  }
+  EngineObservability obs = MakeObservability(core);
+  metrics_ = std::move(obs.metrics);
+  flight_ = std::move(obs.flight);
   router_->SetObservability(metrics_.get(), flight_.get());
+  // Migration deadlines are virtual-time policies; they only mean anything
+  // when the shard clocks agree, so arming any phase forces sync on.
+  sync_enabled_ = config.sync.enabled || DeadlinesArmed(config.kernel);
+  if (sync_enabled_) {
+    latency_ = std::make_unique<LinkLatencyTable>(config.machines,
+                                                  config.sync.min_link_latency_us);
+    for (const auto& link : config.sync.links) {
+      if (link.src < static_cast<MachineId>(config.machines) &&
+          link.dst < static_cast<MachineId>(config.machines)) {
+        latency_->SetLink(link.src, link.dst, link.min_latency_us);
+      }
+    }
+    lbts_ = std::make_unique<LbtsState>(config.machines);
+  }
   shards_.reserve(static_cast<std::size_t>(config.machines));
   for (int i = 0; i < config.machines; ++i) {
     auto shard = std::make_unique<Shard>();
     shard->machine = static_cast<MachineId>(i);
-    KernelConfig kc = config.kernel;
-    // Same per-machine seed derivation as the deterministic Cluster, so a
-    // workload staged identically starts from identical kernel state.
-    kc.seed = config.kernel.seed + static_cast<std::uint64_t>(i);
-    shard->kernel = std::make_unique<Kernel>(shard->machine, &shard->queue, router_.get(), kc);
-    if (config.trace_enabled) {
-      shard->kernel->tracer().Enable();
-    }
+    shard->kernel = std::make_unique<Kernel>(shard->machine, &shard->queue, router_.get(),
+                                             DeriveKernelConfig(core, i));
+    WireKernelObservability(core, *shard->kernel, flight_.get(), i);
     if (metrics_) {
       shard->queue.SetMetrics(&metrics_->shard(i));
     }
-    if (flight_) {
-      shard->kernel->SetFlightRecorder(&flight_->recorder(i));
-    }
+    // Frames carry the sender's virtual clock even in free-running mode (the
+    // stamp is one load; only the sync drain path reads it).
+    router_->SetClock(shard->machine, &shard->queue);
     shards_.push_back(std::move(shard));
   }
 }
@@ -50,7 +67,11 @@ void ParallelCluster::Start() {
   for (auto& shard : shards_) {
     Shard* s = shard.get();
     s->idle.store(false, std::memory_order_seq_cst);
-    s->thread = std::thread([this, s] { ShardMain(*s); });
+    if (sync_enabled_) {
+      s->thread = std::thread([this, s] { ShardMainSync(*s); });
+    } else {
+      s->thread = std::thread([this, s] { ShardMain(*s); });
+    }
   }
 }
 
@@ -78,8 +99,57 @@ void ParallelCluster::Post(MachineId m, std::function<void()> fn) {
   router_->Wake(m);
 }
 
+void ParallelCluster::ScheduleOn(MachineId m, SimTime at, std::function<void()> fn) {
+  if (!started_) {
+    shards_[m]->queue.At(at, std::move(fn));
+    return;
+  }
+  // While running, only shard m's thread may touch its queue.
+  Post(m, [this, m, at, fn = std::move(fn)]() mutable {
+    shards_[m]->queue.At(at, std::move(fn));
+  });
+}
+
+void ParallelCluster::Execute(MachineId m, std::function<void()> fn) {
+  if (!started_) {
+    fn();
+    return;
+  }
+  Post(m, std::move(fn));
+}
+
+SettleResult ParallelCluster::RunUntilSettled(std::size_t /*max_events*/) {
+  SettleResult out;
+  const std::uint64_t before = TotalEventsExecuted();
+  out.settled = RunUntilQuiescent(config_.settle_timeout);
+  out.events = static_cast<std::size_t>(TotalEventsExecuted() - before);
+  return out;
+}
+
+std::uint64_t ParallelCluster::TotalEventsExecuted() const {
+  if (!metrics_) {
+    return 0;
+  }
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += metrics_->shard(shard->machine).Counter(CounterId::kEventsExecuted);
+  }
+  return total;
+}
+
 bool ParallelCluster::HasLocalWork(Shard& shard) {
   if (!shard.queue.Empty() || router_->HasMail(shard.machine)) {
+    return true;
+  }
+  std::lock_guard<std::mutex> lock(shard.posted_mu);
+  return !shard.posted.empty();
+}
+
+bool ParallelCluster::HasSyncWork(Shard& shard, std::uint64_t epoch) {
+  if (lbts_->epoch() != epoch || router_->HasMail(shard.machine)) {
+    return true;
+  }
+  if (shard.queue.NextEventTime() <= lbts_->bound()) {
     return true;
   }
   std::lock_guard<std::mutex> lock(shard.posted_mu);
@@ -97,6 +167,24 @@ std::size_t ParallelCluster::DrainPosted(Shard& shard) {
     posted_done_.fetch_add(1, std::memory_order_seq_cst);
   }
   return batch.size();
+}
+
+void ParallelCluster::ScheduleDelivery(Shard& shard, MachineId src, SimTime send_ts,
+                                       PayloadRef payload) {
+  SimTime arrival = send_ts + latency_->Latency(src, shard.machine);
+  if (arrival < shard.queue.Now()) {
+    // A frame from the receiver's virtual past: impossible while the LBTS
+    // bound holds (see virtual_time.h), so any nonzero count here is a sync
+    // bug.  Clamp to now and count it rather than deliver backwards in time.
+    arrival = shard.queue.Now();
+    if (metrics_) {
+      metrics_->shard(shard.machine).Inc(CounterId::kSyncFramesClamped);
+    }
+  }
+  const MachineId me = shard.machine;
+  shard.queue.At(arrival, [this, me, src, payload = std::move(payload)]() mutable {
+    router_->Deliver(me, src, std::move(payload));
+  });
 }
 
 void ParallelCluster::ShardMain(Shard& shard) {
@@ -147,6 +235,63 @@ void ParallelCluster::ShardMain(Shard& shard) {
   }
 }
 
+void ParallelCluster::ShardMainSync(Shard& shard) {
+  MetricShard* metrics = metrics_ ? &metrics_->shard(shard.machine) : nullptr;
+  Tracer& tracer = shard.kernel->tracer();
+  tracer.RecordClockSync(shard.queue.Now(), FrSteadyClock(nullptr));
+  const MachineId me = shard.machine;
+  const ShardRouter::TimedSink sink = [this, &shard](MachineId src, SimTime send_ts,
+                                                     PayloadRef payload) {
+    ScheduleDelivery(shard, src, send_ts, std::move(payload));
+  };
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Snapshot the window first, then advertise busy *before* consuming any
+    // input: the coordinator's double snapshot relies on every consumption
+    // being bracketed by busy==true or a fresh floor (virtual_time.h).
+    const std::uint64_t epoch = lbts_->epoch();
+    const SimTime bound = lbts_->bound();
+    lbts_->MarkBusy(me);
+    std::size_t did = 0;
+    did += router_->DrainTimed(me, config_.drain_batch, sink);
+    const std::size_t posted = DrainPosted(shard);
+    did += posted;
+    std::size_t steps = 0;
+    while (steps < config_.event_batch && shard.queue.StepIfAtMost(bound)) {
+      ++steps;
+    }
+    did += steps;
+    if (did != 0) {
+      if (metrics != nullptr) {
+        metrics->Inc(CounterId::kSchedulerRounds);
+        if (posted != 0) {
+          metrics->Inc(CounterId::kPostedTasks, posted);
+        }
+        if (steps != 0) {
+          metrics->Observe(HistogramId::kEventsPerRound, steps);
+        }
+      }
+      if (posted != 0 && flight_) {
+        flight_->recorder(me).Record(FrEvent::kPostedTask, posted);
+      }
+      continue;
+    }
+    // Blocked on the window: no mail, no posted work, and the next local
+    // event (if any) is past the bound.  Publish the floor for this epoch
+    // and park until the coordinator opens the next window.
+    if (metrics != nullptr) {
+      metrics->Set(GaugeId::kEventQueueDepth,
+                   static_cast<std::int64_t>(shard.queue.PendingEvents()));
+    }
+    tracer.RecordClockSync(shard.queue.Now(), FrSteadyClock(nullptr));
+    shard.idle.store(true, std::memory_order_seq_cst);
+    lbts_->PublishIdle(me, epoch, shard.queue.NextEventTime());
+    router_->Park(me, config_.idle_park, [this, &shard, epoch] {
+      return HasSyncWork(shard, epoch) || stop_.load(std::memory_order_relaxed);
+    });
+    shard.idle.store(false, std::memory_order_seq_cst);
+  }
+}
+
 ParallelCluster::Snapshot ParallelCluster::TakeSnapshot() const {
   Snapshot snap;
   snap.all_idle = true;
@@ -166,6 +311,9 @@ bool ParallelCluster::RunUntilQuiescent(std::chrono::milliseconds timeout) {
   // thread, so it gets its own slab/recorder rather than racing a shard's.
   MetricShard* coord = metrics_ ? &metrics_->shard(coordinator_slot()) : nullptr;
   FlightRecorder* coord_flight = flight_ ? &flight_->recorder(coordinator_slot()) : nullptr;
+  if (sync_enabled_) {
+    return RunUntilQuiescentSync(timeout, coord, coord_flight);
+  }
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   Snapshot prev;
   bool have_prev = false;
@@ -199,6 +347,66 @@ bool ParallelCluster::RunUntilQuiescent(std::chrono::milliseconds timeout) {
   return false;
 }
 
+bool ParallelCluster::RunUntilQuiescentSync(std::chrono::milliseconds timeout,
+                                            MetricShard* coord, FlightRecorder* coord_flight) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  Snapshot prev;
+  LbtsState::ShardView prev_view;
+  bool have_prev = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    // The base snapshot rules out in-flight mail and posted work; the LBTS
+    // view rules out a shard mid-round (busy) or still on an older window
+    // (done_epoch lag), and carries the floors the next bound derives from.
+    Snapshot snap = TakeSnapshot();
+    LbtsState::ShardView view = lbts_->View();
+    const bool blocked = snap.Quiet() && !view.any_busy && view.all_done;
+    if (coord != nullptr) {
+      coord->Inc(CounterId::kQuiescencePolls);
+      if (blocked) {
+        coord->Inc(CounterId::kQuiescenceVotes);
+      }
+    }
+    if (coord_flight != nullptr) {
+      coord_flight->Record(FrEvent::kQuiescenceVote, blocked ? 1 : 0,
+                           snap.sent - snap.consumed);
+    }
+    if (!blocked) {
+      have_prev = false;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      continue;
+    }
+    if (!have_prev || !prev.SameCounters(snap) || !prev_view.Same(view)) {
+      // First quiet observation (or the cluster moved): confirm with a
+      // second identical snapshot before trusting the floors.
+      prev = snap;
+      prev_view = std::move(view);
+      have_prev = true;
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      continue;
+    }
+    // Verified: every shard is blocked on the current window with these
+    // floors, and nothing is in flight.  Either everything is drained
+    // (quiescent) or the cluster earns the next window.
+    const SimTime next = lbts_->NextBound(view.floors, *latency_);
+    if (next == kSimTimeNever) {
+      return true;
+    }
+    const SimTime old_bound = lbts_->bound();
+    lbts_->OpenWindow(next);
+    if (coord != nullptr) {
+      coord->Inc(CounterId::kLbtsWindows);
+      coord->Set(GaugeId::kLbtsBoundUs, static_cast<std::int64_t>(next));
+      coord->Observe(HistogramId::kLbtsWindowSpanUs, next - old_bound);
+    }
+    if (coord_flight != nullptr) {
+      coord_flight->Record(FrEvent::kLbtsWindow, lbts_->epoch(), next);
+    }
+    router_->WakeAll();
+    have_prev = false;
+  }
+  return false;
+}
+
 void ParallelCluster::RefreshDepthGauges() {
   if (!metrics_) {
     return;
@@ -212,40 +420,6 @@ void ParallelCluster::RefreshDepthGauges() {
   }
 }
 
-std::vector<const StatsRegistry*> ParallelCluster::KernelStats() const {
-  std::vector<const StatsRegistry*> out;
-  out.reserve(shards_.size());
-  for (const auto& shard : shards_) {
-    out.push_back(&shard->kernel->stats());
-  }
-  return out;
-}
-
-StatsRegistry ParallelCluster::TotalStats() const {
-  StatsRegistry total;
-  for (const auto& shard : shards_) {
-    total.Merge(shard->kernel->stats());
-  }
-  return total;
-}
-
-std::int64_t ParallelCluster::TotalStat(const char* name) const {
-  std::int64_t sum = 0;
-  for (const auto& shard : shards_) {
-    sum += shard->kernel->stats().Get(name);
-  }
-  return sum;
-}
-
-Tracer ParallelCluster::TotalTrace() const {
-  Tracer total;
-  for (const auto& shard : shards_) {
-    total.Merge(shard->kernel->tracer());
-  }
-  total.SortByTime();
-  return total;
-}
-
 Tracer ParallelCluster::TotalTraceNormalized() const {
   Tracer merged = TotalTrace();
   Tracer normalized;
@@ -254,24 +428,6 @@ Tracer ParallelCluster::TotalTraceNormalized() const {
     normalized.RecordEvent(ev);
   }
   return normalized;
-}
-
-ProcessRecord* ParallelCluster::FindProcessAnywhere(const ProcessId& pid) {
-  for (auto& shard : shards_) {
-    if (ProcessRecord* record = shard->kernel->FindProcess(pid)) {
-      return record;
-    }
-  }
-  return nullptr;
-}
-
-MachineId ParallelCluster::HostOf(const ProcessId& pid) {
-  for (auto& shard : shards_) {
-    if (shard->kernel->FindProcess(pid) != nullptr) {
-      return shard->kernel->machine();
-    }
-  }
-  return kNoMachine;
 }
 
 }  // namespace demos

@@ -16,7 +16,19 @@
 //     ShardRouter; the handler runs on the *destination* shard's thread.
 //   - The only shared-memory concurrency is PayloadRef refcounts (shared_ptr
 //     atomics), stats/payload counters (relaxed atomics), and the
-//     mailbox/quiescence machinery in src/run.
+//     mailbox/quiescence/LBTS machinery in src/run.
+//
+// Two time models, selected by ParallelClusterConfig::sync:
+//   - Free-running (default): shard clocks advance independently; mail is
+//     delivered the instant it is drained.  Fastest, and correct for every
+//     workload whose semantics are timing-independent.
+//   - Conservative sync: shard clocks advance only up to a cluster-wide
+//     lookahead bound (src/run/virtual_time.h), and cross-shard frames are
+//     delivered at send_ts + link latency on the receiver's clock.  No shard
+//     ever receives a frame in its virtual past, which is what makes
+//     wall-clock policies -- MigrationDeadlines, suspect backoff -- fire for
+//     real reasons instead of clock skew.  Arming any migration deadline
+//     auto-enables sync.
 //
 // Lifecycle: construct; stage the workload single-threaded (SpawnProcess,
 // SendFromKernel -- sends are parked in mailboxes); Start(); then alternate
@@ -27,7 +39,7 @@
 // The same Kernel code runs the same 8-step Sec. 3.1 migration protocol and
 // byte-identical wire format in both engines; the sequential-equivalence test
 // in tests/parallel_cluster_test.cc holds both engines to the same final
-// state.
+// state through the shared Engine interface.
 
 #ifndef DEMOS_RUN_PARALLEL_CLUSTER_H_
 #define DEMOS_RUN_PARALLEL_CLUSTER_H_
@@ -42,10 +54,12 @@
 #include <vector>
 
 #include "src/base/stats.h"
+#include "src/kernel/engine.h"
 #include "src/kernel/kernel.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/run/shard_router.h"
+#include "src/run/virtual_time.h"
 #include "src/sim/event_queue.h"
 
 namespace demos {
@@ -71,29 +85,74 @@ struct ParallelClusterConfig {
   bool flight_recorder_enabled = true;
   // Flight-recorder ring capacity per shard (rounded up to a power of two).
   std::size_t flight_capacity = 4096;
+
+  // Conservative virtual-time sync (see the file comment and
+  // src/run/virtual_time.h).  `enabled` is forced on when any
+  // kernel.migration_deadlines phase is armed -- deadlines are meaningless
+  // against free-running clocks.
+  struct TimeSyncConfig {
+    bool enabled = false;
+    // Minimum virtual latency of every cross-shard link, and therefore the
+    // cluster's lookahead.  Clamped to >= 1us; larger values mean wider
+    // windows (fewer sync rounds) but coarser delivery timing.
+    SimDuration min_link_latency_us = 100;
+    // Per-link overrides (both directions must be set separately).
+    struct LinkOverride {
+      MachineId src = kNoMachine;
+      MachineId dst = kNoMachine;
+      SimDuration min_latency_us = 1;
+    };
+    std::vector<LinkOverride> links;
+  };
+  TimeSyncConfig sync;
+  // Wall-clock budget for RunUntilSettled (the Engine-interface entry point;
+  // direct RunUntilQuiescent callers pass their own timeout).
+  std::chrono::milliseconds settle_timeout{10000};
+
   void EnableTracing() { trace_enabled = true; }
+  EngineConfig EngineCore() const {
+    return EngineConfig{machines,        kernel,           trace_enabled,
+                        metrics_enabled, flight_recorder_enabled, flight_capacity};
+  }
 };
 
-class ParallelCluster {
+class ParallelCluster final : public Engine {
  public:
   explicit ParallelCluster(ParallelClusterConfig config);
-  ~ParallelCluster();
+  ~ParallelCluster() override;
 
   ParallelCluster(const ParallelCluster&) = delete;
   ParallelCluster& operator=(const ParallelCluster&) = delete;
 
-  Kernel& kernel(MachineId m) { return *shards_[m]->kernel; }
+  // ---- Engine interface. ----
+  Kernel& kernel(MachineId m) override { return *shards_[m]->kernel; }
+  using Engine::kernel;
+  int size() const override { return static_cast<int>(shards_.size()); }
+  // Drives RunUntilQuiescent under config_.settle_timeout; `max_events` is
+  // unused (the wall clock is the runaway bound here).  `events` is the
+  // cluster-wide events_executed delta, 0 when metrics are disabled.
+  SettleResult RunUntilSettled(std::size_t max_events = 2'000'000) override;
+  // Pre-Start: schedules directly on shard m's private clock.  While
+  // running: hops through Post() so the owning thread does the scheduling.
+  void ScheduleOn(MachineId m, SimTime at, std::function<void()> fn) override;
+  void Execute(MachineId m, std::function<void()> fn) override;
+  MetricsEngine* metrics() const override { return metrics_.get(); }
+  FlightRecorderHub* flight_recorder() override { return flight_.get(); }
+
   // The shard's private virtual clock (setup/inspection only).
   EventQueue& queue(MachineId m) { return shards_[m]->queue; }
   ShardRouter& router() { return *router_; }
-  int size() const { return static_cast<int>(shards_.size()); }
+  bool sync_enabled() const { return sync_enabled_; }
 
   // Launch the worker threads (idempotent).
   void Start();
   // Block until the cluster is quiescent: every shard idle, every mailbox
   // empty, every posted closure done -- confirmed by two identical counter
-  // snapshots.  Returns false on timeout.  Threads stay parked afterwards, so
-  // Post() + another RunUntilQuiescent() continues the run.
+  // snapshots.  Under conservative sync this is also the LBTS coordinator:
+  // each verified all-blocked round either opens the next window or, when
+  // every queue is drained, declares quiescence.  Returns false on timeout.
+  // Threads stay parked afterwards, so Post() + another RunUntilQuiescent()
+  // continues the run.
   bool RunUntilQuiescent(std::chrono::milliseconds timeout = std::chrono::milliseconds(10000));
   // Ask all workers to exit and join them (idempotent; Start() restarts).
   void Stop();
@@ -103,31 +162,19 @@ class ParallelCluster {
   void Post(MachineId m, std::function<void()> fn);
 
   // ---- Observability. ----
-  // Null when disabled by config.  The engine/hub have machines+1 slots: slot
-  // i belongs to shard i, the last slot to the coordinator thread
-  // (quiescence polling, RunUntilQuiescent caller).
-  MetricsEngine* metrics() { return metrics_.get(); }
-  const MetricsEngine* metrics() const { return metrics_.get(); }
-  FlightRecorderHub* flight_recorder() { return flight_.get(); }
+  // The engine/hub have machines+1 slots: slot i belongs to shard i, the
+  // last slot to the coordinator thread (quiescence polling / LBTS rounds).
   int coordinator_slot() const { return static_cast<int>(shards_.size()); }
   // Refresh the mailbox/spill depth gauges from queue state; safe from any
   // thread (sampler collector), no-op when metrics are disabled.
   void RefreshDepthGauges();
-  // Per-shard kernel StatsRegistry pointers, in shard order (feeds
-  // BuildSnapshot / MetricsSampler::TakeSeries).
-  std::vector<const StatsRegistry*> KernelStats() const;
 
-  // ---- Aggregate reads; require pre-Start or quiescence. ----
-  StatsRegistry TotalStats() const;
-  std::int64_t TotalStat(const char* name) const;
-  Tracer TotalTrace() const;
   // TotalTrace with every shard's virtual timestamps normalized onto one
   // real-time axis via the recorded clock-sync points (see
   // NormalizeShardClocks in src/obs/trace_export.h); this is the variant to
-  // export as a Chrome trace.
+  // export as a Chrome trace.  Meaningful for free-running shards; under
+  // conservative sync the virtual clocks are already mutually consistent.
   Tracer TotalTraceNormalized() const;
-  ProcessRecord* FindProcessAnywhere(const ProcessId& pid);
-  MachineId HostOf(const ProcessId& pid);
 
  private:
   struct Shard {
@@ -157,15 +204,29 @@ class ParallelCluster {
   };
 
   void ShardMain(Shard& shard);
+  void ShardMainSync(Shard& shard);
   bool HasLocalWork(Shard& shard);
+  // Sync-mode park predicate: a new window, mail, a runnable event under the
+  // current bound, or posted work.
+  bool HasSyncWork(Shard& shard, std::uint64_t epoch);
+  // Deferred delivery half of DrainTimed: schedule the frame's delivery at
+  // send_ts + link latency on the receiving shard's clock.
+  void ScheduleDelivery(Shard& shard, MachineId src, SimTime send_ts, PayloadRef payload);
   std::size_t DrainPosted(Shard& shard);
   Snapshot TakeSnapshot() const;
+  bool RunUntilQuiescentSync(std::chrono::milliseconds timeout, MetricShard* coord,
+                             FlightRecorder* coord_flight);
+  std::uint64_t TotalEventsExecuted() const;
 
   ParallelClusterConfig config_;
   std::unique_ptr<ShardRouter> router_;
   std::unique_ptr<MetricsEngine> metrics_;
   std::unique_ptr<FlightRecorderHub> flight_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Conservative-sync state; null in free-running mode.
+  bool sync_enabled_ = false;
+  std::unique_ptr<LinkLatencyTable> latency_;
+  std::unique_ptr<LbtsState> lbts_;
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> posted_{0};
   std::atomic<std::uint64_t> posted_done_{0};

@@ -30,6 +30,13 @@ ShardRouter::ShardRouter(int machines, ShardRouterConfig config) : config_(confi
   for (int i = 0; i < machines; ++i) {
     inboxes_.push_back(std::make_unique<Inbox>(config_.mailbox_capacity));
   }
+  clocks_.assign(static_cast<std::size_t>(machines), nullptr);
+}
+
+void ShardRouter::SetClock(MachineId node, const EventQueue* clock) {
+  if (node < clocks_.size()) {
+    clocks_[node] = clock;
+  }
 }
 
 void ShardRouter::Attach(MachineId node, DeliveryHandler handler) {
@@ -53,7 +60,8 @@ std::size_t ShardRouter::SpillDepth(MachineId node) const {
 void ShardRouter::Send(MachineId src, MachineId dst, PayloadRef payload) {
   assert(dst < inboxes_.size());
   Inbox& inbox = *inboxes_[dst];
-  MailItem item{src, std::move(payload)};
+  const EventQueue* clock = src < clocks_.size() ? clocks_[src] : nullptr;
+  MailItem item{src, clock != nullptr ? clock->Now() : 0, std::move(payload)};
 
   // Observability is attributed to the *sending* shard: its slab and its
   // flight recorder are single-writer from this thread by the Send contract.
@@ -160,6 +168,52 @@ std::size_t ShardRouter::Drain(MachineId node, std::size_t max_items) {
     // After the handler: a message is "consumed" only once every effect it
     // had on this shard (including sends it triggered, already counted in
     // sent_) is visible.
+    consumed_.fetch_add(1, std::memory_order_seq_cst);
+    ++drained;
+  }
+  if (drained != 0) {
+    MetricShard* metrics = MetricsFor(metrics_, node);
+    FlightRecorder* flight = FlightFor(flight_, node);
+    if (from_spill != 0) {
+      inbox.spill_depth.store(inbox.spill.size(), std::memory_order_relaxed);
+      if (metrics != nullptr) {
+        metrics->Inc(CounterId::kSpillDrained, from_spill);
+      }
+      if (flight != nullptr) {
+        flight->Record(FrEvent::kSpillExit, from_spill);
+      }
+    }
+    if (metrics != nullptr) {
+      metrics->Inc(CounterId::kMsgsDrained, drained);
+      metrics->Inc(CounterId::kDrainBatches);
+      metrics->Observe(HistogramId::kDrainBatchSize, drained);
+    }
+    if (flight != nullptr) {
+      flight->Record(FrEvent::kDrainBatch, drained);
+    }
+  }
+  return drained;
+}
+
+std::size_t ShardRouter::DrainTimed(MachineId node, std::size_t max_items,
+                                    const TimedSink& sink) {
+  Inbox& inbox = *inboxes_[node];
+  std::size_t drained = 0;
+  std::size_t from_spill = 0;
+  MailItem item;
+  while (drained < max_items) {
+    // Spill first: everything there predates everything still in the ring.
+    if (!inbox.spill.empty()) {
+      item = std::move(inbox.spill.front());
+      inbox.spill.pop_front();
+      ++from_spill;
+    } else if (!inbox.queue.TryPop(item)) {
+      break;
+    }
+    sink(item.src, item.send_ts, std::move(item.payload));
+    // After the sink: the frame is either handled or durably scheduled on the
+    // shard's event queue, so the quiescence/LBTS machinery no longer needs
+    // the sent/consumed gap to cover it.
     consumed_.fetch_add(1, std::memory_order_seq_cst);
     ++drained;
   }

@@ -42,6 +42,7 @@
 #include "src/base/ids.h"
 #include "src/net/transport.h"
 #include "src/run/mpsc_queue.h"
+#include "src/sim/event_queue.h"
 
 namespace demos {
 
@@ -69,10 +70,33 @@ class ShardRouter final : public Transport {
   // does); during single-threaded staging any thread may call it.
   void Send(MachineId src, MachineId dst, PayloadRef payload) override;
 
+  // Register the virtual clock that stamps frames sent *by* `node`.  Every
+  // frame carries the sender's EventQueue::Now() at Send time, which is what
+  // lets the conservative-sync drain path schedule the delivery at
+  // send_ts + link latency on the receiver's clock.  Unregistered senders
+  // (standalone router tests, harness staging) stamp 0.  Set before Start.
+  void SetClock(MachineId node, const EventQueue* clock);
+
   // ---- Consumer side; every call below is shard-thread-only for `node`. ----
   // Pop up to `max_items` messages and run the attached handler on each.
   // Returns the number of messages consumed.
   std::size_t Drain(MachineId node, std::size_t max_items);
+
+  // Conservative-sync drain: pop up to `max_items` messages and hand
+  // (src, send_ts, payload) to `sink` instead of running the delivery
+  // handler.  The sink must make the frame's effect durable before returning
+  // (the parallel engine schedules the delivery on the shard's EventQueue);
+  // each frame counts as consumed once its sink call returns, so the
+  // quiescence counters treat a scheduled-but-not-yet-delivered frame as a
+  // pending *event*, which the LBTS floors cover.
+  using TimedSink = std::function<void(MachineId src, SimTime send_ts, PayloadRef payload)>;
+  std::size_t DrainTimed(MachineId node, std::size_t max_items, const TimedSink& sink);
+
+  // Run `node`'s attached delivery handler now (the deferred half of a
+  // DrainTimed delivery event).  Shard-thread-only for `node`.
+  void Deliver(MachineId node, MachineId src, PayloadRef payload) {
+    inboxes_[node]->handler(src, std::move(payload));
+  }
   bool HasMail(MachineId node) const;
   // Park the shard thread until a producer wakes it, `has_work` turns true,
   // or `timeout` elapses.  The timeout doubles as missed-wakeup insurance.
@@ -107,6 +131,7 @@ class ShardRouter final : public Transport {
  private:
   struct MailItem {
     MachineId src = kNoMachine;
+    SimTime send_ts = 0;  // sender's virtual clock at Send time
     PayloadRef payload;
   };
 
@@ -133,6 +158,9 @@ class ShardRouter final : public Transport {
 
   ShardRouterConfig config_;
   std::vector<std::unique_ptr<Inbox>> inboxes_;
+  // Per-sender virtual clocks (null = stamp 0).  Written only before the
+  // shard threads start; each entry is read only by its owning shard.
+  std::vector<const EventQueue*> clocks_;
   MetricsEngine* metrics_ = nullptr;
   FlightRecorderHub* flight_ = nullptr;
   std::atomic<std::uint64_t> sent_{0};

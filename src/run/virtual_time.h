@@ -1,0 +1,197 @@
+// Conservative virtual-time synchronization for the parallel engine.
+//
+// The classic PDES problem: ParallelCluster's shards each own a private
+// EventQueue, so without agreement shard A can execute an event at virtual
+// time 50'000 before shard B's event at 1'000 has sent it a message that
+// should have arrived at 1'100.  That is harmless for workloads whose
+// correctness is timing-independent (the free-running default), but it makes
+// every wall-clock policy -- most importantly MigrationDeadlines -- fire
+// spuriously.
+//
+// The fix here is lookahead-based conservative windows (YAWNS-style rounds,
+// not per-link null messages).  Every cross-shard frame takes a known minimum
+// virtual latency L(src, dst) >= 1us, so once every shard is blocked with its
+// next local event at floor_i, no event anywhere in the cluster can be
+// affected by another shard before
+//
+//     LBTS = min_i (floor_i + min_dst L(i, dst))
+//
+// The coordinator therefore opens a window with bound = LBTS - 1 and every
+// shard may execute all events with timestamp <= bound without ever receiving
+// a frame in its past: a shard executing at t >= floor_src produces an
+// arrival t + L(src, dst) >= floor_src + min-lookahead(src) >= bound + 1.
+//
+// The round itself piggybacks on the quiescence double-snapshot machinery:
+// a window only closes when the router's sent == consumed (no frame in any
+// mailbox), every posted closure has run, and every shard has published an
+// identical (epoch, floor) across two coordinator snapshots while not busy.
+// The busy flag is set (seq_cst) *before* a shard consumes any input, which
+// closes the race where a shard drains a frame but publishes its new floor
+// only after the coordinator has read the stale one: either the publish lands
+// before the first snapshot (floor is fresh), or the coordinator observes
+// busy == true / differing counters and retries.
+
+#ifndef DEMOS_RUN_VIRTUAL_TIME_H_
+#define DEMOS_RUN_VIRTUAL_TIME_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/base/ids.h"
+#include "src/sim/event_queue.h"
+
+namespace demos {
+
+// Minimum virtual latency of every shard-to-shard link, and the per-shard
+// outgoing lookahead derived from it.  Latencies are clamped to >= 1us:
+// a zero-lookahead link would make the LBTS bound unable to advance.
+class LinkLatencyTable {
+ public:
+  LinkLatencyTable(int machines, SimDuration uniform_us)
+      : machines_(machines),
+        uniform_(uniform_us == 0 ? 1 : uniform_us),
+        overrides_(static_cast<std::size_t>(machines) * static_cast<std::size_t>(machines), 0) {}
+
+  // Override one link's minimum latency (0 is clamped to 1us).
+  void SetLink(MachineId src, MachineId dst, SimDuration latency_us) {
+    overrides_[Index(src, dst)] = latency_us == 0 ? 1 : latency_us;
+  }
+
+  SimDuration Latency(MachineId src, MachineId dst) const {
+    if (src >= machines_ || dst >= machines_) {
+      return uniform_;
+    }
+    const SimDuration link = overrides_[Index(src, dst)];
+    return link == 0 ? uniform_ : link;
+  }
+
+  // min over destinations of Latency(src, dst): how far past its own next
+  // event this shard is guaranteed not to affect anyone.
+  SimDuration LookaheadFrom(MachineId src) const {
+    SimDuration lookahead = uniform_;
+    if (src < machines_) {
+      for (int dst = 0; dst < machines_; ++dst) {
+        const SimDuration link = overrides_[Index(src, static_cast<MachineId>(dst))];
+        if (link != 0 && link < lookahead) {
+          lookahead = link;
+        }
+      }
+    }
+    return lookahead;
+  }
+
+  int machines() const { return machines_; }
+
+ private:
+  std::size_t Index(MachineId src, MachineId dst) const {
+    return static_cast<std::size_t>(src) * static_cast<std::size_t>(machines_) +
+           static_cast<std::size_t>(dst);
+  }
+
+  int machines_;
+  SimDuration uniform_;
+  std::vector<SimDuration> overrides_;  // 0 = use the uniform latency
+};
+
+// Shared window state: the coordinator publishes (epoch, bound); each shard
+// publishes (busy, done_epoch, floor).  All accesses are seq_cst -- this is
+// the cold coordination path, executed once per window, not per event.
+class LbtsState {
+ public:
+  explicit LbtsState(int shards) : slots_(static_cast<std::size_t>(shards)) {
+    for (auto& slot : slots_) {
+      slot = std::make_unique<Slot>();
+    }
+  }
+
+  // ---- Shard side. ----
+  // Must be called before the shard consumes any input (mailbox, posted
+  // closures, or local events); see the header comment for why.
+  void MarkBusy(MachineId shard) { slots_[shard]->busy.store(true, std::memory_order_seq_cst); }
+
+  // The shard has nothing left to do at or below the current bound: publish
+  // its floor for `epoch` and clear busy (in that order).
+  void PublishIdle(MachineId shard, std::uint64_t epoch, SimTime floor) {
+    Slot& slot = *slots_[shard];
+    slot.floor.store(floor, std::memory_order_seq_cst);
+    slot.done_epoch.store(epoch, std::memory_order_seq_cst);
+    slot.busy.store(false, std::memory_order_seq_cst);
+  }
+
+  std::uint64_t epoch() const { return epoch_.load(std::memory_order_seq_cst); }
+  SimTime bound() const { return bound_.load(std::memory_order_seq_cst); }
+
+  // ---- Coordinator side. ----
+  struct ShardView {
+    bool any_busy = false;
+    bool all_done = false;               // every done_epoch == the current epoch
+    std::vector<SimTime> floors;
+
+    bool Same(const ShardView& other) const {
+      return any_busy == other.any_busy && all_done == other.all_done &&
+             floors == other.floors;
+    }
+  };
+
+  ShardView View() const {
+    ShardView view;
+    view.all_done = true;
+    const std::uint64_t current = epoch();
+    view.floors.reserve(slots_.size());
+    for (const auto& slot : slots_) {
+      view.any_busy = slot->busy.load(std::memory_order_seq_cst) || view.any_busy;
+      view.all_done = slot->done_epoch.load(std::memory_order_seq_cst) == current && view.all_done;
+      view.floors.push_back(slot->floor.load(std::memory_order_seq_cst));
+    }
+    return view;
+  }
+
+  // New bound from a validated set of floors: min_i(floor_i + lookahead_i) - 1,
+  // skipping drained shards.  Returns kSimTimeNever when every queue is empty
+  // (the cluster is quiescent).  The result is always > the current bound:
+  // floors are past the old bound by construction and lookahead is >= 1us.
+  SimTime NextBound(const std::vector<SimTime>& floors, const LinkLatencyTable& latency) const {
+    SimTime next = kSimTimeNever;
+    for (std::size_t i = 0; i < floors.size(); ++i) {
+      if (floors[i] == kSimTimeNever) {
+        continue;
+      }
+      const SimTime candidate = floors[i] + latency.LookaheadFrom(static_cast<MachineId>(i)) - 1;
+      if (candidate < next) {
+        next = candidate;
+      }
+    }
+    if (next != kSimTimeNever && next <= bound()) {
+      next = bound() + 1;  // defensive: the window must always make progress
+    }
+    return next;
+  }
+
+  // Publish a new window.  The bound store precedes the epoch bump so a shard
+  // that observes the new epoch always sees at least the new bound.
+  void OpenWindow(SimTime new_bound) {
+    bound_.store(new_bound, std::memory_order_seq_cst);
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+  }
+
+  int shards() const { return static_cast<int>(slots_.size()); }
+
+ private:
+  // One cache line per shard: floors are written by their shard on every
+  // park and must not false-share with a neighbour's hot loop.
+  struct alignas(64) Slot {
+    std::atomic<bool> busy{false};
+    std::atomic<std::uint64_t> done_epoch{0};
+    std::atomic<SimTime> floor{0};
+  };
+
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<SimTime> bound_{0};
+};
+
+}  // namespace demos
+
+#endif  // DEMOS_RUN_VIRTUAL_TIME_H_

@@ -27,6 +27,10 @@ namespace demos {
 using SimTime = std::uint64_t;      // virtual microseconds since simulation start
 using SimDuration = std::uint64_t;  // virtual microseconds
 
+// "No event scheduled": the empty-queue NextEventTime() and the all-queues-
+// drained LBTS floor in the parallel engine's conservative time sync.
+inline constexpr SimTime kSimTimeNever = ~SimTime{0};
+
 class EventQueue {
  public:
   using Callback = std::function<void()>;
@@ -52,6 +56,10 @@ class EventQueue {
   bool Empty() const { return heap_.empty(); }
   std::size_t PendingEvents() const { return heap_.size(); }
 
+  // Timestamp of the next event, or kSimTimeNever when nothing is scheduled.
+  // This is the shard's "floor" in the parallel engine's LBTS rounds.
+  SimTime NextEventTime() const { return heap_.empty() ? kSimTimeNever : heap_.front().when; }
+
   // Run a single event; returns false if the queue was empty.
   bool Step() {
     if (heap_.empty()) {
@@ -70,6 +78,17 @@ class EventQueue {
     }
     ev.fn();
     return true;
+  }
+
+  // Bounded-advance stepping for conservative virtual-time windows: run one
+  // event iff its timestamp is <= `bound`.  Unlike RunUntil, the clock never
+  // advances past the last executed event, so a later window can still
+  // schedule between the current time and the bound.
+  bool StepIfAtMost(SimTime bound) {
+    if (heap_.empty() || heap_.front().when > bound) {
+      return false;
+    }
+    return Step();
   }
 
   // Run events until nothing is scheduled.  `max_events` bounds runaway

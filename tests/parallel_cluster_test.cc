@@ -1,20 +1,24 @@
 // Tests for the parallel execution engine (src/run): the lock-free mailbox,
 // the ShardRouter transport, ParallelCluster quiescence, and -- the point of
-// the whole engine -- sequential/parallel equivalence: the same token-ring
-// workload with chained migrations and stale-link traffic must converge to
-// identical process locations, link tables, and delivery counts on both the
-// deterministic Cluster and the threaded ParallelCluster.
+// the whole engine -- engine equivalence: one workload runner programmed
+// against the Engine interface, instantiated over the deterministic Cluster,
+// the free-running ParallelCluster, and the conservatively-synced
+// ParallelCluster, must converge to identical process locations, link
+// tables, and exactly-once delivery counts on all three.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "src/base/stats.h"
 #include "src/kernel/cluster.h"
+#include "src/kernel/engine.h"
 #include "src/run/mpsc_queue.h"
 #include "src/run/parallel_cluster.h"
 #include "src/run/shard_router.h"
@@ -216,8 +220,36 @@ TEST_F(ParallelClusterTest, PostRunsOnShardThreadAndRestartWorks) {
 }
 
 // ---------------------------------------------------------------------------
-// Sequential/parallel equivalence.
+// Engine equivalence, parameterized over the Engine interface.
 // ---------------------------------------------------------------------------
+
+enum class EngineKind { kSequential, kParallel, kParallelSync };
+
+const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kSequential:
+      return "Sequential";
+    case EngineKind::kParallel:
+      return "Parallel";
+    case EngineKind::kParallelSync:
+      return "ParallelSync";
+  }
+  return "?";
+}
+
+// One factory for all three engine variants.  `parallel` carries
+// variant-specific knobs (mailbox capacity, link latencies) and is ignored by
+// the sequential engine.
+std::unique_ptr<Engine> MakeEngine(EngineKind kind, int machines,
+                                   ParallelClusterConfig parallel = {}) {
+  if (kind == EngineKind::kSequential) {
+    return std::make_unique<Cluster>(ClusterConfig{.machines = machines});
+  }
+  parallel.machines = machines;
+  parallel.sync.enabled = kind == EngineKind::kParallelSync;
+  parallel.settle_timeout = std::chrono::milliseconds(60000);
+  return std::make_unique<ParallelCluster>(parallel);
+}
 
 // The link a ring node holds to its successor, or nullptr.
 const Link* LinkToNext(ProcessRecord* record, const ProcessId& next_pid) {
@@ -246,15 +278,14 @@ std::uint64_t PidKey(const ProcessId& pid) {
   return (static_cast<std::uint64_t>(pid.creating_machine) << 32) | pid.local_id;
 }
 
-template <typename ClusterT>
-RingEndState CaptureEndState(ClusterT& cluster, const std::vector<TokenRing>& rings) {
+RingEndState CaptureEndState(Engine& engine, const std::vector<TokenRing>& rings) {
   RingEndState state;
   for (const TokenRing& ring : rings) {
     for (std::size_t j = 0; j < ring.size(); ++j) {
       const ProcessId& pid = ring[j].pid;
       const ProcessId& next_pid = ring[(j + 1) % ring.size()].pid;
-      state.host[PidKey(pid)] = cluster.HostOf(pid);
-      ProcessRecord* record = cluster.FindProcessAnywhere(pid);
+      state.host[PidKey(pid)] = engine.HostOf(pid);
+      ProcessRecord* record = engine.FindProcessAnywhere(pid);
       const Link* link = LinkToNext(record, next_pid);
       state.link_target[PidKey(pid)] =
           link != nullptr ? link->address.last_known_machine : kNoMachine;
@@ -266,51 +297,51 @@ RingEndState CaptureEndState(ClusterT& cluster, const std::vector<TokenRing>& ri
       }
     }
   }
-  state.delivered = cluster.TotalStat(stat::kMsgsDelivered);
-  state.bounced = cluster.TotalStat(stat::kMsgsBounced);
+  state.delivered = engine.TotalStat(stat::kMsgsDelivered);
+  state.bounced = engine.TotalStat(stat::kMsgsBounced);
   return state;
 }
 
-// Run the shared workload on the deterministic engine.
-RingEndState RunSequential(int machines, const TokenRingSpec& spec, int probe_rounds) {
-  Cluster cluster(ClusterConfig{.machines = machines});
-  std::vector<TokenRing> rings = BuildTokenRings(cluster, spec);
+// The one workload runner for every engine: stage, kick, settle, probe.  The
+// probe rounds re-kick every node through Execute(0) so stale links advance a
+// forwarding hop per round on all engines alike.
+RingEndState RunWorkload(Engine& engine, const TokenRingSpec& spec, int probe_rounds,
+                         std::vector<TokenRing>* rings_out = nullptr) {
+  std::vector<TokenRing> rings = BuildTokenRings(engine, spec);
   EXPECT_FALSE(rings.empty());
-  KickTokenRings(cluster, rings, spec.tokens_per_node, spec.hops_per_token);
-  EXPECT_LT(cluster.RunUntilIdle(20'000'000), 20'000'000u) << "workload did not terminate";
+  KickTokenRings(engine, rings, spec.tokens_per_node, spec.hops_per_token);
+  EXPECT_TRUE(engine.RunUntilSettled(20'000'000).settled) << "workload did not settle";
   for (int round = 0; round < probe_rounds; ++round) {
-    KickTokenRings(cluster, rings, 1, 0);
-    cluster.RunUntilIdle();
-  }
-  return CaptureEndState(cluster, rings);
-}
-
-// Run the identical workload on the parallel engine.
-RingEndState RunParallel(int machines, const TokenRingSpec& spec, int probe_rounds,
-                         ParallelClusterConfig config = {}) {
-  config.machines = machines;
-  ParallelCluster cluster(config);
-  std::vector<TokenRing> rings = BuildTokenRings(cluster, spec);
-  EXPECT_FALSE(rings.empty());
-  KickTokenRings(cluster, rings, spec.tokens_per_node, spec.hops_per_token);
-  EXPECT_TRUE(cluster.RunUntilQuiescent(std::chrono::milliseconds(60000)));
-  for (int round = 0; round < probe_rounds; ++round) {
-    const Bytes payload = MakeKickPayload(1, 0);
-    cluster.Post(0, [&cluster, &rings, payload] {
+    Engine* e = &engine;
+    engine.Execute(0, [e, &rings, payload = MakeKickPayload(1, 0)] {
       for (const TokenRing& ring : rings) {
         for (const ProcessAddress& node : ring) {
-          cluster.kernel(0).SendFromKernel(node, kTokenKick, payload);
+          e->kernel(0).SendFromKernel(node, kTokenKick, payload);
         }
       }
     });
-    EXPECT_TRUE(cluster.RunUntilQuiescent(std::chrono::milliseconds(60000)));
+    EXPECT_TRUE(engine.RunUntilSettled(20'000'000).settled) << "probe round did not settle";
   }
-  RingEndState state = CaptureEndState(cluster, rings);
-  cluster.Stop();
+  RingEndState state = CaptureEndState(engine, rings);
+  if (rings_out != nullptr) {
+    *rings_out = std::move(rings);
+  }
   return state;
 }
 
-TEST_F(ParallelClusterTest, EquivalenceStaticRings) {
+class EngineEquivalenceTest : public ::testing::TestWithParam<EngineKind> {
+ protected:
+  void SetUp() override { RegisterWorkloadPrograms(); }
+};
+
+INSTANTIATE_TEST_SUITE_P(Engines, EngineEquivalenceTest,
+                         ::testing::Values(EngineKind::kSequential, EngineKind::kParallel,
+                                           EngineKind::kParallelSync),
+                         [](const ::testing::TestParamInfo<EngineKind>& info) {
+                           return std::string(EngineKindName(info.param));
+                         });
+
+TEST_P(EngineEquivalenceTest, StaticRingsMatchGroundTruth) {
   const int machines = 4;
   TokenRingSpec spec;
   spec.rings = 4;
@@ -318,18 +349,26 @@ TEST_F(ParallelClusterTest, EquivalenceStaticRings) {
   spec.tokens_per_node = 2;
   spec.hops_per_token = 50;
 
-  RingEndState seq = RunSequential(machines, spec, /*probe_rounds=*/0);
-  RingEndState par = RunParallel(machines, spec, /*probe_rounds=*/0);
+  std::unique_ptr<Engine> engine = MakeEngine(GetParam(), machines);
+  std::vector<TokenRing> rings;
+  const RingEndState state = RunWorkload(*engine, spec, /*probe_rounds=*/0, &rings);
 
-  EXPECT_EQ(seq.delivered, ExpectedRingDeliveries(spec));
-  EXPECT_EQ(par.delivered, ExpectedRingDeliveries(spec));
-  EXPECT_EQ(seq.bounced, 0);
-  EXPECT_EQ(par.bounced, 0);
-  EXPECT_EQ(seq.host, par.host);
-  EXPECT_EQ(seq.link_target, par.link_target);
+  EXPECT_EQ(state.delivered, ExpectedRingDeliveries(spec));
+  EXPECT_EQ(state.bounced, 0);
+  // With no migrations the ground truth is the spawn layout itself: every
+  // node stays home and every next-link still names the successor's spawn
+  // machine.
+  for (const TokenRing& ring : rings) {
+    for (std::size_t j = 0; j < ring.size(); ++j) {
+      const ProcessAddress& node = ring[j];
+      const ProcessAddress& next = ring[(j + 1) % ring.size()];
+      EXPECT_EQ(state.host.at(PidKey(node.pid)), node.last_known_machine);
+      EXPECT_EQ(state.link_target.at(PidKey(node.pid)), next.last_known_machine);
+    }
+  }
 }
 
-TEST_F(ParallelClusterTest, EquivalenceChainedMigrationsAndStaleLinks) {
+TEST_P(EngineEquivalenceTest, ChainedMigrationsAndStaleLinksMatchGroundTruth) {
   const int machines = 4;
   TokenRingSpec spec;
   spec.rings = 3;
@@ -339,42 +378,67 @@ TEST_F(ParallelClusterTest, EquivalenceChainedMigrationsAndStaleLinks) {
   spec.migrate_count = 3;
   spec.migrate_after_tokens = 2;
   // Each probe round advances a stale link at least one forwarding hop, so
-  // migrate_count + 1 rounds guarantee convergence on both engines.
+  // migrate_count + 1 rounds guarantee convergence on every engine.
   const int probe_rounds = static_cast<int>(spec.migrate_count) + 1;
 
-  RingEndState seq = RunSequential(machines, spec, probe_rounds);
-  RingEndState par = RunParallel(machines, spec, probe_rounds);
+  std::unique_ptr<Engine> engine = MakeEngine(GetParam(), machines);
+  std::vector<TokenRing> rings;
+  const RingEndState state = RunWorkload(*engine, spec, probe_rounds, &rings);
 
   // msgs_delivered undercounts by a timing-dependent amount under migration
   // (held messages are consumed without a bump), so the exactly-once check
-  // uses the program-level reception counter, which both engines must match.
-  const std::int64_t expected = ExpectedTokenReceptions(spec, probe_rounds);
-  EXPECT_EQ(seq.tokens_seen, expected);
-  EXPECT_EQ(par.tokens_seen, expected);
-  EXPECT_EQ(seq.bounced, 0);
-  EXPECT_EQ(par.bounced, 0);
+  // uses the program-level reception counter, which every engine must match.
+  EXPECT_EQ(state.tokens_seen, ExpectedTokenReceptions(spec, probe_rounds));
+  EXPECT_EQ(state.bounced, 0);
 
-  // Ground truth: every node chained exactly migrate_count hops of +1.
-  TokenRingSpec static_spec = spec;
-  Cluster reference(ClusterConfig{.machines = machines});
-  std::vector<TokenRing> layout = BuildTokenRings(reference, static_spec);
-  for (const TokenRing& ring : layout) {
+  // Ground truth: every node chained exactly migrate_count hops of +1 from
+  // its spawn machine, and after the probe rounds each node's next-link has
+  // converged on the successor's true host.
+  for (const TokenRing& ring : rings) {
     for (std::size_t j = 0; j < ring.size(); ++j) {
       const ProcessAddress& node = ring[j];
+      const ProcessAddress& next = ring[(j + 1) % ring.size()];
       const auto want_host = static_cast<MachineId>(
           (node.last_known_machine + spec.migrate_count) % machines);
-      EXPECT_EQ(seq.host.at(PidKey(node.pid)), want_host) << "sequential host diverged";
-      EXPECT_EQ(par.host.at(PidKey(node.pid)), want_host) << "parallel host diverged";
-      EXPECT_EQ(seq.migrations.at(PidKey(node.pid)), spec.migrate_count);
-      EXPECT_EQ(par.migrations.at(PidKey(node.pid)), spec.migrate_count);
-      // After the probe rounds, each node's next-link must have converged on
-      // the successor's true host (identical in both engines).
-      const ProcessAddress& next = ring[(j + 1) % ring.size()];
       const auto want_target = static_cast<MachineId>(
           (next.last_known_machine + spec.migrate_count) % machines);
-      EXPECT_EQ(seq.link_target.at(PidKey(node.pid)), want_target);
-      EXPECT_EQ(par.link_target.at(PidKey(node.pid)), want_target);
+      EXPECT_EQ(state.host.at(PidKey(node.pid)), want_host) << "host diverged";
+      EXPECT_EQ(state.migrations.at(PidKey(node.pid)), spec.migrate_count);
+      EXPECT_EQ(state.link_target.at(PidKey(node.pid)), want_target);
     }
+  }
+}
+
+// The pairwise check the suite is named for: all three engines must land on
+// byte-identical location/link/counter end states for the same workload.
+TEST_F(ParallelClusterTest, AllEnginesConvergeToIdenticalEndState) {
+  const int machines = 4;
+  TokenRingSpec spec;
+  spec.rings = 3;
+  spec.nodes_per_ring = 4;
+  spec.tokens_per_node = 2;
+  spec.hops_per_token = 40;
+  spec.migrate_count = 2;
+  spec.migrate_after_tokens = 2;
+  const int probe_rounds = static_cast<int>(spec.migrate_count) + 1;
+
+  RingEndState baseline;
+  bool have_baseline = false;
+  for (const EngineKind kind :
+       {EngineKind::kSequential, EngineKind::kParallel, EngineKind::kParallelSync}) {
+    SCOPED_TRACE(EngineKindName(kind));
+    std::unique_ptr<Engine> engine = MakeEngine(kind, machines);
+    const RingEndState state = RunWorkload(*engine, spec, probe_rounds);
+    if (!have_baseline) {
+      baseline = state;
+      have_baseline = true;
+      continue;
+    }
+    EXPECT_EQ(state.host, baseline.host);
+    EXPECT_EQ(state.link_target, baseline.link_target);
+    EXPECT_EQ(state.migrations, baseline.migrations);
+    EXPECT_EQ(state.tokens_seen, baseline.tokens_seen);
+    EXPECT_EQ(state.bounced, baseline.bounced);
   }
 }
 
@@ -392,12 +456,42 @@ TEST_F(ParallelClusterTest, StressForwardingDuringMigrationStorm) {
   spec.migrate_count = 2;
   spec.migrate_after_tokens = 1;  // first token triggers the chain: maximum overlap
 
-  RingEndState par = RunParallel(machines, spec, /*probe_rounds=*/0);
+  std::unique_ptr<Engine> engine = MakeEngine(EngineKind::kParallel, machines);
+  const RingEndState par = RunWorkload(*engine, spec, /*probe_rounds=*/0);
   EXPECT_EQ(par.tokens_seen, ExpectedTokenReceptions(spec));
   EXPECT_EQ(par.bounced, 0);
   for (const auto& [pid, host] : par.host) {
     EXPECT_NE(host, kNoMachine) << "a process vanished mid-storm";
   }
+  for (const auto& [pid, count] : par.migrations) {
+    EXPECT_EQ(count, spec.migrate_count) << "a migration chain stalled";
+  }
+}
+
+// The same storm with migration deadlines armed, which forces conservative
+// sync on: the acceptance bar for enabling wall-clock policies under the
+// parallel engine.  Healthy migrations under load must never trip a watchdog,
+// and the sync layer must hold exactly-once.  TSan runs this in CI.
+TEST_F(ParallelClusterTest, StressMigrationStormWithDeadlinesArmed) {
+  const int machines = 8;
+  TokenRingSpec spec;
+  spec.rings = 8;
+  spec.nodes_per_ring = 8;
+  spec.tokens_per_node = 2;
+  spec.hops_per_token = 40;
+  spec.migrate_count = 2;
+  spec.migrate_after_tokens = 1;
+
+  ParallelClusterConfig config;
+  config.kernel.migration_deadlines.offer_accept_us = 2'000'000;
+  config.kernel.migration_deadlines.transfer_progress_us = 2'000'000;
+  config.kernel.migration_deadlines.handoff_us = 2'000'000;
+  std::unique_ptr<Engine> engine = MakeEngine(EngineKind::kParallel, machines, config);
+  const RingEndState par = RunWorkload(*engine, spec, /*probe_rounds=*/0);
+  EXPECT_EQ(par.tokens_seen, ExpectedTokenReceptions(spec));
+  EXPECT_EQ(par.bounced, 0);
+  EXPECT_EQ(engine->TotalStat(stat::kMigrationsTimedOut), 0)
+      << "a deadline fired for a healthy migration under sync";
   for (const auto& [pid, count] : par.migrations) {
     EXPECT_EQ(count, spec.migrate_count) << "a migration chain stalled";
   }
@@ -416,7 +510,8 @@ TEST_F(ParallelClusterTest, TinyMailboxBackpressureKeepsExactlyOnce) {
 
   ParallelClusterConfig config;
   config.router.mailbox_capacity = 8;
-  RingEndState par = RunParallel(machines, spec, /*probe_rounds=*/0, config);
+  std::unique_ptr<Engine> engine = MakeEngine(EngineKind::kParallel, machines, config);
+  const RingEndState par = RunWorkload(*engine, spec, /*probe_rounds=*/0);
   EXPECT_EQ(par.delivered, ExpectedRingDeliveries(spec));
   EXPECT_EQ(par.bounced, 0);
 }

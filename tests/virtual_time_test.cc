@@ -1,0 +1,231 @@
+// Units for the conservative virtual-time sync layer (src/run/virtual_time.h)
+// and the pieces of EventQueue / ShardRouter it builds on: bounded stepping,
+// floors, link lookahead, the LBTS bound derivation, the busy/floor publish
+// protocol, and timestamped frame draining.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/run/shard_router.h"
+#include "src/run/virtual_time.h"
+#include "src/sim/event_queue.h"
+
+namespace demos {
+namespace {
+
+// ---------------------------------------------------------------------------
+// EventQueue: bounded advance and floors.
+// ---------------------------------------------------------------------------
+
+TEST(VirtualTimeQueueTest, NextEventTimeIsFloorOrNever) {
+  EventQueue queue;
+  EXPECT_EQ(queue.NextEventTime(), kSimTimeNever);
+  queue.At(500, [] {});
+  queue.At(100, [] {});
+  EXPECT_EQ(queue.NextEventTime(), 100u);
+  EXPECT_TRUE(queue.Step());
+  EXPECT_EQ(queue.NextEventTime(), 500u);
+  EXPECT_TRUE(queue.Step());
+  EXPECT_EQ(queue.NextEventTime(), kSimTimeNever);
+}
+
+TEST(VirtualTimeQueueTest, StepIfAtMostRespectsBoundWithoutAdvancingClock) {
+  EventQueue queue;
+  int ran = 0;
+  queue.At(100, [&ran] { ++ran; });
+  queue.At(200, [&ran] { ++ran; });
+  queue.At(300, [&ran] { ++ran; });
+
+  EXPECT_TRUE(queue.StepIfAtMost(250));
+  EXPECT_TRUE(queue.StepIfAtMost(250));
+  EXPECT_FALSE(queue.StepIfAtMost(250)) << "the 300us event is past the bound";
+  EXPECT_EQ(ran, 2);
+  // Unlike RunUntil, the clock stays at the last *executed* event, so a later
+  // window can still schedule between 200 and the old bound.
+  EXPECT_EQ(queue.Now(), 200u);
+  queue.At(220, [&ran] { ++ran; });
+  EXPECT_TRUE(queue.StepIfAtMost(250));
+  EXPECT_EQ(ran, 3);
+  EXPECT_FALSE(queue.StepIfAtMost(250));
+  EXPECT_TRUE(queue.StepIfAtMost(300));
+  EXPECT_EQ(ran, 4);
+}
+
+TEST(VirtualTimeQueueTest, PastSchedulesClampToNow) {
+  EventQueue queue;
+  queue.At(1000, [] {});
+  EXPECT_TRUE(queue.Step());
+  EXPECT_EQ(queue.Now(), 1000u);
+  SimTime observed = 0;
+  queue.At(50, [&] { observed = queue.Now(); });  // in the past: clamps
+  EXPECT_EQ(queue.NextEventTime(), 1000u);
+  EXPECT_TRUE(queue.Step());
+  EXPECT_EQ(observed, 1000u);
+}
+
+// ---------------------------------------------------------------------------
+// LinkLatencyTable: clamping, overrides, lookahead.
+// ---------------------------------------------------------------------------
+
+TEST(LinkLatencyTableTest, UniformLatencyAndZeroClamp) {
+  LinkLatencyTable table(3, /*uniform_us=*/100);
+  EXPECT_EQ(table.Latency(0, 1), 100u);
+  EXPECT_EQ(table.Latency(2, 0), 100u);
+  EXPECT_EQ(table.LookaheadFrom(1), 100u);
+
+  LinkLatencyTable clamped(2, /*uniform_us=*/0);
+  EXPECT_EQ(clamped.Latency(0, 1), 1u) << "zero lookahead would stall LBTS";
+  EXPECT_EQ(clamped.LookaheadFrom(0), 1u);
+}
+
+TEST(LinkLatencyTableTest, OverridesAreDirectionalAndShrinkLookahead) {
+  LinkLatencyTable table(3, /*uniform_us=*/100);
+  table.SetLink(0, 1, 10);
+  table.SetLink(1, 0, 0);  // clamps to 1
+  EXPECT_EQ(table.Latency(0, 1), 10u);
+  EXPECT_EQ(table.Latency(1, 0), 1u);
+  EXPECT_EQ(table.Latency(1, 2), 100u) << "override is per-link, not per-shard";
+  // Lookahead is the min over outgoing links.
+  EXPECT_EQ(table.LookaheadFrom(0), 10u);
+  EXPECT_EQ(table.LookaheadFrom(1), 1u);
+  EXPECT_EQ(table.LookaheadFrom(2), 100u);
+}
+
+// ---------------------------------------------------------------------------
+// LbtsState: bound derivation and the publish protocol.
+// ---------------------------------------------------------------------------
+
+TEST(LbtsStateTest, NextBoundIsMinFloorPlusLookaheadMinusOne) {
+  LbtsState lbts(3);
+  LinkLatencyTable latency(3, /*uniform_us=*/100);
+  // floors 1000/5000/2000 with uniform 100us lookahead: bound = 1099.
+  const SimTime next = lbts.NextBound({1000, 5000, 2000}, latency);
+  EXPECT_EQ(next, 1099u);
+}
+
+TEST(LbtsStateTest, NextBoundSkipsDrainedShardsAndDetectsQuiescence) {
+  LbtsState lbts(3);
+  LinkLatencyTable latency(3, /*uniform_us=*/50);
+  EXPECT_EQ(lbts.NextBound({kSimTimeNever, 400, kSimTimeNever}, latency), 449u);
+  EXPECT_EQ(lbts.NextBound({kSimTimeNever, kSimTimeNever, kSimTimeNever}, latency),
+            kSimTimeNever)
+      << "every queue drained = cluster quiescent";
+}
+
+TEST(LbtsStateTest, NextBoundAlwaysAdvancesPastCurrentBound) {
+  LbtsState lbts(2);
+  LinkLatencyTable latency(2, /*uniform_us=*/1);
+  lbts.OpenWindow(500);
+  // Degenerate floors at/below the bound still yield strict progress.
+  EXPECT_GT(lbts.NextBound({400, 300}, latency), 500u);
+}
+
+TEST(LbtsStateTest, WindowSequenceNeverRegresses) {
+  LbtsState lbts(2);
+  LinkLatencyTable latency(2, /*uniform_us=*/10);
+  SimTime bound = lbts.bound();
+  std::vector<SimTime> floors = {100, 130};
+  for (int round = 0; round < 20; ++round) {
+    const SimTime next = lbts.NextBound(floors, latency);
+    ASSERT_NE(next, kSimTimeNever);
+    ASSERT_GT(next, bound) << "LBTS bound regressed at round " << round;
+    lbts.OpenWindow(next);
+    bound = next;
+    floors[0] = next + 1 + static_cast<SimTime>(round % 3);
+    floors[1] = next + 5;
+  }
+  EXPECT_EQ(lbts.epoch(), 20u);
+}
+
+TEST(LbtsStateTest, PublishProtocolVisibleToCoordinatorView) {
+  LbtsState lbts(2);
+  // Fresh slots are born done for epoch 0; a real window resets the contract.
+  lbts.OpenWindow(2000);
+  lbts.MarkBusy(0);
+  LbtsState::ShardView view = lbts.View();
+  EXPECT_TRUE(view.any_busy);
+  EXPECT_FALSE(view.all_done) << "nobody has published for the new epoch yet";
+
+  lbts.PublishIdle(0, lbts.epoch(), 2100);
+  lbts.PublishIdle(1, lbts.epoch(), kSimTimeNever);
+  view = lbts.View();
+  EXPECT_FALSE(view.any_busy);
+  EXPECT_TRUE(view.all_done);
+  ASSERT_EQ(view.floors.size(), 2u);
+  EXPECT_EQ(view.floors[0], 2100u);
+  EXPECT_EQ(view.floors[1], kSimTimeNever);
+
+  // The next window invalidates the published epochs until shards republish.
+  lbts.OpenWindow(3000);
+  view = lbts.View();
+  EXPECT_FALSE(view.all_done);
+  lbts.PublishIdle(0, lbts.epoch(), 3100);
+  lbts.PublishIdle(1, lbts.epoch(), 3200);
+  EXPECT_TRUE(lbts.View().all_done);
+}
+
+TEST(LbtsStateTest, ViewSameDetectsFloorChanges) {
+  LbtsState lbts(2);
+  lbts.PublishIdle(0, 0, 100);
+  lbts.PublishIdle(1, 0, 200);
+  const LbtsState::ShardView a = lbts.View();
+  EXPECT_TRUE(a.Same(lbts.View()));
+  lbts.PublishIdle(1, 0, 300);  // same epoch, moved floor
+  EXPECT_FALSE(a.Same(lbts.View()));
+}
+
+// ---------------------------------------------------------------------------
+// ShardRouter: send timestamps and the timed drain.
+// ---------------------------------------------------------------------------
+
+TEST(ShardRouterTimedTest, FramesCarrySenderClockAndDrainTimedHandsThemOver) {
+  ShardRouter router(2);
+  EventQueue clock0;
+  router.SetClock(0, &clock0);
+  router.Attach(1, [](MachineId, PayloadRef) { FAIL() << "timed drain must not deliver"; });
+
+  clock0.At(700, [] {});
+  ASSERT_TRUE(clock0.Step());  // sender's clock now reads 700
+
+  ByteWriter w;
+  w.U32(42);
+  router.Send(0, 1, w.Take());
+
+  std::vector<std::pair<MachineId, SimTime>> seen;
+  const std::size_t drained =
+      router.DrainTimed(1, 16, [&](MachineId src, SimTime send_ts, PayloadRef payload) {
+        ByteReader r(payload);
+        EXPECT_EQ(r.U32(), 42u);
+        seen.emplace_back(src, send_ts);
+      });
+  EXPECT_EQ(drained, 1u);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].first, 0);
+  EXPECT_EQ(seen[0].second, 700u);
+  EXPECT_EQ(router.sent(), router.consumed()) << "sink return = frame consumed";
+}
+
+TEST(ShardRouterTimedTest, UnregisteredSenderStampsZeroAndDeliverRunsHandler) {
+  ShardRouter router(2);
+  int delivered = 0;
+  router.Attach(1, [&](MachineId src, PayloadRef) {
+    EXPECT_EQ(src, 0);
+    ++delivered;
+  });
+  router.Send(0, 1, Bytes{1});  // no clock registered: staging-time send
+  SimTime stamped = 99;
+  EXPECT_EQ(router.DrainTimed(1, 16,
+                              [&](MachineId src, SimTime send_ts, PayloadRef payload) {
+                                stamped = send_ts;
+                                router.Deliver(1, src, std::move(payload));
+                              }),
+            1u);
+  EXPECT_EQ(stamped, 0u);
+  EXPECT_EQ(delivered, 1);
+}
+
+}  // namespace
+}  // namespace demos

@@ -13,6 +13,9 @@
 //   chaos_fuzz --disable=crashes,drop  mask feature axes (replay aid)
 //   chaos_fuzz --seeds=50 --permadeath permanent machine-death scenarios
 //                                      (migration watchdogs armed, I8 audit)
+//   chaos_fuzz --seeds=50 --engine=parallel  run scenarios on the parallel
+//                                      engine (one thread per kernel, under
+//                                      conservative virtual-time sync)
 //
 // Exit status: 0 if every seed passed, 1 otherwise.
 
@@ -38,6 +41,7 @@ struct Options {
   bool minimize = false;
   bool verbose = false;
   bool permadeath = false;
+  demos::ChaosEngineKind engine = demos::ChaosEngineKind::kSequential;
   std::string trace_out;
   std::string artifacts_dir;
   std::vector<demos::ChaosFeature> disabled;
@@ -97,6 +101,16 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
         }
         pos = comma + 1;
       }
+    } else if (const char* v = value_of("--engine=")) {
+      const std::string name = v;
+      if (name == "sequential") {
+        opts->engine = demos::ChaosEngineKind::kSequential;
+      } else if (name == "parallel") {
+        opts->engine = demos::ChaosEngineKind::kParallel;
+      } else {
+        std::fprintf(stderr, "unknown engine '%s' (sequential|parallel)\n", name.c_str());
+        return false;
+      }
     } else if (arg == "--permadeath") {
       opts->permadeath = true;
     } else if (arg == "--minimize") {
@@ -116,6 +130,7 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
 void PrintUsage() {
   std::fprintf(stderr,
                "usage: chaos_fuzz (--seed=N | --seeds=K [--start=S])\n"
+               "                  [--engine=sequential|parallel]\n"
                "                  [--permadeath] [--minimize] [--verbose]\n"
                "                  [--trace-out=PATH] [--artifacts-dir=DIR]\n"
                "                  [--disable=f1,f2,...]\n"
@@ -135,9 +150,10 @@ void PrintFailure(const Options& opts, const demos::ChaosScenario& scenario,
   if (result.violations.size() > kMaxPrinted) {
     std::printf("  ... and %zu more\n", result.violations.size() - kMaxPrinted);
   }
-  std::printf("repro: chaos_fuzz --seed=%llu%s\n",
+  std::printf("repro: chaos_fuzz --seed=%llu%s%s\n",
               static_cast<unsigned long long>(scenario.seed),
-              opts.permadeath ? " --permadeath" : "");
+              opts.permadeath ? " --permadeath" : "",
+              opts.engine == demos::ChaosEngineKind::kParallel ? " --engine=parallel" : "");
 }
 
 // Trim the cluster timeline to the violation's cast of characters and write a
@@ -195,6 +211,7 @@ bool RunSeed(const Options& opts, std::uint64_t seed) {
     (void)demos::DisableFeature(&scenario, f);
   }
   demos::ChaosOptions run_opts;
+  run_opts.engine = opts.engine;
   run_opts.collect_trace = !opts.trace_out.empty() || !opts.artifacts_dir.empty();
   const demos::ChaosResult result = demos::RunScenario(scenario, run_opts);
   if (result.ok()) {
