@@ -42,6 +42,15 @@ struct ShardBreakdown {
   std::uint64_t spill_rescued = 0;
   std::uint64_t parks = 0;
   std::uint64_t notifies = 0;
+  // PR-8 hot-path counters: spin-then-park, notify elision, payload pooling,
+  // and destination batching (batch count + mean frames per batch).
+  std::uint64_t spin_iters = 0;
+  std::uint64_t parks_avoided = 0;
+  std::uint64_t notifies_elided = 0;
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pool_misses = 0;
+  std::uint64_t batches = 0;
+  double batch_mean = 0;
 };
 
 struct PhaseResult {
@@ -168,6 +177,14 @@ bool RunParallelPhase(int machines, const TokenRingSpec& spec, const std::string
       b.spill_rescued = slab.Counter(CounterId::kSpillRescued);
       b.parks = slab.Counter(CounterId::kCondvarParks);
       b.notifies = slab.Counter(CounterId::kCondvarNotifies);
+      b.spin_iters = slab.Counter(CounterId::kSpinIters);
+      b.parks_avoided = slab.Counter(CounterId::kParksAvoided);
+      b.notifies_elided = slab.Counter(CounterId::kNotifiesElided);
+      b.pool_hits = slab.Counter(CounterId::kPoolHits);
+      b.pool_misses = slab.Counter(CounterId::kPoolMisses);
+      const HistogramSnapshot batch = slab.Histogram(HistogramId::kBatchSize);
+      b.batches = batch.count;
+      b.batch_mean = batch.Mean();
       out.per_shard.push_back(b);
     }
   }
@@ -201,7 +218,7 @@ double FindMessagesPerSec(const std::vector<PhaseResult>& results, const std::st
 }
 
 bool WriteJson(const std::string& path, const std::vector<PhaseResult>& results,
-               double scaling_4x) {
+               double scaling_4x, double par_vs_seq_4) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -215,7 +232,11 @@ bool WriteJson(const std::string& path, const std::vector<PhaseResult>& results,
   out << "  \"derived\": {\n";
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.4f", scaling_4x);
-  out << "    \"parallel_scaling_4x\": " << buf << "\n";
+  out << "    \"parallel_scaling_4x\": " << buf << ",\n";
+  // parallel msgs/sec over sequential msgs/sec at 4 shards: the PR perf-smoke
+  // gate compares this single number against the checked-in baseline.
+  std::snprintf(buf, sizeof(buf), "%.4f", par_vs_seq_4);
+  out << "    \"parallel_vs_sequential_4\": " << buf << "\n";
   out << "  },\n";
   out << "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -238,7 +259,13 @@ bool WriteJson(const std::string& path, const std::vector<PhaseResult>& results,
         out << (j == 0 ? "" : ", ") << "{\"shard\": " << b.shard
             << ", \"msgs_drained\": " << b.msgs_drained
             << ", \"spill_rescued\": " << b.spill_rescued << ", \"parks\": " << b.parks
-            << ", \"notifies\": " << b.notifies << "}";
+            << ", \"notifies\": " << b.notifies << ", \"spin_iters\": " << b.spin_iters
+            << ", \"parks_avoided\": " << b.parks_avoided
+            << ", \"notifies_elided\": " << b.notifies_elided
+            << ", \"pool_hits\": " << b.pool_hits << ", \"pool_misses\": " << b.pool_misses
+            << ", \"batches\": " << b.batches;
+        std::snprintf(buf, sizeof(buf), "%.2f", b.batch_mean);
+        out << ", \"batch_mean\": " << buf << "}";
       }
       out << "]";
     }
@@ -333,8 +360,11 @@ int Main(int argc, char** argv) {
 
   const double par1 = FindMessagesPerSec(results, "parallel", 1);
   const double par4 = FindMessagesPerSec(results, "parallel", 4);
+  const double seq4 = FindMessagesPerSec(results, "sequential", 4);
   const double scaling = par1 > 0 ? par4 / par1 : 0;
+  const double par_vs_seq_4 = seq4 > 0 ? par4 / seq4 : 0;
   std::printf("\nparallel msgs/sec scaling, 4 shards vs 1 shard: %.2fx\n", scaling);
+  std::printf("parallel vs sequential msgs/sec at 4 shards: %.2fx\n", par_vs_seq_4);
   if (std::thread::hardware_concurrency() < 4) {
     std::printf("(host has < 4 cores: aggregate scaling is not measurable here)\n");
   }
@@ -352,7 +382,7 @@ int Main(int argc, char** argv) {
                 metrics_series.samples.size());
   }
 
-  if (!json_path.empty() && !WriteJson(json_path, results, scaling)) {
+  if (!json_path.empty() && !WriteJson(json_path, results, scaling, par_vs_seq_4)) {
     return 1;
   }
   return 0;

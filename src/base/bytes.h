@@ -12,6 +12,12 @@
 // entry can all alias one allocation; the rare mutating path (patching the
 // receiver machine on a forwarding hop while a retransmit buffer still holds
 // the frame) goes through copy-on-write.
+//
+// The backing store is an intrusive refcounted node served by the shard-local
+// free-lists in src/base/pool.h (PayloadBufferPool): a fresh PayloadRef and a
+// default ByteWriter both recycle hot-path allocations instead of hitting the
+// heap.  PayloadCounters keeps counting *logical* buffer allocations either
+// way; pool_hits/pool_misses (src/obs) say how many of those dodged malloc.
 
 #ifndef DEMOS_BASE_BYTES_H_
 #define DEMOS_BASE_BYTES_H_
@@ -27,6 +33,7 @@
 #include <vector>
 
 #include "src/base/ids.h"
+#include "src/base/pool.h"
 
 namespace demos {
 
@@ -53,7 +60,10 @@ struct PayloadCounters {
 };
 
 // A shared immutable view of a refcounted byte buffer.  Copying a PayloadRef
-// bumps a refcount; Slice() aliases a sub-range of the same allocation.
+// bumps a refcount; Slice() aliases a sub-range of the same allocation.  The
+// refcount is intrusive (PayloadBufferPool::Node) so the last release can
+// recycle both the node and the buffer capacity into the releasing thread's
+// free-list.
 class PayloadRef {
  public:
   PayloadRef() = default;
@@ -62,13 +72,48 @@ class PayloadRef {
   // ownership without copying the bytes, so existing `Send(..., w.Take())`
   // call sites stay zero-copy.
   PayloadRef(Bytes bytes)  // NOLINT(google-explicit-constructor)
-      : buf_(bytes.empty() ? nullptr : std::make_shared<Bytes>(std::move(bytes))),
+      : node_(bytes.empty() ? nullptr : PayloadBufferPool::AcquireNode(std::move(bytes))),
         off_(0),
-        len_(buf_ ? buf_->size() : 0) {
-    if (buf_) {
+        len_(node_ != nullptr ? node_->bytes.size() : 0) {
+    if (node_ != nullptr) {
       PayloadCounters::CountAllocation();
     }
   }
+
+  PayloadRef(const PayloadRef& other) noexcept
+      : node_(other.node_), off_(other.off_), len_(other.len_) {
+    if (node_ != nullptr) {
+      node_->refs.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  PayloadRef(PayloadRef&& other) noexcept
+      : node_(other.node_), off_(other.off_), len_(other.len_) {
+    other.node_ = nullptr;
+    other.off_ = 0;
+    other.len_ = 0;
+  }
+
+  PayloadRef& operator=(const PayloadRef& other) noexcept {
+    PayloadRef tmp(other);
+    Swap(tmp);
+    return *this;
+  }
+
+  PayloadRef& operator=(PayloadRef&& other) noexcept {
+    if (this != &other) {
+      Release();
+      node_ = other.node_;
+      off_ = other.off_;
+      len_ = other.len_;
+      other.node_ = nullptr;
+      other.off_ = 0;
+      other.len_ = 0;
+    }
+    return *this;
+  }
+
+  ~PayloadRef() { Release(); }
 
   // Braced literals (`msg.payload = {1, 2, 3}`) build a fresh buffer.
   PayloadRef(std::initializer_list<std::uint8_t> bytes)  // NOLINT
@@ -86,20 +131,23 @@ class PayloadRef {
   PayloadRef Slice(std::size_t off, std::size_t len) const {
     PayloadRef out;
     off = std::min(off, len_);
-    out.buf_ = buf_;
-    out.off_ = off_ + off;
     out.len_ = std::min(len, len_ - off);
-    if (out.len_ == 0) {
-      out.buf_.reset();
-      out.off_ = 0;
+    if (out.len_ != 0) {
+      out.node_ = node_;
+      out.off_ = off_ + off;
+      if (out.node_ != nullptr) {
+        out.node_->refs.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     return out;
   }
 
-  const std::uint8_t* data() const { return buf_ ? buf_->data() + off_ : nullptr; }
+  const std::uint8_t* data() const {
+    return node_ != nullptr ? node_->bytes.data() + off_ : nullptr;
+  }
   std::size_t size() const { return len_; }
   bool empty() const { return len_ == 0; }
-  std::uint8_t operator[](std::size_t i) const { return (*buf_)[off_ + i]; }
+  std::uint8_t operator[](std::size_t i) const { return node_->bytes[off_ + i]; }
   const std::uint8_t* begin() const { return data(); }
   const std::uint8_t* end() const { return data() + len_; }
 
@@ -114,23 +162,28 @@ class PayloadRef {
   // the shared buffer in place; if any other PayloadRef aliases the backing
   // buffer, the window is first cloned so they keep seeing the old bytes.
   std::uint8_t* MutableData() {
-    if (buf_ == nullptr) {
+    if (node_ == nullptr) {
       return nullptr;
     }
-    if (buf_.use_count() > 1) {
+    // refs == 1 means we hold the only reference, so nobody can gain a new
+    // one except through us -- in-place mutation is safe.  Otherwise clone
+    // the window first so the other refs keep seeing the old bytes.
+    if (node_->refs.load(std::memory_order_acquire) > 1) {
       Bytes clone(begin(), end());
       PayloadCounters::CountCopied(len_);
-      buf_ = std::make_shared<Bytes>(std::move(clone));
+      PayloadBufferPool::Node* fresh = PayloadBufferPool::AcquireNode(std::move(clone));
       PayloadCounters::CountAllocation();
+      Release();
+      node_ = fresh;
       off_ = 0;
     }
-    return buf_->data() + off_;
+    return node_->bytes.data() + off_;
   }
 
   // True if both refs alias the same backing allocation (regardless of
   // window).  Used by tests to prove the zero-copy invariants.
   bool SharesBufferWith(const PayloadRef& other) const {
-    return buf_ != nullptr && buf_ == other.buf_;
+    return node_ != nullptr && node_ == other.node_;
   }
 
   friend bool operator==(const PayloadRef& a, const PayloadRef& b) {
@@ -142,14 +195,31 @@ class PayloadRef {
   friend bool operator==(const Bytes& a, const PayloadRef& b) { return b == a; }
 
  private:
-  std::shared_ptr<Bytes> buf_;
+  void Release() noexcept {
+    if (node_ != nullptr &&
+        node_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      PayloadBufferPool::ReleaseNode(node_);
+    }
+    node_ = nullptr;
+  }
+
+  void Swap(PayloadRef& other) noexcept {
+    std::swap(node_, other.node_);
+    std::swap(off_, other.off_);
+    std::swap(len_, other.len_);
+  }
+
+  PayloadBufferPool::Node* node_ = nullptr;
   std::size_t off_ = 0;
   std::size_t len_ = 0;
 };
 
 class ByteWriter {
  public:
-  ByteWriter() = default;
+  // The default writer starts from a recycled buffer capacity (salvaged from
+  // released payload nodes), so steady-state message encoding reuses heap
+  // arrays instead of growing fresh vectors.
+  ByteWriter() : buf_(PayloadBufferPool::AcquireBytes()) {}
   explicit ByteWriter(Bytes initial) : buf_(std::move(initial)) {}
 
   void U8(std::uint8_t v) { buf_.push_back(v); }

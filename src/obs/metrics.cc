@@ -51,6 +51,16 @@ const char* CounterName(CounterId id) {
       return "lbts_windows";
     case CounterId::kSyncFramesClamped:
       return "sync_frames_clamped";
+    case CounterId::kSpinIters:
+      return "spin_iters";
+    case CounterId::kParksAvoided:
+      return "parks_avoided";
+    case CounterId::kNotifiesElided:
+      return "notifies_elided";
+    case CounterId::kPoolHits:
+      return "pool_hits";
+    case CounterId::kPoolMisses:
+      return "pool_misses";
     case CounterId::kNumCounters:
       break;
   }
@@ -85,6 +95,8 @@ const char* HistogramName(HistogramId id) {
       return "park_wait_us";
     case HistogramId::kLbtsWindowSpanUs:
       return "lbts_window_span_us";
+    case HistogramId::kBatchSize:
+      return "batch_size";
     case HistogramId::kNumHistograms:
       break;
   }

@@ -77,6 +77,12 @@ enum class CounterId : int {
   kLbtsWindows,        // windows opened by the coordinator (coordinator slot)
   kSyncFramesClamped,  // cross-shard frames whose arrival was clamped to the
                        // receiver's clock (0 in a correctly bounded run)
+  // Idle protocol (adaptive spin-then-park) and allocation pools.
+  kSpinIters,          // poll iterations spent in IdleWait spin windows
+  kParksAvoided,       // spin windows that found work before parking
+  kNotifiesElided,     // publishes that skipped notify: consumer already awake
+  kPoolHits,           // pooled allocations served from a free-list
+  kPoolMisses,         // pooled allocations that fell back to the heap
   kNumCounters,
 };
 
@@ -94,6 +100,7 @@ enum class HistogramId : int {
   kPushStallSpins,      // producer spin laps per backpressured push
   kParkWaitUs,          // real microseconds spent parked per park
   kLbtsWindowSpanUs,    // virtual us a sync window advanced the bound by
+  kBatchSize,           // frames per published destination batch
   kNumHistograms,
 };
 

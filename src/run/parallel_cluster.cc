@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/base/pool.h"
 #include "src/obs/trace_export.h"
 
 namespace demos {
@@ -12,6 +13,23 @@ bool DeadlinesArmed(const KernelConfig& kc) {
   return kc.migration_deadlines.offer_accept_us != 0 ||
          kc.migration_deadlines.transfer_progress_us != 0 ||
          kc.migration_deadlines.handoff_us != 0;
+}
+
+// Fold this shard thread's allocation-pool stats (thread-local, monotonic)
+// into its metrics slab as deltas.  Called at idle edges and on loop exit --
+// cheap, and often enough for the sampler to see pool behaviour evolve.
+void FoldPoolStats(MetricShard* metrics, PoolThreadStats& last) {
+  if (metrics == nullptr) {
+    return;
+  }
+  const PoolThreadStats cur = PayloadBufferPool::ThreadStats();
+  if (cur.hits != last.hits) {
+    metrics->Inc(CounterId::kPoolHits, cur.hits - last.hits);
+  }
+  if (cur.misses != last.misses) {
+    metrics->Inc(CounterId::kPoolMisses, cur.misses - last.misses);
+  }
+  last = cur;
 }
 
 }  // namespace
@@ -63,6 +81,13 @@ void ParallelCluster::Start() {
     return;
   }
   started_ = true;
+  // Single-threaded setup (harness injections, fixtures sending before
+  // Start) publishes immediately in global send order; batching starts only
+  // now, when every subsequent Send comes from the one thread that owns its
+  // source shard and per-link FIFO is the only order the engine guarantees.
+  // FlushAll covers staged leftovers from a previous Start/Stop cycle.
+  router_->FlushAll();
+  router_->SetBatchingEnabled(true);
   stop_.store(false, std::memory_order_release);
   for (auto& shard : shards_) {
     Shard* s = shard.get();
@@ -86,6 +111,9 @@ void ParallelCluster::Stop() {
       shard->thread.join();
     }
   }
+  // Back to single-threaded staging mode; flushes any frames a shard staged
+  // in its final round so they are waiting in the mailboxes come next Start.
+  router_->SetBatchingEnabled(false);
   started_ = false;
 }
 
@@ -190,6 +218,8 @@ void ParallelCluster::ScheduleDelivery(Shard& shard, MachineId src, SimTime send
 void ParallelCluster::ShardMain(Shard& shard) {
   MetricShard* metrics = metrics_ ? &metrics_->shard(shard.machine) : nullptr;
   Tracer& tracer = shard.kernel->tracer();
+  PoolThreadStats pool_last{};
+  const auto fold_pool_stats = [&] { FoldPoolStats(metrics, pool_last); };
   // First clock-sync point: the exporter needs at least one (virtual, real)
   // correspondence per shard to place this shard's events on the shared axis.
   tracer.RecordClockSync(shard.queue.Now(), FrSteadyClock(nullptr));
@@ -203,6 +233,10 @@ void ParallelCluster::ShardMain(Shard& shard) {
       ++steps;
     }
     did += steps;
+    // End of the scheduling round: publish every destination lane this round
+    // staged (one mailbox push per destination).  A did==0 round staged
+    // nothing, so an idle shard never sits on unpublished frames.
+    router_->Flush(shard.machine);
     if (did != 0) {
       if (metrics != nullptr) {
         metrics->Inc(CounterId::kSchedulerRounds);
@@ -227,17 +261,21 @@ void ParallelCluster::ShardMain(Shard& shard) {
                    static_cast<std::int64_t>(shard.queue.PendingEvents()));
     }
     tracer.RecordClockSync(shard.queue.Now(), FrSteadyClock(nullptr));
+    fold_pool_stats();
     shard.idle.store(true, std::memory_order_seq_cst);
-    router_->Park(shard.machine, config_.idle_park, [this, &shard] {
+    router_->IdleWait(shard.machine, config_.idle_park, [this, &shard] {
       return HasLocalWork(shard) || stop_.load(std::memory_order_relaxed);
     });
     shard.idle.store(false, std::memory_order_seq_cst);
   }
+  fold_pool_stats();
 }
 
 void ParallelCluster::ShardMainSync(Shard& shard) {
   MetricShard* metrics = metrics_ ? &metrics_->shard(shard.machine) : nullptr;
   Tracer& tracer = shard.kernel->tracer();
+  PoolThreadStats pool_last{};
+  const auto fold_pool_stats = [&] { FoldPoolStats(metrics, pool_last); };
   tracer.RecordClockSync(shard.queue.Now(), FrSteadyClock(nullptr));
   const MachineId me = shard.machine;
   const ShardRouter::TimedSink sink = [this, &shard](MachineId src, SimTime send_ts,
@@ -260,6 +298,10 @@ void ParallelCluster::ShardMainSync(Shard& shard) {
       ++steps;
     }
     did += steps;
+    // Publish this round's staged lanes before the idle check: the LBTS
+    // floors below must never be published while frames sit staged (a did==0
+    // round staged nothing, so the order is safe).
+    router_->Flush(me);
     if (did != 0) {
       if (metrics != nullptr) {
         metrics->Inc(CounterId::kSchedulerRounds);
@@ -283,13 +325,15 @@ void ParallelCluster::ShardMainSync(Shard& shard) {
                    static_cast<std::int64_t>(shard.queue.PendingEvents()));
     }
     tracer.RecordClockSync(shard.queue.Now(), FrSteadyClock(nullptr));
+    fold_pool_stats();
     shard.idle.store(true, std::memory_order_seq_cst);
     lbts_->PublishIdle(me, epoch, shard.queue.NextEventTime());
-    router_->Park(me, config_.idle_park, [this, &shard, epoch] {
+    router_->IdleWait(me, config_.idle_park, [this, &shard, epoch] {
       return HasSyncWork(shard, epoch) || stop_.load(std::memory_order_relaxed);
     });
     shard.idle.store(false, std::memory_order_seq_cst);
   }
+  fold_pool_stats();
 }
 
 ParallelCluster::Snapshot ParallelCluster::TakeSnapshot() const {

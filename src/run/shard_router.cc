@@ -23,12 +23,29 @@ FlightRecorder* FlightFor(FlightRecorderHub* hub, MachineId m) {
                                                                        : nullptr;
 }
 
+// One lap of the idle spin loop: cheaper than a yield, keeps the core's
+// speculative pipelines polite while polling.
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
 }  // namespace
 
 ShardRouter::ShardRouter(int machines, ShardRouterConfig config) : config_(config) {
   inboxes_.reserve(static_cast<std::size_t>(machines));
+  outboxes_.reserve(static_cast<std::size_t>(machines));
   for (int i = 0; i < machines; ++i) {
     inboxes_.push_back(std::make_unique<Inbox>(config_.mailbox_capacity));
+    auto outbox = std::make_unique<Outbox>();
+    outbox->staged.resize(static_cast<std::size_t>(machines));
+    outbox->spin_budget = config_.spin_min;
+    outboxes_.push_back(std::move(outbox));
   }
   clocks_.assign(static_cast<std::size_t>(machines), nullptr);
 }
@@ -59,24 +76,140 @@ std::size_t ShardRouter::SpillDepth(MachineId node) const {
 
 void ShardRouter::Send(MachineId src, MachineId dst, PayloadRef payload) {
   assert(dst < inboxes_.size());
-  Inbox& inbox = *inboxes_[dst];
   const EventQueue* clock = src < clocks_.size() ? clocks_[src] : nullptr;
-  MailItem item{src, clock != nullptr ? clock->Now() : 0, std::move(payload)};
+  const SimTime send_ts = clock != nullptr ? clock->Now() : 0;
 
   // Observability is attributed to the *sending* shard: its slab and its
   // flight recorder are single-writer from this thread by the Send contract.
   MetricShard* metrics = MetricsFor(metrics_, src);
   FlightRecorder* flight = FlightFor(flight_, src);
+
+  // Count the frame before it is staged so the quiescence detector sees it
+  // as in-flight for the whole stage+publish+pop+handle window.
+  sent_.fetch_add(1, std::memory_order_seq_cst);
+
+  if (!batching_enabled_ || config_.max_batch_frames <= 1 || src >= outboxes_.size()) {
+    // Batching off (single-threaded staging needs global send order), or a
+    // sender outside the shard set (harness staging with a synthetic id):
+    // publish the frame on its own.
+    MailItem item;
+    item.src = src;
+    item.send_ts = send_ts;
+    item.payload = std::move(payload);
+    if (metrics != nullptr) {
+      metrics->Observe(HistogramId::kBatchSize, 1);
+    }
+    PublishItem(src, dst, std::move(item), metrics, flight);
+    return;
+  }
+
+  Outbox& outbox = *outboxes_[src];
+  std::unique_ptr<Batch>& lane = outbox.staged[dst];
+  if (lane == nullptr) {
+    bool pool_hit = false;
+    lane = outbox.batch_pool.Acquire(&pool_hit);
+    lane->src = src;
+    lane->frames.clear();
+    outbox.dirty.push_back(dst);
+    if (metrics != nullptr) {
+      metrics->Inc(pool_hit ? CounterId::kPoolHits : CounterId::kPoolMisses);
+    }
+  }
+  lane->frames.push_back(StagedFrame{send_ts, std::move(payload)});
+  if (lane->frames.size() >= config_.max_batch_frames) {
+    // Lane is full: publish mid-round.  The dst entry stays in `dirty`; the
+    // end-of-round Flush tolerates duplicates and empty lanes.
+    FlushLane(src, dst, metrics);
+  }
+}
+
+std::size_t ShardRouter::Flush(MachineId src) {
+  if (src >= outboxes_.size()) {
+    return 0;
+  }
+  Outbox& outbox = *outboxes_[src];
+  if (outbox.dirty.empty()) {
+    return 0;
+  }
+  MetricShard* metrics = MetricsFor(metrics_, src);
+  std::size_t published = 0;
+  for (std::size_t i = 0; i < outbox.dirty.size(); ++i) {
+    const MachineId dst = outbox.dirty[i];
+    if (outbox.staged[dst] != nullptr) {
+      published += outbox.staged[dst]->frames.size();
+      FlushLane(src, dst, metrics);
+    }
+  }
+  outbox.dirty.clear();
+  return published;
+}
+
+void ShardRouter::FlushAll() {
+  for (std::size_t src = 0; src < outboxes_.size(); ++src) {
+    Flush(static_cast<MachineId>(src));
+  }
+}
+
+void ShardRouter::SetBatchingEnabled(bool enabled) {
+  if (batching_enabled_ && !enabled) {
+    // Leaving batching mode: nothing may stay invisible in a lane.
+    FlushAll();
+  }
+  batching_enabled_ = enabled;
+}
+
+std::size_t ShardRouter::StagedFrames(MachineId src) const {
+  if (src >= outboxes_.size()) {
+    return 0;
+  }
+  const Outbox& outbox = *outboxes_[src];
+  std::size_t staged = 0;
+  for (const auto& lane : outbox.staged) {
+    if (lane != nullptr) {
+      staged += lane->frames.size();
+    }
+  }
+  return staged;
+}
+
+void ShardRouter::FlushLane(MachineId src, MachineId dst, MetricShard* metrics) {
+  Outbox& outbox = *outboxes_[src];
+  std::unique_ptr<Batch> lane = std::move(outbox.staged[dst]);
+  if (lane == nullptr) {
+    return;
+  }
+  if (lane->frames.empty()) {
+    outbox.batch_pool.Release(std::move(lane));
+    return;
+  }
+  if (metrics != nullptr) {
+    metrics->Observe(HistogramId::kBatchSize, lane->frames.size());
+  }
+  MailItem item;
+  item.src = src;
+  // The sender's clock is monotone within a round, so the first staged frame
+  // carries the batch's earliest timestamp (what LBTS reasoning needs; each
+  // frame still keeps its own exact send_ts for the sync drain).
+  item.send_ts = lane->frames.front().send_ts;
+  if (lane->frames.size() == 1) {
+    item.payload = std::move(lane->frames.front().payload);
+    lane->frames.clear();
+    outbox.batch_pool.Release(std::move(lane));
+  } else {
+    item.batch = std::move(lane);
+  }
+  PublishItem(src, dst, std::move(item), metrics, FlightFor(flight_, src));
+}
+
+void ShardRouter::PublishItem(MachineId src, MachineId dst, MailItem item, MetricShard* metrics,
+                              FlightRecorder* flight) {
+  Inbox& inbox = *inboxes_[dst];
   if (metrics != nullptr) {
     metrics->Inc(CounterId::kMailboxPushes);
   }
   if (flight != nullptr) {
     flight->Record(FrEvent::kMailboxPush, dst);
   }
-
-  // Count the send before the push so the quiescence detector sees the
-  // message as in-flight for the whole push+pop+handle window.
-  sent_.fetch_add(1, std::memory_order_seq_cst);
 
   if (!inbox.queue.TryPush(item)) {
     backpressure_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -86,10 +219,21 @@ void ShardRouter::Send(MachineId src, MachineId dst, PayloadRef payload) {
     std::size_t spins = 0;
     const auto blocked_since = std::chrono::steady_clock::now();
     bool warned = false;
+    bool elision_counted = false;
     do {
       // The consumer may be parked behind a full mailbox it has not started
-      // draining yet; make sure it is running before we wait on it.
-      Wake(dst);
+      // draining yet; make sure it is running before we wait on it.  A
+      // running or spinning consumer is already on its way to the mailbox,
+      // so the notify is elided (this loop used to notify unconditionally,
+      // stealing a syscall per lap from a consumer that was busy draining).
+      if (inbox.consumer_state.load(std::memory_order_acquire) == kConsumerParked) {
+        Wake(dst);
+      } else if (!elision_counted) {
+        elision_counted = true;
+        if (metrics != nullptr) {
+          metrics->Inc(CounterId::kNotifiesElided);
+        }
+      }
       // Deadlock escape: dst's consumer may itself be blocked pushing into
       // *our* full ring.  Emptying our ring into our spill (no handlers run)
       // unblocks it, which guarantees global progress for any cycle of full
@@ -118,11 +262,19 @@ void ShardRouter::Send(MachineId src, MachineId dst, PayloadRef payload) {
   }
 
   // Producer/consumer handshake against a lost wakeup: the push above
-  // (release store) must be ordered before the sleeping check, and the
-  // consumer orders its sleeping store before re-checking the mailbox.
+  // (release store) must be ordered before the state check, and the consumer
+  // orders its state store before re-checking the mailbox.  Only a parked
+  // consumer needs the notify syscall; a spinning one will see the push on
+  // its next poll (counted as an elision -- the park-only design would have
+  // notified it).
   std::atomic_thread_fence(std::memory_order_seq_cst);
-  if (inbox.sleeping.load(std::memory_order_relaxed)) {
+  const int state = inbox.consumer_state.load(std::memory_order_relaxed);
+  if (state == kConsumerParked) {
     Wake(dst);
+  } else if (state == kConsumerSpinning) {
+    if (metrics != nullptr) {
+      metrics->Inc(CounterId::kNotifiesElided);
+    }
   }
 }
 
@@ -134,8 +286,8 @@ std::size_t ShardRouter::RescueOwnInbox(MachineId src) {
   std::size_t rescued = 0;
   MailItem item;
   while (inbox.queue.TryPop(item)) {
+    rescued += item.batch != nullptr ? item.batch->frames.size() : 1;
     inbox.spill.push_back(std::move(item));
-    ++rescued;
   }
   if (rescued != 0) {
     spill_rescues_.fetch_add(rescued, std::memory_order_relaxed);
@@ -164,12 +316,30 @@ std::size_t ShardRouter::Drain(MachineId node, std::size_t max_items) {
     } else if (!inbox.queue.TryPop(item)) {
       break;
     }
-    inbox.handler(item.src, std::move(item.payload));
-    // After the handler: a message is "consumed" only once every effect it
-    // had on this shard (including sends it triggered, already counted in
-    // sent_) is visible.
-    consumed_.fetch_add(1, std::memory_order_seq_cst);
-    ++drained;
+    if (item.batch != nullptr) {
+      // A batch is handled whole (frames of one link must not interleave
+      // with a later publish), so `drained` may overshoot max_items.
+      for (StagedFrame& frame : item.batch->frames) {
+        inbox.handler(item.src, std::move(frame.payload));
+        consumed_.fetch_add(1, std::memory_order_seq_cst);
+        ++drained;
+      }
+      item.batch->frames.clear();
+      // Recycle the buffer through this shard's own pool (owner thread):
+      // batch buffers circulate sender -> consumer without a lock.
+      if (node < outboxes_.size()) {
+        outboxes_[node]->batch_pool.Release(std::move(item.batch));
+      } else {
+        item.batch.reset();
+      }
+    } else {
+      inbox.handler(item.src, std::move(item.payload));
+      // After the handler: a message is "consumed" only once every effect it
+      // had on this shard (including sends it triggered, already counted in
+      // sent_) is visible.
+      consumed_.fetch_add(1, std::memory_order_seq_cst);
+      ++drained;
+    }
   }
   if (drained != 0) {
     MetricShard* metrics = MetricsFor(metrics_, node);
@@ -210,12 +380,29 @@ std::size_t ShardRouter::DrainTimed(MachineId node, std::size_t max_items,
     } else if (!inbox.queue.TryPop(item)) {
       break;
     }
-    sink(item.src, item.send_ts, std::move(item.payload));
-    // After the sink: the frame is either handled or durably scheduled on the
-    // shard's event queue, so the quiescence/LBTS machinery no longer needs
-    // the sent/consumed gap to cover it.
-    consumed_.fetch_add(1, std::memory_order_seq_cst);
-    ++drained;
+    if (item.batch != nullptr) {
+      // Frames keep their own timestamps: a later frame in the batch is
+      // scheduled at ITS send_ts + latency, never at the batch head's, so
+      // batching can only make arrivals later-or-equal, never earlier.
+      for (StagedFrame& frame : item.batch->frames) {
+        sink(item.src, frame.send_ts, std::move(frame.payload));
+        consumed_.fetch_add(1, std::memory_order_seq_cst);
+        ++drained;
+      }
+      item.batch->frames.clear();
+      if (node < outboxes_.size()) {
+        outboxes_[node]->batch_pool.Release(std::move(item.batch));
+      } else {
+        item.batch.reset();
+      }
+    } else {
+      sink(item.src, item.send_ts, std::move(item.payload));
+      // After the sink: the frame is either handled or durably scheduled on
+      // the shard's event queue, so the quiescence/LBTS machinery no longer
+      // needs the sent/consumed gap to cover it.
+      consumed_.fetch_add(1, std::memory_order_seq_cst);
+      ++drained;
+    }
   }
   if (drained != 0) {
     MetricShard* metrics = MetricsFor(metrics_, node);
@@ -246,17 +433,59 @@ bool ShardRouter::HasMail(MachineId node) const {
   return !inbox.spill.empty() || !inbox.queue.Empty();
 }
 
-void ShardRouter::Park(MachineId node, std::chrono::microseconds timeout,
-                       const std::function<bool()>& has_work) {
+void ShardRouter::IdleWait(MachineId node, std::chrono::microseconds timeout,
+                           const std::function<bool()>& has_work) {
   Inbox& inbox = *inboxes_[node];
+  MetricShard* metrics = MetricsFor(metrics_, node);
+  Outbox* outbox = node < outboxes_.size() ? outboxes_[node].get() : nullptr;
+
+  // ---- Spin window: poll for work before paying for the condvar. ----
+  const std::size_t budget =
+      outbox != nullptr ? outbox->spin_budget : config_.spin_min;
+  if (budget > 0) {
+    inbox.consumer_state.store(kConsumerSpinning, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::size_t iters = 0;
+    bool found = false;
+    while (iters < budget) {
+      if (has_work()) {
+        found = true;
+        break;
+      }
+      ++iters;
+      CpuRelax();
+    }
+    if (metrics != nullptr && iters != 0) {
+      metrics->Inc(CounterId::kSpinIters, iters);
+    }
+    if (found) {
+      inbox.consumer_state.store(kConsumerRunning, std::memory_order_relaxed);
+      if (metrics != nullptr) {
+        metrics->Inc(CounterId::kParksAvoided);
+      }
+      if (outbox != nullptr) {
+        // Work arrived inside the window: observed inter-arrival gap is
+        // shorter than the budget, so widen it (capped) -- cheaper spins,
+        // fewer parks while traffic is flowing.
+        outbox->spin_budget = std::min(budget * 2 + 1, config_.spin_max);
+      }
+      return;
+    }
+    if (outbox != nullptr) {
+      // Window expired empty: gaps here are long, shrink toward the floor so
+      // a genuinely idle shard stops burning its core before parking.
+      outbox->spin_budget = std::max(budget / 2, config_.spin_min);
+    }
+  }
+
+  // ---- Park: advertise, re-check, block. ----
   std::unique_lock<std::mutex> lock(inbox.mu);
-  inbox.sleeping.store(true, std::memory_order_relaxed);
+  inbox.consumer_state.store(kConsumerParked, std::memory_order_relaxed);
   std::atomic_thread_fence(std::memory_order_seq_cst);
-  // Re-check under the advertised sleeping flag: any producer that pushed
-  // before seeing sleeping==true is caught here, any producer that pushes
-  // after will see the flag and notify.
+  // Re-check under the advertised parked state: any producer that pushed
+  // before seeing kConsumerParked is caught here, any producer that pushes
+  // after will see the state and notify.
   if (!has_work()) {
-    MetricShard* metrics = MetricsFor(metrics_, node);
     FlightRecorder* flight = FlightFor(flight_, node);
     if (metrics != nullptr) {
       metrics->Inc(CounterId::kCondvarParks);
@@ -280,7 +509,7 @@ void ShardRouter::Park(MachineId node, std::chrono::microseconds timeout,
       flight->Record(FrEvent::kParkEnd, has_work() ? 1 : 0);
     }
   }
-  inbox.sleeping.store(false, std::memory_order_relaxed);
+  inbox.consumer_state.store(kConsumerRunning, std::memory_order_relaxed);
 }
 
 void ShardRouter::Wake(MachineId node) {

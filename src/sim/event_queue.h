@@ -16,10 +16,10 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <functional>
 #include <utility>
 #include <vector>
 
+#include "src/base/small_fn.h"
 #include "src/obs/metrics.h"
 
 namespace demos {
@@ -33,7 +33,12 @@ inline constexpr SimTime kSimTimeNever = ~SimTime{0};
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  // Move-only with 56 bytes of inline storage: sized so the hot scheduling
+  // closures (kernel timers capturing this+ids, the parallel engine's
+  // cross-shard delivery lambdas capturing a PayloadRef window) never heap-
+  // allocate per event.  std::function<void()> converts implicitly, so cold
+  // call sites that hold one can still schedule it.
+  using Callback = SmallFn<56>;
 
   SimTime Now() const { return now_; }
 

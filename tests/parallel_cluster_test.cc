@@ -183,6 +183,165 @@ TEST_F(ParallelClusterTest, ShardRouterBackpressureBlocksWithoutLosingOrOrdering
 }
 
 // ---------------------------------------------------------------------------
+// Destination batching: staging visibility, per-link FIFO, spill, elision.
+// ---------------------------------------------------------------------------
+
+TEST_F(ParallelClusterTest, ShardRouterBatchingStagesUntilFlushAndKeepsPerLinkFifo) {
+  ShardRouterConfig config;
+  config.max_batch_frames = 8;
+  ShardRouter router(3, config);
+  router.SetBatchingEnabled(true);
+
+  std::map<std::uint32_t, std::uint32_t> next_seq;
+  std::uint64_t received = 0;
+  router.Attach(0, [&](MachineId src, PayloadRef payload) {
+    ByteReader r(payload);
+    const std::uint32_t producer = r.U32();
+    const std::uint32_t seq = r.U32();
+    EXPECT_EQ(static_cast<std::uint32_t>(src), producer);
+    EXPECT_EQ(seq, next_seq[producer]) << "link " << producer << "->0 reordered";
+    next_seq[producer] = seq + 1;
+    ++received;
+  });
+
+  auto send = [&router](MachineId src, std::uint32_t seq) {
+    ByteWriter w;
+    w.U32(src);
+    w.U32(seq);
+    router.Send(src, 0, w.Take());
+  };
+
+  // Staged frames are counted as sent (in flight) but invisible to the
+  // destination until their lane is published.
+  send(1, 0);
+  send(1, 1);
+  send(2, 0);
+  EXPECT_EQ(router.StagedFrames(1), 2u);
+  EXPECT_EQ(router.StagedFrames(2), 1u);
+  EXPECT_EQ(router.sent(), 3u);
+  EXPECT_FALSE(router.HasMail(0));
+  EXPECT_EQ(router.Drain(0, 64), 0u);
+
+  // Flush source 2 before source 1: cross-link order is unspecified, but
+  // each link must still deliver its own frames in send order.
+  EXPECT_EQ(router.Flush(2), 1u);
+  EXPECT_EQ(router.Flush(1), 2u);
+  EXPECT_EQ(router.StagedFrames(1), 0u);
+  EXPECT_EQ(router.Drain(0, 64), 3u);
+
+  // A lane that reaches max_batch_frames publishes itself mid-round; the
+  // stragglers follow on the next Flush without reordering the link.
+  for (std::uint32_t i = 2; i < 13; ++i) {
+    send(1, i);
+  }
+  EXPECT_EQ(router.StagedFrames(1), 3u);  // 8 auto-published, 3 staged
+  EXPECT_TRUE(router.HasMail(0));
+  EXPECT_EQ(router.Flush(1), 3u);
+  EXPECT_EQ(router.Drain(0, 64), 11u);
+  EXPECT_EQ(received, 14u);
+  EXPECT_EQ(router.sent(), router.consumed());
+}
+
+TEST_F(ParallelClusterTest, ShardRouterBatchPublishSpillsWhenDestinationMailboxFullMidBatch) {
+  // Self-sends against a tiny mailbox: the publisher fills its own ring
+  // mid-batch, and the blocked publish must rescue the ring into the spill
+  // queue instead of deadlocking.  FIFO must survive the ring -> spill hop.
+  ShardRouterConfig config;
+  config.mailbox_capacity = 2;
+  config.max_batch_frames = 4;
+  ShardRouter router(1, config);
+  router.SetBatchingEnabled(true);
+  MetricsEngine metrics(1);
+  router.SetObservability(&metrics, nullptr);
+
+  std::uint32_t next = 0;
+  router.Attach(0, [&](MachineId src, PayloadRef payload) {
+    EXPECT_EQ(src, 0);
+    ByteReader r(payload);
+    EXPECT_EQ(r.U32(), next);
+    ++next;
+  });
+
+  constexpr std::uint32_t kFrames = 64;
+  std::uint32_t sent = 0;
+  for (int phase = 0; phase < 2; ++phase) {
+    for (std::uint32_t i = 0; i < kFrames / 2; ++i) {
+      ByteWriter w;
+      w.U32(sent++);
+      router.Send(0, 0, w.Take());  // every 4th send auto-publishes a batch
+    }
+    router.Flush(0);
+    while (router.Drain(0, 16) != 0) {
+    }
+  }
+  EXPECT_GT(router.spill_rescues(), 0u) << "full ring mid-batch must spill";
+  EXPECT_EQ(next, kFrames);
+  EXPECT_EQ(router.sent(), router.consumed());
+  EXPECT_EQ(router.SpillDepth(0), 0u);
+  // Batch buffers recycle through the consumer's own free list: after the
+  // first drained batches come back, lane acquisition stops hitting the heap.
+  EXPECT_GT(metrics.shard(0).Counter(CounterId::kPoolHits), 0u);
+  const HistogramSnapshot batch = metrics.shard(0).Histogram(HistogramId::kBatchSize);
+  EXPECT_EQ(batch.count, kFrames / 4);
+  EXPECT_EQ(batch.sum, kFrames);
+}
+
+TEST_F(ParallelClusterTest, ShardRouterElidesNotifyWhenBlockedConsumerIsAwake) {
+  // A producer blocked on a full mailbox whose consumer is running (not
+  // parked) must not burn a condvar notify per retry: the elision is counted
+  // once per backpressure episode instead.
+  ShardRouterConfig config;
+  config.mailbox_capacity = 2;
+  config.spin_before_yield = 4;
+  ShardRouter router(2, config);
+  MetricsEngine metrics(2);
+  router.SetObservability(&metrics, nullptr);
+  std::uint64_t received = 0;
+  router.Attach(1, [&](MachineId, PayloadRef) { ++received; });
+
+  router.Send(0, 1, Bytes{1});
+  router.Send(0, 1, Bytes{2});
+  std::thread drainer([&router] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    while (router.Drain(1, 8) == 0) {
+      std::this_thread::yield();
+    }
+  });
+  router.Send(0, 1, Bytes{3});  // blocks until the drainer makes room
+  drainer.join();
+  while (router.Drain(1, 8) != 0) {
+  }
+  EXPECT_EQ(received, 3u);
+  EXPECT_GT(router.backpressure_hits(), 0u);
+  EXPECT_GE(metrics.shard(0).Counter(CounterId::kNotifiesElided), 1u);
+  EXPECT_EQ(metrics.shard(1).Counter(CounterId::kCondvarNotifies), 0u)
+      << "nobody parked, so nobody should have been notified";
+}
+
+TEST_F(ParallelClusterTest, ShardRouterIdleWaitSpinsBeforeParkingAndCountsBoth) {
+  ShardRouterConfig config;
+  config.spin_min = 64;
+  config.spin_max = 1024;
+  ShardRouter router(1, config);
+  MetricsEngine metrics(1);
+  router.SetObservability(&metrics, nullptr);
+  router.Attach(0, [](MachineId, PayloadRef) {});
+
+  // Window expires empty: the full spin budget is spent, then a real park.
+  router.IdleWait(0, std::chrono::milliseconds(1), [] { return false; });
+  EXPECT_EQ(metrics.shard(0).Counter(CounterId::kSpinIters), 64u);
+  EXPECT_EQ(metrics.shard(0).Counter(CounterId::kCondvarParks), 1u);
+  EXPECT_EQ(metrics.shard(0).Counter(CounterId::kParksAvoided), 0u);
+
+  // Work visible inside the window: the park (and its condvar round-trip)
+  // is avoided.
+  router.IdleWait(0, std::chrono::milliseconds(50), [] { return true; });
+  EXPECT_EQ(metrics.shard(0).Counter(CounterId::kParksAvoided), 1u);
+  EXPECT_EQ(metrics.shard(0).Counter(CounterId::kCondvarParks), 1u);
+  EXPECT_FALSE(router.IsParked(0));
+}
+
+// ---------------------------------------------------------------------------
 // ParallelCluster lifecycle: quiescence, Post, restart.
 // ---------------------------------------------------------------------------
 
@@ -514,6 +673,44 @@ TEST_F(ParallelClusterTest, TinyMailboxBackpressureKeepsExactlyOnce) {
   const RingEndState par = RunWorkload(*engine, spec, /*probe_rounds=*/0);
   EXPECT_EQ(par.delivered, ExpectedRingDeliveries(spec));
   EXPECT_EQ(par.bounced, 0);
+}
+
+// Default-on batching and pooling must leave fingerprints in the metrics
+// slabs, and -- the LBTS safety half of the batching contract -- a batched
+// frame's per-frame timestamp must never admit a delivery into a shard's
+// virtual past (the clamp counter is the tripwire for that).
+TEST_F(ParallelClusterTest, BatchedSyncRunNeverClampsAndExportsHotPathCounters) {
+  const int machines = 4;
+  TokenRingSpec spec;
+  spec.rings = 2;
+  spec.nodes_per_ring = 4;
+  spec.tokens_per_node = 4;
+  spec.hops_per_token = 100;
+
+  std::unique_ptr<Engine> engine = MakeEngine(EngineKind::kParallelSync, machines);
+  const RingEndState state = RunWorkload(*engine, spec, /*probe_rounds=*/0);
+  EXPECT_EQ(state.tokens_seen, ExpectedTokenReceptions(spec));
+
+  MetricsEngine* metrics = engine->metrics();
+  ASSERT_NE(metrics, nullptr);
+  std::uint64_t clamped = 0;
+  std::uint64_t spin_iters = 0;
+  std::uint64_t pool_traffic = 0;
+  HistogramSnapshot batch;
+  for (int m = 0; m < machines; ++m) {
+    clamped += metrics->shard(m).Counter(CounterId::kSyncFramesClamped);
+    spin_iters += metrics->shard(m).Counter(CounterId::kSpinIters);
+    pool_traffic += metrics->shard(m).Counter(CounterId::kPoolHits) +
+                    metrics->shard(m).Counter(CounterId::kPoolMisses);
+    batch.Merge(metrics->shard(m).Histogram(HistogramId::kBatchSize));
+  }
+  EXPECT_EQ(clamped, 0u) << "a batched frame admitted a delivery into the past";
+  EXPECT_GT(batch.count, 0u) << "batching default-on must observe batch sizes";
+  EXPECT_GE(batch.sum, batch.count) << "every published batch carries at least one frame";
+  EXPECT_GT(pool_traffic, 0u) << "payload pooling default-on must count acquisitions";
+  // Spin-then-park is load-dependent (a loaded 1-core runner may never catch
+  // an empty window), so only sanity-check the counter is readable.
+  (void)spin_iters;
 }
 
 }  // namespace

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "src/base/small_fn.h"
 #include "src/sim/event_queue.h"
 
 namespace demos {
@@ -136,6 +139,64 @@ struct CopyProbe {
 
 // Dispatch must move the callback out of the heap, never copy it: a copy per
 // event would re-copy every captured payload on the hot path.
+TEST(SmallFnTest, InlineCapturesAvoidTheHeapAndMoveCleanly) {
+  // The event queue's Callback is SmallFn<56>: captures up to 56 bytes live
+  // inline in the event node.  Prove the inline path runs, moves, and
+  // destroys exactly one live copy of its capture.
+  struct LifeProbe {
+    int* alive;
+    explicit LifeProbe(int* a) : alive(a) { ++*alive; }
+    LifeProbe(LifeProbe&& o) noexcept : alive(o.alive) { ++*alive; }
+    LifeProbe(const LifeProbe&) = delete;
+    ~LifeProbe() { --*alive; }
+  };
+  static_assert(sizeof(LifeProbe) <= 56, "must take the inline path");
+
+  int alive = 0;
+  int runs = 0;
+  {
+    SmallFn<56> fn([probe = LifeProbe(&alive), &runs] { ++runs; });
+    EXPECT_EQ(alive, 1) << "exactly the inline copy lives";
+    SmallFn<56> moved = std::move(fn);
+    EXPECT_EQ(alive, 1) << "move transfers, never duplicates";
+    EXPECT_FALSE(static_cast<bool>(fn)) << "moved-from fn is empty";
+    moved();
+    moved();
+    EXPECT_EQ(runs, 2);
+  }
+  EXPECT_EQ(alive, 0) << "capture destroyed with the SmallFn";
+}
+
+TEST(SmallFnTest, OversizedCapturesFallBackToTheHeapTransparently) {
+  struct Big {
+    unsigned char padding[128];  // > 56 bytes: forced onto the heap path
+    int* runs;
+  };
+  int runs = 0;
+  Big big{};
+  big.runs = &runs;
+  SmallFn<56> fn([big] { ++*big.runs; });
+  SmallFn<56> moved = std::move(fn);
+  moved();
+  EXPECT_EQ(runs, 1);
+
+  // Move-assignment over a live callable destroys the old one first.
+  moved = SmallFn<56>([&runs] { runs += 10; });
+  moved();
+  EXPECT_EQ(runs, 11);
+}
+
+TEST(EventQueueTest, MoveOnlyCapturesSchedule) {
+  // std::function rejected move-only captures outright; the point of SmallFn
+  // as EventQueue::Callback is that an event can own its payload.
+  EventQueue q;
+  auto payload = std::make_unique<int>(41);
+  int seen = 0;
+  q.At(5, [owned = std::move(payload), &seen] { seen = *owned + 1; });
+  q.RunUntilIdle();
+  EXPECT_EQ(seen, 42);
+}
+
 TEST(EventQueueTest, StepMovesCallbacksWithoutCopying) {
   EventQueue q;
   int copies = 0;

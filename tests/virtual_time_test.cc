@@ -208,6 +208,47 @@ TEST(ShardRouterTimedTest, FramesCarrySenderClockAndDrainTimedHandsThemOver) {
   EXPECT_EQ(router.sent(), router.consumed()) << "sink return = frame consumed";
 }
 
+TEST(ShardRouterTimedTest, BatchedFramesKeepExactSendTimesAndNeverAdmitThePast) {
+  // Safety property behind batching + conservative sync: a batch is published
+  // with the EARLIEST staged send_ts as its MailItem timestamp (the value LBTS
+  // floor accounting sees), while every frame inside keeps its own exact
+  // clock reading.  Earliest-first means the conservative bound derived from
+  // the batch head is <= every frame it admits, so no frame can be scheduled
+  // into the receiver's past.
+  ShardRouterConfig config;
+  config.max_batch_frames = 8;
+  ShardRouter router(2, config);
+  router.SetBatchingEnabled(true);
+  EventQueue clock0;
+  router.SetClock(0, &clock0);
+
+  clock0.At(700, [] {});
+  ASSERT_TRUE(clock0.Step());  // sender's clock reads 700
+  router.Send(0, 1, Bytes{1});
+  clock0.At(900, [] {});
+  ASSERT_TRUE(clock0.Step());  // ...then 900, same drain round, same lane
+  router.Send(0, 1, Bytes{2});
+
+  EXPECT_EQ(router.StagedFrames(0), 2u) << "both frames staged in one lane";
+  router.Flush(0);  // one publish for the whole lane
+  EXPECT_EQ(router.StagedFrames(0), 0u);
+
+  std::vector<SimTime> stamps;
+  EXPECT_EQ(router.DrainTimed(1, 16,
+                              [&](MachineId src, SimTime send_ts, PayloadRef) {
+                                EXPECT_EQ(src, 0);
+                                stamps.push_back(send_ts);
+                              }),
+            2u);
+  ASSERT_EQ(stamps.size(), 2u);
+  EXPECT_EQ(stamps[0], 700u) << "frame keeps its own send time, not the batch's";
+  EXPECT_EQ(stamps[1], 900u);
+  // FIFO staging makes the batch head the earliest frame: every frame's exact
+  // timestamp is >= the conservative value the batch was admitted under.
+  EXPECT_LE(stamps[0], stamps[1]);
+  EXPECT_EQ(router.sent(), router.consumed());
+}
+
 TEST(ShardRouterTimedTest, UnregisteredSenderStampsZeroAndDeliverRunsHandler) {
   ShardRouter router(2);
   int delivered = 0;
