@@ -51,10 +51,22 @@ struct ShardBreakdown {
   std::uint64_t pool_misses = 0;
   std::uint64_t batches = 0;
   double batch_mean = 0;
+  // Conservative-sync receive/learn counters (parallel_sync rows only).
+  std::uint64_t sync_clamped = 0;
+  std::uint64_t wide_clamped = 0;
+  std::uint64_t lookahead_shrinks = 0;
+};
+
+// Coordinator-slot LBTS stats for a sync-enabled parallel phase.
+struct SyncBreakdown {
+  std::uint64_t windows = 0;
+  std::uint64_t wide_windows = 0;
+  double span_mean_us = 0;  // mean lbts_window_span_us
+  std::uint64_t span_p99_us = 0;
 };
 
 struct PhaseResult {
-  std::string engine;  // "sequential" | "parallel"
+  std::string engine;  // "sequential" | "parallel" | "parallel_sync"
   std::string phase;   // "messages" | "migrations"
   int shards = 0;
   double wall_seconds = 0;
@@ -63,6 +75,8 @@ struct PhaseResult {
   double messages_per_sec = 0;
   double migrations_per_sec = 0;
   std::vector<ShardBreakdown> per_shard;
+  bool has_sync = false;
+  SyncBreakdown sync;
 };
 
 struct RingTotals {
@@ -138,13 +152,17 @@ bool RunSequentialPhase(int machines, const TokenRingSpec& spec, const std::stri
 
 // One phase on the parallel engine: M shards, one worker thread each.
 // `series_out` non-null attaches the periodic sampler and hands back the
-// demos-metrics-v1 time series for this phase.
+// demos-metrics-v1 time series for this phase.  `sync_on` runs the phase
+// under conservative virtual-time sync (adaptive lookahead on by default);
+// the row is labelled "parallel_sync" so sync-off baselines stay comparable.
 bool RunParallelPhase(int machines, const TokenRingSpec& spec, const std::string& phase,
-                      bool metrics_on, MetricsTimeSeries* series_out, PhaseResult& out) {
+                      bool metrics_on, bool sync_on, MetricsTimeSeries* series_out,
+                      PhaseResult& out) {
   ParallelClusterConfig pc;
   pc.machines = machines;
   pc.metrics_enabled = metrics_on;
   pc.flight_recorder_enabled = metrics_on;
+  pc.sync.enabled = sync_on;
   ParallelCluster cluster(pc);
   std::vector<TokenRing> rings = BuildTokenRings(cluster, spec);
   if (rings.empty()) {
@@ -185,18 +203,33 @@ bool RunParallelPhase(int machines, const TokenRingSpec& spec, const std::string
       const HistogramSnapshot batch = slab.Histogram(HistogramId::kBatchSize);
       b.batches = batch.count;
       b.batch_mean = batch.Mean();
+      if (sync_on) {
+        b.sync_clamped = slab.Counter(CounterId::kSyncFramesClamped);
+        b.wide_clamped = slab.Counter(CounterId::kWideFramesClamped);
+        b.lookahead_shrinks = slab.Counter(CounterId::kLookaheadShrinks);
+      }
       out.per_shard.push_back(b);
+    }
+    if (sync_on) {
+      const MetricShard& coord = metrics->shard(cluster.coordinator_slot());
+      out.has_sync = true;
+      out.sync.windows = coord.Counter(CounterId::kLbtsWindows);
+      out.sync.wide_windows = coord.Counter(CounterId::kWideWindowsOpened);
+      const HistogramSnapshot spans = coord.Histogram(HistogramId::kLbtsWindowSpanUs);
+      out.sync.span_mean_us = spans.Mean();
+      out.sync.span_p99_us = spans.QuantileBound(0.99);
     }
   }
   cluster.Stop();
   const std::int64_t nodes = static_cast<std::int64_t>(spec.rings) * spec.nodes_per_ring;
   const std::int64_t want_migrations = machines >= 2 ? nodes * spec.migrate_count : 0;
-  if (!CheckExact("parallel token receptions", totals.tokens_seen,
-                  ExpectedTokenReceptions(spec)) ||
-      !CheckExact("parallel migrations", totals.migrations, want_migrations)) {
+  if (!CheckExact(sync_on ? "parallel_sync token receptions" : "parallel token receptions",
+                  totals.tokens_seen, ExpectedTokenReceptions(spec)) ||
+      !CheckExact(sync_on ? "parallel_sync migrations" : "parallel migrations",
+                  totals.migrations, want_migrations)) {
     return false;
   }
-  out.engine = "parallel";
+  out.engine = sync_on ? "parallel_sync" : "parallel";
   out.phase = phase;
   out.shards = machines;
   out.wall_seconds = Seconds(start, end);
@@ -218,7 +251,7 @@ double FindMessagesPerSec(const std::vector<PhaseResult>& results, const std::st
 }
 
 bool WriteJson(const std::string& path, const std::vector<PhaseResult>& results,
-               double scaling_4x, double par_vs_seq_4) {
+               double scaling_4x, double par_vs_seq_4, double sync_overhead_ratio) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -236,7 +269,17 @@ bool WriteJson(const std::string& path, const std::vector<PhaseResult>& results,
   // parallel msgs/sec over sequential msgs/sec at 4 shards: the PR perf-smoke
   // gate compares this single number against the checked-in baseline.
   std::snprintf(buf, sizeof(buf), "%.4f", par_vs_seq_4);
-  out << "    \"parallel_vs_sequential_4\": " << buf << "\n";
+  out << "    \"parallel_vs_sequential_4\": " << buf;
+  if (sync_overhead_ratio > 0) {
+    // sync-on over sync-off parallel msgs/sec at 4 shards: what conservative
+    // virtual-time sync (with adaptive lookahead) costs.  Additive field --
+    // absent when the run did not cover both sides of the --sync axis.
+    out << ",\n";
+    std::snprintf(buf, sizeof(buf), "%.4f", sync_overhead_ratio);
+    out << "    \"sync_overhead_ratio\": " << buf << "\n";
+  } else {
+    out << "\n";
+  }
   out << "  },\n";
   out << "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -265,9 +308,23 @@ bool WriteJson(const std::string& path, const std::vector<PhaseResult>& results,
             << ", \"pool_hits\": " << b.pool_hits << ", \"pool_misses\": " << b.pool_misses
             << ", \"batches\": " << b.batches;
         std::snprintf(buf, sizeof(buf), "%.2f", b.batch_mean);
-        out << ", \"batch_mean\": " << buf << "}";
+        out << ", \"batch_mean\": " << buf;
+        if (r.has_sync) {
+          out << ", \"sync_frames_clamped\": " << b.sync_clamped
+              << ", \"wide_frames_clamped\": " << b.wide_clamped
+              << ", \"lookahead_shrinks\": " << b.lookahead_shrinks;
+        }
+        out << "}";
       }
       out << "]";
+    }
+    // Coordinator-slot LBTS stats (parallel_sync rows with metrics on only).
+    if (r.has_sync) {
+      out << ", \"sync\": {\"lbts_windows\": " << r.sync.windows
+          << ", \"wide_windows_opened\": " << r.sync.wide_windows;
+      std::snprintf(buf, sizeof(buf), "%.1f", r.sync.span_mean_us);
+      out << ", \"lbts_window_span_us_mean\": " << buf
+          << ", \"lbts_window_span_us_p99\": " << r.sync.span_p99_us << "}";
     }
     out << "}" << (i + 1 < results.size() ? ",\n" : "\n");
   }
@@ -280,6 +337,11 @@ int Main(int argc, char** argv) {
   std::string json_path;
   std::string metrics_path;  // demos-metrics-v1 series from the 4-shard run
   bool metrics_on = true;    // --metrics=off measures the instrumentation cost
+  // Conservative-sync axis: "off" = free-running parallel only (the pre-sync
+  // bench), "on" = sync-enabled parallel only, "both" (default) = run both
+  // and derive sync_overhead_ratio.
+  bool run_sync_off = true;
+  bool run_sync_on = true;
   // Work scale knob so CI can trade precision for runtime.
   double scale = 1.0;
   for (int i = 1; i < argc; ++i) {
@@ -292,6 +354,12 @@ int Main(int argc, char** argv) {
       metrics_on = false;
     } else if (arg == "--metrics=on") {
       metrics_on = true;
+    } else if (arg == "--sync=off") {
+      run_sync_on = false;
+    } else if (arg == "--sync=on") {
+      run_sync_off = false;
+    } else if (arg == "--sync=both") {
+      run_sync_off = run_sync_on = true;
     } else if (arg.rfind("--scale=", 0) == 0) {
       scale = std::stod(arg.substr(8));
     }
@@ -322,22 +390,34 @@ int Main(int argc, char** argv) {
   std::vector<PhaseResult> results;
   MetricsTimeSeries metrics_series;
   bool have_metrics_series = false;
+  // Engine axis per shard count: sequential, free-running parallel, and
+  // sync-enabled parallel (adaptive lookahead default-on) as --sync selects.
+  std::vector<std::string> engines = {"sequential"};
+  if (run_sync_off) {
+    engines.push_back("parallel");
+  }
+  if (run_sync_on) {
+    engines.push_back("parallel_sync");
+  }
   for (const int shards : {1, 2, 4, 8}) {
-    for (const char* engine : {"sequential", "parallel"}) {
+    for (const std::string& engine : engines) {
       PhaseResult messages;
       PhaseResult migrations;
-      const bool seq = std::strcmp(engine, "sequential") == 0;
-      // The 4-shard messages phase is the canonical metrics capture: enough
-      // cross-shard traffic to populate every mailbox/park/spill series.
-      MetricsTimeSeries* capture =
-          (!seq && shards == 4 && !metrics_path.empty()) ? &metrics_series : nullptr;
+      const bool seq = engine == "sequential";
+      const bool sync_on = engine == "parallel_sync";
+      // The 4-shard free-running messages phase is the canonical metrics
+      // capture: enough cross-shard traffic to populate every
+      // mailbox/park/spill series.
+      MetricsTimeSeries* capture = (engine == "parallel" && shards == 4 && !metrics_path.empty())
+                                       ? &metrics_series
+                                       : nullptr;
       const bool ok =
           seq ? RunSequentialPhase(shards, messages_spec, "messages", messages) &&
                     RunSequentialPhase(shards, migrations_spec, "migrations", migrations)
-              : RunParallelPhase(shards, messages_spec, "messages", metrics_on, capture,
+              : RunParallelPhase(shards, messages_spec, "messages", metrics_on, sync_on, capture,
                                  messages) &&
-                    RunParallelPhase(shards, migrations_spec, "migrations", metrics_on, nullptr,
-                                     migrations);
+                    RunParallelPhase(shards, migrations_spec, "migrations", metrics_on, sync_on,
+                                     nullptr, migrations);
       if (capture != nullptr) {
         have_metrics_series = metrics_on;
       }
@@ -361,10 +441,16 @@ int Main(int argc, char** argv) {
   const double par1 = FindMessagesPerSec(results, "parallel", 1);
   const double par4 = FindMessagesPerSec(results, "parallel", 4);
   const double seq4 = FindMessagesPerSec(results, "sequential", 4);
+  const double sync4 = FindMessagesPerSec(results, "parallel_sync", 4);
   const double scaling = par1 > 0 ? par4 / par1 : 0;
   const double par_vs_seq_4 = seq4 > 0 ? par4 / seq4 : 0;
+  const double sync_overhead_ratio = (par4 > 0 && sync4 > 0) ? sync4 / par4 : 0;
   std::printf("\nparallel msgs/sec scaling, 4 shards vs 1 shard: %.2fx\n", scaling);
   std::printf("parallel vs sequential msgs/sec at 4 shards: %.2fx\n", par_vs_seq_4);
+  if (sync_overhead_ratio > 0) {
+    std::printf("sync-on vs sync-off parallel msgs/sec at 4 shards: %.2fx\n",
+                sync_overhead_ratio);
+  }
   if (std::thread::hardware_concurrency() < 4) {
     std::printf("(host has < 4 cores: aggregate scaling is not measurable here)\n");
   }
@@ -382,7 +468,8 @@ int Main(int argc, char** argv) {
                 metrics_series.samples.size());
   }
 
-  if (!json_path.empty() && !WriteJson(json_path, results, scaling, par_vs_seq_4)) {
+  if (!json_path.empty() &&
+      !WriteJson(json_path, results, scaling, par_vs_seq_4, sync_overhead_ratio)) {
     return 1;
   }
   return 0;

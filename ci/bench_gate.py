@@ -73,6 +73,29 @@ def main():
     print(f"parallel-vs-sequential msgs/sec @4 shards: ratio {cur_ratio:.3f}, "
           f"baseline {base_ratio:.3f}, floor {floor_ratio:.3f} -- ok")
 
+    # sync_overhead_ratio: sync-on vs free-running parallel msgs/sec at 4
+    # shards.  Additive field -- absent in a baseline recorded before the
+    # adaptive-lookahead work: record the fresh value, don't fail; the next
+    # re-baseline picks it up.  Absent in the *current* run only when the run
+    # skipped a sync axis (--sync=off/on), which is fine for ad-hoc runs but
+    # means the gate has nothing to check.
+    cur_sync = current["derived"].get("sync_overhead_ratio")
+    base_sync = baseline["derived"].get("sync_overhead_ratio")
+    if cur_sync is None:
+        print("sync_overhead_ratio: absent from this run (sync axis skipped) "
+              "-- nothing to gate")
+    elif base_sync is None:
+        print(f"sync_overhead_ratio: {cur_sync:.3f} (field absent in baseline "
+              "-- recorded, not gated; re-baseline to start enforcing)")
+    else:
+        sync_floor = base_sync * (1.0 - args.tolerance)
+        if cur_sync < sync_floor:
+            sys.exit(f"sync overhead regressed: sync-on/sync-off ratio "
+                     f"{cur_sync:.3f} < floor {sync_floor:.3f} "
+                     f"(baseline {base_sync:.3f})")
+        print(f"sync-on vs sync-off msgs/sec @4 shards: ratio {cur_sync:.3f}, "
+              f"baseline {base_sync:.3f}, floor {sync_floor:.3f} -- ok")
+
     if args.mode == "smoke":
         print("bench gate (smoke): ok")
         return

@@ -202,6 +202,14 @@ class Kernel {
   bool HasMigrationInProgress() const {
     return !migration_sources_.empty() || !migration_dests_.empty();
   }
+  // True while this kernel runs a virtual-time policy that needs strictly
+  // conservative sync bounds: a migration in either role (each phase arms a
+  // progress-measured deadline watchdog, and the source entry exists before
+  // the offer frame even leaves the machine).  The parallel engine polls
+  // this per scheduling round to decide when relaxed LBTS windows must
+  // collapse back to the static lookahead -- see docs/PROTOCOL.md,
+  // "Adaptive lookahead".
+  bool NeedsTightTime() const { return HasMigrationInProgress(); }
 
   // Periodically report load to `collector` (the process manager).  NOTE:
   // this arms a self-rescheduling event, so clusters with load reports never

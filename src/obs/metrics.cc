@@ -61,6 +61,12 @@ const char* CounterName(CounterId id) {
       return "pool_hits";
     case CounterId::kPoolMisses:
       return "pool_misses";
+    case CounterId::kWideWindowsOpened:
+      return "wide_windows_opened";
+    case CounterId::kLookaheadShrinks:
+      return "lookahead_shrinks";
+    case CounterId::kWideFramesClamped:
+      return "wide_frames_clamped";
     case CounterId::kNumCounters:
       break;
   }

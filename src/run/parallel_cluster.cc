@@ -1,5 +1,6 @@
 #include "src/run/parallel_cluster.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/base/pool.h"
@@ -13,6 +14,46 @@ bool DeadlinesArmed(const KernelConfig& kc) {
   return kc.migration_deadlines.offer_accept_us != 0 ||
          kc.migration_deadlines.transfer_progress_us != 0 ||
          kc.migration_deadlines.handoff_us != 0;
+}
+
+SimDuration MinArmedDeadline(const KernelConfig& kc) {
+  SimDuration min = kSimTimeNever;
+  for (const SimDuration d : {kc.migration_deadlines.offer_accept_us,
+                              kc.migration_deadlines.transfer_progress_us,
+                              kc.migration_deadlines.handoff_us}) {
+    if (d != 0 && d < min) {
+      min = d;
+    }
+  }
+  return min;
+}
+
+// One polite lap of a poll loop (same as the router's idle spin).
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+// Coordinator poll pacing: the sync coordinator no longer sleeps a fixed
+// 100-200us between snapshots (that sleep used to be the dominant per-window
+// cost -- two snapshots per window put 200us+ of wall clock on every bound
+// advance).  Instead it re-polls immediately for a short burst, yields while
+// shards still hold the cores, and only falls back to a real sleep when the
+// cluster has been un-blocked for a long stretch (a shard stuck in a big
+// drain, or genuine multi-ms work).
+inline void CoordinatorBackoff(std::size_t laps) {
+  if (laps < 256) {
+    CpuRelax();
+  } else if (laps < 8192) {
+    std::this_thread::yield();
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
 }
 
 // Fold this shard thread's allocation-pool stats (thread-local, monotonic)
@@ -56,6 +97,31 @@ ParallelCluster::ParallelCluster(ParallelClusterConfig config) : config_(config)
       }
     }
     lbts_ = std::make_unique<LbtsState>(config.machines);
+    // Adaptive lookahead: relaxed windows are capped at wide_window_spans x
+    // the static base span, and -- when deadline watchdogs can arm -- at a
+    // quarter of the shortest armed deadline, so the one-window clock skew a
+    // wide era can leave behind stays far below anything a watchdog measures.
+    const SimDuration base = latency_->MinLookahead();
+    SimDuration wide_span =
+        static_cast<SimDuration>(config.sync.wide_window_spans) * base;
+    if (wide_span > 0 && DeadlinesArmed(config.kernel)) {
+      wide_span = std::min(wide_span, MinArmedDeadline(config.kernel) / 4);
+    }
+    if (wide_span <= base) {
+      wide_span = 0;  // no wider than a tight window: relaxing buys nothing
+    }
+    wide_span_ = wide_span;
+    if (wide_span_ > 0) {
+      // Keep the learned-lookahead ceiling consistent with the wide-span cap
+      // (both feed the same skew bound).
+      const std::uint32_t span_cap =
+          static_cast<std::uint32_t>(std::min<SimDuration>(wide_span_ / base, 1u << 20));
+      const std::uint32_t growth_cap =
+          std::max(1u, std::min(config.sync.lookahead_growth_cap, span_cap));
+      adaptive_ = std::make_unique<AdaptiveLookahead>(*latency_, growth_cap,
+                                                      config.sync.lookahead_window);
+      router_->SetLookahead(adaptive_.get());
+    }
   }
   shards_.reserve(static_cast<std::size_t>(config.machines));
   for (int i = 0; i < config.machines; ++i) {
@@ -123,6 +189,7 @@ void ParallelCluster::Post(MachineId m, std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(shard.posted_mu);
     shard.posted.push_back(std::move(fn));
+    shard.posted_count.fetch_add(1, std::memory_order_seq_cst);
   }
   router_->Wake(m);
 }
@@ -165,12 +232,12 @@ std::uint64_t ParallelCluster::TotalEventsExecuted() const {
   return total;
 }
 
+// Both idle predicates run per lap of IdleWait's spin window: everything
+// they touch is an atomic or a heap-top read (posted_count mirrors the
+// posted vector so the spin never takes posted_mu).
 bool ParallelCluster::HasLocalWork(Shard& shard) {
-  if (!shard.queue.Empty() || router_->HasMail(shard.machine)) {
-    return true;
-  }
-  std::lock_guard<std::mutex> lock(shard.posted_mu);
-  return !shard.posted.empty();
+  return !shard.queue.Empty() || router_->HasMail(shard.machine) ||
+         shard.posted_count.load(std::memory_order_seq_cst) != 0;
 }
 
 bool ParallelCluster::HasSyncWork(Shard& shard, std::uint64_t epoch) {
@@ -180,8 +247,7 @@ bool ParallelCluster::HasSyncWork(Shard& shard, std::uint64_t epoch) {
   if (shard.queue.NextEventTime() <= lbts_->bound()) {
     return true;
   }
-  std::lock_guard<std::mutex> lock(shard.posted_mu);
-  return !shard.posted.empty();
+  return shard.posted_count.load(std::memory_order_seq_cst) != 0;
 }
 
 std::size_t ParallelCluster::DrainPosted(Shard& shard) {
@@ -194,6 +260,9 @@ std::size_t ParallelCluster::DrainPosted(Shard& shard) {
     fn();
     posted_done_.fetch_add(1, std::memory_order_seq_cst);
   }
+  if (!batch.empty()) {
+    shard.posted_count.fetch_sub(batch.size(), std::memory_order_seq_cst);
+  }
   return batch.size();
 }
 
@@ -201,12 +270,17 @@ void ParallelCluster::ScheduleDelivery(Shard& shard, MachineId src, SimTime send
                                        PayloadRef payload) {
   SimTime arrival = send_ts + latency_->Latency(src, shard.machine);
   if (arrival < shard.queue.Now()) {
-    // A frame from the receiver's virtual past: impossible while the LBTS
-    // bound holds (see virtual_time.h), so any nonzero count here is a sync
-    // bug.  Clamp to now and count it rather than deliver backwards in time.
+    // A frame from the receiver's virtual past.  Never deliver backwards in
+    // time: clamp to now (exactly-once and per-link FIFO are unaffected) and
+    // classify.  After any wide window this is the expected, bounded residue
+    // of relaxed timing (wide_frames_clamped); in a never-widened run the
+    // strict LBTS proof (virtual_time.h) makes it impossible, so any nonzero
+    // sync_frames_clamped count is a sync bug.
     arrival = shard.queue.Now();
     if (metrics_) {
-      metrics_->shard(shard.machine).Inc(CounterId::kSyncFramesClamped);
+      metrics_->shard(shard.machine)
+          .Inc(lbts_->ever_wide() ? CounterId::kWideFramesClamped
+                                  : CounterId::kSyncFramesClamped);
     }
   }
   const MachineId me = shard.machine;
@@ -282,6 +356,7 @@ void ParallelCluster::ShardMainSync(Shard& shard) {
                                                      PayloadRef payload) {
     ScheduleDelivery(shard, src, send_ts, std::move(payload));
   };
+  bool was_tight = false;
   while (!stop_.load(std::memory_order_acquire)) {
     // Snapshot the window first, then advertise busy *before* consuming any
     // input: the coordinator's double snapshot relies on every consumption
@@ -298,6 +373,17 @@ void ParallelCluster::ShardMainSync(Shard& shard) {
       ++steps;
     }
     did += steps;
+    // Tight-consumer poll, every round and *before* this round's lanes
+    // publish: if an event above just started a migration, the learned
+    // lookahead collapses to the static minimum before the offer frame is
+    // even visible to its destination.
+    const bool tight = shard.kernel->NeedsTightTime();
+    if (tight && !was_tight && adaptive_ != nullptr) {
+      if (adaptive_->Collapse(me) && metrics != nullptr) {
+        metrics->Inc(CounterId::kLookaheadShrinks);
+      }
+    }
+    was_tight = tight;
     // Publish this round's staged lanes before the idle check: the LBTS
     // floors below must never be published while frames sit staged (a did==0
     // round staged nothing, so the order is safe).
@@ -327,7 +413,7 @@ void ParallelCluster::ShardMainSync(Shard& shard) {
     tracer.RecordClockSync(shard.queue.Now(), FrSteadyClock(nullptr));
     fold_pool_stats();
     shard.idle.store(true, std::memory_order_seq_cst);
-    lbts_->PublishIdle(me, epoch, shard.queue.NextEventTime());
+    lbts_->PublishIdle(me, epoch, shard.queue.NextEventTime(), tight);
     router_->IdleWait(me, config_.idle_park, [this, &shard, epoch] {
       return HasSyncWork(shard, epoch) || stop_.load(std::memory_order_relaxed);
     });
@@ -397,6 +483,7 @@ bool ParallelCluster::RunUntilQuiescentSync(std::chrono::milliseconds timeout,
   Snapshot prev;
   LbtsState::ShardView prev_view;
   bool have_prev = false;
+  std::size_t idle_laps = 0;
   while (std::chrono::steady_clock::now() < deadline) {
     // The base snapshot rules out in-flight mail and posted work; the LBTS
     // view rules out a shard mid-round (busy) or still on an older window
@@ -410,35 +497,55 @@ bool ParallelCluster::RunUntilQuiescentSync(std::chrono::milliseconds timeout,
         coord->Inc(CounterId::kQuiescenceVotes);
       }
     }
-    if (coord_flight != nullptr) {
-      coord_flight->Record(FrEvent::kQuiescenceVote, blocked ? 1 : 0,
-                           snap.sent - snap.consumed);
-    }
     if (!blocked) {
       have_prev = false;
-      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      // Spin-poll with escalating backoff instead of a fixed sleep: while
+      // shards are mid-window the coordinator's only job is to notice the
+      // moment they block, and a 200us nap per poll used to serialize every
+      // window behind it.  A shard parked on an exhausted window is caught
+      // within its own idle-spin budget, so consecutive bounds chain without
+      // anyone re-parking (the multi-window drain per wake).
+      CoordinatorBackoff(++idle_laps);
       continue;
+    }
+    if (coord_flight != nullptr) {
+      coord_flight->Record(FrEvent::kQuiescenceVote, 1, snap.sent - snap.consumed);
     }
     if (!have_prev || !prev.SameCounters(snap) || !prev_view.Same(view)) {
       // First quiet observation (or the cluster moved): confirm with a
-      // second identical snapshot before trusting the floors.
+      // second identical snapshot before trusting the floors.  The
+      // double-snapshot argument is about interleaving -- any work between
+      // the two bumps a monotonic counter -- not elapsed time, so the
+      // confirming read follows immediately.
       prev = snap;
       prev_view = std::move(view);
       have_prev = true;
-      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      CpuRelax();
       continue;
     }
     // Verified: every shard is blocked on the current window with these
     // floors, and nothing is in flight.  Either everything is drained
-    // (quiescent) or the cluster earns the next window.
-    const SimTime next = lbts_->NextBound(view.floors, *latency_);
+    // (quiescent) or the cluster earns the next window -- strictly
+    // conservative while any shard is tight, relaxed (learned lookahead +
+    // wide span) otherwise.
+    SimTime next;
+    bool widened = false;
+    if (!view.any_tight && wide_span_ > 0) {
+      next = lbts_->NextRelaxedBound(view.floors, *latency_, adaptive_.get(), wide_span_,
+                                     &widened);
+    } else {
+      next = lbts_->NextBound(view.floors, *latency_);
+    }
     if (next == kSimTimeNever) {
       return true;
     }
     const SimTime old_bound = lbts_->bound();
-    lbts_->OpenWindow(next);
+    lbts_->OpenWindow(next, widened);
     if (coord != nullptr) {
       coord->Inc(CounterId::kLbtsWindows);
+      if (widened) {
+        coord->Inc(CounterId::kWideWindowsOpened);
+      }
       coord->Set(GaugeId::kLbtsBoundUs, static_cast<std::int64_t>(next));
       coord->Observe(HistogramId::kLbtsWindowSpanUs, next - old_bound);
     }
@@ -447,6 +554,7 @@ bool ParallelCluster::RunUntilQuiescentSync(std::chrono::milliseconds timeout,
     }
     router_->WakeAll();
     have_prev = false;
+    idle_laps = 0;
   }
   return false;
 }

@@ -103,6 +103,27 @@ struct ParallelClusterConfig {
       SimDuration min_latency_us = 1;
     };
     std::vector<LinkOverride> links;
+
+    // ---- Adaptive lookahead (docs/PROTOCOL.md, "Adaptive lookahead"). ----
+    // While no shard needs tight bounds (no migration in flight, no armed
+    // deadline watchdog -- Kernel::NeedsTightTime), windows may open up to
+    // wide_window_spans x the static base lookahead past the minimum floor,
+    // and per-source lookahead follows the learned send-gap estimate instead
+    // of the static link minimum.  0 disables widening entirely (every
+    // window is strictly conservative -- the pre-adaptive behaviour).  When
+    // deadlines are armed the effective wide span is additionally capped at
+    // a quarter of the shortest armed deadline, so the one-window clock skew
+    // a wide era can leave behind stays far below what a watchdog measures.
+    // The default is sized for the relaxed regime where skew is harmless --
+    // each window barrier costs real context switches, so span directly buys
+    // throughput; the deadline/4 cap is what keeps tight-consumer runs honest.
+    std::uint32_t wide_window_spans = 512;
+    // Ceiling on the learned per-link lookahead, as a multiple of the static
+    // link minimum.
+    std::uint32_t lookahead_growth_cap = 64;
+    // Sends per (src, dst) learning window: how much evidence one 2x growth
+    // step of the learned estimate requires.
+    std::uint32_t lookahead_window = 32;
   };
   TimeSyncConfig sync;
   // Wall-clock budget for RunUntilSettled (the Engine-interface entry point;
@@ -143,6 +164,10 @@ class ParallelCluster final : public Engine {
   EventQueue& queue(MachineId m) { return shards_[m]->queue; }
   ShardRouter& router() { return *router_; }
   bool sync_enabled() const { return sync_enabled_; }
+  // Sync-mode internals, exposed for tests; null in free-running mode (and
+  // adaptive_lookahead() also when wide_window_spans == 0).
+  const LbtsState* lbts() const { return lbts_.get(); }
+  const AdaptiveLookahead* adaptive_lookahead() const { return adaptive_.get(); }
 
   // Launch the worker threads (idempotent).
   void Start();
@@ -183,6 +208,11 @@ class ParallelCluster final : public Engine {
     std::unique_ptr<Kernel> kernel;
     std::mutex posted_mu;
     std::vector<std::function<void()>> posted;
+    // Mirror of posted.size() so the idle-spin predicates poll an atomic
+    // instead of taking posted_mu per lap.  Incremented under the lock in
+    // Post(); decremented after the swapped batch runs, so it may transiently
+    // over-report (a spurious extra round) but never under-report.
+    std::atomic<std::size_t> posted_count{0};
     // True while the shard believes it has nothing to do.  seq_cst pairs
     // with the router counters in the quiescence check.
     std::atomic<bool> idle{false};
@@ -227,6 +257,9 @@ class ParallelCluster final : public Engine {
   bool sync_enabled_ = false;
   std::unique_ptr<LinkLatencyTable> latency_;
   std::unique_ptr<LbtsState> lbts_;
+  std::unique_ptr<AdaptiveLookahead> adaptive_;
+  // Effective wide-window span in virtual us (0 = widening disabled).
+  SimDuration wide_span_ = 0;
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> posted_{0};
   std::atomic<std::uint64_t> posted_done_{0};

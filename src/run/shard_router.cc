@@ -6,6 +6,7 @@
 #include "src/base/log.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
+#include "src/run/virtual_time.h"
 
 namespace demos {
 
@@ -101,6 +102,13 @@ void ShardRouter::Send(MachineId src, MachineId dst, PayloadRef payload) {
     }
     PublishItem(src, dst, std::move(item), metrics, flight);
     return;
+  }
+
+  // Running-engine sends feed the adaptive-lookahead learner (src-owned
+  // state; staging-mode sends are skipped above, their timestamps are not
+  // real traffic gaps).
+  if (lookahead_ != nullptr && lookahead_->Observe(src, dst, send_ts) && metrics != nullptr) {
+    metrics->Inc(CounterId::kLookaheadShrinks);
   }
 
   Outbox& outbox = *outboxes_[src];

@@ -234,6 +234,9 @@ TEST_F(EngineTest, LbtsBoundNeverAdmitsAFrameIntoThePast) {
   ParallelClusterConfig config;
   config.machines = 4;
   config.sync.enabled = true;
+  // Pin strictly conservative windows: this test is the zero-clamp proof for
+  // the static bound, and widening would reroute clamps to wide_frames_clamped.
+  config.sync.wide_window_spans = 0;
   config.settle_timeout = std::chrono::milliseconds(60000);
   ParallelCluster cluster(config);
 
@@ -257,6 +260,38 @@ TEST_F(EngineTest, LbtsBoundNeverAdmitsAFrameIntoThePast) {
       snap.shards[static_cast<std::size_t>(cluster.coordinator_slot())];
   EXPECT_EQ(coord.counters[static_cast<std::size_t>(CounterId::kLbtsWindows)],
             snap.total.counters[static_cast<std::size_t>(CounterId::kLbtsWindows)]);
+  cluster.Stop();
+}
+
+TEST_F(EngineTest, AdaptiveLbtsOpensWideWindowsAndKeepsDeliveryExact) {
+  // Default sync config: adaptive lookahead and wide windows are ON.  With no
+  // migration in flight no shard is ever tight, so the coordinator should be
+  // opening wide windows -- and every delivery must still be exactly-once,
+  // with clamped arrivals (if any) accounted as wide-era residue, never as a
+  // conservative-sync violation.
+  ParallelClusterConfig config;
+  config.machines = 4;
+  config.sync.enabled = true;
+  config.settle_timeout = std::chrono::milliseconds(60000);
+  ParallelCluster cluster(config);
+
+  TokenRingSpec spec;
+  spec.rings = 4;
+  spec.nodes_per_ring = 4;
+  spec.tokens_per_node = 1;
+  spec.hops_per_token = 30;
+  const std::vector<TokenRing> rings = BuildTokenRings(cluster, spec);
+  ASSERT_FALSE(rings.empty());
+  KickTokenRings(cluster, rings, spec.tokens_per_node, spec.hops_per_token);
+  ASSERT_TRUE(cluster.RunUntilSettled().settled);
+
+  EXPECT_EQ(cluster.TotalStat(stat::kMsgsDelivered), ExpectedRingDeliveries(spec));
+  ASSERT_NE(cluster.metrics(), nullptr);
+  const MetricsSnapshot snap = cluster.metrics()->Snapshot();
+  EXPECT_GT(snap.total.counters[static_cast<std::size_t>(CounterId::kWideWindowsOpened)], 0u)
+      << "a run with no tight consumers should widen its windows";
+  EXPECT_EQ(snap.total.counters[static_cast<std::size_t>(CounterId::kSyncFramesClamped)], 0u)
+      << "clamps in an ever-wide run belong to wide_frames_clamped";
   cluster.Stop();
 }
 

@@ -656,6 +656,53 @@ TEST_F(ParallelClusterTest, StressMigrationStormWithDeadlinesArmed) {
   }
 }
 
+// The shrink-mid-storm proof for adaptive lookahead: migration-free traffic
+// runs first, so wide windows open and per-link estimates grow -- then the
+// storm starts.  The moment a shard's kernel holds a migration offer it
+// publishes tight, its learned lookahead collapses to the static minimum, and
+// the coordinator falls back to strictly conservative bounds.  Frames
+// timestamped inside the old wide windows must still land exactly once, no
+// healthy migration may trip its watchdog, and any clamp must be accounted as
+// wide-era residue, never as a conservative-sync violation.  TSan runs this
+// in CI.
+TEST_F(ParallelClusterTest, StressLookaheadShrinkMidStormKeepsExactlyOnce) {
+  const int machines = 8;
+  TokenRingSpec spec;
+  spec.rings = 8;
+  spec.nodes_per_ring = 8;
+  spec.tokens_per_node = 2;
+  spec.hops_per_token = 40;
+  spec.migrate_count = 2;
+  spec.migrate_after_tokens = 4;  // a wide era runs before the first offer leaves
+
+  ParallelClusterConfig config;
+  config.kernel.migration_deadlines.offer_accept_us = 2'000'000;
+  config.kernel.migration_deadlines.transfer_progress_us = 2'000'000;
+  config.kernel.migration_deadlines.handoff_us = 2'000'000;
+  std::unique_ptr<Engine> engine = MakeEngine(EngineKind::kParallelSync, machines, config);
+  const RingEndState par = RunWorkload(*engine, spec, /*probe_rounds=*/0);
+  EXPECT_EQ(par.tokens_seen, ExpectedTokenReceptions(spec));
+  EXPECT_EQ(par.bounced, 0);
+  EXPECT_EQ(engine->TotalStat(stat::kMigrationsTimedOut), 0)
+      << "a deadline fired for a healthy migration under adaptive sync";
+  for (const auto& [pid, count] : par.migrations) {
+    EXPECT_EQ(count, spec.migrate_count) << "a migration chain stalled";
+  }
+
+  MetricsEngine* metrics = engine->metrics();
+  ASSERT_NE(metrics, nullptr);
+  std::uint64_t wide_windows = 0;
+  std::uint64_t sync_clamped = 0;
+  // All slots, including the coordinator's (the wide-window counter lives there).
+  for (int m = 0; m < metrics->shards(); ++m) {
+    wide_windows += metrics->shard(m).Counter(CounterId::kWideWindowsOpened);
+    sync_clamped += metrics->shard(m).Counter(CounterId::kSyncFramesClamped);
+  }
+  EXPECT_GT(wide_windows, 0u) << "the pre-storm era should have widened windows";
+  EXPECT_EQ(sync_clamped, 0u)
+      << "an ever-wide run must route clamped arrivals to wide_frames_clamped";
+}
+
 // A deliberately tiny mailbox forces sustained backpressure (and possibly the
 // cyclic-full escape hatch) through the full kernel path; delivery accounting
 // must stay exact.

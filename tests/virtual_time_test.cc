@@ -94,6 +94,24 @@ TEST(LinkLatencyTableTest, OverridesAreDirectionalAndShrinkLookahead) {
   EXPECT_EQ(table.LookaheadFrom(2), 100u);
 }
 
+TEST(LinkLatencyTableTest, CachedLookaheadTracksRaisedAndLoweredLinks) {
+  // LookaheadFrom is cached per source (NextBound used to rescan the full
+  // latency row per shard per window); SetLink must keep the cache exact in
+  // both directions, including raising the link that *was* the minimum.
+  LinkLatencyTable table(3, /*uniform_us=*/100);
+  table.SetLink(0, 1, 10);
+  EXPECT_EQ(table.LookaheadFrom(0), 10u);
+  table.SetLink(0, 2, 5);
+  EXPECT_EQ(table.LookaheadFrom(0), 5u);
+  table.SetLink(0, 2, 500);  // the old minimum goes away
+  EXPECT_EQ(table.LookaheadFrom(0), 10u) << "raising a link must rescan, not keep the stale min";
+  table.SetLink(0, 1, 700);
+  EXPECT_EQ(table.LookaheadFrom(0), 100u) << "all overrides above uniform: uniform wins";
+  EXPECT_EQ(table.MinLookahead(), 100u);
+  table.SetLink(2, 0, 3);
+  EXPECT_EQ(table.MinLookahead(), 3u);
+}
+
 // ---------------------------------------------------------------------------
 // LbtsState: bound derivation and the publish protocol.
 // ---------------------------------------------------------------------------
@@ -175,6 +193,142 @@ TEST(LbtsStateTest, ViewSameDetectsFloorChanges) {
   EXPECT_TRUE(a.Same(lbts.View()));
   lbts.PublishIdle(1, 0, 300);  // same epoch, moved floor
   EXPECT_FALSE(a.Same(lbts.View()));
+}
+
+TEST(LbtsStateTest, ViewReportsTightConsumersAndSameDetectsTheEdge) {
+  LbtsState lbts(2);
+  lbts.PublishIdle(0, 0, 100);
+  lbts.PublishIdle(1, 0, 200);
+  const LbtsState::ShardView relaxed = lbts.View();
+  EXPECT_FALSE(relaxed.any_tight);
+  lbts.PublishIdle(1, 0, 200, /*tight=*/true);  // migration offer left shard 1
+  const LbtsState::ShardView tight = lbts.View();
+  EXPECT_TRUE(tight.any_tight);
+  EXPECT_FALSE(relaxed.Same(tight)) << "a tight edge must invalidate the snapshot pair";
+}
+
+TEST(LbtsStateTest, EverWideLatchesOnFirstWideWindow) {
+  LbtsState lbts(2);
+  EXPECT_FALSE(lbts.ever_wide());
+  lbts.OpenWindow(1000);
+  EXPECT_FALSE(lbts.ever_wide()) << "a strictly conservative window must not latch";
+  lbts.OpenWindow(2000, /*wide=*/true);
+  EXPECT_TRUE(lbts.ever_wide());
+  lbts.OpenWindow(3000);
+  EXPECT_TRUE(lbts.ever_wide()) << "the latch is sticky for the rest of the run";
+}
+
+// ---------------------------------------------------------------------------
+// AdaptiveLookahead: learning, shrinking, collapse.
+// ---------------------------------------------------------------------------
+
+// Drive `count` sends on src->dst spaced `gap` apart, starting after whatever
+// timestamp the link last saw.
+void SendsWithGap(AdaptiveLookahead& adaptive, MachineId src, MachineId dst, SimTime start,
+                  SimDuration gap, int count) {
+  for (int i = 0; i < count; ++i) {
+    adaptive.Observe(src, dst, start + static_cast<SimTime>(i) * gap);
+  }
+}
+
+TEST(AdaptiveLookaheadTest, StartsAtStaticFloorAndFirstSendOnlyRecords) {
+  LinkLatencyTable table(2, /*uniform_us=*/100);
+  AdaptiveLookahead adaptive(table, /*growth_cap=*/64, /*window=*/4);
+  EXPECT_EQ(adaptive.FromSource(0), 100u);
+  EXPECT_FALSE(adaptive.Observe(0, 1, 5000)) << "a first send has no gap to learn from";
+  EXPECT_EQ(adaptive.FromSource(0), 100u);
+}
+
+TEST(AdaptiveLookaheadTest, GrowthIsWindowedAtMostDoublePerWindowAndCapped) {
+  LinkLatencyTable table(2, /*uniform_us=*/100);
+  AdaptiveLookahead adaptive(table, /*growth_cap=*/4, /*window=*/4);
+  // 1 recording send + 4 gaps of 1000us = one full observation window.
+  SendsWithGap(adaptive, 0, 1, 0, 1000, 5);
+  EXPECT_EQ(adaptive.FromSource(0), 200u) << "one window may at most double the estimate";
+  SendsWithGap(adaptive, 0, 1, 10'000, 1000, 4);
+  EXPECT_EQ(adaptive.FromSource(0), 400u);
+  SendsWithGap(adaptive, 0, 1, 20'000, 1000, 4);
+  EXPECT_EQ(adaptive.FromSource(0), 400u) << "growth_cap * static is the ceiling";
+}
+
+TEST(AdaptiveLookaheadTest, ShrinkIsImmediateAndNeverBelowStatic) {
+  LinkLatencyTable table(2, /*uniform_us=*/100);
+  AdaptiveLookahead adaptive(table, /*growth_cap=*/64, /*window=*/4);
+  SendsWithGap(adaptive, 0, 1, 0, 1000, 5);
+  ASSERT_EQ(adaptive.FromSource(0), 200u);
+  // A single closer-spaced send shrinks mid-window -- no waiting.
+  EXPECT_TRUE(adaptive.Observe(0, 1, 4150));  // 150us after the last send at 4000
+  EXPECT_EQ(adaptive.FromSource(0), 150u);
+  EXPECT_TRUE(adaptive.Observe(0, 1, 4160));  // 10us gap clamps at the static floor
+  EXPECT_EQ(adaptive.FromSource(0), 100u);
+  EXPECT_FALSE(adaptive.Observe(0, 1, 4165)) << "already at the floor: nothing shrank";
+  EXPECT_EQ(adaptive.FromSource(0), 100u);
+}
+
+TEST(AdaptiveLookaheadTest, CollapseResetsToStaticFloor) {
+  LinkLatencyTable table(2, /*uniform_us=*/100);
+  AdaptiveLookahead adaptive(table, /*growth_cap=*/64, /*window=*/4);
+  SendsWithGap(adaptive, 0, 1, 0, 1000, 5);
+  ASSERT_EQ(adaptive.FromSource(0), 200u);
+  EXPECT_TRUE(adaptive.Collapse(0)) << "the published value shrank back to static";
+  EXPECT_EQ(adaptive.FromSource(0), 100u);
+  EXPECT_FALSE(adaptive.Collapse(0)) << "already at the floor";
+  // Learning restarts cleanly after the collapse.
+  SendsWithGap(adaptive, 0, 1, 50'000, 1000, 4);
+  EXPECT_EQ(adaptive.FromSource(0), 200u);
+}
+
+TEST(AdaptiveLookaheadTest, PublishedIsMinOverObservedLinks) {
+  LinkLatencyTable table(3, /*uniform_us=*/100);
+  AdaptiveLookahead adaptive(table, /*growth_cap=*/64, /*window=*/4);
+  SendsWithGap(adaptive, 0, 1, 0, 1000, 5);
+  ASSERT_EQ(adaptive.FromSource(0), 200u) << "only 0->1 observed so far";
+  // A second destination with tight spacing drags the source estimate down:
+  // the published value must be safe for the busiest outgoing link.
+  adaptive.Observe(0, 2, 9000);
+  EXPECT_TRUE(adaptive.Observe(0, 2, 9010));
+  EXPECT_EQ(adaptive.FromSource(0), 100u);
+  EXPECT_EQ(adaptive.FromSource(1), 100u) << "other sources are untouched";
+}
+
+TEST(LbtsStateTest, RelaxedBoundNeverBelowTightAndReportsWidening) {
+  LbtsState lbts(2);
+  LinkLatencyTable latency(2, /*uniform_us=*/100);
+  const std::vector<SimTime> floors = {1000, 2000};
+  ASSERT_EQ(lbts.NextBound(floors, latency), 1099u);
+
+  bool widened = true;
+  // No adaptive state and no wide span: identical to the conservative bound.
+  EXPECT_EQ(lbts.NextRelaxedBound(floors, latency, nullptr, 0, &widened), 1099u);
+  EXPECT_FALSE(widened);
+  // A wide span measures from the minimum floor.
+  EXPECT_EQ(lbts.NextRelaxedBound(floors, latency, nullptr, 800, &widened), 1799u);
+  EXPECT_TRUE(widened);
+}
+
+TEST(LbtsStateTest, RelaxedBoundUsesLearnedLookaheadPerSource) {
+  LbtsState lbts(2);
+  LinkLatencyTable latency(2, /*uniform_us=*/100);
+  AdaptiveLookahead adaptive(latency, /*growth_cap=*/64, /*window=*/4);
+  SendsWithGap(adaptive, 0, 1, 0, 1000, 5);
+  ASSERT_EQ(adaptive.FromSource(0), 200u);
+
+  const std::vector<SimTime> floors = {1000, 2000};
+  bool widened = false;
+  // min(1000 + 200 - 1, 2000 + 100 - 1) = 1199, above the tight 1099.
+  EXPECT_EQ(lbts.NextRelaxedBound(floors, latency, &adaptive, 0, &widened), 1199u);
+  EXPECT_TRUE(widened);
+}
+
+TEST(LbtsStateTest, RelaxedBoundPreservesQuiescenceSignal) {
+  LbtsState lbts(2);
+  LinkLatencyTable latency(2, /*uniform_us=*/100);
+  bool widened = true;
+  EXPECT_EQ(lbts.NextRelaxedBound({kSimTimeNever, kSimTimeNever}, latency, nullptr, 1'000'000,
+                                  &widened),
+            kSimTimeNever)
+      << "a wide span must not turn a quiescent cluster into a live one";
+  EXPECT_FALSE(widened);
 }
 
 // ---------------------------------------------------------------------------
