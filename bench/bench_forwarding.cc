@@ -79,7 +79,8 @@ void Run(bench::TraceSink& trace) {
   bench::PaperClaim("each forward adds 2 messages: the re-send plus the link update");
 
   bench::Table table({"fwd hops", "msgs (1st send)", "extra vs direct", "link updates",
-                      "msgs (2nd send)", "delivery us (1st)", "delivery us (2nd)"});
+                      "collapses", "msgs (2nd send)", "delivery us (1st)",
+                      "delivery us (2nd)"});
 
   std::int64_t direct_msgs = -1;
   for (int hops = 0; hops <= 4; ++hops) {
@@ -106,12 +107,14 @@ void Run(bench::TraceSink& trace) {
 
     bench::StatDelta msgs1(s.cluster, stat::kMsgsSent);
     bench::StatDelta updates(s.cluster, stat::kLinkUpdateMsgs);
+    bench::StatDelta collapses(s.cluster, stat::kChainCollapses);
     SimTime t0 = s.cluster.queue().Now();
     TellRelayToSend(s);
     s.cluster.RunUntilIdle();
     const SimDuration first_us = s.cluster.queue().Now() - t0;
     const std::int64_t first_msgs = msgs1.Get();
     const std::int64_t first_updates = updates.Get();
+    const std::int64_t first_collapses = collapses.Get();
 
     bench::StatDelta msgs2(s.cluster, stat::kMsgsSent);
     t0 = s.cluster.queue().Now();
@@ -124,7 +127,8 @@ void Run(bench::TraceSink& trace) {
     }
     table.Row({bench::Num(hops), bench::Num(first_msgs),
                bench::Num(first_msgs - direct_msgs), bench::Num(first_updates),
-               bench::Num(msgs2.Get()), bench::Num(static_cast<std::int64_t>(first_us)),
+               bench::Num(first_collapses), bench::Num(msgs2.Get()),
+               bench::Num(static_cast<std::int64_t>(first_us)),
                bench::Num(static_cast<std::int64_t>(second_us))});
     if (CounterValue(s) != 2) {
       std::printf("!! delivery error at %d hops\n", hops);
@@ -132,8 +136,51 @@ void Run(bench::TraceSink& trace) {
     trace.Collect(s.cluster);
   }
   table.Print();
-  bench::Note("1 hop costs exactly 2 extra messages (forward + update), as reported;");
-  bench::Note("k hops cost 2k extra on the first message; the second send is direct again.");
+  bench::Note("1 hop pays the paper's 2 extra messages (forward + update) plus the");
+  bench::Note("reclamation ack; traversals of >= 2 records additionally mail one collapse");
+  bench::Note("per crossed record.  At 4 hops the resting-chain bound (max_chain_hops=4)");
+  bench::Note("has already re-pointed the oldest records during migration, so the first");
+  bench::Note("send pays a single forward.  The second send is direct in every case.");
+
+  // Collapse economics: the paper's lazy link update only repairs the sender
+  // that used the chain.  Collapse-on-traversal repairs the *chain*, so a
+  // different stale sender pays one hop, not k.
+  bench::Table econ({"2nd stale sender", "fwd hops paid", "collapses applied"});
+  for (bool collapse_on : {false, true}) {
+    Setup s(trace);
+    auto relay_a = s.cluster.kernel(5).SpawnProcess("bench_relay");
+    auto counter = s.cluster.kernel(0).SpawnProcess("bench_counter");
+    if (!relay_a.ok() || !counter.ok()) {
+      continue;
+    }
+    s.relay = *relay_a;
+    s.counter = *counter;
+    s.cluster.RunUntilIdle();
+    Link to_counter;
+    to_counter.address = *counter;
+    s.cluster.kernel(5).FindProcess(relay_a->pid)->links.Insert(to_counter);
+    for (int h = 0; h < 3; ++h) {
+      const MachineId from = s.cluster.HostOf(counter->pid);
+      (void)s.cluster.kernel(from).StartMigration(counter->pid, static_cast<MachineId>(h + 1),
+                                                  s.cluster.kernel(from).kernel_address());
+      s.cluster.RunUntilIdle();
+    }
+    if (collapse_on) {
+      TellRelayToSend(s);  // sender A's traversal collapses m0/m1's records
+      s.cluster.RunUntilIdle();
+    }
+    // Sender B holds the same stale address but never sent before.
+    bench::StatDelta fwd(s.cluster, stat::kMsgsForwarded);
+    bench::StatDelta applied(s.cluster, stat::kChainCollapseApplied);
+    s.cluster.kernel(4).SendFromKernel(ProcessAddress{0, counter->pid}, kIncrement, {});
+    s.cluster.RunUntilIdle();
+    econ.Row({collapse_on ? "after a collapsing traversal" : "against the intact chain",
+              bench::Num(fwd.Get()), bench::Num(applied.Get())});
+    trace.Collect(s.cluster);
+  }
+  econ.Print();
+  bench::Note("the intact 3-record chain costs every stale sender 3 forwards; once any");
+  bench::Note("traversal has collapsed it, later stale senders pay a single forward.");
 }
 
 }  // namespace

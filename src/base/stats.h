@@ -227,6 +227,21 @@ inline constexpr const char* kForwardingAddresses = "forwarding_addresses";
 inline constexpr const char* kWireBytesSent = "wire_bytes_sent";
 inline constexpr const char* kDeliverToKernelMsgs = "deliver_to_kernel_msgs";
 
+// Churn-proof addressing: forwarding-record GC, chain collapse, gossip.
+inline constexpr const char* kFwdRecordsLive = "fwd_records_live";
+inline constexpr const char* kFwdReclaimed = "fwd_reclaimed";
+inline constexpr const char* kChainCollapses = "chain_collapses";
+inline constexpr const char* kChainCollapseApplied = "chain_collapse_applied";
+inline constexpr const char* kLinkUpdateAcks = "link_update_acks";
+inline constexpr const char* kGossipRounds = "gossip_rounds";
+inline constexpr const char* kGossipRumors = "gossip_rumors";
+inline constexpr const char* kGossipAdvanced = "gossip_advanced";
+inline constexpr const char* kTombstonesReclaimed = "tombstones_reclaimed";
+inline constexpr const char* kLocateRetries = "locate_retries";
+inline constexpr const char* kLocateGaveUp = "locate_gave_up";
+inline constexpr const char* kGossipReroutes = "gossip_reroutes";
+inline constexpr const char* kSendsRefused = "sends_refused";
+
 // Distributions derived from the src/obs tracer (BuildTraceStats): per-phase
 // migration latency breakdown, forwarding-chain lengths, and lazy link-update
 // lag.  Phase distributions are named "phase_<name>_us" per

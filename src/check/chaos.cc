@@ -163,10 +163,9 @@ ChaosScenario PermanentDeathScenarioFromSeed(std::uint64_t seed) {
   }
   s.crashes.clear();  // one permanent death replaces the revival windows
   s.reliable = true;
-  // Forwarding only: the return-to-sender baseline can never converge its
-  // links past a corpse (each probe bounces forever), which is part of why
-  // the paper rejected it -- not a bug worth re-finding 500 times a night.
-  s.forwarding_mode = true;
+  // Both delivery modes stay in rotation: the epidemic location service lets
+  // even the return-to-sender baseline converge past a corpse (bounces
+  // resolve against the gossip registry instead of retrying the grave).
   // Finite retries let the transport reach its give-up verdict on frames into
   // the corpse.  Loss between *live* machines must stay impossible in
   // practice, so cap the drop rate: at 8% drop, 12 retries leave a frame-loss
@@ -179,6 +178,79 @@ ChaosScenario PermanentDeathScenarioFromSeed(std::uint64_t seed) {
   death.at = 10'000 + rng.Below(s.chaos_window_us);
   death.machine = static_cast<int>(rng.Below(static_cast<std::uint64_t>(s.machines)));
   s.deaths.push_back(death);
+  return s;
+}
+
+ChaosScenario ChurnScenarioFromSeed(std::uint64_t seed, bool permadeath) {
+  ChaosScenario s = ScenarioFromSeed(seed);
+  // A separate stream keeps the base plan byte-identical to ScenarioFromSeed.
+  Rng rng(seed ^ 0xC598A5701Dull);
+  if (s.machines < 3) {
+    s.machines = 3;
+  }
+  s.chaos_window_us = std::max<SimDuration>(s.chaos_window_us, 200'000);
+  const auto machines = static_cast<std::uint64_t>(s.machines);
+
+  // Migration storm: hot victims absorb half the schedule so real chains form
+  // (hop upon hop for one pid); the rest sprays across the roster.
+  const auto roster = static_cast<std::uint64_t>(s.RosterSize());
+  const int hot = static_cast<int>(rng.Below(roster));
+  const std::uint64_t storm = 24 + rng.Below(25);  // 24..48 extra migrations
+  for (std::uint64_t i = 0; i < storm; ++i) {
+    ChaosScenario::MigrationEvent ev;
+    ev.at = 5000 + rng.Below(s.chaos_window_us - 5000);
+    ev.victim = rng.Chance(0.5) ? hot : static_cast<int>(rng.Below(roster));
+    ev.dest_machine = static_cast<int>(rng.Below(machines));
+    s.migrations.push_back(ev);
+  }
+  std::stable_sort(s.migrations.begin(), s.migrations.end(),
+                   [](const auto& a, const auto& b) { return a.at < b.at; });
+
+  // Kill/restart cycles: short repeated outages on up to machines-1 machines;
+  // at least one machine never cycles, so migrations always have somewhere to
+  // land.  Outages stay under 8ms so the reliable layer's retry budget (when
+  // finite, below) always outlasts them -- loss between reviving machines
+  // would be a harness artifact, not a protocol bug.
+  s.crashes.clear();
+  const int cyclers = 1 + static_cast<int>(rng.Below(machines - 1));
+  const int first_cycler = static_cast<int>(rng.Below(machines));
+  for (int c = 0; c < cyclers; ++c) {
+    const int machine = (first_cycler + c) % s.machines;
+    SimTime at = 15'000 + rng.Below(40'001);
+    const std::uint64_t cycles = 2 + rng.Below(3);
+    for (std::uint64_t i = 0; i < cycles && at < s.chaos_window_us; ++i) {
+      ChaosScenario::CrashEvent ev;
+      ev.machine = machine;
+      ev.at = at;
+      ev.outage_us = 4000 + rng.Below(4001);  // 4..8ms
+      s.crashes.push_back(ev);
+      at += ev.outage_us + 10'000 + rng.Below(25'001);
+    }
+  }
+  std::stable_sort(s.crashes.begin(), s.crashes.end(),
+                   [](const auto& a, const auto& b) { return a.at < b.at; });
+  s.reliable = true;
+  s.max_retries = 0;  // every outage revives; retransmit through it
+
+  if (permadeath) {
+    // One machine's death becomes permanent mid-window.  Its kill/restart
+    // cycles are dropped (a revival would resurrect the corpse); everyone
+    // else keeps cycling.  Retry budget: >= 16 retries at rto >= 1000us
+    // outlasts any 8ms cycle outage while still reaching the give-up verdict
+    // on frames into the corpse.
+    s.drop_probability = std::min(s.drop_probability, 0.08);
+    s.max_retries = static_cast<std::uint32_t>(16 + rng.Below(8));
+    s.migration_deadline_us = 60'000 + rng.Below(140'001);
+    ChaosScenario::DeathEvent death;
+    death.at = 20'000 + rng.Below(s.chaos_window_us - 20'000);
+    death.machine = static_cast<int>(rng.Below(machines));
+    s.deaths.push_back(death);
+    s.crashes.erase(std::remove_if(s.crashes.begin(), s.crashes.end(),
+                                   [&](const ChaosScenario::CrashEvent& ev) {
+                                     return ev.machine == death.machine;
+                                   }),
+                    s.crashes.end());
+  }
   return s;
 }
 
@@ -226,6 +298,8 @@ const char* ChaosFeatureName(ChaosFeature feature) {
       return "rpc";
     case ChaosFeature::kHalveMigrations:
       return "halve-migrations";
+    case ChaosFeature::kHalveCrashes:
+      return "halve-crashes";
     case ChaosFeature::kNone:
       break;
   }
@@ -236,7 +310,8 @@ ChaosFeature ChaosFeatureFromName(const std::string& name) {
   for (ChaosFeature f :
        {ChaosFeature::kCrashes, ChaosFeature::kDrop, ChaosFeature::kDuplicates,
         ChaosFeature::kJitter, ChaosFeature::kNotes, ChaosFeature::kCpuWorkload,
-        ChaosFeature::kRpcWorkload, ChaosFeature::kHalveMigrations}) {
+        ChaosFeature::kRpcWorkload, ChaosFeature::kHalveMigrations,
+        ChaosFeature::kHalveCrashes}) {
     if (name == ChaosFeatureName(f)) {
       return f;
     }
@@ -295,6 +370,13 @@ bool DisableFeature(ChaosScenario* scenario, ChaosFeature feature) {
         return false;
       }
       scenario->migrations.resize(scenario->migrations.size() / 2);
+      return true;
+    case ChaosFeature::kHalveCrashes:
+      // Keep the earliest half of the kill/restart schedule (time-sorted).
+      if (scenario->crashes.size() <= 1) {
+        return false;
+      }
+      scenario->crashes.resize(scenario->crashes.size() / 2);
       return true;
     case ChaosFeature::kNone:
       break;
@@ -599,6 +681,14 @@ ChaosResult RunScenario(const ChaosScenario& s, const ChaosOptions& options) {
       ++result.probe_rounds;
       const std::int64_t after =
           engine.TotalStat(stat::kMsgsForwarded) + engine.TotalStat(stat::kMsgsBounced);
+      if (std::getenv("CHAOS_DEBUG_CONVERGENCE") != nullptr) {
+        std::fprintf(stderr, "round %d: t=%lld fwd=%lld bounce=%lld parked=%lld gaveup=%lld\n",
+                     round, (long long)engine.kernel(0).queue().Now(),
+                     (long long)engine.TotalStat(stat::kMsgsForwarded),
+                     (long long)engine.TotalStat(stat::kMsgsBounced),
+                     (long long)engine.TotalStat(stat::kLocateRetries),
+                     (long long)engine.TotalStat(stat::kLocateGaveUp));
+      }
       converged = after == before;
     }
     result.converged = converged;
@@ -675,6 +765,17 @@ MinimizeResult MinimizeScenario(const ChaosScenario& failing, const ChaosOptions
     }
     result.scenario = candidate;
     ++result.halvings;
+  }
+  while (true) {
+    ChaosScenario candidate = result.scenario;
+    if (!DisableFeature(&candidate, ChaosFeature::kHalveCrashes)) {
+      break;
+    }
+    if (!still_fails(candidate)) {
+      break;
+    }
+    result.scenario = candidate;
+    ++result.crash_halvings;
   }
   return result;
 }

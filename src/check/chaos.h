@@ -119,6 +119,14 @@ ChaosScenario ScenarioFromSeed(std::uint64_t seed);
 // the suspect list, and the I8 liveness audit with dead-machine exemptions.
 ChaosScenario PermanentDeathScenarioFromSeed(std::uint64_t seed);
 
+// Churn variant: starts from ScenarioFromSeed(seed), then layers a migration
+// storm (a few hot victims absorb half the schedule, so long forwarding
+// chains actually form) and kill/restart cycles on most machines.  Exercises
+// chain collapse, forwarding-record reclamation under stale-peer churn, and
+// the gossip registry's version discipline.  With `permadeath` one machine's
+// death becomes permanent mid-window (composing `--churn --permadeath`).
+ChaosScenario ChurnScenarioFromSeed(std::uint64_t seed, bool permadeath = false);
+
 // Feature axes the minimizer (and --disable=) can turn off.
 enum class ChaosFeature {
   kCrashes,
@@ -129,6 +137,7 @@ enum class ChaosFeature {
   kCpuWorkload,
   kRpcWorkload,
   kHalveMigrations,
+  kHalveCrashes,
   kNone,
 };
 
@@ -190,8 +199,9 @@ ChaosResult RunScenario(const ChaosScenario& scenario, const ChaosOptions& optio
 struct MinimizeResult {
   ChaosScenario scenario;
   std::vector<ChaosFeature> disabled;
-  int halvings = 0;  // times the migration list was cut in half
-  int runs = 0;      // scenario executions spent minimizing
+  int halvings = 0;        // times the migration list was cut in half
+  int crash_halvings = 0;  // times the crash schedule was cut in half
+  int runs = 0;            // scenario executions spent minimizing
 };
 
 // Greedy shrink: try each disable-transform once (halving repeatedly), keep

@@ -151,6 +151,7 @@ void ClusterChecker::OnMessageForward(MachineId machine, const Message& msg, Mac
   auto it = tracked_.find(msg.trace_id);
   if (it != tracked_.end()) {
     it->second.last_dest = next;
+    it->second.last_hop = machine;
   }
 }
 
@@ -169,6 +170,7 @@ void ClusterChecker::OnPendingResend(MachineId machine, const Message& msg) {
   auto it = tracked_.find(msg.trace_id);
   if (it != tracked_.end()) {
     it->second.last_dest = msg.receiver.last_known_machine;
+    it->second.last_hop = machine;
   }
 }
 
@@ -318,10 +320,12 @@ void ClusterChecker::CheckExactlyOnce() {
       }
       // Permanent machine death excuses loss (never duplication): the send
       // originated on a machine that died with it queued, the message was
-      // last headed into a machine that died, or the receiver itself died
-      // with its machine.
+      // last headed into a machine that died, the intermediate that last
+      // forwarded it died before its outbound frame drained (a clogged
+      // retransmit window can hold a forwarded message for several rto
+      // periods), or the receiver itself died with its machine.
       if (MachineDead(st.origin) || MachineDead(st.last_dest) ||
-          dead_pids_.count(st.receiver) != 0) {
+          MachineDead(st.last_hop) || dead_pids_.count(st.receiver) != 0) {
         continue;
       }
       AddViolation("exactly-once", "msg " + Hex(trace_id) + " type " + std::to_string(st.type) +
@@ -405,7 +409,13 @@ void ClusterChecker::CheckLiveness() {
 
 void ClusterChecker::CheckForwardingChains() {
   const KernelConfig& kc = cluster_.kernel(0).config();
-  const bool expiry_legal = kc.forwarding_gc == KernelConfig::ForwardingGc::kExpireAfterTtl;
+  // Epoch reclamation removes addresses just like TTL expiry does, so chain
+  // completeness only holds where no reclaim actually happened.  Requiring
+  // evidence (kFwdReclaimed > 0) keeps the check sharp in runs where the
+  // sweeper never fired.
+  const bool expiry_legal =
+      kc.forwarding_gc == KernelConfig::ForwardingGc::kExpireAfterTtl ||
+      (kc.forwarding_reclaim_enabled && cluster_.TotalStat(stat::kFwdReclaimed) > 0);
   const int n = cluster_.size();
 
   // Walk from (machine, pid): returns the live host reached, or kNoMachine.
@@ -508,6 +518,118 @@ void ClusterChecker::CheckForwardingChains() {
   }
 }
 
+// I9: with collapse machinery on, no resting chain between live machines may
+// exceed max_chain_hops once the cluster settles.  Collapse-on-traversal
+// shortens chains that carry traffic and the per-migration rolling window
+// bounds idle ones, so a longer chain at quiescence means a collapse was
+// computed and then lost or mis-applied.
+void ClusterChecker::CheckChainBound() {
+  const KernelConfig& kc = cluster_.kernel(0).config();
+  if (kc.delivery_mode != KernelConfig::DeliveryMode::kForwarding || kc.max_chain_hops <= 0 ||
+      !kc.link_update_enabled) {
+    return;  // collapse disabled: chains grow one hop per migration, as in the paper
+  }
+  const int n = cluster_.size();
+  for (int m = 0; m < n; ++m) {
+    const MachineId mid = static_cast<MachineId>(m);
+    if (MachineDead(mid)) {
+      continue;
+    }
+    for (const auto& [pid, entry] : cluster_.kernel(mid).process_table().entries()) {
+      if (!entry.IsForwarding() || dead_pids_.count(pid) != 0) {
+        continue;
+      }
+      int hops = 1;
+      MachineId cur = entry.forward_to;
+      bool broken = false;
+      while (hops <= n) {
+        if (cur == kNoMachine || cur >= n || MachineDead(cur)) {
+          broken = true;  // crash or legal GC broke the chain; no bound applies
+          break;
+        }
+        const ProcessTable::Entry* next = cluster_.kernel(cur).process_table().FindEntry(pid);
+        if (next == nullptr) {
+          broken = true;
+          break;
+        }
+        if (!next->IsForwarding()) {
+          break;  // reached the live record in `hops` hops
+        }
+        cur = next->forward_to;
+        ++hops;
+      }
+      if (broken || hops > n) {
+        continue;  // dead-ends and cycles are I5's problem
+      }
+      if (hops > kc.max_chain_hops) {
+        AddViolation("chain-bound",
+                     "forwarding chain for " + pid.ToString() + " from m" + std::to_string(m) +
+                         " is " + std::to_string(hops) + " hops at quiescence (bound " +
+                         std::to_string(kc.max_chain_hops) + ")");
+        SuspectProcess(pid);
+      }
+    }
+  }
+}
+
+// I10: the forwarding-GC bookkeeping itself.  Three ways to drift: a record
+// the sweeper cannot see (leaks forever), bookkeeping without a record (the
+// fwd_records_live gauge drifts), and an eligible record a later sweep
+// skipped (reclamation stalled).
+void ClusterChecker::CheckReclaimMeta() {
+  const KernelConfig& kc = cluster_.kernel(0).config();
+  if (!kc.forwarding_reclaim_enabled) {
+    return;
+  }
+  for (int m = 0; m < cluster_.size(); ++m) {
+    const MachineId mid = static_cast<MachineId>(m);
+    if (MachineDead(mid)) {
+      continue;
+    }
+    Kernel& kernel = cluster_.kernel(mid);
+    const auto& meta_map = kernel.forwarding_meta();
+    const SimTime last_sweep = kernel.last_forwarding_sweep();
+    for (const auto& [pid, entry] : kernel.process_table().entries()) {
+      if (!entry.IsForwarding()) {
+        continue;
+      }
+      auto it = meta_map.find(pid);
+      if (it == meta_map.end()) {
+        AddViolation("reclaim-meta", "forwarding record for " + pid.ToString() + " on m" +
+                                         std::to_string(m) +
+                                         " has no GC bookkeeping: invisible to reclamation");
+        SuspectProcess(pid);
+        continue;
+      }
+      const Kernel::ForwardingMeta& meta = it->second;
+      // Earliest virtual time the sweeper was obliged to reclaim the record:
+      // grace after the peer set drained, or the epoch watermark, whichever
+      // came first.  A sweep strictly after that is a skipped reclamation.
+      SimTime eligible = meta.installed_at + kc.reclaim_watermark_us;
+      if (meta.peers.empty()) {
+        const SimTime drained = std::max(meta.installed_at, meta.peers_emptied_at);
+        eligible = std::min(eligible, drained + kc.reclaim_grace_us);
+      }
+      if (last_sweep > eligible) {
+        AddViolation("reclaim-meta",
+                     "forwarding record for " + pid.ToString() + " on m" + std::to_string(m) +
+                         " was reclaim-eligible at t=" + std::to_string(eligible) +
+                         " but survived a sweep at t=" + std::to_string(last_sweep));
+        SuspectProcess(pid);
+      }
+    }
+    for (const auto& [pid, meta] : meta_map) {
+      const ProcessTable::Entry* entry = kernel.process_table().FindEntry(pid);
+      if (entry == nullptr || !entry->IsForwarding()) {
+        AddViolation("reclaim-meta", "GC bookkeeping for " + pid.ToString() + " on m" +
+                                         std::to_string(m) +
+                                         " has no forwarding record: fwd_records_live drifts");
+        SuspectProcess(pid);
+      }
+    }
+  }
+}
+
 void ClusterChecker::CheckMemoryAccounting() {
   for (int m = 0; m < cluster_.size(); ++m) {
     if (MachineDead(static_cast<MachineId>(m))) {
@@ -544,6 +666,12 @@ std::vector<Violation> ClusterChecker::CheckAtQuiescence() {
     }
     if (config_.check_forwarding_chains) {
       CheckForwardingChains();
+    }
+    if (config_.check_chain_bound) {
+      CheckChainBound();
+    }
+    if (config_.check_reclaim_meta) {
+      CheckReclaimMeta();
     }
     if (config_.check_memory_accounting) {
       CheckMemoryAccounting();

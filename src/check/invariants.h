@@ -36,6 +36,17 @@
 //                     armed, every partner failure must resolve to rollback,
 //                     reap, or adopt; a process frozen forever is a liveness
 //                     bug even though no message was lost.
+//   I9 chain-bound    with chain collapse on (max_chain_hops > 0 and link
+//                     updates enabled), no resting forwarding chain between
+//                     live machines exceeds max_chain_hops at quiescence.
+//                     Chains broken by a dead machine or by legal GC carry no
+//                     bound (the collapse traffic died with the crash).
+//   I10 reclaim-meta  forwarding-GC bookkeeping discipline: every live
+//                     forwarding record has a peer-set entry (a record the
+//                     sweeper cannot see is a leak), no bookkeeping outlives
+//                     its record (the fwd_records_live gauge would drift),
+//                     and no record whose peer set drained survives a sweep
+//                     that ran after its grace window closed.
 //
 // Machines that crash permanently and never revive are declared with
 // MarkMachineDead() before the audit.  Dead machines are exempt from the
@@ -79,6 +90,8 @@ struct CheckerConfig {
   bool check_section_integrity = true;
   bool check_memory_accounting = true;
   bool check_liveness = true;
+  bool check_chain_bound = true;
+  bool check_reclaim_meta = true;
 };
 
 // FNV-1a, the hash used for section fingerprints and path signatures.
@@ -146,6 +159,7 @@ class ClusterChecker : public KernelObserver {
     std::uint32_t bounces = 0;
     MachineId origin = kNoMachine;     // machine the send happened on
     MachineId last_dest = kNoMachine;  // last machine the message headed for
+    MachineId last_hop = kNoMachine;   // last machine that handled (forwarded) it
   };
 
   struct PairKey {
@@ -189,6 +203,8 @@ class ClusterChecker : public KernelObserver {
   void CheckOwnership();
   void CheckLiveness();
   void CheckForwardingChains();
+  void CheckChainBound();
+  void CheckReclaimMeta();
   void CheckMemoryAccounting();
 
   Engine& cluster_;

@@ -21,6 +21,12 @@ Status KernelContext::SendOnLink(const Link& link, MsgType type, PayloadRef payl
   if (!link.address.valid()) {
     return InvalidArgumentError("send over an invalid link");
   }
+  // Negative cache: if a locate already gave up on this pid, answer with the
+  // same kNotDeliverable verdict locally instead of repeating the whole
+  // bounce/locate cycle on the wire.
+  if (kernel_.RefuseSendToDead(self(), link.address, type)) {
+    return OkStatus();
+  }
   if (link.address.last_known_machine != kernel_.machine()) {
     record_.remote_sends[link.address.last_known_machine]++;
   }

@@ -16,6 +16,9 @@ EngineObservability MakeObservability(const EngineConfig& core) {
 KernelConfig DeriveKernelConfig(const EngineConfig& core, int machine) {
   KernelConfig kc = core.kernel;
   kc.seed = core.kernel.seed + static_cast<std::uint64_t>(machine);
+  if (kc.cluster_machines == 0) {
+    kc.cluster_machines = core.machines;  // membership hint for locate probes
+  }
   return kc;
 }
 

@@ -86,12 +86,19 @@ void Kernel::StartProgram(ProcessRecord& record) {
   });
 }
 
-void Kernel::UpdateLocation(const ProcessId& pid, MachineId where, std::uint64_t version) {
+bool Kernel::UpdateLocation(const ProcessId& pid, MachineId where, std::uint64_t version) {
   LocationEntry& entry = location_registry_[pid];
-  if (version >= entry.version) {
+  const bool advanced =
+      version > entry.version || (version == entry.version && entry.where != where);
+  if (advanced) {
     entry.where = where;
     entry.version = version;
+    // updated_at moves only on a real advance: duplicate rumors (gossip
+    // anti-entropy echoes the same triple for a while) must not keep a
+    // tombstone eternally young, or the watermark GC never fires.
+    entry.updated_at = queue_.Now();
   }
+  return advanced;
 }
 
 void Kernel::FinalizeExit(const ProcessId& pid) {
@@ -103,10 +110,11 @@ void Kernel::FinalizeExit(const ProcessId& pid) {
 
   // Retire the home registry entry so locate fallbacks report death promptly.
   // Tombstone rather than erase: a delayed kLocationRegister from an earlier
-  // migration must not re-create a stale entry for a dead pid.
-  if (pid.creating_machine == machine_) {
-    UpdateLocation(pid, kNoMachine, ~std::uint64_t{0});
-  } else {
+  // migration must not re-create a stale entry for a dead pid.  The tombstone
+  // is also rumored (NoteLocationAdvance) so peers learn of the death even if
+  // the creating machine never comes back.
+  NoteLocationAdvance(pid, kNoMachine, ~std::uint64_t{0});
+  if (pid.creating_machine != machine_) {
     ByteWriter w;
     w.Pid(pid);
     w.U16(kNoMachine);
@@ -202,6 +210,12 @@ void Kernel::SetHalted(bool halted) {
       OnWireDelivery(src, std::move(wire));
     }
   }
+  if (!halted) {
+    // Any locate probe chain that fired during the outage died silently
+    // (LocateRetryFired drops while halted), which would leave its parked
+    // messages orphaned forever.  Restart a fresh chain per parked pid.
+    ReprobeParkedLocates();
+  }
 }
 
 void Kernel::OnWireDelivery(MachineId wire_src, PayloadRef wire) {
@@ -221,6 +235,7 @@ void Kernel::OnWireDelivery(MachineId wire_src, PayloadRef wire) {
   if (!suspects_.empty()) {
     suspects_.erase(wire_src);
   }
+  NoteKnownPeer(wire_src);  // gossip / locate-probe candidate
   Result<Message> msg = Message::Deserialize(std::move(wire));
   if (!msg.ok()) {
     DEMOS_LOG(kError, "kernel") << "m" << machine_ << ": malformed wire message from m"
@@ -231,21 +246,18 @@ void Kernel::OnWireDelivery(MachineId wire_src, PayloadRef wire) {
 }
 
 void Kernel::RouteIncoming(Message msg, MachineId wire_src) {
-  // Amortized TTL sweep: expiry is otherwise lazy (checked when a forwarding
-  // address is used), which would never collect records nobody writes to.
-  if (config_.forwarding_gc == KernelConfig::ForwardingGc::kExpireAfterTtl &&
-      ++routes_since_sweep_ >= 64) {
+  // Amortized addressing-state sweep: TTL expiry, epoch reclamation of
+  // forwarding records, and registry-tombstone GC are all lazy (checked when
+  // traffic flows), which keeps them off any timer and free at quiescence.
+  if (++routes_since_sweep_ >= 64) {
     routes_since_sweep_ = 0;
-    auto& entries = processes_.mutable_entries();
-    for (auto it = entries.begin(); it != entries.end();) {
-      if (it->second.IsForwarding() &&
-          queue_.Now() - it->second.installed_at > config_.forwarding_ttl_us) {
-        stats_.Add("forwarding_expired");
-        it = entries.erase(it);
-      } else {
-        ++it;
-      }
-    }
+    SweepAddressingState();
+  }
+  // Deferred gossip: rumors that were rate-limited at note time ride the next
+  // routed message once the flush interval has passed.
+  if (!pending_rumors_.empty() &&
+      queue_.Now() - last_gossip_flush_ >= config_.gossip_interval_us) {
+    FlushGossip();
   }
 
   if (IsKernelPid(msg.receiver.pid)) {
@@ -264,6 +276,7 @@ void Kernel::RouteIncoming(Message msg, MachineId wire_src) {
       // TTL garbage collection (Sec. 4 future work): drop the aged address
       // and let the locate fallback below find the process.
       stats_.Add("forwarding_expired");
+      DropForwardingMeta(msg.receiver.pid);
       processes_.Erase(msg.receiver.pid);
       HandleAbsentReceiver(std::move(msg), wire_src);
       return;
@@ -298,9 +311,39 @@ void Kernel::EnqueueLocal(ProcessRecord& record, Message msg) {
 }
 
 void Kernel::DeliverToProcess(ProcessRecord& record, Message msg) {
+  if (msg.type == MsgType::kNotDeliverable &&
+      (config_.gossip_enabled || config_.forwarding_reclaim_enabled)) {
+    // A death verdict is reaching a local process: negative-cache it so the
+    // next send to the same pid is refused at the source instead of re-running
+    // the bounce/locate cycle.  The marker (kNoMachine, version 0) is weaker
+    // than a real tombstone -- any genuine location news overrides it -- and
+    // it ages out with the rest of the epoch state.
+    ByteReader r(msg.payload);
+    (void)r.U16();  // original message type
+    const ProcessId dead = r.Pid();
+    // The verdict outranks a live hint here: the routing layer only reports
+    // kNotDeliverable after that hint (and a full locate) failed.  A hard
+    // tombstone already says more, so leave it alone.
+    auto rit = location_registry_.find(dead);
+    const bool hard_tombstone = rit != location_registry_.end() &&
+                                rit->second.where == kNoMachine &&
+                                rit->second.version == ~std::uint64_t{0};
+    if (r.ok() && dead.valid() && processes_.Find(dead) == nullptr && !hard_tombstone) {
+      LocationEntry& entry = location_registry_[dead];
+      entry.where = kNoMachine;
+      entry.version = 0;
+      entry.updated_at = queue_.Now();
+    }
+  }
   stats_.Add(stat::kMsgsDelivered);
   if (msg.hop_count > 0) {
     stats_.Record(stat::kForwardHops, static_cast<double>(msg.hop_count));
+  }
+  if (msg.via_count >= 2) {
+    // The message crossed two or more forwarding records to get here: tell
+    // every intermediate machine to re-point straight at us (Sec. 4 chains
+    // collapse to length one under traffic).
+    EmitChainCollapse(msg);
   }
   TraceMessage(trace::kMsgDeliver, msg, msg.hop_count);
   EnqueueLocal(record, std::move(msg));
@@ -350,6 +393,15 @@ void Kernel::HandleKernelMessage(Message msg, MachineId wire_src) {
       return;
     case MsgType::kForwardingClear:
       HandleForwardingClear(msg);
+      return;
+    case MsgType::kChainCollapse:
+      HandleChainCollapse(msg);
+      return;
+    case MsgType::kLinkUpdateAck:
+      HandleLinkUpdateAck(msg);
+      return;
+    case MsgType::kGossip:
+      HandleGossip(msg);
       return;
     case MsgType::kCreateProcess:
       HandleCreateProcess(msg);
@@ -907,8 +959,9 @@ Status Kernel::AdoptProcess(const ProcessCheckpoint& checkpoint) {
   }
   memory_used_ += record->memory.TotalSize();
 
+  DropForwardingMeta(checkpoint.pid);  // adopting over our own stale record
   ProcessRecord* raw = processes_.Insert(std::move(record));
-  UpdateLocation(raw->pid, machine_, raw->migration_history.size());
+  NoteLocationAdvance(raw->pid, machine_, raw->migration_history.size());
   for (const TimerEntry& timer : raw->timers) {
     ArmTimer(*raw, timer);
   }

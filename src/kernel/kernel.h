@@ -72,6 +72,60 @@ struct KernelConfig {
   ForwardingGc forwarding_gc = ForwardingGc::kKeepForever;
   SimDuration forwarding_ttl_us = 10'000'000;
 
+  // ---- Churn-proof addressing (forwarding GC, chain collapse, gossip). ----
+
+  // Resting bound on forwarding-chain length.  Collapse-on-traversal keeps
+  // chains short under traffic (any delivery that crossed >= 2 records
+  // re-points every intermediate at the final owner); this bound is enforced
+  // even for idle chains: when a migration would make the resting chain reach
+  // max_chain_hops, the source collapses the oldest hop immediately.  <= 0
+  // disables both (chains grow one record per migration, as in the paper).
+  int max_chain_hops = 4;
+
+  // Epoch-based reclamation of forwarding records and registry tombstones.
+  // Each record tracks the peers that may still hold stale links (seeded from
+  // the pending-queue senders at migration time, grown by forwarded traffic);
+  // link-update acks retire peers.  A traffic-amortized sweeper reclaims a
+  // record once its peer set drains and it is older than the grace window, or
+  // unconditionally once it ages past the churn-epoch watermark; a hard cap
+  // with LRU eviction bounds memory even when acks are lost.  Orthogonal to
+  // forwarding_gc (which stays as the paper-era policy knob): reclamation
+  // runs in every mode except when disabled here.
+  bool forwarding_reclaim_enabled = true;
+  SimDuration reclaim_grace_us = 2'000'000;
+  SimDuration reclaim_watermark_us = 30'000'000;
+  std::size_t forwarding_record_cap = 4096;
+  std::size_t tombstone_cap = 8192;
+
+  // Epidemic location service: kernels push (pid, machine, migration-version)
+  // triples to gossip_fanout random known peers whenever their own registry
+  // advances, and piggyback up to gossip_max_triples additional registry
+  // entries per push as anti-entropy.  Pushes are rate-limited to one flush
+  // per gossip_interval_us per kernel (deferred rumors flush on the next
+  // routed message), and a triple is only re-rumored by a kernel whose
+  // registry it advanced -- so gossip quiesces once every reachable kernel
+  // has converged, and no standing timers are armed.
+  bool gossip_enabled = true;
+  int gossip_fanout = 2;
+  SimDuration gossip_interval_us = 20'000;
+  std::size_t gossip_max_triples = 16;
+
+  // Locate-probe retry/backoff.  The first probes target the creating
+  // machine; subsequent attempts rotate over non-suspect known peers (any
+  // kernel answers kLocateReq from its gossip-fed registry), with jittered
+  // exponential backoff per attempt.  After locate_max_attempts the parked
+  // messages are bounced to their senders (graceful degradation when every
+  // known holder is suspect or dead).  <= 1 restores the old single-probe
+  // behavior.
+  std::uint32_t locate_max_attempts = 8;
+  SimDuration locate_retry_base_us = 4'000;
+
+  // Cluster size hint (machine ids are dense [0, cluster_machines)); filled
+  // by both engines via DeriveKernelConfig.  Lets locate probes fall back to
+  // rotating over the whole membership when gossip has not yet introduced
+  // the holder.  0 = unknown (probe only known peers).
+  int cluster_machines = 0;
+
   // Move-data facility chunk size (Sec. 6: "larger packets ... increasing
   // effective network throughput").
   std::size_t data_packet_bytes = 1024;
@@ -196,6 +250,43 @@ class Kernel {
     auto it = location_registry_.find(pid);
     return it == location_registry_.end() ? kNoMachine : it->second.where;
   }
+
+  // ---- Forwarding-record GC introspection (ClusterChecker I10, tests). ----
+  // Unresolved-peer bookkeeping for one live forwarding record.
+  struct ForwardingMeta {
+    std::vector<MachineId> peers;  // machines that may still hold stale links
+    SimTime installed_at = 0;
+    SimTime last_used = 0;
+    // When the peer set last became empty (0 = currently non-empty).  The
+    // grace window runs from max(installed_at, peers_emptied_at); I10 uses it
+    // to tell "legitimately waiting for the next sweep" from "sweeper skipped
+    // an eligible record".
+    SimTime peers_emptied_at = 0;
+    bool HasPeer(MachineId m) const {
+      for (MachineId p : peers) {
+        if (p == m) {
+          return true;
+        }
+      }
+      return false;
+    }
+  };
+  const std::unordered_map<ProcessId, ForwardingMeta, ProcessIdHash>& forwarding_meta() const {
+    return fwd_meta_;
+  }
+  // Virtual time of the last completed reclamation sweep (0 = never swept).
+  SimTime last_forwarding_sweep() const { return last_forwarding_sweep_; }
+  // Registry introspection for the tombstone GC tests.
+  std::size_t location_registry_size() const { return location_registry_.size(); }
+  bool HasLocationTombstone(const ProcessId& pid) const {
+    auto it = location_registry_.find(pid);
+    return it != location_registry_.end() && it->second.where == kNoMachine;
+  }
+  // Negative-cache check for process sends: true when this kernel has a
+  // death verdict (hard tombstone or a locate-gave-up marker) for the pid and
+  // the send was answered locally with kNotDeliverable instead of burning
+  // network traffic on an address nobody can resolve.
+  bool RefuseSendToDead(const ProcessAddress& sender, const ProcessAddress& to, MsgType type);
   std::uint64_t memory_used() const { return memory_used_; }
   std::size_t ready_count() const;
   std::uint64_t cpu_busy_us() const { return cpu_busy_us_; }
@@ -242,9 +333,10 @@ class Kernel {
   // Reconstruct a process from a checkpoint on THIS kernel and restart it.
   Status AdoptProcess(const ProcessCheckpoint& checkpoint);
 
-  // Install a forwarding address (test / recovery helper).
+  // Install a forwarding address (test / recovery helper).  Goes through the
+  // full install path so the record carries GC bookkeeping (I10).
   void ForceForwardingAddress(const ProcessId& pid, MachineId machine) {
-    processes_.InstallForwardingAddress(pid, machine);
+    InstallForwardingRecord(pid, machine, 0, {});
   }
 
   // Dead-peer suspicion (fed by ReliableTransport give-ups and migration
@@ -379,6 +471,39 @@ class Kernel {
   void SendLinkUpdate(const ProcessAddress& original_sender, const ProcessId& migrated,
                       MachineId new_machine);
 
+  // ---- Churn-proof addressing (migration.cc). ----
+  // Chain collapse: on delivering a message that traversed >= 2 forwarding
+  // records, tell every intermediate machine to re-point straight at us.
+  void EmitChainCollapse(const Message& msg);
+  void SendChainCollapse(MachineId to, const ProcessId& pid, MachineId owner,
+                         std::uint64_t version);
+  void HandleChainCollapse(const Message& msg);
+  void HandleLinkUpdateAck(const Message& msg);
+  // Epoch reclamation: centralized install/erase so fwd_records_live stays
+  // exact, plus the traffic-amortized sweeper (forwarding records, registry
+  // tombstones, hard caps).
+  void InstallForwardingRecord(const ProcessId& pid, MachineId machine, std::uint64_t version,
+                               std::vector<MachineId> peers);
+  void ReclaimForwardingRecord(const ProcessId& pid);
+  // Drop GC bookkeeping for a record removed by a non-sweeper path (TTL
+  // expiry, explicit clear, the process moving back onto this machine).
+  void DropForwardingMeta(const ProcessId& pid);
+  void NoteForwardingPeer(const ProcessId& pid, MachineId peer);
+  void SweepAddressingState();
+  // Epidemic location service.
+  bool NoteLocationAdvance(const ProcessId& pid, MachineId where, std::uint64_t version);
+  void FlushGossip();
+  void HandleGossip(const Message& msg);
+  // Locate retry/backoff.
+  void ParkForLocate(const ProcessId& pid, Message msg);
+  MachineId PickLocateTarget(std::uint32_t attempt, const ProcessId& pid);
+  void ArmLocateRetry(const ProcessId& pid, std::uint32_t generation);
+  void LocateRetryFired(const ProcessId& pid, std::uint32_t generation);
+  void ResolveParkedLocate(const ProcessId& pid, MachineId where);
+  void BounceParkedLocate(const ProcessId& pid);
+  // Restart probe chains after a revival (chains die silently while halted).
+  void ReprobeParkedLocates();
+
   // Kernel service messages (kernel.cc).
   void HandleCreateProcess(const Message& msg);
 
@@ -462,10 +587,40 @@ class Kernel {
   struct LocationEntry {
     MachineId where = kNoMachine;
     std::uint64_t version = 0;
+    SimTime updated_at = 0;  // for tombstone reclamation + registry cap
   };
-  void UpdateLocation(const ProcessId& pid, MachineId where, std::uint64_t version);
+  // Returns true when the entry advanced (new pid or newer version).
+  bool UpdateLocation(const ProcessId& pid, MachineId where, std::uint64_t version);
   std::unordered_map<ProcessId, LocationEntry, ProcessIdHash> location_registry_;
-  std::unordered_map<ProcessId, std::vector<Message>, ProcessIdHash> parked_for_locate_;
+  // Messages parked awaiting a kLocateResp, with retry/backoff bookkeeping.
+  // `generation` invalidates scheduled retry events once the park resolves.
+  struct ParkedLocate {
+    std::vector<Message> msgs;
+    std::uint32_t attempts = 0;
+    std::uint32_t generation = 0;
+  };
+  std::unordered_map<ProcessId, ParkedLocate, ProcessIdHash> parked_for_locate_;
+
+  // ---- Churn-proof addressing state. ----
+  // Per-forwarding-record unresolved peers (see KernelConfig reclamation).
+  std::unordered_map<ProcessId, ForwardingMeta, ProcessIdHash> fwd_meta_;
+  SimTime last_forwarding_sweep_ = 0;
+  SimTime last_gossip_flush_ = 0;
+  // Registry entries advanced locally (or by gossip) and not yet pushed.
+  std::unordered_map<ProcessId, LocationEntry, ProcessIdHash> pending_rumors_;
+  // Machines this kernel has heard from (wire deliveries); gossip targets.
+  std::vector<MachineId> known_peers_;
+  void NoteKnownPeer(MachineId peer) {
+    if (peer == machine_ || peer == kNoMachine) {
+      return;
+    }
+    for (MachineId p : known_peers_) {
+      if (p == peer) {
+        return;
+      }
+    }
+    known_peers_.push_back(peer);
+  }
 
   // Load reporting.
   ProcessAddress load_collector_;

@@ -46,6 +46,12 @@ const char* MsgTypeName(MsgType t) {
       return "LOCATION_REGISTER";
     case MsgType::kForwardingClear:
       return "FORWARDING_CLEAR";
+    case MsgType::kChainCollapse:
+      return "CHAIN_COLLAPSE";
+    case MsgType::kLinkUpdateAck:
+      return "LINK_UPDATE_ACK";
+    case MsgType::kGossip:
+      return "GOSSIP";
     case MsgType::kSuspendProcess:
       return "SUSPEND_PROCESS";
     case MsgType::kResumeProcess:
@@ -70,16 +76,19 @@ const char* MsgTypeName(MsgType t) {
 namespace {
 
 // Fixed byte offsets of the mutable header fields within a wire frame.  Only
-// these three change between forwarding hops, so a reused frame is patched at
-// these offsets instead of being re-encoded.
+// the hop-mutable fields (receiver machine, hop count, via path, trace id)
+// change between forwarding hops, so a reused frame is patched at these
+// offsets instead of being re-encoded.
 constexpr std::size_t kOffReceiverMachine = 8;
 constexpr std::size_t kOffReceiverPid = 10;
 constexpr std::size_t kOffFlags = 16;
 constexpr std::size_t kOffType = 17;
 constexpr std::size_t kOffHopCount = 19;
 constexpr std::size_t kOffTraceId = 20;
-constexpr std::size_t kOffLinkCount = 28;
-constexpr std::size_t kOffLinks = 29;
+constexpr std::size_t kOffViaCount = 28;
+constexpr std::size_t kOffVia = 29;  // Message::kMaxViaSlots x u16
+constexpr std::size_t kOffLinkCount = kOffVia + Message::kMaxViaSlots * 2;
+constexpr std::size_t kOffLinks = kOffLinkCount + 1;
 
 std::uint16_t GetLE16(const std::uint8_t* p) {
   return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
@@ -111,6 +120,10 @@ Bytes Message::Serialize() const {
   w.U16(static_cast<std::uint16_t>(type));
   w.U8(hop_count);
   w.U64(trace_id);
+  w.U8(via_count);
+  for (std::size_t i = 0; i < kMaxViaSlots; ++i) {
+    w.U16(via[i]);
+  }
   w.U8(static_cast<std::uint8_t>(carried_links.size()));
   for (const Link& link : carried_links) {
     link.Serialize(w);
@@ -169,6 +182,10 @@ PayloadRef Message::Frame() {
   PutLE16(base + kOffReceiverMachine, receiver.last_known_machine);
   base[kOffHopCount] = hop_count;
   PutLE64(base + kOffTraceId, trace_id);
+  base[kOffViaCount] = via_count;
+  for (std::size_t i = 0; i < kMaxViaSlots; ++i) {
+    PutLE16(base + kOffVia + i * 2, via[i]);
+  }
   payload = wire_.Slice(payload_off_, wire_.size() - payload_off_);
   return wire_;
 }
@@ -182,6 +199,10 @@ Result<MessageView> MessageView::Parse(PayloadRef frame) {
   v.type_ = static_cast<MsgType>(r.U16());
   v.hop_count_ = r.U8();
   v.trace_id_ = r.U64();
+  v.via_count_ = r.U8();
+  for (std::size_t i = 0; i < Message::kMaxViaSlots; ++i) {
+    v.via_[i] = r.U16();
+  }
   const std::uint8_t n_links = r.U8();
   v.links_.reserve(n_links);
   for (std::uint8_t i = 0; i < n_links && r.ok(); ++i) {
@@ -205,6 +226,10 @@ Message MessageView::ToMessage() const {
   m.flags = flags_;
   m.type = type_;
   m.hop_count = hop_count_;
+  m.via_count = via_count_;
+  for (std::size_t i = 0; i < Message::kMaxViaSlots; ++i) {
+    m.via[i] = via_[i];
+  }
   m.trace_id = trace_id_;
   m.carried_links = links_;
   m.payload = payload();
@@ -223,8 +248,8 @@ Result<Message> Message::Deserialize(PayloadRef wire) {
 
 std::size_t Message::WireHeaderSize() {
   // sender(8) + receiver(8) + flags(1) + type(2) + hops(1) + trace id(8) +
-  // nlinks(1) + payload length prefix(4).
-  return 8 + 8 + 1 + 2 + 1 + 8 + 1 + 4;
+  // via count(1) + via slots(4x2) + nlinks(1) + payload length prefix(4).
+  return 8 + 8 + 1 + 2 + 1 + 8 + 1 + kMaxViaSlots * 2 + 1 + 4;
 }
 
 std::string Message::ToString() const {

@@ -55,6 +55,9 @@ enum class MsgType : std::uint16_t {
   kLocateResp = 35,
   kLocationRegister = 36,  // baseline: destination registers new location at home kernel
   kForwardingClear = 37,   // GC extension: drop the forwarding address for a dead pid
+  kChainCollapse = 38,     // owner -> intermediate hops: re-point forwarding straight at me
+  kLinkUpdateAck = 39,     // link-update receiver -> forwarder: peer retired, record may GC
+  kGossip = 40,            // kernel -> kernel: epidemic (pid, machine, version) triples
 
   // ---- Process control (DELIVERTOKERNEL, Sec. 2.2). ----
   kSuspendProcess = 48,
@@ -105,6 +108,25 @@ struct Message {
   // Number of times this message has transited a forwarding address; used by
   // the E4/E9 benches to measure forwarding-chain lengths.
   std::uint8_t hop_count = 0;
+
+  // Via path: the machines whose forwarding records this message traversed,
+  // in traversal order (first kMaxViaSlots retained; via_count keeps the true
+  // traversal count).  The final owner uses it to collapse multi-hop chains:
+  // a delivery with via_count >= 2 sends each via machine a kChainCollapse so
+  // the whole chain re-points at the owner in one step.
+  static constexpr std::size_t kMaxViaSlots = 4;
+  std::uint8_t via_count = 0;
+  std::uint16_t via[kMaxViaSlots] = {};
+
+  // Record a forwarding-hop transit through machine `m`.
+  void RecordVia(MachineId m) {
+    if (via_count < kMaxViaSlots) {
+      via[via_count] = m;
+    }
+    if (via_count < 255) {
+      ++via_count;
+    }
+  }
 
   // Lifecycle correlation id for the src/obs tracer: stamped by the first
   // kernel to Transmit the message (when tracing is enabled; 0 otherwise)
@@ -162,6 +184,8 @@ class MessageView {
   std::uint8_t flags() const { return flags_; }
   MsgType type() const { return type_; }
   std::uint8_t hop_count() const { return hop_count_; }
+  std::uint8_t via_count() const { return via_count_; }
+  std::uint16_t via(std::size_t i) const { return via_[i]; }
   std::uint64_t trace_id() const { return trace_id_; }
   const std::vector<Link>& carried_links() const { return links_; }
   bool deliver_to_kernel() const { return (flags_ & kLinkDeliverToKernel) != 0; }
@@ -181,6 +205,8 @@ class MessageView {
   std::uint8_t flags_ = kLinkNone;
   MsgType type_ = MsgType::kInvalid;
   std::uint8_t hop_count_ = 0;
+  std::uint8_t via_count_ = 0;
+  std::uint16_t via_[Message::kMaxViaSlots] = {};
   std::uint64_t trace_id_ = 0;
   std::vector<Link> links_;
   std::size_t payload_off_ = 0;

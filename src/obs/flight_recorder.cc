@@ -51,6 +51,14 @@ const char* FrEventName(FrEvent e) {
       return "invariant_fail";
     case FrEvent::kLbtsWindow:
       return "lbts_window";
+    case FrEvent::kChainCollapse:
+      return "chain_collapse";
+    case FrEvent::kFwdReclaim:
+      return "fwd_reclaim";
+    case FrEvent::kGossip:
+      return "gossip";
+    case FrEvent::kLocateRetry:
+      return "locate_retry";
   }
   return "unknown";
 }

@@ -65,6 +65,11 @@ enum class FrEvent : std::uint16_t {
   kInvariantFail,    // a = violation count
   // Conservative virtual-time sync (coordinator slot).
   kLbtsWindow,       // a = epoch, b = new bound (virtual us)
+  // Churn-proof addressing (forwarding GC, chain collapse, gossip).
+  kChainCollapse,    // a = via machine notified, b = pid serial
+  kFwdReclaim,       // a = records reclaimed this sweep, b = tombstones reclaimed
+  kGossip,           // a = peer machine, b = triples carried
+  kLocateRetry,      // a = probe target machine, b = attempt number
 };
 
 // Sub-codes for kMigrationPhase/kWatchdogFired `a` operands: which edge of

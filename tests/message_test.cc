@@ -120,6 +120,32 @@ TEST(MessageTest, ManyCarriedLinksRoundTrip) {
   EXPECT_EQ(back->carried_links[19].address.pid.local_id, 20u);
 }
 
+TEST(MessageTest, ViaPathRoundTrips) {
+  Message m = SampleMessage();
+  m.RecordVia(3);
+  m.RecordVia(7);
+  Result<Message> back = Message::Deserialize(m.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->via_count, 2);
+  EXPECT_EQ(back->via[0], 3);
+  EXPECT_EQ(back->via[1], 7);
+}
+
+TEST(MessageTest, ViaPathSaturatesSlotsButKeepsTrueCount) {
+  // A chain longer than kMaxViaSlots keeps the first hops (the ones worth
+  // collapsing -- they are the stalest) and the true traversal count.
+  Message m = SampleMessage();
+  for (std::uint16_t i = 0; i < 6; ++i) {
+    m.RecordVia(static_cast<MachineId>(i));
+  }
+  Result<Message> back = Message::Deserialize(m.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->via_count, 6);
+  for (std::size_t i = 0; i < Message::kMaxViaSlots; ++i) {
+    EXPECT_EQ(back->via[i], i);
+  }
+}
+
 // --- MessageView: in-place header decoding over a shared frame. ---
 
 TEST(MessageViewTest, ParseAliasesTheFrameBuffer) {
@@ -202,6 +228,27 @@ TEST(MessageFrameTest, PatchingCopiesWhenFrameIsShared) {
   Result<Message> old_frame = Message::Deserialize(retransmit_copy);
   ASSERT_TRUE(old_frame.ok());
   EXPECT_EQ(old_frame->receiver.last_known_machine, m.receiver.last_known_machine);
+}
+
+TEST(MessageFrameTest, ViaPathPatchesInPlaceOnForward) {
+  // Forwarding appends a via hop; like receiver machine and hop count, it is
+  // a hop-mutable header field patched into the owned frame, not a cause for
+  // re-serialization.
+  PayloadRef frame;
+  {
+    Message m = SampleMessage();
+    frame = m.Frame();
+  }
+  Result<Message> received = Message::Deserialize(std::move(frame));
+  ASSERT_TRUE(received.ok());
+  received->RecordVia(4);
+  PayloadCounters::Reset();
+  PayloadRef forwarded = received->Frame();
+  EXPECT_EQ(PayloadCounters::allocations, 0u);
+  Result<Message> at_dest = Message::Deserialize(forwarded);
+  ASSERT_TRUE(at_dest.ok());
+  EXPECT_EQ(at_dest->via_count, 1);
+  EXPECT_EQ(at_dest->via[0], 4);
 }
 
 TEST(MessageFrameTest, MutatedPayloadForcesReserialize) {

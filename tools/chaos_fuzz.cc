@@ -13,6 +13,10 @@
 //   chaos_fuzz --disable=crashes,drop  mask feature axes (replay aid)
 //   chaos_fuzz --seeds=50 --permadeath permanent machine-death scenarios
 //                                      (migration watchdogs armed, I8 audit)
+//   chaos_fuzz --seeds=50 --churn      migration storms + kill/restart
+//                                      cycles (forwarding GC, chain collapse,
+//                                      gossip under churn); composes with
+//                                      --permadeath
 //   chaos_fuzz --seeds=50 --engine=parallel  run scenarios on the parallel
 //                                      engine (one thread per kernel, under
 //                                      conservative virtual-time sync)
@@ -41,6 +45,7 @@ struct Options {
   bool minimize = false;
   bool verbose = false;
   bool permadeath = false;
+  bool churn = false;
   demos::ChaosEngineKind engine = demos::ChaosEngineKind::kSequential;
   std::string trace_out;
   std::string artifacts_dir;
@@ -113,6 +118,8 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
       }
     } else if (arg == "--permadeath") {
       opts->permadeath = true;
+    } else if (arg == "--churn") {
+      opts->churn = true;
     } else if (arg == "--minimize") {
       opts->minimize = true;
     } else if (arg == "--verbose" || arg == "-v") {
@@ -131,10 +138,11 @@ void PrintUsage() {
   std::fprintf(stderr,
                "usage: chaos_fuzz (--seed=N | --seeds=K [--start=S])\n"
                "                  [--engine=sequential|parallel]\n"
-               "                  [--permadeath] [--minimize] [--verbose]\n"
+               "                  [--permadeath] [--churn] [--minimize] [--verbose]\n"
                "                  [--trace-out=PATH] [--artifacts-dir=DIR]\n"
                "                  [--disable=f1,f2,...]\n"
-               "features: crashes drop dup jitter notes cpu rpc halve-migrations\n");
+               "features: crashes drop dup jitter notes cpu rpc halve-migrations\n"
+               "          halve-crashes\n");
 }
 
 void PrintFailure(const Options& opts, const demos::ChaosScenario& scenario,
@@ -150,8 +158,9 @@ void PrintFailure(const Options& opts, const demos::ChaosScenario& scenario,
   if (result.violations.size() > kMaxPrinted) {
     std::printf("  ... and %zu more\n", result.violations.size() - kMaxPrinted);
   }
-  std::printf("repro: chaos_fuzz --seed=%llu%s%s\n",
+  std::printf("repro: chaos_fuzz --seed=%llu%s%s%s\n",
               static_cast<unsigned long long>(scenario.seed),
+              opts.churn ? " --churn" : "",
               opts.permadeath ? " --permadeath" : "",
               opts.engine == demos::ChaosEngineKind::kParallel ? " --engine=parallel" : "");
 }
@@ -204,9 +213,10 @@ void RecordArtifacts(const Options& opts, const demos::ChaosScenario& scenario,
 
 // Runs one seed; returns true iff it passed.
 bool RunSeed(const Options& opts, std::uint64_t seed) {
-  demos::ChaosScenario scenario = opts.permadeath
-                                      ? demos::PermanentDeathScenarioFromSeed(seed)
-                                      : demos::ScenarioFromSeed(seed);
+  demos::ChaosScenario scenario =
+      opts.churn        ? demos::ChurnScenarioFromSeed(seed, opts.permadeath)
+      : opts.permadeath ? demos::PermanentDeathScenarioFromSeed(seed)
+                        : demos::ScenarioFromSeed(seed);
   for (const demos::ChaosFeature f : opts.disabled) {
     (void)demos::DisableFeature(&scenario, f);
   }
@@ -232,7 +242,7 @@ bool RunSeed(const Options& opts, std::uint64_t seed) {
   if (opts.minimize) {
     const demos::MinimizeResult min = demos::MinimizeScenario(scenario, run_opts);
     std::printf("minimized after %d run%s:", min.runs, min.runs == 1 ? "" : "s");
-    if (min.disabled.empty() && min.halvings == 0) {
+    if (min.disabled.empty() && min.halvings == 0 && min.crash_halvings == 0) {
       std::printf(" (irreducible)");
     }
     for (const demos::ChaosFeature f : min.disabled) {
@@ -240,6 +250,9 @@ bool RunSeed(const Options& opts, std::uint64_t seed) {
     }
     if (min.halvings > 0) {
       std::printf(" migrations/%d", 1 << min.halvings);
+    }
+    if (min.crash_halvings > 0) {
+      std::printf(" crashes/%d", 1 << min.crash_halvings);
     }
     std::printf("\n%s\n", min.scenario.Describe().c_str());
     std::string disable_list;
